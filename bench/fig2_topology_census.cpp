@@ -1,0 +1,44 @@
+// FIG2 — textual regeneration of the paper's Figure 2 (butterfly fat-tree
+// structure), generalized across sizes: per-level switch and link census
+// plus wiring verification, for N = 16 .. 1024.
+//
+// Success criterion: counts match the paper's formulas (N/2^(l+1) switches
+// at level l, 4^n/2^l links between levels l and l+1) and the structural
+// verifier finds no violations.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wormnet;
+  const util::Args args(argc, argv);
+  const auto levels_list = args.get_int_list("levels", {2, 3, 4, 5});
+  bench::reject_unknown_flags(args);
+
+  util::Table t({"N", "level", "switches", "links to level below", "verified"});
+  for (int c = 0; c < 4; ++c) t.set_precision(c, 0);
+  for (long levels : levels_list) {
+    topo::ButterflyFatTree ft(static_cast<int>(levels));
+    const topo::VerifyReport report = topo::verify_topology(ft);
+    for (int l = 1; l <= levels; ++l) {
+      t.add_row({static_cast<double>(ft.num_processors()), static_cast<double>(l),
+                 static_cast<double>(ft.switches_at(l)),
+                 static_cast<double>(ft.links_between(l - 1)),
+                 std::string(report.ok() ? "ok" : "VIOLATIONS")});
+    }
+  }
+  harness::print_experiment(
+      "FIG2: butterfly fat-tree structure census (paper Fig. 2, all sizes)", t);
+
+  // Distance structure per size: the D̄ entering Eq. 25.
+  util::Table d({"N", "mean distance (channels)", "diameter"});
+  d.set_precision(0, 0);
+  d.set_precision(2, 0);
+  for (long levels : levels_list) {
+    topo::ButterflyFatTree ft(static_cast<int>(levels));
+    d.add_row({static_cast<double>(ft.num_processors()), ft.mean_distance(),
+               static_cast<double>(2 * levels)});
+  }
+  harness::print_experiment("FIG2b: path-length structure", d);
+  return 0;
+}

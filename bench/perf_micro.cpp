@@ -1,0 +1,107 @@
+// PERF — google-benchmark microbenchmarks of the two engines:
+//  * the analytical solver (closed form and general graph) — the payoff of
+//    the paper is that these run in microseconds where simulation takes
+//    seconds;
+//  * the flit-level simulator's cycle throughput at small and Fig. 3 scale.
+#include <benchmark/benchmark.h>
+
+#include "wormnet.hpp"
+
+namespace {
+
+using namespace wormnet;
+
+void BM_FatTreeClosedFormEvaluate(benchmark::State& state) {
+  core::FatTreeModel model(
+      {.levels = static_cast<int>(state.range(0)), .worm_flits = 16.0});
+  const double load = model.saturation_load() * 0.7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate_load(load).latency);
+  }
+}
+BENCHMARK(BM_FatTreeClosedFormEvaluate)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_FatTreeSaturationSolve(benchmark::State& state) {
+  core::FatTreeModel model(
+      {.levels = static_cast<int>(state.range(0)), .worm_flits = 16.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.saturation_load());
+  }
+}
+BENCHMARK(BM_FatTreeSaturationSolve)->Arg(5);
+
+void BM_GeneralSolverCollapsedFatTree(benchmark::State& state) {
+  const core::NetworkModel net =
+      core::build_fattree_collapsed(static_cast<int>(state.range(0)));
+  core::SolveOptions opts;
+  opts.worm_flits = 16.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::model_latency(net, 0.001, opts).latency);
+  }
+}
+BENCHMARK(BM_GeneralSolverCollapsedFatTree)->Arg(5)->Arg(8);
+
+void BM_GeneralSolverMeshPerChannel(benchmark::State& state) {
+  topo::Mesh mesh(static_cast<int>(state.range(0)), 2);
+  const core::NetworkModel net = core::build_full_channel_graph(mesh);
+  core::SolveOptions opts;
+  opts.worm_flits = 16.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::model_latency(net, 0.001, opts).latency);
+  }
+  state.SetLabel(std::to_string(net.graph.size()) + " channel classes");
+}
+BENCHMARK(BM_GeneralSolverMeshPerChannel)->Arg(8)->Arg(16);
+
+void BM_FullGraphBuild(benchmark::State& state) {
+  topo::ButterflyFatTree ft(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_full_channel_graph(ft).graph.size());
+  }
+}
+BENCHMARK(BM_FullGraphBuild)->Arg(2)->Arg(3);
+
+void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
+  topo::ButterflyFatTree ft(static_cast<int>(state.range(0)));
+  sim::SimNetwork net(ft);
+  core::FatTreeModel model(
+      {.levels = static_cast<int>(state.range(0)), .worm_flits = 16.0});
+  sim::SimConfig cfg;
+  cfg.load_flits = model.saturation_load() * 0.7;
+  cfg.worm_flits = 16;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 5'000;
+  cfg.max_cycles = 100'000;
+  cfg.channel_stats = false;
+  long cycles = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    sim::Simulator s(net, cfg);
+    const sim::SimResult r = s.run();
+    cycles += r.cycles_run;
+    benchmark::DoNotOptimize(r.latency.mean());
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorCyclesPerSecond)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_QueueingKernels(benchmark::State& state) {
+  double x = 20.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queueing::mg2_wait_wormhole(0.05, x, 16.0));
+  }
+}
+BENCHMARK(BM_QueueingKernels);
+
+}  // namespace
+
+BENCHMARK_MAIN();

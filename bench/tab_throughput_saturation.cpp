@@ -1,0 +1,51 @@
+// TAB-THR — "The model produced accurate predictions on latency AND
+// throughput for all cases under study" (paper §3.6): the Eq. 26 saturation
+// load against the simulator's delivered throughput under overload
+// (closed-loop, sources always backlogged), for every (N, worm length).
+//
+// Success criteria:
+//  * model/sim capacity ratio within ~15% everywhere;
+//  * the model's exact worm-length scale-invariance shows as a constant
+//    column per N; the simulator's near-invariance confirms it.
+//
+//   ./tab_throughput_saturation [--levels=2,3,4,5] [--worms=16,32,64] [--quick]
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wormnet;
+  const util::Args args(argc, argv);
+  const auto levels_list = args.get_int_list("levels", {2, 3, 4, 5});
+  const auto worms = args.get_int_list("worms", {16, 32, 64});
+  const bool quick = args.get_bool("quick", false);
+  const long warmup = args.get_int("warmup", quick ? 4'000 : 12'000);
+  const long measure = args.get_int("measure", quick ? 10'000 : 30'000);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  bench::reject_unknown_flags(args);
+
+  util::Table t({"N", "worm(flits)", "model sat (flits/cyc/PE)",
+                 "sim overload throughput", "model/sim"});
+  t.set_precision(0, 0);
+  t.set_precision(1, 0);
+  t.set_precision(2, 5);
+  t.set_precision(3, 5);
+  t.set_precision(4, 3);
+
+  for (long levels : levels_list) {
+    topo::ButterflyFatTree ft(static_cast<int>(levels));
+    for (long worm : worms) {
+      core::FatTreeModel model({.levels = static_cast<int>(levels),
+                                .worm_flits = static_cast<double>(worm)});
+      const harness::ThroughputRow row = harness::compare_throughput(
+          ft, model.saturation_load(), static_cast<int>(worm), seed, warmup,
+          measure);
+      t.add_row({static_cast<double>(ft.num_processors()),
+                 static_cast<double>(worm), row.model_saturation_load,
+                 row.sim_overload_throughput, row.ratio});
+    }
+  }
+  harness::print_experiment(
+      "TAB-THR: saturation throughput, model (Eq. 26) vs simulator overload", t);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// topology_explorer — inspect the structures wormnet models.
+//
+// Prints the level census and wiring spot-checks of a butterfly fat-tree
+// (the textual twin of the paper's Figure 2), its distance distribution,
+// and the same summary for a hypercube and a mesh for comparison.
+//
+//   ./topology_explorer [--levels=3] [--cube=6] [--mesh=8]
+#include <cstdio>
+#include <iostream>
+
+#include "wormnet.hpp"
+
+namespace {
+
+void distance_summary(const wormnet::topo::Topology& topo) {
+  using namespace wormnet;
+  const int procs = topo.num_processors();
+  util::Histogram hist(0.0, 2.0 * topo.mean_distance() + 4.0, 16);
+  util::RunningStats stats;
+  const int stride = procs > 128 ? procs / 128 : 1;
+  for (int s = 0; s < procs; s += stride)
+    for (int d = 0; d < procs; ++d) {
+      if (s == d) continue;
+      const int dist = topo.distance(s, d);
+      hist.add(dist);
+      stats.add(dist);
+    }
+  std::printf("  distance over sampled pairs: mean %.3f (closed form %.3f),"
+              " min %.0f, max %.0f\n",
+              stats.mean(), topo.mean_distance(), stats.min(), stats.max());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wormnet;
+  const util::Args args(argc, argv);
+  const int levels = static_cast<int>(args.get_int("levels", 3));
+
+  topo::ButterflyFatTree ft(levels);
+  std::printf("=== %s ===\n", ft.name().c_str());
+  util::Table census({"level", "switches", "links down to level below"});
+  census.set_precision(0, 0);
+  census.set_precision(1, 0);
+  census.set_precision(2, 0);
+  census.add_row({0.0, static_cast<double>(ft.num_processors()),
+                  std::string("(processors)")});
+  for (int l = 1; l <= levels; ++l) {
+    census.add_row({static_cast<double>(l), static_cast<double>(ft.switches_at(l)),
+                    static_cast<double>(ft.links_between(l - 1))});
+  }
+  census.print(std::cout);
+
+  std::printf("\nwiring spot checks (paper §3.1):\n");
+  std::printf("  processor 5 -> child %d of S(1, %d)\n", ft.neighbor_port(5, 0),
+              ft.switch_addr(ft.neighbor(5, 0)));
+  if (levels >= 2) {
+    const int sw = ft.switch_id(1, 1);
+    std::printf("  S(1,1) parents: S(2,%d) and S(2,%d), both at child index %d\n",
+                ft.switch_addr(ft.neighbor(sw, topo::ButterflyFatTree::kParentPort0)),
+                ft.switch_addr(ft.neighbor(sw, topo::ButterflyFatTree::kParentPort1)),
+                ft.neighbor_port(sw, topo::ButterflyFatTree::kParentPort0));
+  }
+  distance_summary(ft);
+
+  const topo::VerifyReport report = topo::verify_topology(ft);
+  std::printf("  structural verification: %s\n",
+              report.ok() ? "OK" : report.violations[0].c_str());
+
+  topo::Hypercube hc(static_cast<int>(args.get_int("cube", 6)));
+  std::printf("\n=== %s ===\n", hc.name().c_str());
+  distance_summary(hc);
+
+  const int k = static_cast<int>(args.get_int("mesh", 8));
+  topo::Mesh mesh(k, 2);
+  std::printf("\n=== %s ===\n", mesh.name().c_str());
+  distance_summary(mesh);
+
+  std::printf("\nroute redundancy example in the fat-tree (both parents usable"
+              " going up):\n");
+  const topo::RouteOptions up = ft.route(ft.switch_id(1, 0), ft.num_processors() - 1);
+  std::printf("  S(1,0) -> P(%d): %d candidate up-links\n", ft.num_processors() - 1,
+              up.size());
+  return 0;
+}

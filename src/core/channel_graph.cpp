@@ -1,0 +1,88 @@
+#include "core/channel_graph.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace wormnet::core {
+
+int ChannelGraph::add_channel(ChannelClass c) {
+  WORMNET_EXPECTS(c.servers >= 1);
+  WORMNET_EXPECTS(c.rate_per_link >= 0.0);
+  classes_.push_back(std::move(c));
+  return static_cast<int>(classes_.size()) - 1;
+}
+
+void ChannelGraph::add_transition(int from, int to, double weight, double route_prob) {
+  WORMNET_EXPECTS(from >= 0 && from < size());
+  WORMNET_EXPECTS(to >= 0 && to < size());
+  WORMNET_EXPECTS(weight >= 0.0 && weight <= 1.0);
+  if (route_prob < 0.0) route_prob = weight;
+  WORMNET_EXPECTS(route_prob >= 0.0 && route_prob <= 1.0);
+  classes_[static_cast<std::size_t>(from)].next.push_back({to, weight, route_prob});
+}
+
+const ChannelClass& ChannelGraph::at(int id) const {
+  WORMNET_EXPECTS(id >= 0 && id < size());
+  return classes_[static_cast<std::size_t>(id)];
+}
+
+ChannelClass& ChannelGraph::mutable_at(int id) {
+  WORMNET_EXPECTS(id >= 0 && id < size());
+  return classes_[static_cast<std::size_t>(id)];
+}
+
+std::string ChannelGraph::validate() const {
+  std::ostringstream problems;
+  for (int i = 0; i < size(); ++i) {
+    const ChannelClass& c = at(i);
+    if (c.terminal) {
+      if (!c.next.empty())
+        problems << "class " << i << " (" << c.label << ") is terminal but has transitions; ";
+      continue;
+    }
+    double sum = 0.0;
+    for (const Transition& t : c.next) {
+      if (t.target < 0 || t.target >= size()) {
+        problems << "class " << i << " transition target out of range; ";
+        continue;
+      }
+      sum += t.weight;
+    }
+    if (std::abs(sum - 1.0) > 1e-9)
+      problems << "class " << i << " (" << c.label << ") weights sum to " << sum << "; ";
+  }
+  return problems.str();
+}
+
+std::vector<int> ChannelGraph::reverse_topological_order() const {
+  // Kahn's algorithm on the dependency relation "x_i needs x_j" (i -> j for
+  // every transition).  Reverse-topological means: emit a class only after
+  // every class it depends on has been emitted, i.e. process out-degree-zero
+  // (terminal) classes first.
+  const int n = size();
+  std::vector<int> remaining_deps(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> dependents(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (const Transition& t : at(i).next) {
+      ++remaining_deps[static_cast<std::size_t>(i)];
+      dependents[static_cast<std::size_t>(t.target)].push_back(i);
+    }
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<int> ready;
+  for (int i = 0; i < n; ++i)
+    if (remaining_deps[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
+  while (!ready.empty()) {
+    const int c = ready.back();
+    ready.pop_back();
+    order.push_back(c);
+    for (int dep : dependents[static_cast<std::size_t>(c)]) {
+      if (--remaining_deps[static_cast<std::size_t>(dep)] == 0) ready.push_back(dep);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) return {};  // cycle
+  return order;
+}
+
+}  // namespace wormnet::core

@@ -1,0 +1,92 @@
+// wormnet/core/channel_graph.hpp
+//
+// The channel-dependency representation behind the paper's general model
+// (§2).  A network is reduced to classes of directed channels; channels in
+// one class are statistically identical by symmetry (the butterfly fat-tree
+// collapses to 2n classes), or classes may be individual physical channels
+// when no symmetry exists (the mesh builder does this).
+//
+// Each class carries:
+//  * `servers`       — m, the number of physical links arbitrated as one
+//                      multi-server output bundle (the fat-tree's redundant
+//                      parent pair has m = 2);
+//  * `rate_per_link` — λ on each physical link AT UNIT INJECTION RATE
+//                      (λ₀ = 1); the solver scales by the actual λ₀, which
+//                      keeps saturation search from rebuilding the graph;
+//  * `terminal`      — ejection channels whose service time is exactly the
+//                      worm length s_f (the destination consumes one flit
+//                      per cycle, the paper's assumption 4);
+//  * transitions     — where messages leaving this channel continue.
+//
+// A transition out of class i into class j distinguishes two probabilities:
+//  * `weight`     — the probability that a message on i continues into
+//                   *some* channel of class j (weights sum to 1 for
+//                   non-terminal classes); used to compose mean service time
+//                   (Eq. 3);
+//  * `route_prob` — R(i|j) of Eq. 10: the probability that the message
+//                   heads to the *specific* output bundle it will traverse.
+//                   In a collapsed-class graph these differ (a fat-tree
+//                   down-continuation enters the down *class* w.p. 1 but a
+//                   specific down link w.p. 1/4); in a per-physical-channel
+//                   graph they coincide.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wormnet::core {
+
+/// A continuation edge in the channel dependency graph.
+struct Transition {
+  int target = -1;        ///< ChannelClass id entered next
+  double weight = 0.0;    ///< probability of entering class `target`
+  double route_prob = 0.0;///< R(i|j) toward the specific output bundle
+};
+
+/// One class of statistically identical directed channels.
+struct ChannelClass {
+  std::string label;          ///< human-readable tag for reports/tests
+  int servers = 1;            ///< m of the output bundle this class is served by
+  double rate_per_link = 0.0; ///< λ per physical link at unit injection rate
+  bool terminal = false;      ///< true for ejection channels (x̄ = s_f)
+  std::vector<Transition> next;
+};
+
+/// The channel dependency graph the general model solves.
+class ChannelGraph {
+ public:
+  /// Add a class; returns its id.
+  int add_channel(ChannelClass c);
+
+  /// Add a continuation from `from` to `to`.  `route_prob` defaults to
+  /// `weight` (the per-physical-channel case).
+  void add_transition(int from, int to, double weight, double route_prob = -1.0);
+
+  /// Number of classes.
+  int size() const { return static_cast<int>(classes_.size()); }
+  /// Class by id.
+  const ChannelClass& at(int id) const;
+  /// Mutable class access (builders fix up rates after wiring).
+  ChannelClass& mutable_at(int id);
+
+  /// Check structural sanity: ids in range, weights of every non-terminal
+  /// class sum to 1 (±1e-9), terminal classes have no transitions, rates are
+  /// non-negative.  Returns an explanation or empty string when valid.
+  std::string validate() const;
+
+  /// Reverse-topological order of the dependency graph (terminals first):
+  /// the order in which the paper resolves service times "from the last
+  /// channel backwards to the injecting channel".  Empty when the graph has
+  /// a cycle (the solver then falls back to damped fixed-point iteration).
+  std::vector<int> reverse_topological_order() const;
+
+  /// True if the dependency graph is acyclic.
+  bool acyclic() const { return !reverse_topological_order().empty() || size() == 0; }
+
+ private:
+  std::vector<ChannelClass> classes_;
+};
+
+}  // namespace wormnet::core

@@ -1,0 +1,100 @@
+// wormnet/core/fattree_model.hpp
+//
+// Closed-form instantiation of the model for the butterfly fat-tree — the
+// paper's §3, Eq. 12–26, implemented exactly as published (with the
+// documented erratum at Eq. 21/23).
+//
+// Channel naming follows the paper's ⟨i, j⟩ level pairs:
+//  * "up l"   is the channel class ⟨l, l+1⟩ for l = 0 .. n-1; up 0 is the
+//    processor's injection channel ⟨0, 1⟩;
+//  * "down l" is the channel class ⟨l+1, l⟩ for l = 0 .. n-1; down 0 is the
+//    ejection channel ⟨1, 0⟩ with deterministic service s_f (Eq. 16).
+//
+// Recurrences (λ from Eq. 12–15; W from Eq. 6/8 with C_b² from Eq. 5):
+//  * down:  x̄⟨l+1,l⟩ = x̄⟨l,l-1⟩ + (1 − ¼·λ⟨l+1,l⟩/λ⟨l,l-1⟩)·W̄⟨l,l-1⟩   (Eq. 18)
+//  * top:   x̄⟨n-1,n⟩ = x̄⟨n,n-1⟩ + ⅔·W̄⟨n,n-1⟩                           (Eq. 20)
+//  * up:    x̄⟨l-1,l⟩ = P↑_l·[x̄⟨l,l+1⟩ + (1 − (λ⟨l-1,l⟩/λ⟨l,l+1⟩)·P↑_l)·W̄⟨l,l+1⟩]
+//                     + P↓_l·[x̄⟨l,l-1⟩ + (1 − P↓_l/3)·W̄⟨l,l-1⟩]          (Eq. 22)
+//  * waits: M/G/2 at rate 2λ for up bundles (erratum), M/G/1 for the
+//    injection channel and all down channels                              (Eq. 17/19/21/23/24)
+//  * L = W̄⟨0,1⟩ + x̄⟨0,1⟩ + D̄ − 1                                        (Eq. 25)
+//  * saturation: the λ₀ at which x̄⟨0,1⟩ = 1/λ₀                           (Eq. 26)
+//
+// The same ablation switches as the general solver are provided so the
+// paper's two novelties (and the erratum) can be isolated.  With all
+// switches at their defaults this class agrees with the general solver on
+// the collapsed fat-tree graph to machine precision (tested).
+#pragma once
+
+#include <vector>
+
+#include "core/general_model.hpp"
+
+namespace wormnet::core {
+
+/// Configuration of the closed-form fat-tree model.
+struct FatTreeModelOptions {
+  int levels = 3;                  ///< n; N = 4^n processors
+  double worm_flits = 16.0;        ///< s_f, worm length in flits
+  bool multi_server = true;        ///< model up-link pairs as M/G/2 (paper novelty 1)
+  bool blocking_correction = true; ///< apply Eq. 9/10 (paper novelty 2)
+  bool erratum_2lambda = true;     ///< corrected Eq. 21/23 (2λ in the M/G/2)
+
+  /// Parent links per switch.  2 is the paper's butterfly fat-tree; other
+  /// values model the GeneralizedFatTree through the M/G/m kernel — the
+  /// ">2-server" extension the paper's conclusion anticipates.  Up-link
+  /// rates become λ₀·P↑_l·(4/m)^l and bundle waits use m servers at total
+  /// rate m·λ.
+  int parents = 2;
+};
+
+/// Full per-level evaluation at one injection rate.
+struct FatTreeEvaluation {
+  bool stable = true;         ///< all queues below saturation
+  double lambda0 = 0.0;       ///< messages/cycle per processor
+  double load_flits = 0.0;    ///< λ₀ · s_f, flits/cycle per processor
+  double latency = 0.0;       ///< L of Eq. 25
+  double inj_wait = 0.0;      ///< W̄⟨0,1⟩
+  double inj_service = 0.0;   ///< x̄⟨0,1⟩
+  double mean_distance = 0.0; ///< D̄
+
+  /// Index l holds channel ⟨l, l+1⟩ (size n).
+  std::vector<double> lambda_up, x_up, w_up, rho_up;
+  /// Index l holds channel ⟨l+1, l⟩ (size n).
+  std::vector<double> x_down, w_down, rho_down;
+};
+
+/// The paper's butterfly fat-tree model.
+class FatTreeModel {
+ public:
+  explicit FatTreeModel(FatTreeModelOptions opts);
+
+  /// The configuration in force.
+  const FatTreeModelOptions& options() const { return opts_; }
+  /// Number of processors N = 4^n.
+  long num_processors() const;
+  /// D̄ over uniform distinct pairs.
+  double mean_distance() const;
+
+  /// P↑_l of Eq. 12: probability a message at a level-l switch continues up.
+  double up_probability(int level) const;
+  /// λ⟨l,l+1⟩ of Eq. 14 per physical link, at injection rate lambda0.
+  double rate_up(int level, double lambda0) const;
+
+  /// Evaluate the model at λ₀ messages/cycle/processor.
+  FatTreeEvaluation evaluate(double lambda0) const;
+
+  /// Evaluate at a load expressed in flits/cycle/processor (Fig. 3's x-axis).
+  FatTreeEvaluation evaluate_load(double load_flits) const;
+
+  /// Saturation injection rate λ₀* solving Eq. 26 (x̄⟨0,1⟩·λ₀ = 1) by
+  /// bisection; the returned rate is in messages/cycle/processor.
+  double saturation_rate() const;
+  /// Saturation throughput in flits/cycle/processor (λ₀* · s_f).
+  double saturation_load() const;
+
+ private:
+  FatTreeModelOptions opts_;
+};
+
+}  // namespace wormnet::core

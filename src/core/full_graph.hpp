@@ -1,0 +1,30 @@
+// wormnet/core/full_graph.hpp
+//
+// Generic per-physical-channel model builder: one ChannelClass per directed
+// channel of an arbitrary Topology, with rates and routing probabilities
+// obtained by exact flow propagation over the topology's minimal routing
+// function (adaptive candidates split evenly, matching the fat-tree's
+// "select an up-link randomly" policy at the rate level).
+//
+// This serves two roles:
+//  * it IS the analytical model for asymmetric networks — the k-ary n-mesh
+//    under dimension-order routing has genuinely heterogeneous channel
+//    rates, so no collapsed-class shortcut exists;
+//  * for symmetric networks (fat-tree, hypercube) it cross-validates the
+//    collapsed builders: the general solver must produce identical results
+//    on both representations (tested).
+//
+// Cost is O(N² · path-length · path-multiplicity); fine for the network
+// sizes where a per-channel model is interesting (N <= ~1k).
+#pragma once
+
+#include "core/network_model.hpp"
+#include "topo/topology.hpp"
+
+namespace wormnet::core {
+
+/// Build the per-physical-channel model of `topo` under uniform traffic at
+/// unit injection rate.  Labels: "ch{src}:{port}" for every channel.
+NetworkModel build_full_channel_graph(const topo::Topology& topo);
+
+}  // namespace wormnet::core

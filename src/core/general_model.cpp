@@ -1,0 +1,166 @@
+#include "core/general_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "queueing/queueing.hpp"
+#include "util/math.hpp"
+
+namespace wormnet::core {
+
+using util::clamp01;
+using util::kInf;
+
+namespace {
+
+/// W̄ of the bundle serving class `j` under the options' ablation switches.
+double bundle_wait(const ChannelClass& cls, double xbar, const SolveOptions& opts) {
+  const double lambda_link = cls.rate_per_link * opts.injection_scale;
+  if (!opts.multi_server || cls.servers == 1) {
+    // Each physical link treated as an independent M/G/1 at its own rate.
+    return queueing::mg1_wait_wormhole(lambda_link, xbar, opts.worm_flits);
+  }
+  // Corrected form: the m-server queue sees the bundle's total rate.  The
+  // uncorrected published formula used the per-link rate.
+  const double lambda_arg =
+      opts.erratum_2lambda ? lambda_link * cls.servers : lambda_link;
+  return queueing::wormhole_wait(cls.servers, lambda_arg, xbar, opts.worm_flits);
+}
+
+/// ρ of the bundle serving class `j` (always at the true total rate;
+/// ablations change the wait formula, not the physics of utilization).
+double bundle_utilization(const ChannelClass& cls, double xbar,
+                          const SolveOptions& opts) {
+  const double lambda_link = cls.rate_per_link * opts.injection_scale;
+  return queueing::utilization(lambda_link * cls.servers, xbar, cls.servers);
+}
+
+/// Eq. 9/10 factor for a transition from class `from` into class `to`.
+double blocking_factor(const ChannelClass& from, const ChannelClass& to,
+                       const Transition& t, const SolveOptions& opts) {
+  if (!opts.blocking_correction) return 1.0;
+  // P = 1 - m (λ_i / λ_j^total) R(i|j); with per-link rates the m cancels:
+  // P = 1 - (λ_i^link / λ_j^link) R(i|j).  When the multi-server treatment
+  // is ablated the worm commits to one specific link out of m uniformly, so
+  // R splits into R/m per link.
+  const double lam_in = from.rate_per_link;
+  const double lam_out = to.rate_per_link;
+  if (lam_out <= 0.0) return 1.0;
+  double r = t.route_prob;
+  if (!opts.multi_server && to.servers > 1) r /= to.servers;
+  return clamp01(1.0 - (lam_in / lam_out) * r);
+}
+
+/// One evaluation of Eq. 11 for class `i` given current service times.
+double compose_service_time(const ChannelGraph& graph, int i,
+                            const std::vector<double>& x,
+                            const std::vector<double>& waits,
+                            const SolveOptions& opts) {
+  const ChannelClass& cls = graph.at(i);
+  if (cls.terminal) return opts.worm_flits;
+  double xi = 0.0;
+  for (const Transition& t : cls.next) {
+    const ChannelClass& target = graph.at(t.target);
+    const double p = blocking_factor(cls, target, t, opts);
+    // p == 0 means the correction proves this input never waits there (a
+    // channel fed exclusively by one input); skip the product so an
+    // infinite wait past saturation doesn't turn 0 * inf into NaN.
+    const double wait_term =
+        p > 0.0 ? p * waits[static_cast<std::size_t>(t.target)] : 0.0;
+    xi += t.weight * (x[static_cast<std::size_t>(t.target)] + wait_term);
+  }
+  return xi;
+}
+
+}  // namespace
+
+SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& opts) {
+  WORMNET_EXPECTS(opts.worm_flits > 0.0);
+  WORMNET_EXPECTS(opts.injection_scale >= 0.0);
+  WORMNET_EXPECTS(graph.validate().empty());
+
+  const int n = graph.size();
+  SolveResult result;
+  result.channels.assign(static_cast<std::size_t>(n), {});
+  std::vector<double> x(static_cast<std::size_t>(n), opts.worm_flits);
+  std::vector<double> waits(static_cast<std::size_t>(n), 0.0);
+
+  const std::vector<int> order = graph.reverse_topological_order();
+  if (!order.empty()) {
+    // Acyclic: one exact backward sweep, terminals first (the paper's §2.1
+    // "service times are resolved in the reverse order of the channels
+    // traversed").
+    for (int id : order) {
+      // Successors are already final; compose this class's x̄ from them,
+      // then evaluate the wait of this class's bundle at that final x̄.
+      x[static_cast<std::size_t>(id)] = compose_service_time(graph, id, x, waits, opts);
+      waits[static_cast<std::size_t>(id)] =
+          bundle_wait(graph.at(id), x[static_cast<std::size_t>(id)], opts);
+    }
+    result.iterations = 1;
+    result.converged = true;
+  } else {
+    // Cyclic dependency graph: damped fixed-point iteration.
+    result.converged = false;
+    for (int it = 0; it < opts.max_iterations; ++it) {
+      double max_delta = 0.0;
+      for (int id = 0; id < n; ++id) {
+        waits[static_cast<std::size_t>(id)] =
+            bundle_wait(graph.at(id), x[static_cast<std::size_t>(id)], opts);
+      }
+      for (int id = 0; id < n; ++id) {
+        const double next = compose_service_time(graph, id, x, waits, opts);
+        const double cur = x[static_cast<std::size_t>(id)];
+        double blended = cur + opts.damping * (next - cur);
+        if (std::isinf(next)) blended = next;  // saturation dominates damping
+        max_delta = std::max(max_delta, std::abs(blended - cur));
+        x[static_cast<std::size_t>(id)] = blended;
+      }
+      result.iterations = it + 1;
+      if (max_delta < opts.tolerance || std::isinf(max_delta) || std::isnan(max_delta)) {
+        result.converged = max_delta < opts.tolerance;
+        break;
+      }
+    }
+    for (int id = 0; id < n; ++id) {
+      waits[static_cast<std::size_t>(id)] =
+          bundle_wait(graph.at(id), x[static_cast<std::size_t>(id)], opts);
+    }
+  }
+
+  for (int id = 0; id < n; ++id) {
+    ChannelSolution& sol = result.channels[static_cast<std::size_t>(id)];
+    sol.service_time = x[static_cast<std::size_t>(id)];
+    sol.wait = waits[static_cast<std::size_t>(id)];
+    sol.utilization = bundle_utilization(graph.at(id), sol.service_time, opts);
+    sol.cb2 = queueing::wormhole_cb2(sol.service_time, opts.worm_flits);
+    if (!std::isfinite(sol.service_time) || !std::isfinite(sol.wait) ||
+        sol.utilization >= 1.0) {
+      result.stable = false;
+    }
+  }
+  return result;
+}
+
+LatencyEstimate estimate_latency(const SolveResult& solution,
+                                 const std::vector<int>& injection_classes,
+                                 double mean_distance) {
+  WORMNET_EXPECTS(!injection_classes.empty());
+  LatencyEstimate est;
+  est.mean_distance = mean_distance;
+  est.stable = solution.stable;
+  double wait_sum = 0.0;
+  double service_sum = 0.0;
+  for (int id : injection_classes) {
+    wait_sum += solution.wait(id);
+    service_sum += solution.service_time(id);
+  }
+  const double n = static_cast<double>(injection_classes.size());
+  est.inj_wait = wait_sum / n;
+  est.inj_service = service_sum / n;
+  est.latency = est.inj_wait + est.inj_service + mean_distance - 1.0;
+  if (!std::isfinite(est.latency)) est.stable = false;
+  return est;
+}
+
+}  // namespace wormnet::core

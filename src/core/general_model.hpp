@@ -1,0 +1,94 @@
+// wormnet/core/general_model.hpp
+//
+// The paper's general wormhole-routing performance model (§2), solved over a
+// ChannelGraph.
+//
+// For each channel class i the solver computes (Eq. 11):
+//
+//     x̄_i = Σ_j  weight(i→j) · [ x̄_j + P(i|j) · W̄_j ]
+//
+// where W̄_j is the M/G/m mean wait of the output bundle serving class j
+// (Eq. 6 for m = 1, Hokstad's Eq. 8 for m = 2, the generalized kernel for
+// m > 2), evaluated at the bundle's total rate, and P(i|j) is the wormhole
+// blocking-probability correction of Eq. 9/10.  Terminal (ejection) classes
+// have x̄ = s_f, the worm length in flits.
+//
+// The service times resolve in reverse-topological order — "from the last
+// channel backwards to the injecting channel" — in a single exact sweep when
+// the dependency graph is acyclic (true for the fat-tree, e-cube hypercube
+// and DOR mesh).  For cyclic graphs the solver falls back to damped
+// fixed-point iteration.
+//
+// Ablation switches reproduce the paper's two claimed novelties and the
+// published erratum, so benches can quantify each ingredient's contribution:
+//  * multi_server = false     → treat an m-link bundle as m independent
+//                               M/G/1 servers, each with the per-link rate;
+//  * blocking_correction = false → P(i|j) ≡ 1 (plain store-and-forward-style
+//                               reuse of Poisson queueing results);
+//  * erratum_2lambda = false  → evaluate M/G/2 at the per-link rate, the
+//                               uncorrected formula as originally typeset.
+#pragma once
+
+#include <vector>
+
+#include "core/channel_graph.hpp"
+
+namespace wormnet::core {
+
+/// Knobs for one solve.
+struct SolveOptions {
+  double worm_flits = 16.0;        ///< s_f, worm length in flits
+  double injection_scale = 1.0;    ///< λ₀ multiplier applied to all unit rates
+  bool multi_server = true;        ///< paper novelty (1)
+  bool blocking_correction = true; ///< paper novelty (2)
+  bool erratum_2lambda = true;     ///< corrected Eq. 21/23 (total bundle rate)
+  int max_iterations = 500;        ///< fixed-point cap for cyclic graphs
+  double tolerance = 1e-12;        ///< fixed-point convergence threshold
+  double damping = 0.5;            ///< fixed-point damping factor in (0, 1]
+};
+
+/// Per-class solution values.
+struct ChannelSolution {
+  double service_time = 0.0;  ///< x̄_i (cycles)
+  double wait = 0.0;          ///< W̄ of the bundle serving this class (cycles)
+  double utilization = 0.0;   ///< ρ of that bundle
+  double cb2 = 0.0;           ///< squared CV used for the wait
+};
+
+/// Outcome of a solve.
+struct SolveResult {
+  bool stable = true;   ///< every bundle below saturation (all waits finite)
+  bool converged = true;///< fixed-point converged (always true on DAGs)
+  int iterations = 0;   ///< sweeps performed
+  std::vector<ChannelSolution> channels;
+
+  /// x̄ of class id.
+  double service_time(int id) const { return channels.at(static_cast<std::size_t>(id)).service_time; }
+  /// W̄ of class id's bundle.
+  double wait(int id) const { return channels.at(static_cast<std::size_t>(id)).wait; }
+  /// ρ of class id's bundle.
+  double utilization(int id) const { return channels.at(static_cast<std::size_t>(id)).utilization; }
+};
+
+/// Solve the general model over `graph`.
+/// Preconditions: graph.validate() is empty.
+SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& opts);
+
+/// Network-level latency summary assembled from a SolveResult (Eq. 2/25):
+///     L = mean_j [ W̄_inj(j) + x̄_inj(j) ] + D̄ - 1.
+struct LatencyEstimate {
+  bool stable = true;
+  double latency = 0.0;       ///< L, cycles from generation to tail delivery
+  double inj_wait = 0.0;      ///< mean source-queue wait
+  double inj_service = 0.0;   ///< mean injection-channel service time
+  double mean_distance = 0.0; ///< D̄ in channels
+};
+
+/// Average Eq. 1 over the given injection classes with uniform weights.
+/// `injection_classes` lists the class id of each PE's injection channel
+/// (one entry per symmetric group is fine when all PEs are equivalent).
+LatencyEstimate estimate_latency(const SolveResult& solution,
+                                 const std::vector<int>& injection_classes,
+                                 double mean_distance);
+
+}  // namespace wormnet::core

@@ -1,0 +1,69 @@
+#include "core/hypercube_graph.hpp"
+
+#include <string>
+
+#include "util/math.hpp"
+
+namespace wormnet::core {
+
+NetworkModel build_hypercube_collapsed(int dims) {
+  WORMNET_EXPECTS(dims >= 1 && dims <= 16);
+  const int n = dims;
+  const double big_n = static_cast<double>(1L << n);
+
+  NetworkModel net;
+
+  ChannelClass inj;
+  inj.label = "inj";
+  inj.servers = 1;
+  inj.rate_per_link = 1.0;  // λ₀ per processor
+  const int inj_id = net.graph.add_channel(inj);
+  net.labels[inj.label] = inj_id;
+
+  std::vector<int> dim_id(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    ChannelClass c;
+    c.label = "dim" + std::to_string(d);
+    c.servers = 1;  // e-cube is deterministic: no redundant links
+    c.rate_per_link = big_n / (2.0 * (big_n - 1.0));
+    dim_id[static_cast<std::size_t>(d)] = net.graph.add_channel(c);
+    net.labels[c.label] = dim_id[static_cast<std::size_t>(d)];
+  }
+
+  ChannelClass ej;
+  ej.label = "eject";
+  ej.servers = 1;
+  ej.rate_per_link = 1.0;  // each PE absorbs λ₀ in steady state
+  ej.terminal = true;
+  const int ej_id = net.graph.add_channel(ej);
+  net.labels[ej.label] = ej_id;
+
+  // Injection: route to the lowest differing dimension.  dest != src is
+  // guaranteed, so the injection never feeds the ejection directly.
+  for (int d = 0; d < n; ++d) {
+    const double p = static_cast<double>(1L << (n - d - 1)) / (big_n - 1.0);
+    net.graph.add_transition(inj_id, dim_id[static_cast<std::size_t>(d)], p);
+  }
+
+  // Dimension d: bits above d are unbiased coins — continue at the next set
+  // bit or eject when none remain.
+  for (int d = 0; d < n; ++d) {
+    for (int d2 = d + 1; d2 < n; ++d2) {
+      const double p = 1.0 / static_cast<double>(1L << (d2 - d));
+      net.graph.add_transition(dim_id[static_cast<std::size_t>(d)],
+                               dim_id[static_cast<std::size_t>(d2)], p);
+    }
+    const double p_eject = 1.0 / static_cast<double>(1L << (n - 1 - d));
+    net.graph.add_transition(dim_id[static_cast<std::size_t>(d)], ej_id, p_eject);
+  }
+
+  net.injection_classes = {inj_id};
+  // Mean Hamming distance over distinct pairs plus injection and ejection.
+  net.mean_distance = n * (big_n / 2.0) / (big_n - 1.0) + 2.0;
+
+  WORMNET_ENSURES(net.graph.validate().empty());
+  WORMNET_ENSURES(net.graph.acyclic());
+  return net;
+}
+
+}  // namespace wormnet::core

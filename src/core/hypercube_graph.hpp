@@ -1,0 +1,27 @@
+// wormnet/core/hypercube_graph.hpp
+//
+// Builder for the binary hypercube's collapsed channel graph under e-cube
+// (ascending dimension-order) routing — the Draper & Ghosh setting the paper
+// cites, expressed in the paper's §2 framework.
+//
+// Symmetry classes: one injection class, one class per dimension d (every
+// directed dimension-d link carries the same load under uniform traffic),
+// and one ejection class.  With N = 2^n and uniform destinations:
+//   * rate per dimension-d link:     λ_d = λ₀ · N / (2 (N-1))   (all d equal)
+//   * injection → dim d:             P(first differing bit is d)
+//                                      = 2^(n-d-1) / (N-1)
+//   * dim d → dim d' (d' > d):       2^-(d'-d)
+//   * dim d → eject:                 2^-(n-1-d)
+// (diff bits above d are i.i.d. fair coins once the message crosses dim d).
+//
+// Class labels: "inj", "dim0" … "dim{n-1}", "eject".
+#pragma once
+
+#include "core/network_model.hpp"
+
+namespace wormnet::core {
+
+/// Build the collapsed hypercube model for `dims` dimensions (N = 2^dims).
+NetworkModel build_hypercube_collapsed(int dims);
+
+}  // namespace wormnet::core

@@ -1,0 +1,32 @@
+#include "core/network_model.hpp"
+
+#include "core/saturation.hpp"
+
+namespace wormnet::core {
+
+int NetworkModel::class_id(const std::string& label) const {
+  auto it = labels.find(label);
+  WORMNET_EXPECTS(it != labels.end());
+  return it->second;
+}
+
+SolveResult model_solve(const NetworkModel& net, double lambda0, SolveOptions base) {
+  base.injection_scale = lambda0;
+  return solve_general_model(net.graph, base);
+}
+
+LatencyEstimate model_latency(const NetworkModel& net, double lambda0,
+                              SolveOptions base) {
+  const SolveResult res = model_solve(net, lambda0, base);
+  return estimate_latency(res, net.injection_classes, net.mean_distance);
+}
+
+double model_saturation_rate(const NetworkModel& net, SolveOptions base) {
+  return find_saturation_rate(
+      [&](double lambda0) {
+        return model_latency(net, lambda0, base).inj_service;
+      },
+      1.0 / base.worm_flits);
+}
+
+}  // namespace wormnet::core

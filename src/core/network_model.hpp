@@ -1,0 +1,47 @@
+// wormnet/core/network_model.hpp
+//
+// A packaged instance of the general model for one concrete network: the
+// channel graph (with unit-injection rates), the injection channel classes,
+// and the mean path length.  Builders in fattree_graph.hpp,
+// hypercube_graph.hpp and full_graph.hpp produce these; the helpers below
+// evaluate latency and saturation without the caller touching the solver
+// plumbing.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/channel_graph.hpp"
+#include "core/general_model.hpp"
+
+namespace wormnet::core {
+
+/// A channel graph plus the metadata needed to turn a solve into a latency.
+struct NetworkModel {
+  ChannelGraph graph;
+  /// Class ids of the processors' injection channels (one per symmetry
+  /// group; estimate_latency averages them uniformly).
+  std::vector<int> injection_classes;
+  /// D̄ of the paper's Eq. 2, counted in channels.
+  double mean_distance = 0.0;
+  /// Builder-provided label → class id map (used by tests and reports).
+  std::map<std::string, int> labels;
+
+  /// Look up a labeled class id; aborts if absent.
+  int class_id(const std::string& label) const;
+};
+
+/// Solve the model at injection rate λ₀ (messages/cycle/PE) and report
+/// network latency.  `base` supplies worm length and ablation switches; its
+/// injection_scale is overridden by `lambda0`.
+LatencyEstimate model_latency(const NetworkModel& net, double lambda0,
+                              SolveOptions base);
+
+/// Full solve at λ₀ (per-channel detail), same option handling.
+SolveResult model_solve(const NetworkModel& net, double lambda0, SolveOptions base);
+
+/// Saturation injection rate λ₀* (Eq. 26) for the network under `base`.
+double model_saturation_rate(const NetworkModel& net, SolveOptions base);
+
+}  // namespace wormnet::core

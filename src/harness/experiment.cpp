@@ -1,0 +1,135 @@
+#include "harness/experiment.hpp"
+
+#include <cmath>
+#include <iostream>
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wormnet::harness {
+
+std::vector<ComparisonRow> compare_latency(const topo::Topology& topo,
+                                           const ModelFn& model,
+                                           const SweepConfig& cfg) {
+  WORMNET_EXPECTS(!cfg.loads.empty());
+  const sim::SimNetwork net(topo);
+  std::vector<ComparisonRow> rows(cfg.loads.size());
+
+  util::parallel_for(
+      static_cast<std::int64_t>(cfg.loads.size()), [&](std::int64_t i) {
+        const double load = cfg.loads[static_cast<std::size_t>(i)];
+        ComparisonRow& row = rows[static_cast<std::size_t>(i)];
+        row.load = load;
+
+        const core::LatencyEstimate est = model(load);
+        row.model_latency = est.latency;
+        row.model_inj_wait = est.inj_wait;
+        row.model_inj_service = est.inj_service;
+        row.model_stable = est.stable;
+
+        sim::SimConfig sc;
+        sc.load_flits = load;
+        sc.worm_flits = cfg.worm_flits;
+        sc.seed = cfg.seed + static_cast<std::uint64_t>(i);
+        sc.warmup_cycles = cfg.warmup_cycles;
+        sc.measure_cycles = cfg.measure_cycles;
+        sc.max_cycles = cfg.max_cycles;
+        sc.channel_stats = false;
+        sim::Simulator simulator(net, sc);
+        const sim::SimResult r = simulator.run();
+        row.sim_latency = r.latency.mean();
+        row.sim_sem = r.latency.sem();
+        row.sim_inj_wait = r.queue_wait.mean();
+        row.sim_inj_service = r.inj_service.mean();
+        row.sim_messages = r.latency.count();
+        row.sim_saturated = r.saturated;
+      });
+  return rows;
+}
+
+std::vector<ComparisonRow> model_only_sweep(const ModelFn& model,
+                                            const SweepConfig& cfg) {
+  std::vector<ComparisonRow> rows;
+  rows.reserve(cfg.loads.size());
+  for (double load : cfg.loads) {
+    ComparisonRow row;
+    row.load = load;
+    const core::LatencyEstimate est = model(load);
+    row.model_latency = est.latency;
+    row.model_inj_wait = est.inj_wait;
+    row.model_inj_service = est.inj_service;
+    row.model_stable = est.stable;
+    row.sim_latency = util::kNaN;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+util::Table comparison_table(const std::vector<ComparisonRow>& rows) {
+  util::Table t({"load(flits/cyc)", "model_latency", "sim_latency", "sim_sem",
+                 "model_Winj", "sim_Winj", "model_xinj", "sim_xinj", "messages",
+                 "note"});
+  t.set_precision(0, 4);
+  for (const ComparisonRow& r : rows) {
+    std::string note;
+    if (!r.model_stable) note += "model:sat ";
+    if (r.sim_saturated) note += "sim:sat";
+    t.add_row({r.load,
+               r.model_stable ? util::Cell{r.model_latency} : util::Cell{std::string("inf")},
+               r.sim_messages > 0 ? util::Cell{r.sim_latency} : util::Cell{},
+               r.sim_messages > 0 ? util::Cell{r.sim_sem} : util::Cell{},
+               r.model_stable ? util::Cell{r.model_inj_wait} : util::Cell{},
+               r.sim_messages > 0 ? util::Cell{r.sim_inj_wait} : util::Cell{},
+               r.model_stable ? util::Cell{r.model_inj_service} : util::Cell{},
+               r.sim_messages > 0 ? util::Cell{r.sim_inj_service} : util::Cell{},
+               static_cast<double>(r.sim_messages),
+               note.empty() ? util::Cell{} : util::Cell{note}});
+  }
+  t.set_precision(8, 0);
+  return t;
+}
+
+double mean_abs_pct_error(const std::vector<ComparisonRow>& rows) {
+  double sum = 0.0;
+  int n = 0;
+  for (const ComparisonRow& r : rows) {
+    if (!r.model_stable || r.sim_saturated || r.sim_messages == 0) continue;
+    if (!std::isfinite(r.model_latency) || !std::isfinite(r.sim_latency)) continue;
+    sum += std::abs(r.model_latency - r.sim_latency) / r.sim_latency * 100.0;
+    ++n;
+  }
+  return n > 0 ? sum / n : util::kNaN;
+}
+
+ThroughputRow compare_throughput(const topo::Topology& topo,
+                                 double model_saturation_load, int worm_flits,
+                                 std::uint64_t seed, long warmup_cycles,
+                                 long measure_cycles) {
+  sim::SimConfig sc;
+  sc.arrivals = sim::ArrivalProcess::Overload;
+  sc.worm_flits = worm_flits;
+  sc.seed = seed;
+  sc.warmup_cycles = warmup_cycles;
+  sc.measure_cycles = measure_cycles;
+  sc.channel_stats = false;
+  const sim::SimResult r = sim::simulate(topo, sc);
+  ThroughputRow row;
+  row.model_saturation_load = model_saturation_load;
+  row.sim_overload_throughput = r.throughput_flits_per_pe;
+  row.ratio = row.sim_overload_throughput > 0.0
+                  ? row.model_saturation_load / row.sim_overload_throughput
+                  : util::kNaN;
+  return row;
+}
+
+void print_experiment(const std::string& title, const util::Table& table) {
+  std::cout << "\n=== " << title << " ===\n";
+  table.print(std::cout);
+  std::cout << "--- csv ---\n";
+  table.print_csv(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace wormnet::harness

@@ -1,0 +1,91 @@
+// wormnet/harness/experiment.hpp
+//
+// The experiment harness ties the analytical model and the simulator
+// together: it sweeps offered load over a topology, evaluates both sides,
+// and renders the paper-style comparison series.  Every bench binary is a
+// thin wrapper around these functions.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/general_model.hpp"
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "topo/topology.hpp"
+#include "util/table.hpp"
+
+namespace wormnet::harness {
+
+/// A model evaluated at a load (flits/cycle/PE); adapts FatTreeModel,
+/// NetworkModel and ablated variants uniformly.
+using ModelFn = std::function<core::LatencyEstimate(double load_flits)>;
+
+/// Sweep parameters shared by the latency experiments.
+struct SweepConfig {
+  std::vector<double> loads;   ///< offered loads, flits/cycle/PE
+  int worm_flits = 16;         ///< s_f
+  std::uint64_t seed = 1;      ///< base seed; point i uses seed + i
+  long warmup_cycles = 10'000;
+  long measure_cycles = 30'000;
+  long max_cycles = 400'000;
+  unsigned threads = 0;        ///< sweep-point parallelism (0 = hardware)
+};
+
+/// One load point of a model-vs-simulation comparison.
+struct ComparisonRow {
+  double load = 0.0;
+  // Model side (Eq. 25); NaN/inf past saturation.
+  double model_latency = 0.0;
+  double model_inj_wait = 0.0;
+  double model_inj_service = 0.0;
+  bool model_stable = true;
+  // Simulation side.
+  double sim_latency = 0.0;
+  double sim_sem = 0.0;  ///< standard error of the mean latency
+  double sim_inj_wait = 0.0;
+  double sim_inj_service = 0.0;
+  std::int64_t sim_messages = 0;
+  bool sim_saturated = false;
+};
+
+/// Run the sweep: simulate every load point (in parallel when the host has
+/// cores to spare) and evaluate `model` at the same points.
+std::vector<ComparisonRow> compare_latency(const topo::Topology& topo,
+                                           const ModelFn& model,
+                                           const SweepConfig& cfg);
+
+/// Model-only sweep (for ablation benches where simulation is reused).
+std::vector<ComparisonRow> model_only_sweep(const ModelFn& model,
+                                            const SweepConfig& cfg);
+
+/// Render comparison rows as a table: one row per load with model and
+/// simulation columns (the text form of one Fig. 3 series).
+util::Table comparison_table(const std::vector<ComparisonRow>& rows);
+
+/// Mean absolute percentage error of model vs simulation latency over the
+/// points where both sides are stable; the accuracy scalar EXPERIMENTS.md
+/// reports per experiment.
+double mean_abs_pct_error(const std::vector<ComparisonRow>& rows);
+
+/// Saturation throughput comparison: the model's Eq. 26 saturation load vs
+/// the simulator's delivered throughput under overload.
+struct ThroughputRow {
+  double model_saturation_load = 0.0;  ///< flits/cycle/PE
+  double sim_overload_throughput = 0.0;
+  double ratio = 0.0;  ///< model / sim
+};
+
+/// Measure the simulator's overload throughput and pair it with the model's
+/// saturation prediction.
+ThroughputRow compare_throughput(const topo::Topology& topo,
+                                 double model_saturation_load, int worm_flits,
+                                 std::uint64_t seed, long warmup_cycles = 10'000,
+                                 long measure_cycles = 30'000);
+
+/// Print a table with a heading and its CSV twin, the uniform output format
+/// of every bench binary.
+void print_experiment(const std::string& title, const util::Table& table);
+
+}  // namespace wormnet::harness

@@ -1,0 +1,133 @@
+#include "queueing/queueing.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace wormnet::queueing {
+
+using util::kInf;
+
+namespace {
+// Utilizations within kStabilityMargin of 1 are treated as saturated: the
+// 1/(1-rho) terms would otherwise produce astronomically large but finite
+// waits that destabilize the saturation bisection's bracketing.
+constexpr double kStabilityMargin = 1e-9;
+}  // namespace
+
+double utilization(double lambda, double xbar, int servers) {
+  WORMNET_EXPECTS(servers >= 1);
+  WORMNET_EXPECTS(lambda >= 0.0);
+  WORMNET_EXPECTS(xbar >= 0.0);
+  return lambda * xbar / servers;
+}
+
+bool stable(double lambda, double xbar, int servers) {
+  return utilization(lambda, xbar, servers) < 1.0 - kStabilityMargin;
+}
+
+double wormhole_cb2(double xbar, double worm_flits) {
+  WORMNET_EXPECTS(worm_flits > 0.0);
+  if (xbar <= 0.0) return 0.0;
+  // Past saturation x̄ diverges; (x̄ - s_f)²/x̄² → 1 in the limit, and the
+  // wait kernels return +inf regardless, so report the limit instead of the
+  // NaN that inf/inf arithmetic would produce.
+  if (!std::isfinite(xbar)) return 1.0;
+  const double blocked = xbar - worm_flits;
+  return (blocked * blocked) / (xbar * xbar);
+}
+
+double mg1_wait(double lambda, double xbar, double cb2) {
+  WORMNET_EXPECTS(lambda >= 0.0);
+  WORMNET_EXPECTS(cb2 >= 0.0);
+  if (lambda == 0.0 || xbar == 0.0) return 0.0;
+  if (!stable(lambda, xbar, 1)) return kInf;
+  const double rho = lambda * xbar;
+  return rho * xbar * (1.0 + cb2) / (2.0 * (1.0 - rho));
+}
+
+double mg1_wait_wormhole(double lambda, double xbar, double worm_flits) {
+  return mg1_wait(lambda, xbar, wormhole_cb2(xbar, worm_flits));
+}
+
+double mg2_wait_hokstad(double lambda, double xbar, double cb2) {
+  WORMNET_EXPECTS(lambda >= 0.0);
+  WORMNET_EXPECTS(cb2 >= 0.0);
+  if (lambda == 0.0 || xbar == 0.0) return 0.0;
+  if (!stable(lambda, xbar, 2)) return kInf;
+  const double lx = lambda * xbar;
+  // Eq. 7: the denominator 4 - lambda^2 x̄^2 vanishes exactly at rho = 1.
+  return lambda * lambda * xbar * xbar * xbar * (1.0 + cb2) / (2.0 * (4.0 - lx * lx));
+}
+
+double mg2_wait_wormhole(double lambda, double xbar, double worm_flits) {
+  return mg2_wait_hokstad(lambda, xbar, wormhole_cb2(xbar, worm_flits));
+}
+
+double erlang_c(int servers, double offered_load) {
+  WORMNET_EXPECTS(servers >= 1);
+  WORMNET_EXPECTS(offered_load >= 0.0);
+  const double a = offered_load;
+  const auto m = servers;
+  if (a == 0.0) return 0.0;
+  if (a >= m) return 1.0;  // saturated: every arrival waits
+  // Evaluate iteratively to avoid factorial overflow:
+  //   inv_b(0) = 1;  inv_b(k) = 1 + (k / a) * inv_b(k-1)   [Erlang-B recursion
+  //   on the reciprocal], then C = m*B / (m - a(1-B)) via the B->C identity.
+  double inv_b = 1.0;
+  for (int k = 1; k <= m; ++k) inv_b = 1.0 + inv_b * static_cast<double>(k) / a;
+  const double b = 1.0 / inv_b;
+  return b / (1.0 - (a / m) * (1.0 - b));
+}
+
+double mm1_wait(double lambda, double xbar) {
+  if (lambda == 0.0 || xbar == 0.0) return 0.0;
+  if (!stable(lambda, xbar, 1)) return kInf;
+  const double rho = lambda * xbar;
+  return rho * xbar / (1.0 - rho);
+}
+
+double mmm_wait(int servers, double lambda, double xbar) {
+  WORMNET_EXPECTS(servers >= 1);
+  if (lambda == 0.0 || xbar == 0.0) return 0.0;
+  if (!stable(lambda, xbar, servers)) return kInf;
+  const double a = lambda * xbar;
+  const double c = erlang_c(servers, a);
+  return c * xbar / (servers - a);
+}
+
+double mgm_wait(int servers, double lambda, double xbar, double cb2) {
+  WORMNET_EXPECTS(servers >= 1);
+  WORMNET_EXPECTS(cb2 >= 0.0);
+  if (lambda == 0.0 || xbar == 0.0) return 0.0;
+  if (!stable(lambda, xbar, servers)) return kInf;
+  return 0.5 * (1.0 + cb2) * mmm_wait(servers, lambda, xbar);
+}
+
+double mgm_wait_wormhole(int servers, double lambda, double xbar, double worm_flits) {
+  return mgm_wait(servers, lambda, xbar, wormhole_cb2(xbar, worm_flits));
+}
+
+double blocking_probability(int servers, double lambda_in, double lambda_out_total,
+                            double route_prob) {
+  WORMNET_EXPECTS(servers >= 1);
+  WORMNET_EXPECTS(lambda_in >= 0.0);
+  WORMNET_EXPECTS(route_prob >= 0.0 && route_prob <= 1.0);
+  if (lambda_out_total <= 0.0) return 1.0;  // vacuous: no contention either way
+  const double p = 1.0 - servers * (lambda_in / lambda_out_total) * route_prob;
+  return util::clamp01(p);
+}
+
+double wormhole_wait(int servers, double lambda_total, double xbar, double worm_flits) {
+  switch (servers) {
+    case 1:
+      return mg1_wait_wormhole(lambda_total, xbar, worm_flits);
+    case 2:
+      return mg2_wait_wormhole(lambda_total, xbar, worm_flits);
+    default:
+      return mgm_wait_wormhole(servers, lambda_total, xbar, worm_flits);
+  }
+}
+
+}  // namespace wormnet::queueing

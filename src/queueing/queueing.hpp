@@ -1,0 +1,100 @@
+// wormnet/queueing/queueing.hpp
+//
+// Queueing-theory kernels used by the analytical wormhole model of
+// Greenberg & Guan (ICPP 1997).  Equation numbers refer to that paper.
+//
+// Conventions
+// -----------
+//  * `lambda` is the TOTAL message arrival rate offered to the queue
+//    (messages per cycle).  For an m-server channel bundle this is the sum
+//    over the m physical links — the paper's erratum at its Eq. 21/23 makes
+//    this explicit for the fat-tree up-link pair (2·λ_{l,l+1}).
+//  * `xbar` is the mean service time per message in cycles.
+//  * `cb2` is the squared coefficient of variation of service time,
+//    Var[x]/x̄².
+//  * Every wait function returns the *mean waiting time in queue* (time from
+//    arrival until service begins), not the sojourn time.
+//  * Unstable inputs (utilization >= 1) return +infinity rather than a
+//    negative value from the raw formula; the saturation solver relies on
+//    this monotone blow-up.
+#pragma once
+
+namespace wormnet::queueing {
+
+/// Server utilization rho = lambda * xbar / m.
+double utilization(double lambda, double xbar, int servers = 1);
+
+/// True when the queue is stable (rho < 1, with a tiny safety margin so the
+/// downstream 1/(1-rho) terms stay finite in double arithmetic).
+bool stable(double lambda, double xbar, int servers = 1);
+
+/// Squared coefficient of variation of wormhole channel service time, Eq. 5:
+///     C_b^2 = (x̄ - s_f)^2 / x̄^2
+/// where s_f is the worm length in flits.  Rationale (Draper & Ghosh): the
+/// deterministic part of a channel's service time is the s_f cycles of flit
+/// transmission; all variance comes from the blocking term (x̄ - s_f), and
+/// approximating the blocking time's standard deviation by its mean gives
+/// sigma_b = x̄ - s_f.
+double wormhole_cb2(double xbar, double worm_flits);
+
+/// M/G/1 mean wait, Eq. 4:  W = rho * x̄ * (1 + C_b²) / (2 (1 - rho)).
+/// Returns +inf when unstable, 0 when lambda == 0.
+double mg1_wait(double lambda, double xbar, double cb2);
+
+/// M/G/1 mean wait with the wormhole variance approximation folded in
+/// (the paper's Eq. 6).
+double mg1_wait_wormhole(double lambda, double xbar, double worm_flits);
+
+/// Hokstad's M/G/2 mean-wait approximation as used by the paper, Eq. 7:
+///     W = lambda² x̄³ (1 + C_b²) / (2 (4 - lambda² x̄²))
+/// `lambda` is the TOTAL rate offered to the two-server channel.
+/// Returns +inf when unstable (lambda * x̄ >= 2), 0 when lambda == 0.
+double mg2_wait_hokstad(double lambda, double xbar, double cb2);
+
+/// Hokstad M/G/2 with the wormhole variance approximation (Eq. 8).
+double mg2_wait_wormhole(double lambda, double xbar, double worm_flits);
+
+/// Erlang-C: probability an arrival to an M/M/m queue with offered load
+/// a = lambda * x̄ (in Erlangs) must wait.  Exact; used both by the
+/// generalized M/G/m kernel and as a test oracle.
+double erlang_c(int servers, double offered_load);
+
+/// Exact M/M/1 mean wait  W = rho x̄ / (1 - rho); test oracle.
+double mm1_wait(double lambda, double xbar);
+
+/// Exact M/M/m mean wait  W = C(m, a) * x̄ / (m - a); test oracle and the
+/// base of the M/G/m approximation below.
+double mmm_wait(int servers, double lambda, double xbar);
+
+/// Generalized M/G/m mean-wait approximation (Lee–Longton form, the standard
+/// generalization consistent with Hokstad's study):
+///     W_{M/G/m} ≈ (1 + C_b²)/2 · W_{M/M/m}.
+/// For m == 1 this is exact (it reduces to Pollaczek–Khinchine).  The paper's
+/// conclusion names >2-server channels as the natural extension of its
+/// framework; this kernel backs the generalized fat-tree in wormnet::core.
+double mgm_wait(int servers, double lambda, double xbar, double cb2);
+
+/// Generalized M/G/m with the wormhole variance approximation.
+double mgm_wait_wormhole(int servers, double lambda, double xbar, double worm_flits);
+
+/// Wormhole blocking-probability correction, Eq. 10:
+///     P(i|j) = 1 - m * (lambda_in / lambda_out_total) * R_ij
+/// the probability that the messages "in service" at outgoing channel j in
+/// the M/G/m model emanate from inputs other than i (a link already occupied
+/// by a worm cannot present another arrival).  Clamped into [0, 1]: the
+/// formula is itself an approximation and can go negative at extreme rate
+/// ratios.
+///
+///  * `servers`            m, the number of physical links in bundle j
+///  * `lambda_in`          total message rate on incoming physical link i
+///  * `lambda_out_total`   total message rate into bundle j (all m links)
+///  * `route_prob`         R(i|j), probability a message from i heads to j
+double blocking_probability(int servers, double lambda_in, double lambda_out_total,
+                            double route_prob);
+
+/// Mean waiting time of an m-server wormhole channel evaluated with the
+/// kernels above: dispatches to Eq. 6 (m=1), Eq. 8 (m=2) or the generalized
+/// M/G/m (m>2).  `lambda_total` is the whole bundle's rate.
+double wormhole_wait(int servers, double lambda_total, double xbar, double worm_flits);
+
+}  // namespace wormnet::queueing

@@ -1,0 +1,83 @@
+// wormnet/sim/config.hpp
+//
+// Simulation parameters.  Defaults mirror the paper's experimental setup:
+// Poisson message generation, uniformly random destinations, fixed worm
+// length, FCFS channel arbitration, destinations that drain one flit per
+// cycle.
+#pragma once
+
+#include <cstdint>
+
+namespace wormnet::sim {
+
+/// Message generation process at each processor.
+enum class ArrivalProcess {
+  Poisson,    ///< exponential inter-arrival times (the paper's assumption 1)
+  Bernoulli,  ///< geometric inter-arrival times (one trial per cycle)
+  Overload,   ///< source always backlogged: measures saturation throughput
+};
+
+/// Destination selection.  The paper (and its model) assume Uniform; the
+/// other patterns probe where the uniform-traffic assumption stops holding
+/// (see bench/ext_traffic_patterns).
+enum class TrafficPattern {
+  Uniform,        ///< uniform over the other processors (the paper's assumption 1)
+  BitComplement,  ///< fixed permutation dest = N-1-src (crosses the root in a fat-tree)
+  Transpose,      ///< dest = transpose of src in the sqrt(N) x sqrt(N) grid;
+                  ///< diagonal sources fall back to dest = (src+1) mod N
+  Hotspot,        ///< with probability hotspot_fraction target processor 0,
+                  ///< otherwise uniform
+};
+
+/// One simulation run's configuration.
+struct SimConfig {
+  /// Offered load in flits/cycle/processor (Fig. 3's x-axis); the message
+  /// rate is λ₀ = load_flits / worm_flits.  Ignored under Overload.
+  double load_flits = 0.01;
+
+  /// Worm length s_f in flits.
+  int worm_flits = 16;
+
+  /// Arrival process.
+  ArrivalProcess arrivals = ArrivalProcess::Poisson;
+
+  /// Destination pattern.
+  TrafficPattern pattern = TrafficPattern::Uniform;
+
+  /// Probability a Hotspot-pattern message targets the hotspot node.
+  double hotspot_fraction = 0.1;
+
+  /// RNG seed; two runs with equal config are bit-identical.
+  std::uint64_t seed = 1;
+
+  /// Cycles simulated before measurement starts (queue warm-up).
+  long warmup_cycles = 10'000;
+
+  /// Length of the measurement window: messages GENERATED inside
+  /// [warmup, warmup + measure_cycles) are tagged and their latencies
+  /// recorded; throughput counts deliveries inside the same window.
+  long measure_cycles = 30'000;
+
+  /// Hard stop.  If tagged messages remain undelivered here, the run is
+  /// reported as saturated (offered load exceeded capacity).
+  long max_cycles = 400'000;
+
+  /// Abort threshold for the progress watchdog: if no flit moves and no
+  /// channel is granted for this many consecutive cycles while worms are
+  /// waiting, the simulator aborts — with minimal routing on acyclic
+  /// channel-dependency networks this indicates a simulator bug, not a
+  /// protocol deadlock.
+  long watchdog_cycles = 100'000;
+
+  /// Collect per-channel grant/busy counters (cheap; a few MB at N=1024).
+  bool channel_stats = true;
+
+  /// Collect the full latency distribution of tagged messages (histogram
+  /// with `histogram_bins` bins over [0, histogram_max) cycles) so results
+  /// can report tail percentiles, not just the mean the paper plots.
+  bool latency_histogram = false;
+  double histogram_max = 4096.0;
+  int histogram_bins = 512;
+};
+
+}  // namespace wormnet::sim

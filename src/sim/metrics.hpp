@@ -1,0 +1,59 @@
+// wormnet/sim/metrics.hpp
+//
+// Simulation outputs.  The per-message decomposition mirrors the model's
+// Eq. 1 terms so every model quantity has a directly-measured counterpart:
+//   latency      = tail-delivery cycle - generation cycle      (L)
+//   queue_wait   = injection-grant cycle - generation cycle    (W_inj)
+//   inj_service  = source-release cycle - injection-grant cycle(x_inj)
+//   distance     = channels on the allocated path              (D)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace wormnet::sim {
+
+/// Per-directed-channel counters, accumulated inside the measurement window.
+struct ChannelStat {
+  std::int64_t worms = 0;        ///< channel grants (worm-starts)
+  std::int64_t busy_cycles = 0;  ///< cycles the channel was owned by a worm
+  std::int64_t flits = 0;        ///< flits that crossed the channel
+};
+
+/// Results of one simulation run.
+struct SimResult {
+  bool completed = false;  ///< all tagged messages delivered before max_cycles
+  bool saturated = false;  ///< backlog kept growing / tagged undelivered
+  long cycles_run = 0;     ///< final simulation cycle
+  long window_cycles = 0;  ///< measurement window length actually used
+
+  /// Tagged-message statistics (all in cycles).
+  util::RunningStats latency;
+  util::RunningStats queue_wait;
+  util::RunningStats inj_service;
+  util::RunningStats distance;
+
+  /// Deliveries whose tail arrived inside the measurement window.
+  std::int64_t delivered_messages = 0;
+  std::int64_t delivered_flits = 0;
+  /// Delivered flits / window / processor — the throughput metric the
+  /// paper's Eq. 26 saturation point is compared against.
+  double throughput_flits_per_pe = 0.0;
+
+  /// Messages generated in the window (offered load check).
+  std::int64_t generated_messages = 0;
+
+  /// Per-channel counters (empty when SimConfig::channel_stats is false).
+  std::vector<ChannelStat> channels;
+
+  /// Latency distribution of tagged messages (present when
+  /// SimConfig::latency_histogram is set): enables percentile reporting
+  /// beyond the paper's mean-latency curves.
+  std::optional<util::Histogram> latency_hist;
+};
+
+}  // namespace wormnet::sim

@@ -1,0 +1,72 @@
+// wormnet/sim/network.hpp
+//
+// Immutable, flattened view of a Topology prepared for fast simulation:
+// directed channels with dense ids, output bundles with dense ids, and the
+// port → bundle mapping.  One SimNetwork can back any number of concurrent
+// Simulator instances (it holds no mutable state).
+#pragma once
+
+#include <vector>
+
+#include "topo/channels.hpp"
+#include "topo/topology.hpp"
+
+namespace wormnet::sim {
+
+/// A multi-server output group: the unit of FCFS arbitration.  Fat-tree
+/// parent pairs have two channels; everything else is a singleton.
+struct BundleInfo {
+  std::array<int, 4> channel_ids{};  ///< directed channel ids in the bundle
+  int num_channels = 0;
+};
+
+/// Flattened per-channel facts used in the hot loop.
+struct ChannelInfo {
+  int dst_node = -1;        ///< node the channel feeds
+  int bundle = -1;          ///< owning bundle id
+  bool dst_is_processor = false;
+};
+
+/// Precomputed simulation view of a topology.
+class SimNetwork {
+ public:
+  /// Build from a topology (kept by reference; must outlive the network).
+  explicit SimNetwork(const topo::Topology& topo);
+
+  /// The topology.
+  const topo::Topology& topology() const { return *topo_; }
+  /// The directed channel index.
+  const topo::ChannelTable& channels() const { return table_; }
+
+  /// Number of directed channels.
+  int num_channels() const { return table_.size(); }
+  /// Number of output bundles.
+  int num_bundles() const { return static_cast<int>(bundles_.size()); }
+  /// Bundle record.
+  const BundleInfo& bundle(int id) const {
+    return bundles_[static_cast<std::size_t>(id)];
+  }
+  /// Per-channel facts.
+  const ChannelInfo& channel(int id) const {
+    return info_[static_cast<std::size_t>(id)];
+  }
+
+  /// Bundle serving (node, port).
+  int bundle_of_port(int node, int port) const;
+
+  /// The injection channel id of a processor.
+  int injection_channel(int proc) const {
+    return injection_[static_cast<std::size_t>(proc)];
+  }
+
+ private:
+  const topo::Topology* topo_;
+  topo::ChannelTable table_;
+  std::vector<BundleInfo> bundles_;
+  std::vector<ChannelInfo> info_;
+  std::vector<int> port_bundle_;        // flattened [node][port]
+  std::vector<int> port_bundle_offset_; // per node offset into port_bundle_
+  std::vector<int> injection_;          // per processor
+};
+
+}  // namespace wormnet::sim

@@ -1,0 +1,404 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace wormnet::sim {
+
+Simulator::Simulator(const SimNetwork& net, SimConfig cfg)
+    : net_(net),
+      cfg_(cfg),
+      traffic_(net.topology().num_processors(),
+               cfg.load_flits / static_cast<double>(cfg.worm_flits),
+               cfg.arrivals, cfg.seed, cfg.pattern, cfg.hotspot_fraction),
+      route_rng_(util::Rng::stream(cfg.seed, 0xADA9711CULL)) {
+  WORMNET_EXPECTS(cfg.worm_flits >= 1);
+  WORMNET_EXPECTS(cfg.load_flits >= 0.0);
+  WORMNET_EXPECTS(cfg.warmup_cycles >= 0 && cfg.measure_cycles > 0);
+  if (cfg.latency_histogram) {
+    result_.latency_hist.emplace(0.0, cfg.histogram_max, cfg.histogram_bins);
+  }
+  channel_state_.assign(static_cast<std::size_t>(net.num_channels()), {});
+  bundle_state_.assign(static_cast<std::size_t>(net.num_bundles()), {});
+  for (int b = 0; b < net.num_bundles(); ++b)
+    bundle_state_[static_cast<std::size_t>(b)].free_count = net.bundle(b).num_channels;
+  sources_.assign(static_cast<std::size_t>(net.topology().num_processors()), {});
+  if (cfg.channel_stats)
+    result_.channels.assign(static_cast<std::size_t>(net.num_channels()), {});
+}
+
+void Simulator::add_message(long cycle, int src, int dst) {
+  WORMNET_EXPECTS(cycle >= 0);
+  WORMNET_EXPECTS(src >= 0 && src < net_.topology().num_processors());
+  WORMNET_EXPECTS(dst >= 0 && dst < net_.topology().num_processors());
+  WORMNET_EXPECTS(src != dst);
+  scripted_.push_back({cycle, src, dst});
+  scripted_mode_ = true;
+}
+
+bool Simulator::in_window(long cycle) const {
+  return cycle >= cfg_.warmup_cycles &&
+         cycle < cfg_.warmup_cycles + cfg_.measure_cycles;
+}
+
+int Simulator::alloc_worm(int src, int dst, long gen, bool tagged) {
+  int id;
+  if (!free_worms_.empty()) {
+    id = free_worms_.back();
+    free_worms_.pop_back();
+  } else {
+    id = static_cast<int>(worms_.size());
+    worms_.emplace_back();
+    worms_.back().path.reserve(24);
+  }
+  Worm& w = worms_[static_cast<std::size_t>(id)];
+  w.src = src;
+  w.dst = dst;
+  w.length = cfg_.worm_flits;
+  w.gen_time = gen;
+  w.inject_start = -1;
+  w.src_release = -1;
+  w.path.clear();
+  w.head_pos = -1;
+  w.injected = 0;
+  w.ejected = 0;
+  w.freed_upto = 0;
+  w.consuming = false;
+  w.waiting_alloc = false;
+  w.tagged = tagged;
+  return id;
+}
+
+void Simulator::mark_dirty(int bundle_id) {
+  BundleState& b = bundle_state_[static_cast<std::size_t>(bundle_id)];
+  if (!b.dirty) {
+    b.dirty = true;
+    dirty_bundles_.push_back(bundle_id);
+  }
+}
+
+void Simulator::register_injection(int worm_id, long cycle) {
+  (void)cycle;
+  Worm& w = worms_[static_cast<std::size_t>(worm_id)];
+  const int inj = net_.injection_channel(w.src);
+  const int bundle = net_.channel(inj).bundle;
+  bundle_state_[static_cast<std::size_t>(bundle)].requests.push_back({worm_id, inj});
+  w.waiting_alloc = true;
+  mark_dirty(bundle);
+}
+
+void Simulator::register_next_hop(int worm_id, int node, long cycle) {
+  (void)cycle;
+  Worm& w = worms_[static_cast<std::size_t>(worm_id)];
+  const topo::Topology& topo = net_.topology();
+  const topo::RouteOptions opts = topo.route(node, w.dst);
+  WORMNET_ENSURES(opts.size() >= 1);
+  // The paper's adaptive rule: pick one candidate at random as the preferred
+  // link; the arbiter falls back to any other free link in the same bundle.
+  int pick = 0;
+  if (opts.size() > 1)
+    pick = static_cast<int>(route_rng_.uniform_int(static_cast<std::uint64_t>(opts.size())));
+  const int preferred = net_.channels().from(node, opts[pick]);
+  const int bundle = net_.bundle_of_port(node, opts[0]);
+  // All route candidates must share one bundle (they are the redundant links
+  // the multi-server queue models).
+  for (int i = 1; i < opts.size(); ++i)
+    WORMNET_ENSURES(net_.bundle_of_port(node, opts[i]) == bundle);
+  bundle_state_[static_cast<std::size_t>(bundle)].requests.push_back({worm_id, preferred});
+  w.waiting_alloc = true;
+  mark_dirty(bundle);
+}
+
+void Simulator::grant(int bundle_id, long cycle) {
+  BundleState& bs = bundle_state_[static_cast<std::size_t>(bundle_id)];
+  const BundleInfo& bi = net_.bundle(bundle_id);
+  while (bs.free_count > 0 && !bs.requests.empty()) {
+    const Request req = bs.requests.front();
+    bs.requests.pop_front();
+    int ch = -1;
+    if (channel_state_[static_cast<std::size_t>(req.preferred_channel)].owner == -1) {
+      ch = req.preferred_channel;
+    } else {
+      for (int i = 0; i < bi.num_channels; ++i) {
+        const int cand = bi.channel_ids[static_cast<std::size_t>(i)];
+        if (channel_state_[static_cast<std::size_t>(cand)].owner == -1) {
+          ch = cand;
+          break;
+        }
+      }
+    }
+    WORMNET_ENSURES(ch != -1);  // free_count > 0 guarantees a free member
+    ChannelState& cs = channel_state_[static_cast<std::size_t>(ch)];
+    Worm& w = worms_[static_cast<std::size_t>(req.worm)];
+    cs.owner = req.worm;
+    cs.grant_time = cycle;
+    --bs.free_count;
+    w.path.push_back(ch);
+    w.waiting_alloc = false;
+    if (w.path.size() == 1) {
+      w.inject_start = cycle;
+      active_.push_back(req.worm);
+    }
+    last_progress_ = cycle;
+  }
+}
+
+void Simulator::release_channel(Worm& w, int channel_id, long cycle) {
+  ChannelState& cs = channel_state_[static_cast<std::size_t>(channel_id)];
+  WORMNET_ENSURES(cs.owner != -1);
+  if (!result_.channels.empty()) {
+    ChannelStat& st = result_.channels[static_cast<std::size_t>(channel_id)];
+    const long w_lo = cfg_.warmup_cycles;
+    const long w_hi = cfg_.warmup_cycles + cfg_.measure_cycles;
+    const long lo = std::max(cs.grant_time, w_lo);
+    const long hi = std::min(cycle, w_hi);
+    if (hi > lo) st.busy_cycles += hi - lo;
+    if (cs.grant_time >= w_lo && cs.grant_time < w_hi) {
+      ++st.worms;
+      st.flits += w.length;
+    }
+  }
+  cs.owner = -1;
+  const int bundle = net_.channel(channel_id).bundle;
+  ++bundle_state_[static_cast<std::size_t>(bundle)].free_count;
+  mark_dirty(bundle);
+  if (channel_id == net_.injection_channel(w.src)) {
+    w.src_release = cycle;
+    on_source_released(w.src, cycle);
+  }
+}
+
+void Simulator::on_source_released(int proc, long cycle) {
+  SourceState& s = sources_[static_cast<std::size_t>(proc)];
+  if (cfg_.arrivals == ArrivalProcess::Overload && !scripted_mode_) {
+    const int dst = traffic_.make_destination(proc);
+    const int id = alloc_worm(proc, dst, cycle, false);
+    register_injection(id, cycle);
+    return;
+  }
+  if (!s.queue.empty()) {
+    const PendingMsg m = s.queue.front();
+    s.queue.pop_front();
+    const int id = alloc_worm(proc, m.dst, m.gen, m.tagged);
+    register_injection(id, cycle);
+  } else {
+    s.head_registered = false;
+  }
+}
+
+void Simulator::complete_worm(Worm& w, long cycle) {
+  if (w.tagged) {
+    result_.latency.add(static_cast<double>(cycle - w.gen_time));
+    if (result_.latency_hist)
+      result_.latency_hist->add(static_cast<double>(cycle - w.gen_time));
+    result_.queue_wait.add(static_cast<double>(w.inject_start - w.gen_time));
+    result_.inj_service.add(static_cast<double>(w.src_release - w.inject_start));
+    result_.distance.add(static_cast<double>(w.path.size()));
+    ++tagged_done_;
+  }
+  if (in_window(cycle)) {
+    ++result_.delivered_messages;
+    result_.delivered_flits += w.length;
+  }
+}
+
+void Simulator::advance_worm(int worm_id, long cycle) {
+  Worm& w = worms_[static_cast<std::size_t>(worm_id)];
+  if (w.consuming) {
+    ++w.ejected;
+  } else if (w.head_pos + 1 < static_cast<int>(w.path.size())) {
+    ++w.head_pos;
+    const ChannelInfo& ci =
+        net_.channel(w.path[static_cast<std::size_t>(w.head_pos)]);
+    if (ci.dst_is_processor) {
+      // Routing delivered the head to its destination PE; draining begins
+      // next cycle (assumption 4: one flit per cycle, never blocked).
+      WORMNET_ENSURES(ci.dst_node == w.dst);
+      w.consuming = true;
+    } else {
+      register_next_hop(worm_id, ci.dst_node, cycle);
+    }
+  } else {
+    WORMNET_ENSURES(false);  // unblocked worm must be able to move
+  }
+  if (w.injected < w.length) ++w.injected;
+  // Release every channel the tail has passed.
+  const int tail_idx = w.head_pos - (w.injected - w.ejected) + 1;
+  while (w.freed_upto < tail_idx) {
+    release_channel(w, w.path[static_cast<std::size_t>(w.freed_upto)], cycle);
+    ++w.freed_upto;
+  }
+  last_progress_ = cycle;
+  if (w.ejected == w.length) complete_worm(w, cycle);
+}
+
+void Simulator::step_arrivals(long cycle) {
+  // Scripted messages first (deterministic tests).
+  while (scripted_next_ < scripted_.size() &&
+         scripted_[scripted_next_].cycle <= cycle) {
+    const ScriptedMsg& m = scripted_[scripted_next_++];
+    ++tagged_total_;
+    SourceState& s = sources_[static_cast<std::size_t>(m.src)];
+    if (!s.head_registered) {
+      s.head_registered = true;
+      const int id = alloc_worm(m.src, m.dst, m.cycle, true);
+      register_injection(id, cycle);
+    } else {
+      s.queue.push_back({m.cycle, m.dst, true});
+    }
+  }
+  if (scripted_mode_) return;
+
+  if (cfg_.arrivals == ArrivalProcess::Overload) {
+    if (cycle == 0) {
+      for (int p = 0; p < net_.topology().num_processors(); ++p) {
+        const int id = alloc_worm(p, traffic_.make_destination(p), 0, false);
+        register_injection(id, cycle);
+      }
+    }
+    return;  // replenish happens in on_source_released()
+  }
+
+  while (traffic_.has_arrival(cycle)) {
+    const Arrival a = traffic_.pop_arrival(cycle);
+    const int dst = traffic_.make_destination(a.proc);
+    const bool tagged = in_window(a.cycle);
+    if (tagged) ++tagged_total_;
+    if (in_window(a.cycle)) ++result_.generated_messages;
+    SourceState& s = sources_[static_cast<std::size_t>(a.proc)];
+    if (!s.head_registered) {
+      s.head_registered = true;
+      const int id = alloc_worm(a.proc, dst, a.cycle, tagged);
+      register_injection(id, cycle);
+    } else {
+      s.queue.push_back({a.cycle, dst, tagged});
+    }
+  }
+}
+
+void Simulator::phase_allocate(long cycle) {
+  // Swap out the dirty list: grants may re-mark bundles (releases happen in
+  // phase_advance, registrations in both earlier phases).
+  std::vector<int> todo;
+  todo.swap(dirty_bundles_);
+  for (int b : todo) bundle_state_[static_cast<std::size_t>(b)].dirty = false;
+  for (int b : todo) grant(b, cycle);
+}
+
+void Simulator::phase_advance(long cycle) {
+  for (std::size_t i = 0; i < active_.size();) {
+    const int id = active_[i];
+    Worm& w = worms_[static_cast<std::size_t>(id)];
+    if (w.waiting_alloc) {
+      ++i;
+      continue;
+    }
+    advance_worm(id, cycle);
+    if (w.ejected == w.length) {
+      active_[i] = active_.back();
+      active_.pop_back();
+      free_worms_.push_back(id);
+    } else {
+      ++i;
+    }
+  }
+}
+
+SimResult Simulator::run() {
+  const long window_end = cfg_.warmup_cycles + cfg_.measure_cycles;
+  long cycle = 0;
+  for (;; ++cycle) {
+    step_arrivals(cycle);
+    phase_allocate(cycle);
+    phase_advance(cycle);
+
+    if (scripted_mode_) {
+      // Scripted runs end when every scripted message has been delivered;
+      // they don't wait out the measurement window.
+      if (scripted_next_ == scripted_.size() && tagged_done_ == tagged_total_) {
+        result_.completed = true;
+        break;
+      }
+    } else if (cfg_.arrivals == ArrivalProcess::Overload) {
+      if (cycle + 1 >= window_end) {
+        result_.completed = true;
+        break;
+      }
+    } else if (cycle + 1 >= window_end && tagged_done_ == tagged_total_) {
+      result_.completed = true;
+      break;
+    }
+    if (cycle >= cfg_.max_cycles) {
+      result_.completed = false;
+      result_.saturated = true;
+      break;
+    }
+    if (!active_.empty() && cycle - last_progress_ > cfg_.watchdog_cycles) {
+      throw std::runtime_error(
+          "wormnet sim watchdog: no progress for " +
+          std::to_string(cycle - last_progress_) +
+          " cycles with active worms — simulator invariant broken");
+    }
+  }
+
+  result_.cycles_run = cycle;
+  result_.window_cycles = cfg_.measure_cycles;
+  const double procs = static_cast<double>(net_.topology().num_processors());
+  result_.throughput_flits_per_pe =
+      static_cast<double>(result_.delivered_flits) /
+      (static_cast<double>(cfg_.measure_cycles) * procs);
+  // Saturation verdict for open-loop runs: in steady state the window's
+  // deliveries match its generations; a persistent shortfall means the
+  // offered load exceeded capacity even if the backlog eventually drained
+  // after the sources quieted down.
+  if (!scripted_mode_ && cfg_.arrivals != ArrivalProcess::Overload &&
+      result_.generated_messages > 50 &&
+      result_.delivered_messages <
+          static_cast<std::int64_t>(0.9 * static_cast<double>(result_.generated_messages))) {
+    result_.saturated = true;
+  }
+  return result_;
+}
+
+std::string Simulator::debug_state() const {
+  std::ostringstream out;
+  out << "active worms: " << active_.size() << "\n";
+  for (int id : active_) {
+    const Worm& w = worms_[static_cast<std::size_t>(id)];
+    out << "  worm " << id << " src=" << w.src << " dst=" << w.dst
+        << " gen=" << w.gen_time << " head_pos=" << w.head_pos
+        << " path=" << w.path.size() << " inj=" << w.injected
+        << " ej=" << w.ejected << " freed=" << w.freed_upto
+        << (w.consuming ? " CONSUMING" : "")
+        << (w.waiting_alloc ? " WAITING" : "") << " path=[";
+    for (int c : w.path) out << c << " ";
+    out << "]\n";
+  }
+  for (int b = 0; b < net_.num_bundles(); ++b) {
+    const BundleState& bs = bundle_state_[static_cast<std::size_t>(b)];
+    if (bs.requests.empty() && bs.free_count == net_.bundle(b).num_channels) continue;
+    out << "  bundle " << b << " free=" << bs.free_count
+        << (bs.dirty ? " dirty" : "") << " requests=[";
+    for (const Request& r : bs.requests)
+      out << "{w" << r.worm << " pref=" << r.preferred_channel << "} ";
+    out << "] channels=[";
+    const BundleInfo& bi = net_.bundle(b);
+    for (int i = 0; i < bi.num_channels; ++i) {
+      const int ch = bi.channel_ids[static_cast<std::size_t>(i)];
+      out << ch << ":owner=" << channel_state_[static_cast<std::size_t>(ch)].owner << " ";
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
+SimResult simulate(const topo::Topology& topo, const SimConfig& cfg) {
+  SimNetwork net(topo);
+  Simulator sim(net, cfg);
+  return sim.run();
+}
+
+}  // namespace wormnet::sim

@@ -1,0 +1,176 @@
+// wormnet/sim/simulator.hpp
+//
+// Flit-level wormhole simulator.
+//
+// Model of execution
+// ------------------
+// Time advances in cycles; each directed channel has a one-flit latch (the
+// wire plus the input buffer it feeds) and transfers at most one flit per
+// cycle.  A worm owns the contiguous chain of channels between its tail and
+// head flit; because the source feeds one flit per cycle whenever the worm
+// advances, the in-flight flits always occupy a contiguous run of latches
+// ending at the head — so a worm's state reduces to counters (allocated
+// path, head latch index, flits injected/ejected) and each worm costs O(1)
+// per cycle.  When the head blocks, nothing behind it moves: flits are
+// "blocked in place", the defining wormhole behavior.
+//
+// Each cycle runs three phases:
+//  1. arrivals  — Poisson/Bernoulli message generation (or overload
+//                 replenish); a message that reaches the front of its
+//                 source queue registers a request for the injection
+//                 channel;
+//  2. allocate  — every output bundle with free channels grants its FCFS
+//                 request queue; the fat-tree's two parent links form one
+//                 two-server bundle, and a granted worm gets its randomly
+//                 preferred link if free, otherwise the other (the paper's
+//                 §3.1 adaptive rule);
+//  3. advance   — every unblocked worm shifts one flit forward; heads
+//                 arriving at a switch register next-hop requests (usable
+//                 the following cycle: one cycle per hop), heads arriving
+//                 at the destination begin draining at one flit per cycle
+//                 (the paper's assumption 4); the channel under the tail is
+//                 released as the tail passes.
+//
+// An uncontended worm of s_f flits over a D-channel path therefore has
+// latency exactly D + s_f - 1, matching the model's zero-load limit.
+// Channel hand-off costs one extra cycle (a freed channel is re-granted the
+// next cycle), which is the switch-arbitration latency of a real router;
+// the analytical model idealizes this away, and EXPERIMENTS.md quantifies
+// the resulting model-optimism at high load.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace wormnet::sim {
+
+/// One wormhole simulation run over a SimNetwork.
+///
+/// Typical use:
+///     SimNetwork net(topo);
+///     Simulator s(net, cfg);
+///     SimResult r = s.run();
+///
+/// For deterministic scenario tests, script messages explicitly; scripting
+/// disables the stochastic source and tags every message:
+///     s.add_message(/*cycle=*/0, /*src=*/0, /*dst=*/5);
+class Simulator {
+ public:
+  Simulator(const SimNetwork& net, SimConfig cfg);
+
+  /// Script one message (switches the run into scripted mode).
+  void add_message(long cycle, int src, int dst);
+
+  /// Execute the run to completion and return the collected metrics.
+  SimResult run();
+
+  /// Multi-line dump of live state (active worms, held channels, pending
+  /// requests) for debugging wedged runs and for the semantics tests.
+  std::string debug_state() const;
+
+ private:
+  struct Worm {
+    int src = -1;
+    int dst = -1;
+    int length = 0;
+    long gen_time = 0;
+    long inject_start = -1;
+    long src_release = -1;
+    std::vector<int> path;   // allocated channel ids, source to head
+    int head_pos = -1;       // index into path of the latch holding the head
+    int injected = 0;        // flits that have left the source
+    int ejected = 0;         // flits consumed at the destination
+    int freed_upto = 0;      // path[i] released for all i < freed_upto
+    bool consuming = false;  // head is in the ejection latch
+    bool waiting_alloc = false;
+    bool tagged = false;
+  };
+
+  struct Request {
+    int worm = -1;
+    int preferred_channel = -1;
+  };
+
+  struct ChannelState {
+    int owner = -1;       // worm id or -1
+    long grant_time = 0;  // cycle of the last grant (for busy accounting)
+  };
+
+  struct BundleState {
+    int free_count = 0;
+    bool dirty = false;
+    std::deque<Request> requests;
+  };
+
+  struct PendingMsg {
+    long gen = 0;
+    int dst = -1;
+    bool tagged = false;
+  };
+
+  struct SourceState {
+    std::deque<PendingMsg> queue;
+    bool head_registered = false;  // a message of this PE owns/awaits injection
+  };
+
+  struct ScriptedMsg {
+    long cycle = 0;
+    int src = -1;
+    int dst = -1;
+  };
+
+  // -- lifecycle ----------------------------------------------------------
+  int alloc_worm(int src, int dst, long gen, bool tagged);
+  void register_injection(int worm_id, long cycle);
+  void register_next_hop(int worm_id, int node, long cycle);
+  void mark_dirty(int bundle_id);
+  void grant(int bundle_id, long cycle);
+  void release_channel(Worm& w, int channel_id, long cycle);
+  void advance_worm(int worm_id, long cycle);
+  void complete_worm(Worm& w, long cycle);
+  void on_source_released(int proc, long cycle);
+  bool in_window(long cycle) const;
+
+  // -- per-cycle phases ---------------------------------------------------
+  void step_arrivals(long cycle);
+  void phase_allocate(long cycle);
+  void phase_advance(long cycle);
+
+  const SimNetwork& net_;
+  SimConfig cfg_;
+  TrafficSource traffic_;
+  util::Rng route_rng_;  // adaptive up-link preference draws
+
+  // Deque, not vector: alloc_worm() can run while advance_worm() holds a
+  // reference into the container (source release triggers the next worm's
+  // allocation), so element references must survive growth.
+  std::deque<Worm> worms_;
+  std::vector<int> free_worms_;
+  std::vector<int> active_;  // worm ids with at least one allocated channel
+
+  std::vector<ChannelState> channel_state_;
+  std::vector<BundleState> bundle_state_;
+  std::vector<int> dirty_bundles_;
+  std::vector<SourceState> sources_;
+
+  std::vector<ScriptedMsg> scripted_;
+  std::size_t scripted_next_ = 0;
+  bool scripted_mode_ = false;
+
+  SimResult result_;
+  std::int64_t tagged_total_ = 0;
+  std::int64_t tagged_done_ = 0;
+  long last_progress_ = 0;
+};
+
+/// Convenience: simulate `topo` under `cfg` (builds a SimNetwork internally).
+SimResult simulate(const topo::Topology& topo, const SimConfig& cfg);
+
+}  // namespace wormnet::sim

@@ -1,0 +1,97 @@
+#include "sim/traffic.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace wormnet::sim {
+
+TrafficSource::TrafficSource(int num_processors, double lambda0,
+                             ArrivalProcess process, std::uint64_t seed,
+                             TrafficPattern pattern, double hotspot_fraction)
+    : num_procs_(num_processors),
+      lambda0_(lambda0),
+      process_(process),
+      pattern_(pattern),
+      hotspot_fraction_(hotspot_fraction) {
+  WORMNET_EXPECTS(num_processors >= 2);
+  WORMNET_EXPECTS(lambda0 >= 0.0);
+  WORMNET_EXPECTS(hotspot_fraction >= 0.0 && hotspot_fraction <= 1.0);
+  while ((grid_side_ + 1) * (grid_side_ + 1) <= num_processors) ++grid_side_;
+  if (pattern_ == TrafficPattern::Transpose) {
+    WORMNET_EXPECTS(grid_side_ * grid_side_ == num_processors);
+  }
+  rng_.reserve(static_cast<std::size_t>(num_processors));
+  next_time_.assign(static_cast<std::size_t>(num_processors), 0.0);
+  for (int p = 0; p < num_processors; ++p) {
+    rng_.push_back(util::Rng::stream(seed, static_cast<std::uint64_t>(p)));
+  }
+  if (process_ == ArrivalProcess::Overload || lambda0_ <= 0.0) return;
+  for (int p = 0; p < num_processors; ++p) schedule_next(p, 0.0);
+}
+
+void TrafficSource::schedule_next(int proc, double from_time) {
+  util::Rng& rng = rng_[static_cast<std::size_t>(proc)];
+  double gap = 0.0;
+  switch (process_) {
+    case ArrivalProcess::Poisson:
+      gap = rng.exponential(lambda0_);
+      break;
+    case ArrivalProcess::Bernoulli: {
+      // Geometric number of whole-cycle trials until success.
+      const double u = rng.uniform_pos();
+      gap = 1.0 + std::floor(std::log(u) / std::log1p(-lambda0_));
+      break;
+    }
+    case ArrivalProcess::Overload:
+      WORMNET_ENSURES(false);  // overload sources are caller-driven
+  }
+  const double t = from_time + gap;
+  next_time_[static_cast<std::size_t>(proc)] = t;
+  heap_.push({t, proc});
+}
+
+bool TrafficSource::has_arrival(long cycle) const {
+  if (heap_.empty()) return false;
+  // An arrival at continuous time t is usable at the first cycle >= t.
+  return heap_.top().first <= static_cast<double>(cycle);
+}
+
+Arrival TrafficSource::pop_arrival(long cycle) {
+  WORMNET_EXPECTS(has_arrival(cycle));
+  const auto [time, proc] = heap_.top();
+  heap_.pop();
+  schedule_next(proc, time);
+  // ceil(time) as a long; time <= cycle keeps this within range.
+  const long at = static_cast<long>(std::ceil(time));
+  return {at, proc};
+}
+
+int TrafficSource::make_destination(int src) {
+  WORMNET_EXPECTS(num_procs_ >= 2);
+  util::Rng& rng = rng_[static_cast<std::size_t>(src)];
+  auto uniform_other = [&] {
+    const auto draw =
+        static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(num_procs_ - 1)));
+    return draw >= src ? draw + 1 : draw;
+  };
+  switch (pattern_) {
+    case TrafficPattern::Uniform:
+      return uniform_other();
+    case TrafficPattern::BitComplement:
+      return num_procs_ - 1 - src;  // != src because N is even
+    case TrafficPattern::Transpose: {
+      const int row = src / grid_side_;
+      const int col = src % grid_side_;
+      const int dest = col * grid_side_ + row;
+      return dest == src ? (src + 1) % num_procs_ : dest;
+    }
+    case TrafficPattern::Hotspot: {
+      if (rng.bernoulli(hotspot_fraction_) && src != 0) return 0;
+      return uniform_other();
+    }
+  }
+  return uniform_other();
+}
+
+}  // namespace wormnet::sim

@@ -1,0 +1,68 @@
+// wormnet/sim/traffic.hpp
+//
+// Message generation.  Each processor owns an independent RNG stream (keyed
+// by seed and processor id, so results do not depend on event interleaving)
+// and produces arrivals by one of:
+//  * Poisson   — exponential inter-arrival gaps at rate λ₀ (the paper's
+//                assumption); arrivals in continuous time, usable at the
+//                next cycle boundary;
+//  * Bernoulli — geometric gaps (one coin flip per cycle at probability λ₀);
+//  * Overload  — a fresh message the moment the source drains (closed-loop
+//                saturation probe).
+//
+// Destinations are uniform over the other processors.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "util/rng.hpp"
+
+namespace wormnet::sim {
+
+/// One pending arrival event.
+struct Arrival {
+  long cycle = 0;  ///< first cycle the message exists
+  int proc = 0;    ///< generating processor
+};
+
+/// Generates the per-processor arrival sequence in global cycle order.
+class TrafficSource {
+ public:
+  /// `lambda0` is messages/cycle/processor.  For Overload the rate is
+  /// ignored; next_arrival() never fires and callers use make_destination()
+  /// plus their own replenish logic.
+  TrafficSource(int num_processors, double lambda0, ArrivalProcess process,
+                std::uint64_t seed,
+                TrafficPattern pattern = TrafficPattern::Uniform,
+                double hotspot_fraction = 0.1);
+
+  /// True if an arrival is due at or before `cycle`.
+  bool has_arrival(long cycle) const;
+
+  /// Pop the earliest due arrival (precondition: has_arrival(cycle)).
+  Arrival pop_arrival(long cycle);
+
+  /// Destination != src for a message from `src`, per the configured
+  /// pattern, drawn from the source's stream.
+  int make_destination(int src);
+
+ private:
+  void schedule_next(int proc, double from_time);
+
+  int num_procs_;
+  double lambda0_;
+  ArrivalProcess process_;
+  TrafficPattern pattern_;
+  double hotspot_fraction_;
+  int grid_side_ = 0;  // sqrt(N) when N is a perfect square (Transpose)
+  std::vector<util::Rng> rng_;          // per processor
+  std::vector<double> next_time_;       // per processor, continuous
+  // Min-heap of (time, proc) so only due processors are touched per cycle.
+  using HeapEntry = std::pair<double, int>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap_;
+};
+
+}  // namespace wormnet::sim

@@ -1,0 +1,197 @@
+#include "topo/butterfly_fattree.hpp"
+
+#include <sstream>
+
+#include "util/math.hpp"
+
+namespace wormnet::topo {
+
+using util::base4_digit;
+using util::ipow;
+
+ButterflyFatTree::ButterflyFatTree(int levels) : levels_(levels) {
+  WORMNET_EXPECTS(levels >= 1 && levels <= 8);
+  num_procs_ = static_cast<int>(ipow(4, levels));
+
+  // Node layout: processors [0, N), then switches level by level.
+  level_offset_.assign(static_cast<std::size_t>(levels_ + 1), 0);
+  int next = num_procs_;
+  for (int l = 1; l <= levels_; ++l) {
+    level_offset_[static_cast<std::size_t>(l)] = next;
+    next += switches_at(l);
+  }
+  nbr_.assign(static_cast<std::size_t>(next), {});
+  node_level_.assign(static_cast<std::size_t>(next), 0);
+  node_addr_.assign(static_cast<std::size_t>(next), 0);
+  for (int p = 0; p < num_procs_; ++p) node_addr_[static_cast<std::size_t>(p)] = p;
+  for (int l = 1; l <= levels_; ++l) {
+    for (int a = 0; a < switches_at(l); ++a) {
+      const int id = switch_id(l, a);
+      node_level_[static_cast<std::size_t>(id)] = l;
+      node_addr_[static_cast<std::size_t>(id)] = a;
+    }
+  }
+
+  // Leaf wiring: processor a <-> child (a mod 4) of S(1, a/4).
+  for (int a = 0; a < num_procs_; ++a) {
+    connect(a, 0, switch_id(1, a / 4), a % 4);
+  }
+
+  // Internal wiring per the paper's rule.  For S(l, a) with l < n:
+  //   parent_p -> S(l+1, floor(a/2^(l+1))*2^l + (a + p*2^(l-1)) mod 2^l)
+  //   at child index floor((a mod 2^(l+1)) / 2^(l-1)).
+  for (int l = 1; l < levels_; ++l) {
+    const int two_lm1 = 1 << (l - 1);
+    const int two_l = 1 << l;
+    const int two_lp1 = 1 << (l + 1);
+    for (int a = 0; a < switches_at(l); ++a) {
+      const int child_index = (a % two_lp1) / two_lm1;
+      for (int p = 0; p < 2; ++p) {
+        const int parent_addr = (a / two_lp1) * two_l + (a + p * two_lm1) % two_l;
+        connect(switch_id(l, a), kParentPort0 + p, switch_id(l + 1, parent_addr),
+                child_index);
+      }
+    }
+  }
+}
+
+void ButterflyFatTree::connect(int node_a, int port_a, int node_b, int port_b) {
+  auto& ea = nbr_[static_cast<std::size_t>(node_a)][static_cast<std::size_t>(port_a)];
+  auto& eb = nbr_[static_cast<std::size_t>(node_b)][static_cast<std::size_t>(port_b)];
+  // The wiring rule must never assign two links to one port.
+  WORMNET_ENSURES(ea.node == kNoNode);
+  WORMNET_ENSURES(eb.node == kNoNode);
+  ea = {node_b, port_b};
+  eb = {node_a, port_a};
+}
+
+std::string ButterflyFatTree::name() const {
+  std::ostringstream out;
+  out << "butterfly-fat-tree(n=" << levels_ << ", N=" << num_procs_ << ")";
+  return out.str();
+}
+
+int ButterflyFatTree::switches_at(int level) const {
+  WORMNET_EXPECTS(level >= 1 && level <= levels_);
+  return num_procs_ / (1 << (level + 1));
+}
+
+int ButterflyFatTree::switch_id(int level, int addr) const {
+  WORMNET_EXPECTS(level >= 1 && level <= levels_);
+  WORMNET_EXPECTS(addr >= 0 && addr < switches_at(level));
+  return level_offset_[static_cast<std::size_t>(level)] + addr;
+}
+
+int ButterflyFatTree::node_level(int node) const {
+  WORMNET_EXPECTS(node >= 0 && node < num_nodes());
+  return node_level_[static_cast<std::size_t>(node)];
+}
+
+int ButterflyFatTree::switch_addr(int node) const {
+  WORMNET_EXPECTS(node >= num_procs_ && node < num_nodes());
+  return node_addr_[static_cast<std::size_t>(node)];
+}
+
+int ButterflyFatTree::neighbor(int node, int port) const {
+  WORMNET_EXPECTS(node >= 0 && node < num_nodes());
+  WORMNET_EXPECTS(port >= 0 && port < num_ports(node));
+  return nbr_[static_cast<std::size_t>(node)][static_cast<std::size_t>(port)].node;
+}
+
+int ButterflyFatTree::neighbor_port(int node, int port) const {
+  WORMNET_EXPECTS(node >= 0 && node < num_nodes());
+  WORMNET_EXPECTS(port >= 0 && port < num_ports(node));
+  return nbr_[static_cast<std::size_t>(node)][static_cast<std::size_t>(port)].port;
+}
+
+bool ButterflyFatTree::covers(int level, int addr, int proc) const {
+  WORMNET_EXPECTS(level >= 1 && level <= levels_);
+  WORMNET_EXPECTS(proc >= 0 && proc < num_procs_);
+  // S(l, a) reaches processor block (a >> (l-1)) of size 4^l.
+  return (proc >> (2 * level)) == (addr >> (level - 1));
+}
+
+int ButterflyFatTree::down_port(int level, int proc) {
+  return base4_digit(proc, level - 1);
+}
+
+RouteOptions ButterflyFatTree::route(int node, int dest) const {
+  WORMNET_EXPECTS(dest >= 0 && dest < num_procs_);
+  RouteOptions out;
+  if (node < num_procs_) {
+    if (node != dest) out.add(0);  // injection channel
+    return out;
+  }
+  const int l = node_level(node);
+  const int a = switch_addr(node);
+  if (covers(l, a, dest)) {
+    out.add(down_port(l, dest));
+  } else {
+    // Both parent links make minimal progress; the adaptive policy and the
+    // two-server queueing model both treat them as interchangeable.
+    out.add(kParentPort0);
+    out.add(kParentPort1);
+  }
+  return out;
+}
+
+int ButterflyFatTree::lca_level(int s, int d) const {
+  WORMNET_EXPECTS(s >= 0 && s < num_procs_);
+  WORMNET_EXPECTS(d >= 0 && d < num_procs_);
+  int l = 0;
+  int ss = s;
+  int dd = d;
+  while (ss != dd) {
+    ss >>= 2;
+    dd >>= 2;
+    ++l;
+  }
+  return l;
+}
+
+int ButterflyFatTree::distance(int src_proc, int dst_proc) const {
+  // Up lca channels (incl. injection), down lca channels (incl. ejection).
+  return 2 * lca_level(src_proc, dst_proc);
+}
+
+double ButterflyFatTree::mean_distance() const {
+  // P(LCA = l) = 3 * 4^(l-1) / (4^n - 1); distance at LCA l is 2l.
+  const double denom = static_cast<double>(ipow(4, levels_)) - 1.0;
+  double sum = 0.0;
+  for (int l = 1; l <= levels_; ++l) {
+    sum += 2.0 * l * 3.0 * static_cast<double>(ipow(4, l - 1)) / denom;
+  }
+  return sum;
+}
+
+long ButterflyFatTree::links_between(int level_lo) const {
+  WORMNET_EXPECTS(level_lo >= 0 && level_lo < levels_);
+  if (level_lo == 0) return num_procs_;
+  return static_cast<long>(num_procs_) / (1L << level_lo);
+}
+
+std::vector<PortBundle> ButterflyFatTree::output_bundles(int node) const {
+  std::vector<PortBundle> bundles;
+  if (node < num_procs_) {
+    PortBundle inj;
+    inj.add(0);
+    bundles.push_back(inj);
+    return bundles;
+  }
+  for (int c = 0; c < 4; ++c) {
+    PortBundle child;
+    child.add(c);
+    bundles.push_back(child);
+  }
+  if (neighbor(node, kParentPort0) != kNoNode) {
+    // The redundant parent pair is one two-server bundle — the construct the
+    // paper's M/G/2 treatment models.
+    PortBundle up;
+    up.add(kParentPort0);
+    up.add(kParentPort1);
+    bundles.push_back(up);
+  }
+  return bundles;
+}
+
+}  // namespace wormnet::topo

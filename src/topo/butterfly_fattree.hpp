@@ -1,0 +1,101 @@
+// wormnet/topo/butterfly_fattree.hpp
+//
+// The butterfly fat-tree of Greenberg & Guan §3.1.
+//
+// Structure for N = 4^n processors:
+//  * level 0: the N processors;
+//  * level l (1 <= l <= n): N / 2^(l+1) switches, each with four child ports
+//    (down) and two parent ports (up); level-n switches leave their parent
+//    ports unconnected.
+//  * processor P(a) attaches to child (a mod 4) of switch S(1, floor(a/4));
+//  * parent p of S(l, a) is S(l+1, floor(a/2^(l+1))*2^l + (a + p*2^(l-1)) mod 2^l)
+//    at child index floor((a mod 2^(l+1)) / 2^(l-1))  — the paper's wiring rule.
+//
+// Derived facts used throughout wormnet (proved by the exhaustive tests):
+//  * S(l, a) reaches exactly the processor block
+//    [ (a >> (l-1)) * 4^l, (a >> (l-1)) * 4^l + 4^l )  going down, and the
+//    down-route child port toward processor d is base-4 digit (l-1) of d;
+//  * a minimal route climbs to the lowest level l whose switch covers the
+//    destination (the "LCA level") and descends; it traverses 2*l channels
+//    counting injection and ejection;
+//  * up-routes may use either parent (the redundancy the paper models with a
+//    two-server queue); down-routes are unique.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace wormnet::topo {
+
+/// Butterfly fat-tree topology (indirect; processors at the leaves).
+class ButterflyFatTree final : public Topology {
+ public:
+  /// Port indices on a switch.
+  static constexpr int kChildPort0 = 0;  ///< child ports are 0..3
+  static constexpr int kParentPort0 = 4;
+  static constexpr int kParentPort1 = 5;
+
+  /// Build a fat-tree with `levels` switch levels (N = 4^levels processors).
+  /// levels must be in [1, 8] (8 => 65,536 processors; well past the paper's
+  /// 1024 and enough for any laptop-scale experiment).
+  explicit ButterflyFatTree(int levels);
+
+  // -- Topology interface -------------------------------------------------
+  std::string name() const override;
+  int num_nodes() const override { return static_cast<int>(nbr_.size()); }
+  int num_processors() const override { return num_procs_; }
+  NodeKind kind(int node) const override {
+    return node < num_procs_ ? NodeKind::Processor : NodeKind::Switch;
+  }
+  int num_ports(int node) const override { return node < num_procs_ ? 1 : 6; }
+  int neighbor(int node, int port) const override;
+  int neighbor_port(int node, int port) const override;
+  RouteOptions route(int node, int dest) const override;
+  int distance(int src_proc, int dst_proc) const override;
+  double mean_distance() const override;
+  std::vector<PortBundle> output_bundles(int node) const override;
+
+  // -- Fat-tree specific structure ----------------------------------------
+  /// Number of switch levels n (N = 4^n).
+  int levels() const { return levels_; }
+  /// Switch count at level l (1-based): N / 2^(l+1).
+  int switches_at(int level) const;
+  /// Node id of switch S(level, addr).
+  int switch_id(int level, int addr) const;
+  /// Level of a node: 0 for processors, l for level-l switches.
+  int node_level(int node) const;
+  /// Address of a switch within its level.
+  int switch_addr(int node) const;
+
+  /// True when switch S(level, addr) reaches processor `proc` going down.
+  bool covers(int level, int addr, int proc) const;
+  /// The child port out of S(level, ·) toward covered processor `proc`
+  /// (base-4 digit level-1 of proc).
+  static int down_port(int level, int proc);
+  /// Lowest level whose switches cover both processors (0 iff s == d).
+  int lca_level(int s, int d) const;
+
+  /// Number of physical links running up from level l to l+1 (equals the
+  /// number running down): N / 2^l for 1 <= l < n, and N for l = 0
+  /// (the processor links).  Matches the paper's §3.2 counting.
+  long links_between(int level_lo) const;
+
+ private:
+  struct End {
+    int node = kNoNode;
+    int port = -1;
+  };
+
+  void connect(int node_a, int port_a, int node_b, int port_b);
+
+  int levels_;
+  int num_procs_;
+  std::vector<int> level_offset_;      // switch id base per level (1-based index)
+  std::vector<std::array<End, 6>> nbr_;  // per node, per port
+  std::vector<int> node_level_;
+  std::vector<int> node_addr_;
+};
+
+}  // namespace wormnet::topo

@@ -1,0 +1,41 @@
+#include "topo/channels.hpp"
+
+namespace wormnet::topo {
+
+ChannelTable::ChannelTable(const Topology& topo) : topo_(&topo) {
+  const int nodes = topo.num_nodes();
+  out_id_.resize(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    const int ports = topo.num_ports(n);
+    out_id_[static_cast<std::size_t>(n)].assign(static_cast<std::size_t>(ports),
+                                                kNoChannel);
+    for (int p = 0; p < ports; ++p) {
+      const int peer = topo.neighbor(n, p);
+      if (peer == kNoNode) continue;
+      const int peer_port = topo.neighbor_port(n, p);
+      out_id_[static_cast<std::size_t>(n)][static_cast<std::size_t>(p)] =
+          static_cast<int>(channels_.size());
+      channels_.push_back({n, p, peer, peer_port});
+    }
+  }
+}
+
+int ChannelTable::from(int node, int port) const {
+  WORMNET_EXPECTS(node >= 0 && node < static_cast<int>(out_id_.size()));
+  WORMNET_EXPECTS(port >= 0 &&
+                  port < static_cast<int>(out_id_[static_cast<std::size_t>(node)].size()));
+  return out_id_[static_cast<std::size_t>(node)][static_cast<std::size_t>(port)];
+}
+
+int ChannelTable::into(int node, int port) const {
+  const int peer = topo_->neighbor(node, port);
+  if (peer == kNoNode) return kNoChannel;
+  return from(peer, topo_->neighbor_port(node, port));
+}
+
+int ChannelTable::reverse(int id) const {
+  const DirectedChannel& c = at(id);
+  return from(c.dst_node, c.dst_port);
+}
+
+}  // namespace wormnet::topo

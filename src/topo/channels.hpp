@@ -1,0 +1,65 @@
+// wormnet/topo/channels.hpp
+//
+// Dense enumeration of the DIRECTED channels of a topology.  Both the
+// simulator (per-channel worm ownership, flit latches) and the full
+// per-channel analytical graph builder index channels through this table.
+//
+// A directed channel is one direction of a (node, port) <-> (node, port)
+// link.  The channel from node A's port p carries flits A -> B where
+// B = neighbor(A, p); the opposite direction is a distinct channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace wormnet::topo {
+
+/// Sentinel for "no channel".
+inline constexpr int kNoChannel = -1;
+
+/// One directed channel.
+struct DirectedChannel {
+  int src_node = kNoNode;  ///< upstream node
+  int src_port = -1;       ///< port on the upstream node
+  int dst_node = kNoNode;  ///< downstream node
+  int dst_port = -1;       ///< port on the downstream node
+};
+
+/// Immutable directed-channel index for a topology.
+class ChannelTable {
+ public:
+  /// Enumerate every connected (node, port) pair of `topo`.
+  /// The topology reference must outlive the table.
+  explicit ChannelTable(const Topology& topo);
+
+  /// Number of directed channels.
+  int size() const { return static_cast<int>(channels_.size()); }
+
+  /// Channel record by id.
+  const DirectedChannel& at(int id) const {
+    WORMNET_EXPECTS(id >= 0 && id < size());
+    return channels_[static_cast<std::size_t>(id)];
+  }
+
+  /// Id of the outgoing channel from (node, port); kNoChannel if the port is
+  /// unconnected.
+  int from(int node, int port) const;
+
+  /// Id of the incoming channel into (node, port); kNoChannel if unconnected.
+  int into(int node, int port) const;
+
+  /// Id of the channel opposite to `id` (same link, reverse direction).
+  int reverse(int id) const;
+
+  /// The topology this table indexes.
+  const Topology& topology() const { return *topo_; }
+
+ private:
+  const Topology* topo_;
+  std::vector<DirectedChannel> channels_;
+  std::vector<std::vector<int>> out_id_;  // [node][port] -> channel id
+};
+
+}  // namespace wormnet::topo

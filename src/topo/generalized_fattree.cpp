@@ -1,0 +1,188 @@
+#include "topo/generalized_fattree.hpp"
+
+#include <sstream>
+
+#include "util/math.hpp"
+
+namespace wormnet::topo {
+
+using util::base4_digit;
+using util::ipow;
+
+long GeneralizedFatTree::m_pow(int e) const { return ipow(parents_, e); }
+
+GeneralizedFatTree::GeneralizedFatTree(int levels, int parents)
+    : levels_(levels), parents_(parents) {
+  WORMNET_EXPECTS(levels >= 1 && levels <= 6);
+  WORMNET_EXPECTS(parents >= 1 && parents <= 4);
+  num_procs_ = static_cast<int>(ipow(4, levels));
+
+  level_offset_.assign(static_cast<std::size_t>(levels_ + 1), 0);
+  int next = num_procs_;
+  for (int l = 1; l <= levels_; ++l) {
+    level_offset_[static_cast<std::size_t>(l)] = next;
+    next += switches_at(l);
+  }
+  nbr_.assign(static_cast<std::size_t>(next), {});
+  node_level_.assign(static_cast<std::size_t>(next), 0);
+  node_addr_.assign(static_cast<std::size_t>(next), 0);
+  for (int id = 0; id < next; ++id) {
+    nbr_[static_cast<std::size_t>(id)].assign(
+        static_cast<std::size_t>(id < num_procs_ ? 1 : 4 + parents_), {});
+  }
+  for (int p = 0; p < num_procs_; ++p) node_addr_[static_cast<std::size_t>(p)] = p;
+  for (int l = 1; l <= levels_; ++l) {
+    for (int a = 0; a < switches_at(l); ++a) {
+      const int id = switch_id(l, a);
+      node_level_[static_cast<std::size_t>(id)] = l;
+      node_addr_[static_cast<std::size_t>(id)] = a;
+    }
+  }
+
+  // Leaves: level-1 blocks have a single switch (m^0 = 1).
+  for (int a = 0; a < num_procs_; ++a) connect(a, 0, switch_id(1, a / 4), a % 4);
+
+  // Parents: S(l, b·m^(l-1)+r) parent p -> S(l+1, (b/4)·m^l + (r + p·m^(l-1)) mod m^l)
+  // on child port (b mod 4).
+  for (int l = 1; l < levels_; ++l) {
+    const long group = m_pow(l - 1);
+    const long group_up = m_pow(l);
+    for (int a = 0; a < switches_at(l); ++a) {
+      const long b = a / group;
+      const long r = a % group;
+      for (int p = 0; p < parents_; ++p) {
+        const long parent_addr = (b / 4) * group_up + (r + p * group) % group_up;
+        connect(switch_id(l, a), kParentPort0 + p,
+                switch_id(l + 1, static_cast<int>(parent_addr)),
+                static_cast<int>(b % 4));
+      }
+    }
+  }
+}
+
+void GeneralizedFatTree::connect(int node_a, int port_a, int node_b, int port_b) {
+  auto& ea = nbr_[static_cast<std::size_t>(node_a)][static_cast<std::size_t>(port_a)];
+  auto& eb = nbr_[static_cast<std::size_t>(node_b)][static_cast<std::size_t>(port_b)];
+  WORMNET_ENSURES(ea.node == kNoNode);
+  WORMNET_ENSURES(eb.node == kNoNode);
+  ea = {node_b, port_b};
+  eb = {node_a, port_a};
+}
+
+std::string GeneralizedFatTree::name() const {
+  std::ostringstream out;
+  out << "generalized-fat-tree(n=" << levels_ << ", m=" << parents_
+      << ", N=" << num_procs_ << ")";
+  return out.str();
+}
+
+int GeneralizedFatTree::switches_at(int level) const {
+  WORMNET_EXPECTS(level >= 1 && level <= levels_);
+  return static_cast<int>(ipow(4, levels_ - level) * m_pow(level - 1));
+}
+
+int GeneralizedFatTree::switch_id(int level, int addr) const {
+  WORMNET_EXPECTS(level >= 1 && level <= levels_);
+  WORMNET_EXPECTS(addr >= 0 && addr < switches_at(level));
+  return level_offset_[static_cast<std::size_t>(level)] + addr;
+}
+
+int GeneralizedFatTree::node_level(int node) const {
+  WORMNET_EXPECTS(node >= 0 && node < num_nodes());
+  return node_level_[static_cast<std::size_t>(node)];
+}
+
+int GeneralizedFatTree::switch_addr(int node) const {
+  WORMNET_EXPECTS(node >= num_procs_ && node < num_nodes());
+  return node_addr_[static_cast<std::size_t>(node)];
+}
+
+int GeneralizedFatTree::neighbor(int node, int port) const {
+  WORMNET_EXPECTS(node >= 0 && node < num_nodes());
+  WORMNET_EXPECTS(port >= 0 && port < num_ports(node));
+  return nbr_[static_cast<std::size_t>(node)][static_cast<std::size_t>(port)].node;
+}
+
+int GeneralizedFatTree::neighbor_port(int node, int port) const {
+  WORMNET_EXPECTS(node >= 0 && node < num_nodes());
+  WORMNET_EXPECTS(port >= 0 && port < num_ports(node));
+  return nbr_[static_cast<std::size_t>(node)][static_cast<std::size_t>(port)].port;
+}
+
+bool GeneralizedFatTree::covers(int level, int addr, int proc) const {
+  WORMNET_EXPECTS(level >= 1 && level <= levels_);
+  WORMNET_EXPECTS(proc >= 0 && proc < num_procs_);
+  return (proc >> (2 * level)) == addr / m_pow(level - 1);
+}
+
+RouteOptions GeneralizedFatTree::route(int node, int dest) const {
+  WORMNET_EXPECTS(dest >= 0 && dest < num_procs_);
+  RouteOptions out;
+  if (node < num_procs_) {
+    if (node != dest) out.add(0);
+    return out;
+  }
+  const int l = node_level(node);
+  const int a = switch_addr(node);
+  if (covers(l, a, dest)) {
+    out.add(base4_digit(dest, l - 1));
+  } else {
+    for (int p = 0; p < parents_; ++p) out.add(kParentPort0 + p);
+  }
+  return out;
+}
+
+int GeneralizedFatTree::lca_level(int s, int d) const {
+  int l = 0;
+  while (s != d) {
+    s >>= 2;
+    d >>= 2;
+    ++l;
+  }
+  return l;
+}
+
+int GeneralizedFatTree::distance(int src_proc, int dst_proc) const {
+  WORMNET_EXPECTS(src_proc >= 0 && src_proc < num_procs_);
+  WORMNET_EXPECTS(dst_proc >= 0 && dst_proc < num_procs_);
+  return 2 * lca_level(src_proc, dst_proc);
+}
+
+double GeneralizedFatTree::mean_distance() const {
+  // Identical to the butterfly fat-tree: redundancy does not change minimal
+  // path lengths.
+  const double denom = static_cast<double>(num_procs_) - 1.0;
+  double sum = 0.0;
+  for (int l = 1; l <= levels_; ++l)
+    sum += 2.0 * l * 3.0 * static_cast<double>(ipow(4, l - 1)) / denom;
+  return sum;
+}
+
+long GeneralizedFatTree::links_between(int level_lo) const {
+  WORMNET_EXPECTS(level_lo >= 0 && level_lo < levels_);
+  if (level_lo == 0) return num_procs_;
+  return static_cast<long>(switches_at(level_lo)) * parents_;
+}
+
+std::vector<PortBundle> GeneralizedFatTree::output_bundles(int node) const {
+  std::vector<PortBundle> bundles;
+  if (node < num_procs_) {
+    PortBundle inj;
+    inj.add(0);
+    bundles.push_back(inj);
+    return bundles;
+  }
+  for (int c = 0; c < 4; ++c) {
+    PortBundle child;
+    child.add(c);
+    bundles.push_back(child);
+  }
+  if (neighbor(node, kParentPort0) != kNoNode) {
+    PortBundle up;
+    for (int p = 0; p < parents_; ++p) up.add(kParentPort0 + p);
+    bundles.push_back(up);
+  }
+  return bundles;
+}
+
+}  // namespace wormnet::topo

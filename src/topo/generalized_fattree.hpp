@@ -1,0 +1,99 @@
+// wormnet/topo/generalized_fattree.hpp
+//
+// Generalized butterfly fat-tree: 4 children per switch as in the paper,
+// but a configurable number m of parent links (the paper's §4 names
+// ">2-server channels" as the natural extension of its framework; this
+// topology is what exercises it).
+//
+// Structure for N = 4^n processors and parent multiplicity m in [1, 4]:
+//  * level l has 4^(n-l) · m^(l-1) switches (m = 2 reproduces the butterfly
+//    fat-tree's N/2^(l+1));
+//  * switches at level l partition into 4^(n-l) block groups of m^(l-1)
+//    switches; every switch in block group b reaches exactly the processors
+//    [b·4^l, (b+1)·4^l) going down;
+//  * switch S(l, a) with a = b·m^(l-1) + r has parent p at
+//    S(l+1, (b/4)·m^l + (r + p·m^(l-1)) mod m^l), arriving on the parent's
+//    child port (b mod 4).  The map is a bijection per (parent, child port):
+//    each level-(l+1) switch's child port c has exactly one child switch in
+//    sub-block 4B+c.
+//
+// Consequences (tested): minimal distance and its mean are INDEPENDENT of m
+// (2·LCA-level channels), while the up-path redundancy — and hence
+// contention, throughput, and the queueing model needed (M/G/m) — scales
+// with m.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace wormnet::topo {
+
+/// Fat-tree with 4 children and m parent links per switch.
+class GeneralizedFatTree final : public Topology {
+ public:
+  /// Child ports are 0..3; parent ports are 4..4+m-1.
+  static constexpr int kChildPort0 = 0;
+  static constexpr int kParentPort0 = 4;
+
+  /// Build with `levels` switch levels (N = 4^levels) and `parents` parent
+  /// links per switch; levels in [1, 6], parents in [1, 4].
+  GeneralizedFatTree(int levels, int parents);
+
+  // -- Topology interface -------------------------------------------------
+  std::string name() const override;
+  int num_nodes() const override { return static_cast<int>(nbr_.size()); }
+  int num_processors() const override { return num_procs_; }
+  NodeKind kind(int node) const override {
+    return node < num_procs_ ? NodeKind::Processor : NodeKind::Switch;
+  }
+  int num_ports(int node) const override {
+    return node < num_procs_ ? 1 : 4 + parents_;
+  }
+  int neighbor(int node, int port) const override;
+  int neighbor_port(int node, int port) const override;
+  RouteOptions route(int node, int dest) const override;
+  int distance(int src_proc, int dst_proc) const override;
+  double mean_distance() const override;
+  std::vector<PortBundle> output_bundles(int node) const override;
+
+  // -- structure accessors --------------------------------------------------
+  /// Number of switch levels n.
+  int levels() const { return levels_; }
+  /// Parent multiplicity m.
+  int parents() const { return parents_; }
+  /// Switch count at level l: 4^(n-l) · m^(l-1).
+  int switches_at(int level) const;
+  /// Node id of S(level, addr).
+  int switch_id(int level, int addr) const;
+  /// 0 for processors, l for level-l switches.
+  int node_level(int node) const;
+  /// Address within the level.
+  int switch_addr(int node) const;
+  /// True when S(level, addr) reaches `proc` going down.
+  bool covers(int level, int addr, int proc) const;
+  /// Lowest level whose block contains both processors.
+  int lca_level(int s, int d) const;
+  /// Up links between level l and l+1 (l >= 1), or processor links (l = 0).
+  long links_between(int level_lo) const;
+
+ private:
+  struct End {
+    int node = kNoNode;
+    int port = -1;
+  };
+
+  void connect(int node_a, int port_a, int node_b, int port_b);
+  long m_pow(int e) const;
+
+  int levels_;
+  int parents_;
+  int num_procs_;
+  std::vector<int> level_offset_;
+  std::vector<std::vector<End>> nbr_;
+  std::vector<int> node_level_;
+  std::vector<int> node_addr_;
+};
+
+}  // namespace wormnet::topo

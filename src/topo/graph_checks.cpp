@@ -1,0 +1,127 @@
+#include "topo/graph_checks.hpp"
+
+#include <deque>
+#include <sstream>
+
+namespace wormnet::topo {
+
+std::vector<int> bfs_channel_distances(const Topology& topo, int src_proc) {
+  std::vector<int> dist(static_cast<std::size_t>(topo.num_nodes()), -1);
+  std::deque<int> queue;
+  dist[static_cast<std::size_t>(src_proc)] = 0;
+  queue.push_back(src_proc);
+  while (!queue.empty()) {
+    const int n = queue.front();
+    queue.pop_front();
+    for (int p = 0; p < topo.num_ports(n); ++p) {
+      const int peer = topo.neighbor(n, p);
+      if (peer == kNoNode) continue;
+      if (dist[static_cast<std::size_t>(peer)] != -1) continue;
+      dist[static_cast<std::size_t>(peer)] = dist[static_cast<std::size_t>(n)] + 1;
+      queue.push_back(peer);
+    }
+  }
+  return dist;
+}
+
+std::vector<int> trace_route(const Topology& topo, int src_proc, int dst_proc) {
+  std::vector<int> path{src_proc};
+  int node = src_proc;
+  for (int hops = 0; hops <= topo.num_nodes(); ++hops) {
+    if (node == dst_proc && topo.is_processor(node)) return path;
+    const RouteOptions opts = topo.route(node, dst_proc);
+    if (opts.size() == 0) {
+      return node == dst_proc ? path : std::vector<int>{};
+    }
+    node = topo.neighbor(node, opts[0]);
+    path.push_back(node);
+  }
+  return {};
+}
+
+VerifyReport verify_topology(const Topology& topo, int max_messages) {
+  VerifyReport report;
+  auto complain = [&](const std::string& msg) {
+    if (static_cast<int>(report.violations.size()) < max_messages)
+      report.violations.push_back(msg);
+  };
+
+  // 1. Link pairing.
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    for (int p = 0; p < topo.num_ports(n); ++p) {
+      const int peer = topo.neighbor(n, p);
+      if (peer == kNoNode) continue;
+      const int back_port = topo.neighbor_port(n, p);
+      if (peer < 0 || peer >= topo.num_nodes()) {
+        std::ostringstream msg;
+        msg << "node " << n << " port " << p << ": neighbor out of range " << peer;
+        complain(msg.str());
+        continue;
+      }
+      if (topo.neighbor(peer, back_port) != n ||
+          topo.neighbor_port(peer, back_port) != p) {
+        std::ostringstream msg;
+        msg << "unpaired link at node " << n << " port " << p;
+        complain(msg.str());
+      }
+    }
+  }
+
+  // 2. Processors have exactly one connected port.
+  for (int n = 0; n < topo.num_processors(); ++n) {
+    int connected = 0;
+    for (int p = 0; p < topo.num_ports(n); ++p)
+      if (topo.neighbor(n, p) != kNoNode) ++connected;
+    if (connected != 1) {
+      std::ostringstream msg;
+      msg << "processor " << n << " has " << connected << " connected ports";
+      complain(msg.str());
+    }
+  }
+
+  // 3/4. Routing minimality and distance() vs BFS, on a subsampled source
+  // set so large networks stay cheap to verify.
+  const int procs = topo.num_processors();
+  const int src_stride = procs <= 64 ? 1 : procs / 64;
+  for (int s = 0; s < procs; s += src_stride) {
+    const std::vector<int> bfs = bfs_channel_distances(topo, s);
+    const int dst_stride = procs <= 256 ? 1 : procs / 256;
+    for (int d = 0; d < procs; d += dst_stride) {
+      if (topo.distance(s, d) != bfs[static_cast<std::size_t>(d)]) {
+        std::ostringstream msg;
+        msg << "distance(" << s << ", " << d << ") = " << topo.distance(s, d)
+            << " but BFS says " << bfs[static_cast<std::size_t>(d)];
+        complain(msg.str());
+      }
+      if (d == s) continue;
+      // Walk the route taking the first candidate everywhere; at each node,
+      // every candidate must step to a node strictly closer to d.
+      const std::vector<int> rev = bfs_channel_distances(topo, d);
+      std::vector<int> path = trace_route(topo, s, d);
+      if (path.empty()) {
+        std::ostringstream msg;
+        msg << "route livelock from " << s << " to " << d;
+        complain(msg.str());
+        continue;
+      }
+      for (int node : path) {
+        if (node == d) break;
+        const RouteOptions opts = topo.route(node, d);
+        for (int i = 0; i < opts.size(); ++i) {
+          const int next = topo.neighbor(node, opts[i]);
+          if (next == kNoNode ||
+              rev[static_cast<std::size_t>(next)] >= rev[static_cast<std::size_t>(node)]) {
+            std::ostringstream msg;
+            msg << "non-minimal route candidate at node " << node << " toward " << d;
+            complain(msg.str());
+          }
+        }
+      }
+      // Only check the full path sweep for a few destinations per source.
+      if (d > s + 4 * dst_stride) break;
+    }
+  }
+  return report;
+}
+
+}  // namespace wormnet::topo

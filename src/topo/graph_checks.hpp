@@ -1,0 +1,41 @@
+// wormnet/topo/graph_checks.hpp
+//
+// Structural verification utilities.  These are used by the test suite (and
+// available to users wiring custom topologies) to prove the invariants the
+// analytical model silently relies on: paired links, minimal-progress
+// routing, and distance() == BFS shortest path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace wormnet::topo {
+
+/// Result of verify_topology(): ok() iff no violations were found; the
+/// messages describe each violation (truncated to the first `max_messages`).
+struct VerifyReport {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Check structural invariants of a topology:
+///  1. link pairing: neighbor(neighbor(n,p), neighbor_port(n,p)) == n;
+///  2. every processor has exactly one connected port;
+///  3. route(node, dest) candidates all make strictly-decreasing BFS distance
+///     (minimal adaptive routing), checked on a subsampled destination set
+///     when the network is large;
+///  4. distance(s, d) equals BFS shortest channel count for sampled pairs.
+VerifyReport verify_topology(const Topology& topo, int max_messages = 20);
+
+/// BFS shortest path from processor `src` to every node, counted in directed
+/// channels, ignoring the routing function (pure graph distance).
+std::vector<int> bfs_channel_distances(const Topology& topo, int src_proc);
+
+/// Follow the routing function from src to dst, always taking the first
+/// candidate, and return the node sequence (including both endpoints).
+/// Aborts (returns empty) after num_nodes() hops — a routing livelock.
+std::vector<int> trace_route(const Topology& topo, int src_proc, int dst_proc);
+
+}  // namespace wormnet::topo

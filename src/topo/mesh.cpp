@@ -1,0 +1,98 @@
+#include "topo/mesh.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/math.hpp"
+
+namespace wormnet::topo {
+
+Mesh::Mesh(int radix, int dims) : radix_(radix), dims_(dims) {
+  WORMNET_EXPECTS(radix >= 2);
+  WORMNET_EXPECTS(dims >= 1 && dims <= 4);
+  long n = 1;
+  stride_.assign(static_cast<std::size_t>(dims), 0);
+  for (int d = 0; d < dims; ++d) {
+    stride_[static_cast<std::size_t>(d)] = static_cast<int>(n);
+    n *= radix;
+  }
+  WORMNET_EXPECTS(n <= (1 << 20));
+  num_procs_ = static_cast<int>(n);
+}
+
+std::string Mesh::name() const {
+  std::ostringstream out;
+  out << "mesh(k=" << radix_ << ", d=" << dims_ << ", N=" << num_procs_ << ")";
+  return out.str();
+}
+
+int Mesh::coord(int addr, int dim) const {
+  return (addr / stride_[static_cast<std::size_t>(dim)]) % radix_;
+}
+
+int Mesh::neighbor(int node, int port) const {
+  WORMNET_EXPECTS(node >= 0 && node < num_nodes());
+  WORMNET_EXPECTS(port >= 0 && port < num_ports(node));
+  if (node < num_procs_) return router_of(node);
+  const int addr = address_of(node);
+  if (port == 2 * dims_) return addr;  // processor link
+  const int dim = port / 2;
+  const bool plus = (port % 2) == 1;
+  const int c = coord(addr, dim);
+  if (plus) {
+    if (c == radix_ - 1) return kNoNode;
+    return router_of(addr + stride_[static_cast<std::size_t>(dim)]);
+  }
+  if (c == 0) return kNoNode;
+  return router_of(addr - stride_[static_cast<std::size_t>(dim)]);
+}
+
+int Mesh::neighbor_port(int node, int port) const {
+  WORMNET_EXPECTS(node >= 0 && node < num_nodes());
+  WORMNET_EXPECTS(port >= 0 && port < num_ports(node));
+  if (node < num_procs_) return 2 * dims_;  // router's processor port
+  if (port == 2 * dims_) return 0;          // processor's single port
+  // A "plus" link arrives at the neighbor's "minus" port of the same
+  // dimension and vice versa.
+  return (port % 2 == 1) ? port - 1 : port + 1;
+}
+
+RouteOptions Mesh::route(int node, int dest) const {
+  WORMNET_EXPECTS(dest >= 0 && dest < num_procs_);
+  RouteOptions out;
+  if (node < num_procs_) {
+    if (node != dest) out.add(0);
+    return out;
+  }
+  const int addr = address_of(node);
+  for (int d = 0; d < dims_; ++d) {
+    const int have = coord(addr, d);
+    const int want = coord(dest, d);
+    if (have == want) continue;
+    out.add(2 * d + (want > have ? 1 : 0));
+    return out;  // dimension-order: correct the lowest mismatching dim only
+  }
+  out.add(2 * dims_);  // arrived: eject
+  return out;
+}
+
+int Mesh::distance(int src_proc, int dst_proc) const {
+  WORMNET_EXPECTS(src_proc >= 0 && src_proc < num_procs_);
+  WORMNET_EXPECTS(dst_proc >= 0 && dst_proc < num_procs_);
+  if (src_proc == dst_proc) return 0;
+  int manhattan = 0;
+  for (int d = 0; d < dims_; ++d)
+    manhattan += std::abs(coord(src_proc, d) - coord(dst_proc, d));
+  return manhattan + 2;
+}
+
+double Mesh::mean_distance() const {
+  // E|a - b| for independent uniform coordinates in [0, k) is (k^2-1)/(3k);
+  // sum over dims, then condition on src != dst (prob (N-1)/N), add inj+ej.
+  const double k = radix_;
+  const double per_dim = (k * k - 1.0) / (3.0 * k);
+  const double n = num_procs_;
+  return dims_ * per_dim * (n / (n - 1.0)) + 2.0;
+}
+
+}  // namespace wormnet::topo

@@ -1,0 +1,66 @@
+// wormnet/topo/mesh.hpp
+//
+// k-ary d-dimensional mesh (direct network) with dimension-order routing.
+//
+// This is wormnet's stand-in for the paper's k-ary n-cube context (Dally's
+// networks): DOR on a mesh is deadlock-free without virtual channels, so —
+// like the fat-tree — its channel dependency graph is acyclic and the
+// paper's backward service-time sweep applies unmodified, while the absence
+// of edge symmetry gives genuinely heterogeneous per-channel rates (center
+// channels carry more traffic).  See DESIGN.md "Substitutions".
+//
+// Node layout: processors [0, N), routers [N, 2N).  Router ports: for each
+// dimension i, port 2i goes toward coordinate-1 ("minus"), port 2i+1 toward
+// coordinate+1 ("plus"); port 2d is the processor link.  Boundary ports are
+// unconnected.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace wormnet::topo {
+
+/// k-ary d-mesh with deterministic dimension-order (lowest dimension first)
+/// routing.
+class Mesh final : public Topology {
+ public:
+  /// Build a mesh with `radix` nodes per dimension and `dims` dimensions
+  /// (N = radix^dims processors).  radix >= 2, dims in [1, 4].
+  Mesh(int radix, int dims);
+
+  std::string name() const override;
+  int num_nodes() const override { return 2 * num_procs_; }
+  int num_processors() const override { return num_procs_; }
+  NodeKind kind(int node) const override {
+    return node < num_procs_ ? NodeKind::Processor : NodeKind::Switch;
+  }
+  int num_ports(int node) const override {
+    return node < num_procs_ ? 1 : 2 * dims_ + 1;
+  }
+  int neighbor(int node, int port) const override;
+  int neighbor_port(int node, int port) const override;
+  RouteOptions route(int node, int dest) const override;
+  int distance(int src_proc, int dst_proc) const override;
+  double mean_distance() const override;
+
+  /// Nodes per dimension.
+  int radix() const { return radix_; }
+  /// Number of dimensions.
+  int dims() const { return dims_; }
+  /// Router node id hosting processor `proc`.
+  int router_of(int proc) const { return num_procs_ + proc; }
+  /// Mesh address (linearized) of a router node.
+  int address_of(int router) const { return router - num_procs_; }
+  /// Coordinate of linear address `addr` along dimension `dim`.
+  int coord(int addr, int dim) const;
+
+ private:
+  int radix_;
+  int dims_;
+  int num_procs_;
+  std::vector<int> stride_;  // stride_[d] = radix^d
+};
+
+}  // namespace wormnet::topo

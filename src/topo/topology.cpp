@@ -1,0 +1,17 @@
+#include "topo/topology.hpp"
+
+namespace wormnet::topo {
+
+std::vector<PortBundle> Topology::output_bundles(int node) const {
+  std::vector<PortBundle> bundles;
+  bundles.reserve(static_cast<std::size_t>(num_ports(node)));
+  for (int p = 0; p < num_ports(node); ++p) {
+    if (neighbor(node, p) == kNoNode) continue;
+    PortBundle b;
+    b.add(p);
+    bundles.push_back(b);
+  }
+  return bundles;
+}
+
+}  // namespace wormnet::topo

@@ -1,0 +1,138 @@
+// wormnet/topo/topology.hpp
+//
+// The topology abstraction shared by the flit-level simulator and the
+// analytical channel-graph builders.  Following the paper's general routing
+// model (its Fig. 1), a network consists of processing elements (PEs) and
+// routing elements (REs):
+//
+//  * indirect networks (the butterfly fat-tree) place PEs at the leaves and
+//    REs at internal switches;
+//  * direct networks (hypercube, mesh) pair every RE with a PE through an
+//    injection/ejection channel, which we represent as an explicit PE node
+//    with a single port.
+//
+// Node ids are dense integers: processors first (0 .. P-1), then switches.
+// Every undirected link is a (node, port) <-> (node, port) pairing; directed
+// channels over those links are enumerated by ChannelTable (channels.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wormnet::topo {
+
+/// Sentinel for "no node" (unconnected port).
+inline constexpr int kNoNode = -1;
+
+/// Whether a node is a processing element or a routing element.
+enum class NodeKind { Processor, Switch };
+
+/// Candidate output ports for a worm's next hop.  All topologies in this
+/// repository offer at most two minimal choices (the fat-tree's redundant
+/// up-links); the capacity is 4 to accommodate extensions such as the
+/// generalized fat-tree.
+class RouteOptions {
+ public:
+  /// Append a candidate port.
+  void add(int port) {
+    WORMNET_EXPECTS(count_ < static_cast<int>(ports_.size()));
+    ports_[static_cast<std::size_t>(count_++)] = port;
+  }
+  /// Number of candidates (0 means: consume here, the node is the target PE).
+  int size() const { return count_; }
+  /// i-th candidate port.
+  int operator[](int i) const {
+    WORMNET_EXPECTS(i >= 0 && i < count_);
+    return ports_[static_cast<std::size_t>(i)];
+  }
+  /// True if `port` is among the candidates.
+  bool contains(int port) const {
+    for (int i = 0; i < count_; ++i)
+      if (ports_[static_cast<std::size_t>(i)] == port) return true;
+    return false;
+  }
+
+ private:
+  std::array<int, 4> ports_{};
+  int count_ = 0;
+};
+
+/// A group of output ports at one node that the router arbitrates as a single
+/// multi-server channel (the fat-tree's two parent ports form one bundle of
+/// size two; everything else is a singleton bundle).
+struct PortBundle {
+  std::array<int, 4> ports{};
+  int count = 0;
+
+  void add(int port) {
+    WORMNET_EXPECTS(count < static_cast<int>(ports.size()));
+    ports[static_cast<std::size_t>(count++)] = port;
+  }
+  int operator[](int i) const {
+    WORMNET_EXPECTS(i >= 0 && i < count);
+    return ports[static_cast<std::size_t>(i)];
+  }
+};
+
+/// Abstract interconnection topology with minimal-path routing.
+///
+/// Invariants checked by graph_checks.hpp's verify_topology():
+///  * neighbor()/neighbor_port() are mutually consistent (links are paired);
+///  * route() only returns ports whose links make forward progress
+///    (distance strictly decreases along every candidate);
+///  * distance() agrees with BFS shortest paths counted in channels.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Human-readable name, e.g. "butterfly-fat-tree(n=3, N=64)".
+  virtual std::string name() const = 0;
+
+  /// Total node count (processors + switches).
+  virtual int num_nodes() const = 0;
+
+  /// Number of processing elements; processor ids are [0, num_processors()).
+  virtual int num_processors() const = 0;
+
+  /// Kind of a node.
+  virtual NodeKind kind(int node) const = 0;
+
+  /// Number of ports on the node (ports are [0, num_ports(node))); some may
+  /// be unconnected (neighbor() == kNoNode).
+  virtual int num_ports(int node) const = 0;
+
+  /// Node on the far side of (node, port); kNoNode if unconnected.
+  virtual int neighbor(int node, int port) const = 0;
+
+  /// The port index on neighbor(node, port) that connects back to `node`.
+  /// Undefined when neighbor() == kNoNode.
+  virtual int neighbor_port(int node, int port) const = 0;
+
+  /// Minimal-route candidates for a worm standing at `node` and destined for
+  /// processor `dest`.  An empty result means node == dest (consume).
+  /// For a processor node this is its single injection port.
+  virtual RouteOptions route(int node, int dest) const = 0;
+
+  /// Shortest path length between two processors, counted in directed
+  /// channels traversed and INCLUDING the injection and ejection channels
+  /// (this is the D of the paper's Eq. 1: zero-load latency is s_f + D - 1).
+  /// distance(p, p) == 0 by convention.
+  virtual int distance(int src_proc, int dst_proc) const = 0;
+
+  /// Mean of distance(s, d) over ordered pairs of distinct processors with
+  /// uniform weights — the D̄ of the paper's Eq. 2.  Closed-form per topology.
+  virtual double mean_distance() const = 0;
+
+  /// Output-port bundles at a node for multi-server arbitration; the default
+  /// puts every connected port in its own singleton bundle.
+  virtual std::vector<PortBundle> output_bundles(int node) const;
+
+  /// Convenience: true for processor nodes.
+  bool is_processor(int node) const { return kind(node) == NodeKind::Processor; }
+};
+
+}  // namespace wormnet::topo

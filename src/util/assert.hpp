@@ -1,0 +1,31 @@
+// wormnet/util/assert.hpp
+//
+// Lightweight contract-checking macros in the spirit of the C++ Core
+// Guidelines' Expects()/Ensures().  Unlike <cassert> these are active in all
+// build types: the analytical solver and the simulator are research code whose
+// invariants we always want enforced — a silently-violated queueing stability
+// precondition produces plausible-looking garbage, which is worse than a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wormnet::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "wormnet: %s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace wormnet::util
+
+/// Precondition check: argument/state requirements at function entry.
+#define WORMNET_EXPECTS(cond)                                                     \
+  ((cond) ? static_cast<void>(0)                                                  \
+          : ::wormnet::util::contract_failure("precondition", #cond, __FILE__, __LINE__))
+
+/// Postcondition / internal invariant check.
+#define WORMNET_ENSURES(cond)                                                     \
+  ((cond) ? static_cast<void>(0)                                                  \
+          : ::wormnet::util::contract_failure("invariant", #cond, __FILE__, __LINE__))

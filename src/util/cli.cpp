@@ -1,0 +1,104 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace wormnet::util {
+
+Args::Args(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "wormnet";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("wormnet cli: positional argument not supported: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_[arg] = "";
+    } else {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  for (const auto& [k, v] : kv_) used_[k] = false;
+}
+
+bool Args::has(const std::string& name) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return false;
+  used_[name] = true;
+  return true;
+}
+
+std::string Args::get(const std::string& name, const std::string& def) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return def;
+  used_[name] = true;
+  return it->second;
+}
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t def) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return def;
+  used_[name] = true;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& name, double def) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return def;
+  used_[name] = true;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Args::get_bool(const std::string& name, bool def) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return def;
+  used_[name] = true;
+  const std::string& v = it->second;
+  return v.empty() || v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+namespace {
+template <typename T, typename Conv>
+std::vector<T> split_list(const std::string& s, Conv conv) {
+  std::vector<T> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto comma = s.find(',', start);
+    const std::string tok =
+        s.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!tok.empty()) out.push_back(conv(tok));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<double> Args::get_double_list(const std::string& name,
+                                          std::vector<double> def) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return def;
+  used_[name] = true;
+  return split_list<double>(it->second,
+                            [](const std::string& t) { return std::strtod(t.c_str(), nullptr); });
+}
+
+std::vector<std::int64_t> Args::get_int_list(const std::string& name,
+                                             std::vector<std::int64_t> def) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return def;
+  used_[name] = true;
+  return split_list<std::int64_t>(
+      it->second, [](const std::string& t) { return std::strtoll(t.c_str(), nullptr, 10); });
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, seen] : used_)
+    if (!seen) out.push_back(k);
+  return out;
+}
+
+}  // namespace wormnet::util

@@ -1,0 +1,52 @@
+// wormnet/util/cli.hpp
+//
+// Minimal --key=value / --flag argument parser for example and bench
+// binaries.  Deliberately tiny: every executable in this repository takes a
+// handful of numeric knobs and must run with no arguments at all (the bench
+// harness executes `for b in build/bench/*; do $b; done`).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wormnet::util {
+
+/// Parsed command line.  Unknown keys are kept and can be listed, so typos
+/// fail loudly instead of silently running the default experiment.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// True if --name or --name=... was given.
+  bool has(const std::string& name) const;
+  /// String value of --name=value, or `def` if absent.
+  std::string get(const std::string& name, const std::string& def) const;
+  /// Integer value of --name=value, or `def` if absent.
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  /// Double value of --name=value, or `def` if absent.
+  double get_double(const std::string& name, double def) const;
+  /// Boolean: --name / --name=true|1 → true, --name=false|0 → false.
+  bool get_bool(const std::string& name, bool def) const;
+  /// Comma-separated list of doubles: --loads=0.01,0.02,0.03.
+  std::vector<double> get_double_list(const std::string& name,
+                                      std::vector<double> def) const;
+  /// Comma-separated list of integers.
+  std::vector<std::int64_t> get_int_list(const std::string& name,
+                                         std::vector<std::int64_t> def) const;
+
+  /// Keys that were supplied but never queried through a getter.  Binaries
+  /// call this after parsing their knobs and abort on leftovers.
+  std::vector<std::string> unused() const;
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace wormnet::util

@@ -1,0 +1,71 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace wormnet::util {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  WORMNET_EXPECTS(bins > 0);
+  WORMNET_EXPECTS(hi > lo);
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+  width_ = (hi - lo) / bins;
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge guard
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(int i) const { return lo_ + width_ * i; }
+double Histogram::bin_hi(int i) const { return lo_ + width_ * (i + 1); }
+
+double Histogram::quantile(double q) const {
+  WORMNET_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(static_cast<int>(i)) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(int max_width) const {
+  std::ostringstream out;
+  std::int64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int bar = static_cast<int>(
+        std::lround(static_cast<double>(counts_[i]) * max_width / static_cast<double>(peak)));
+    out << "[" << bin_lo(static_cast<int>(i)) << ", " << bin_hi(static_cast<int>(i)) << ") "
+        << std::string(static_cast<std::size_t>(std::max(bar, 1)), '#') << " " << counts_[i]
+        << "\n";
+  }
+  if (underflow_ > 0) out << "underflow: " << underflow_ << "\n";
+  if (overflow_ > 0) out << "overflow: " << overflow_ << "\n";
+  return out.str();
+}
+
+}  // namespace wormnet::util

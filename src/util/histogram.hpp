@@ -1,0 +1,57 @@
+// wormnet/util/histogram.hpp
+//
+// Fixed-width-bin histogram with overflow/underflow tracking and approximate
+// quantiles.  Used for latency distributions (the analytical model predicts
+// means; the histogram lets examples and EXPERIMENTS.md report tails too).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wormnet::util {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins.
+/// Samples below lo / at-or-above hi land in dedicated under/overflow bins,
+/// so total count is always exact even when the range guess was wrong.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  /// Record one sample.
+  void add(double x);
+
+  /// Total number of recorded samples (including under/overflow).
+  std::int64_t count() const { return total_; }
+  /// Samples below the range.
+  std::int64_t underflow() const { return underflow_; }
+  /// Samples at or above the range.
+  std::int64_t overflow() const { return overflow_; }
+  /// Count in bin i.
+  std::int64_t bin_count(int i) const { return counts_.at(i); }
+  /// Number of in-range bins.
+  int bins() const { return static_cast<int>(counts_.size()); }
+  /// Lower edge of bin i.
+  double bin_lo(int i) const;
+  /// Upper edge of bin i.
+  double bin_hi(int i) const;
+
+  /// Approximate quantile q in [0,1]: linear interpolation inside the bin
+  /// containing the q-th sample.  Underflow counts as lo; overflow as hi.
+  double quantile(double q) const;
+
+  /// Multi-line ASCII rendering (one row per non-empty bin with a bar),
+  /// suitable for example programs.
+  std::string ascii(int max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace wormnet::util

@@ -1,0 +1,47 @@
+// wormnet/util/log.hpp
+//
+// Leveled stderr logging.  The simulator can emit per-cycle traces at Debug
+// level (used by the wormhole-semantics tests); everything else logs at Info
+// or above.  No allocation happens when the level is filtered out.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wormnet::util {
+
+/// Log severity, ordered.
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+/// Current global threshold (default Warn, so tests/benches stay quiet).
+LogLevel log_level();
+
+/// Emit a message at the given level (appends newline).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+/// Builds the message only if the level passes, then emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level), active_(level >= log_level()) {}
+  ~LogLine() {
+    if (active_) log_message(level_, out_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (active_) out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool active_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+}  // namespace wormnet::util
+
+#define WORMNET_LOG(level) ::wormnet::util::detail::LogLine(::wormnet::util::LogLevel::level)

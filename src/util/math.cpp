@@ -1,0 +1,13 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wormnet::util {
+
+double rel_err(double a, double b) {
+  const double denom = std::max(std::abs(b), 1e-12);
+  return std::abs(a - b) / denom;
+}
+
+}  // namespace wormnet::util

@@ -1,0 +1,66 @@
+// wormnet/util/math.hpp
+//
+// Small integer/floating-point helpers shared by the topology, model and
+// simulator layers.  Everything here is branch-light and constexpr-friendly;
+// these functions sit inside the simulator's per-cycle inner loops.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wormnet::util {
+
+/// Integer power base^exp (exp >= 0).  Overflow is the caller's problem;
+/// wormnet uses it for 4^n with n <= 8, far below 2^63.
+constexpr std::int64_t ipow(std::int64_t base, int exp) {
+  std::int64_t r = 1;
+  for (int i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+/// True if v is an exact power of `base` (v >= 1).
+constexpr bool is_power_of(std::int64_t v, std::int64_t base) {
+  if (v < 1) return false;
+  while (v % base == 0) v /= base;
+  return v == 1;
+}
+
+/// floor(log_base(v)) for v >= 1.
+constexpr int ilog(std::int64_t v, std::int64_t base) {
+  int l = 0;
+  while (v >= base) {
+    v /= base;
+    ++l;
+  }
+  return l;
+}
+
+/// Exact log2 for powers of two.
+constexpr int ilog2_exact(std::int64_t v) { return ilog(v, 2); }
+
+/// Exact log4 for powers of four.
+constexpr int ilog4_exact(std::int64_t v) { return ilog(v, 4); }
+
+/// Clamp a probability into [0, 1].  The paper's blocking factor (Eq. 10) is an
+/// approximation that can dip below zero at extreme rate ratios; the paper's
+/// own usage implicitly clamps (a negative "probability of having to wait"
+/// has no meaning), and we make that explicit.
+constexpr double clamp01(double p) { return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p); }
+
+/// Relative error |a-b| / max(|b|, eps); used throughout the test suite to
+/// compare analytical predictions against simulation and closed forms.
+double rel_err(double a, double b);
+
+/// Quiet NaN shorthand.
+inline constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+/// +infinity shorthand; the queueing kernels return this for unstable queues.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// n-th base-4 digit of v (digit 0 is least significant).  This is the
+/// butterfly fat-tree's down-routing function: the child port out of a
+/// level-l switch toward processor d is base4_digit(d, l-1).
+constexpr int base4_digit(std::int64_t v, int digit) {
+  return static_cast<int>((v >> (2 * digit)) & 3);
+}
+
+}  // namespace wormnet::util

@@ -1,0 +1,90 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace wormnet::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Expand the seed; xoshiro must not be seeded with the all-zero state, and
+  // SplitMix64 never yields four consecutive zeros from any seed.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng Rng::stream(std::uint64_t seed, std::uint64_t idx) {
+  // Mix the stream index through one SplitMix64 avalanche before combining,
+  // so streams 0,1,2,... do not share low-bit structure with the base seed.
+  std::uint64_t mix = idx;
+  const std::uint64_t salted = seed ^ splitmix64(mix) ^ 0xd1b54a32d192ed03ULL;
+  return Rng(salted);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // Take the top 53 bits: uniform in [0,1) on the 2^-53 grid.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_pos() {
+  return 1.0 - uniform();  // in (0, 1]
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  WORMNET_EXPECTS(n > 0);
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  WORMNET_EXPECTS(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_int(span));
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) {
+  WORMNET_EXPECTS(rate > 0.0);
+  return -std::log(uniform_pos()) / rate;
+}
+
+}  // namespace wormnet::util

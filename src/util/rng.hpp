@@ -1,0 +1,68 @@
+// wormnet/util/rng.hpp
+//
+// Deterministic pseudo-random number generation for the simulator and the
+// Monte-Carlo checks in the test suite.
+//
+// We implement xoshiro256** (Blackman & Vigna) seeded through SplitMix64
+// rather than using std::mt19937_64: it is ~2x faster, has a tiny state that
+// copies cheaply into per-processor traffic sources, and — critically for a
+// reproduction artifact — its output is fully specified here, so simulation
+// results are bit-reproducible across standard libraries and platforms.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace wormnet::util {
+
+/// SplitMix64 step; used to expand a 64-bit seed into xoshiro state and to
+/// derive independent per-stream seeds (seed ^ stream index avalanche).
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** engine with convenience distributions.
+///
+/// All distribution helpers consume a bounded number of engine outputs and
+/// are deterministic functions of the engine state, so a `Rng` copied before
+/// a simulation replays it exactly.
+class Rng {
+ public:
+  /// Seeds via SplitMix64 so that nearby seeds give uncorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derive an independent stream for substream `idx` (per-processor traffic
+  /// sources, parallel sweep points).  Streams from distinct (seed, idx)
+  /// pairs are de-correlated by the SplitMix64 avalanche.
+  static Rng stream(std::uint64_t seed, std::uint64_t idx);
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform();
+
+  /// Uniform double in (0, 1]; safe as the argument of log() for exponentials.
+  double uniform_pos();
+
+  /// Uniform integer in [0, n) using Lemire rejection (unbiased).
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  /// This is the inter-arrival distribution of the paper's Poisson sources.
+  double exponential(double rate);
+
+  /// Fisher–Yates-style random pick of one of two alternatives; used by the
+  /// fat-tree's "select an up-link randomly" adaptive routing rule.
+  int pick_of_two() { return static_cast<int>(next_u64() >> 63); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace wormnet::util

@@ -1,0 +1,55 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace wormnet::util {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double RunningStats::mean() const { return n_ == 0 ? kNaN : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? kNaN : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const {
+  const double v = variance();
+  return std::isnan(v) ? kNaN : std::sqrt(v);
+}
+
+double RunningStats::sem() const {
+  const double s = stddev();
+  return std::isnan(s) ? kNaN : s / std::sqrt(static_cast<double>(n_));
+}
+
+double RateCounter::rate() const {
+  return elapsed_ > 0.0 ? static_cast<double>(events_) / elapsed_ : kNaN;
+}
+
+}  // namespace wormnet::util

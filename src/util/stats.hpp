@@ -1,0 +1,72 @@
+// wormnet/util/stats.hpp
+//
+// Streaming statistics accumulators.  The simulator records one latency
+// sample per delivered worm (hundreds of thousands per run), so accumulation
+// must be O(1) per sample and numerically stable — we use Welford's online
+// algorithm for mean/variance.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wormnet::util {
+
+/// Online count/mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  /// Add one observation.
+  void add(double x);
+
+  /// Merge another accumulator (parallel reduction of per-thread stats).
+  void merge(const RunningStats& other);
+
+  /// Number of observations.
+  std::int64_t count() const { return n_; }
+  /// Sample mean; NaN when empty.
+  double mean() const;
+  /// Unbiased sample variance; NaN for fewer than two observations.
+  double variance() const;
+  /// Sample standard deviation; NaN for fewer than two observations.
+  double stddev() const;
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+  /// Sum of observations.
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Standard error of the mean (stddev / sqrt(n)); NaN for n < 2.
+  double sem() const;
+
+  /// Reset to the empty state.
+  void clear() { *this = RunningStats{}; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Accumulator for a rate: events per unit time over an observation window.
+/// Used for per-channel utilization and delivered-throughput accounting.
+class RateCounter {
+ public:
+  /// Record `events` occurrences (default one).
+  void hit(std::int64_t events = 1) { events_ += events; }
+  /// Close the window: `elapsed` time units observed.
+  void set_elapsed(double elapsed) { elapsed_ = elapsed; }
+  /// Total events recorded.
+  std::int64_t events() const { return events_; }
+  /// events / elapsed; NaN if the window was never set.
+  double rate() const;
+  /// Reset to the empty state.
+  void clear() { *this = RateCounter{}; }
+
+ private:
+  std::int64_t events_ = 0;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace wormnet::util

@@ -1,0 +1,122 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace wormnet::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  WORMNET_EXPECTS(!columns_.empty());
+  precision_.assign(columns_.size(), 4);
+}
+
+void Table::set_precision(int col, int digits) {
+  WORMNET_EXPECTS(col >= 0 && col < cols());
+  precision_[static_cast<std::size_t>(col)] = digits;
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  WORMNET_EXPECTS(static_cast<int>(cells.size()) == cols());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::begin_row() { rows_.emplace_back(); }
+
+void Table::push(Cell cell) {
+  WORMNET_EXPECTS(!rows_.empty());
+  WORMNET_EXPECTS(static_cast<int>(rows_.back().size()) < cols());
+  rows_.back().push_back(std::move(cell));
+}
+
+const Cell& Table::at(int row, int col) const {
+  WORMNET_EXPECTS(row >= 0 && row < rows() && col >= 0 && col < cols());
+  return rows_[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+}
+
+double Table::num(int row, int col) const {
+  const Cell& c = at(row, col);
+  if (const double* d = std::get_if<double>(&c)) return *d;
+  return kNaN;
+}
+
+int Table::col_index(const std::string& name) const {
+  for (int i = 0; i < cols(); ++i)
+    if (columns_[static_cast<std::size_t>(i)] == name) return i;
+  return -1;
+}
+
+std::string Table::format_cell(const Cell& c, int col) const {
+  if (std::holds_alternative<std::monostate>(c)) return "-";
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  const double d = std::get<double>(c);
+  if (std::isnan(d)) return "nan";
+  if (std::isinf(d)) return d > 0 ? "inf" : "-inf";
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision_[static_cast<std::size_t>(col)]);
+  out << d;
+  return out.str();
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      r.push_back(c < row.size() ? format_cell(row[c], static_cast<int>(c)) : "-");
+      width[c] = std::max(width[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c] << std::string(width[c] - cells[c].size() + 2, ' ');
+    }
+    out << "\n";
+  };
+  emit(columns_);
+  std::size_t rule = 0;
+  for (auto w : width) rule += w + 2;
+  out << std::string(rule, '-') << "\n";
+  for (const auto& r : rendered) emit(r);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    q += "\"";
+    return q;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    out << (c ? "," : "") << quote(columns_[c]);
+  out << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      out << (c ? "," : "");
+      out << quote(c < row.size() ? format_cell(row[c], static_cast<int>(c)) : "");
+    }
+    out << "\n";
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+}  // namespace wormnet::util

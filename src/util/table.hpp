@@ -1,0 +1,63 @@
+// wormnet/util/table.hpp
+//
+// Column-oriented result tables.  Every bench binary regenerates one of the
+// paper's figures/tables as a Table and prints it both human-aligned (for the
+// terminal) and as CSV (for replotting), so the reproduction artifacts are
+// machine-readable without a plotting dependency.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace wormnet::util {
+
+/// One table cell: text, a double (formatted with the column's precision),
+/// or empty (rendered as "-").
+using Cell = std::variant<std::monostate, std::string, double>;
+
+/// A simple rectangular table with named columns.
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> columns);
+
+  /// Per-column precision for doubles (default 4 digits).
+  void set_precision(int col, int digits);
+
+  /// Append a full row; must match the number of columns.
+  void add_row(std::vector<Cell> cells);
+
+  /// Start a new row and append cells one at a time.
+  void begin_row();
+  /// Append one cell to the row begun with begin_row().
+  void push(Cell cell);
+
+  /// Number of data rows.
+  int rows() const { return static_cast<int>(rows_.size()); }
+  /// Number of columns.
+  int cols() const { return static_cast<int>(columns_.size()); }
+  /// Read back a cell (for tests).
+  const Cell& at(int row, int col) const;
+  /// Numeric read-back; NaN if the cell is not a double.
+  double num(int row, int col) const;
+  /// Column index by header name; -1 if absent.
+  int col_index(const std::string& name) const;
+
+  /// Render with aligned columns.
+  void print(std::ostream& out) const;
+  /// Render as CSV (RFC-4180-ish quoting for strings containing commas).
+  void print_csv(std::ostream& out) const;
+  /// Convenience: aligned rendering into a string.
+  std::string to_string() const;
+
+ private:
+  std::string format_cell(const Cell& c, int col) const;
+
+  std::vector<std::string> columns_;
+  std::vector<int> precision_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace wormnet::util

@@ -1,0 +1,73 @@
+// Tests for the directed-channel enumeration.
+#include "topo/channels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/butterfly_fattree.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormnet::topo {
+namespace {
+
+TEST(ChannelTable, FatTreeChannelCount) {
+  // n=2: 16 processor links + 8 up links (4 level-1 switches x 2 parents),
+  // each link is two directed channels.
+  ButterflyFatTree ft(2);
+  ChannelTable ct(ft);
+  EXPECT_EQ(ct.size(), 2 * (16 + 8));
+}
+
+TEST(ChannelTable, HypercubeChannelCount) {
+  // n=3: 8 processor links + 8*3/2 dimension links, two directions each.
+  Hypercube hc(3);
+  ChannelTable ct(hc);
+  EXPECT_EQ(ct.size(), 2 * (8 + 12));
+}
+
+TEST(ChannelTable, MeshChannelCount) {
+  // 3x3: 9 processor links + 2 dims * 2 rows/cols... = 9 + 12 links.
+  Mesh m(3, 2);
+  ChannelTable ct(m);
+  EXPECT_EQ(ct.size(), 2 * (9 + 12));
+}
+
+TEST(ChannelTable, FromIntoReverseAreConsistent) {
+  ButterflyFatTree ft(2);
+  ChannelTable ct(ft);
+  for (int id = 0; id < ct.size(); ++id) {
+    const DirectedChannel& c = ct.at(id);
+    EXPECT_EQ(ct.from(c.src_node, c.src_port), id);
+    EXPECT_EQ(ct.into(c.dst_node, c.dst_port), id);
+    const int rev = ct.reverse(id);
+    ASSERT_NE(rev, kNoChannel);
+    EXPECT_EQ(ct.reverse(rev), id);
+    const DirectedChannel& r = ct.at(rev);
+    EXPECT_EQ(r.src_node, c.dst_node);
+    EXPECT_EQ(r.dst_node, c.src_node);
+  }
+}
+
+TEST(ChannelTable, UnconnectedPortsHaveNoChannel) {
+  ButterflyFatTree ft(2);
+  ChannelTable ct(ft);
+  const int top = ft.switch_id(2, 0);
+  EXPECT_EQ(ct.from(top, ButterflyFatTree::kParentPort0), kNoChannel);
+  EXPECT_EQ(ct.from(top, ButterflyFatTree::kParentPort1), kNoChannel);
+}
+
+TEST(ChannelTable, EndpointsWithinRange) {
+  Mesh m(4, 2);
+  ChannelTable ct(m);
+  for (int id = 0; id < ct.size(); ++id) {
+    const DirectedChannel& c = ct.at(id);
+    EXPECT_GE(c.src_node, 0);
+    EXPECT_LT(c.src_node, m.num_nodes());
+    EXPECT_GE(c.dst_node, 0);
+    EXPECT_LT(c.dst_node, m.num_nodes());
+    EXPECT_NE(c.src_node, c.dst_node);
+  }
+}
+
+}  // namespace
+}  // namespace wormnet::topo

@@ -1,0 +1,87 @@
+// Tests for the minimal CLI parser.
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace wormnet::util {
+namespace {
+
+Args make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, StringAndDefaults) {
+  Args a = make({"--name=fred"});
+  EXPECT_EQ(a.get("name", "x"), "fred");
+  EXPECT_EQ(a.get("missing", "fallback"), "fallback");
+}
+
+TEST(Cli, IntAndDouble) {
+  Args a = make({"--n=64", "--load=0.035"});
+  EXPECT_EQ(a.get_int("n", 0), 64);
+  EXPECT_DOUBLE_EQ(a.get_double("load", 0.0), 0.035);
+  EXPECT_EQ(a.get_int("absent", -7), -7);
+}
+
+TEST(Cli, BoolForms) {
+  Args a = make({"--flag", "--on=true", "--off=false", "--zero=0", "--one=1"});
+  EXPECT_TRUE(a.get_bool("flag", false));
+  EXPECT_TRUE(a.get_bool("on", false));
+  EXPECT_FALSE(a.get_bool("off", true));
+  EXPECT_FALSE(a.get_bool("zero", true));
+  EXPECT_TRUE(a.get_bool("one", false));
+  EXPECT_TRUE(a.get_bool("absent", true));
+}
+
+TEST(Cli, Has) {
+  Args a = make({"--x"});
+  EXPECT_TRUE(a.has("x"));
+  EXPECT_FALSE(a.has("y"));
+}
+
+TEST(Cli, DoubleList) {
+  Args a = make({"--loads=0.01,0.02,0.05"});
+  const auto v = a.get_double_list("loads", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 0.01);
+  EXPECT_DOUBLE_EQ(v[2], 0.05);
+}
+
+TEST(Cli, IntList) {
+  Args a = make({"--sizes=16,32,64"});
+  const auto v = a.get_int_list("sizes", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 32);
+}
+
+TEST(Cli, ListDefaultWhenAbsent) {
+  Args a = make({});
+  const auto v = a.get_double_list("loads", {1.0, 2.0});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(Cli, UnusedDetection) {
+  Args a = make({"--used=1", "--typo=2"});
+  EXPECT_EQ(a.get_int("used", 0), 1);
+  const auto unused = a.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Cli, PositionalArgumentThrows) {
+  std::vector<const char*> v{"prog", "positional"};
+  EXPECT_THROW(Args(static_cast<int>(v.size()), v.data()), std::invalid_argument);
+}
+
+TEST(Cli, ProgramName) {
+  Args a = make({});
+  EXPECT_EQ(a.program(), "prog");
+}
+
+}  // namespace
+}  // namespace wormnet::util

@@ -1,0 +1,149 @@
+// Contract-violation (death) tests and boundary-condition coverage across
+// modules: wormnet enforces its preconditions in all build types, because a
+// silently-invalid queueing parameter produces plausible garbage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/channel_graph.hpp"
+#include "core/fattree_graph.hpp"
+#include "core/fattree_model.hpp"
+#include "core/network_model.hpp"
+#include "queueing/queueing.hpp"
+#include "sim/simulator.hpp"
+#include "topo/butterfly_fattree.hpp"
+#include "topo/generalized_fattree.hpp"
+#include "util/histogram.hpp"
+#include "util/table.hpp"
+
+namespace wormnet {
+namespace {
+
+using ::testing::KilledBySignal;
+
+TEST(ContractDeath, QueueingRejectsNegativeRates) {
+  EXPECT_DEATH(queueing::mg1_wait(-0.1, 10.0, 0.5), "precondition");
+  EXPECT_DEATH(queueing::mgm_wait(0, 0.1, 10.0, 0.5), "precondition");
+  EXPECT_DEATH(queueing::wormhole_cb2(10.0, 0.0), "precondition");
+  EXPECT_DEATH(queueing::blocking_probability(1, 0.1, 0.1, 1.5), "precondition");
+}
+
+TEST(ContractDeath, FatTreeModelRejectsBadOptions) {
+  EXPECT_DEATH(core::FatTreeModel({.levels = 0, .worm_flits = 16.0}), "precondition");
+  EXPECT_DEATH(core::FatTreeModel({.levels = 9, .worm_flits = 16.0}), "precondition");
+  EXPECT_DEATH(core::FatTreeModel({.levels = 3, .worm_flits = 0.0}), "precondition");
+  EXPECT_DEATH(core::FatTreeModel({.levels = 3, .worm_flits = 16.0, .parents = 5}),
+               "precondition");
+}
+
+TEST(ContractDeath, TopologyRejectsOutOfRange) {
+  topo::ButterflyFatTree ft(2);
+  EXPECT_DEATH(ft.neighbor(-1, 0), "precondition");
+  EXPECT_DEATH(ft.neighbor(0, 1), "precondition");  // processors have one port
+  EXPECT_DEATH(ft.route(0, 99), "precondition");
+  EXPECT_DEATH(ft.switch_id(3, 0), "precondition");  // only two levels
+  EXPECT_DEATH(topo::ButterflyFatTree(0), "precondition");
+  EXPECT_DEATH(topo::GeneralizedFatTree(2, 0), "precondition");
+  EXPECT_DEATH(topo::GeneralizedFatTree(2, 5), "precondition");
+}
+
+TEST(ContractDeath, ChannelGraphRejectsBadTransitions) {
+  core::ChannelGraph g;
+  core::ChannelClass c;
+  const int id = g.add_channel(c);
+  EXPECT_DEATH(g.add_transition(id, 7, 1.0), "precondition");
+  EXPECT_DEATH(g.add_transition(id, id, 1.5), "precondition");
+  EXPECT_DEATH(g.at(3), "precondition");
+}
+
+TEST(ContractDeath, NetworkModelUnknownLabel) {
+  const core::NetworkModel net = core::build_fattree_collapsed(2);
+  EXPECT_DEATH(net.class_id("nonexistent"), "precondition");
+}
+
+TEST(ContractDeath, SimulatorRejectsBadMessages) {
+  topo::ButterflyFatTree ft(1);
+  sim::SimNetwork net(ft);
+  sim::SimConfig cfg;
+  sim::Simulator s(net, cfg);
+  EXPECT_DEATH(s.add_message(0, 0, 0), "precondition");   // src == dst
+  EXPECT_DEATH(s.add_message(0, 0, 99), "precondition");  // dst out of range
+  EXPECT_DEATH(s.add_message(-1, 0, 1), "precondition");  // negative cycle
+}
+
+TEST(ContractDeath, HistogramRejectsEmptyRange) {
+  EXPECT_DEATH(util::Histogram(1.0, 1.0, 4), "precondition");
+  EXPECT_DEATH(util::Histogram(0.0, 1.0, 0), "precondition");
+}
+
+TEST(ContractDeath, TableRejectsRaggedRows) {
+  util::Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({1.0}), "precondition");
+}
+
+TEST(EdgeCases, SolveAtExactlyZeroWorm) {
+  EXPECT_DEATH(
+      [] {
+        core::SolveOptions opts;
+        opts.worm_flits = 0.0;
+        const core::NetworkModel net = core::build_fattree_collapsed(2);
+        core::solve_general_model(net.graph, opts);
+      }(),
+      "precondition");
+}
+
+TEST(EdgeCases, SmallestSimulationsComplete) {
+  // The 4-processor fat-tree with 1-flit worms at modest load.
+  topo::ButterflyFatTree ft(1);
+  sim::SimConfig cfg;
+  cfg.load_flits = 0.05;
+  cfg.worm_flits = 1;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 2'000;
+  cfg.max_cycles = 50'000;
+  const sim::SimResult r = sim::simulate(ft, cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GE(r.latency.min(), 2.0);  // D_min = 2, s_f = 1
+}
+
+TEST(EdgeCases, ZeroWarmupSimulation) {
+  topo::ButterflyFatTree ft(1);
+  sim::SimConfig cfg;
+  cfg.load_flits = 0.02;
+  cfg.worm_flits = 8;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 5'000;
+  const sim::SimResult r = sim::simulate(ft, cfg);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(EdgeCases, ZeroLoadSimulationDeliversNothing) {
+  topo::ButterflyFatTree ft(1);
+  sim::SimConfig cfg;
+  cfg.load_flits = 0.0;
+  cfg.worm_flits = 8;
+  cfg.warmup_cycles = 10;
+  cfg.measure_cycles = 100;
+  const sim::SimResult r = sim::simulate(ft, cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.latency.count(), 0);
+  EXPECT_EQ(r.delivered_messages, 0);
+}
+
+TEST(EdgeCases, ModelAtExactlySaturationIsUnstableOrHuge) {
+  core::FatTreeModel m({.levels = 3, .worm_flits = 16.0});
+  const core::FatTreeEvaluation ev = m.evaluate(m.saturation_rate() * 1.0001);
+  EXPECT_FALSE(ev.stable);
+}
+
+TEST(EdgeCases, MaxSupportedFatTree) {
+  // levels = 8 => 65,536 processors; the model must stay fast and finite.
+  core::FatTreeModel m({.levels = 8, .worm_flits = 16.0});
+  const core::FatTreeEvaluation ev = m.evaluate_load(0.001);
+  EXPECT_TRUE(ev.stable);
+  EXPECT_GT(m.saturation_load(), 0.0);
+  EXPECT_NEAR(ev.mean_distance, m.mean_distance(), 1e-12);
+}
+
+}  // namespace
+}  // namespace wormnet

@@ -1,0 +1,256 @@
+// Tests for the butterfly fat-tree topology (the paper's §3.1 wiring).
+#include "topo/butterfly_fattree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/graph_checks.hpp"
+#include "util/math.hpp"
+
+namespace wormnet::topo {
+namespace {
+
+using util::ipow;
+
+TEST(FatTree, NodeAndSwitchCounts) {
+  for (int n = 1; n <= 4; ++n) {
+    ButterflyFatTree ft(n);
+    EXPECT_EQ(ft.num_processors(), ipow(4, n));
+    int switches = 0;
+    for (int l = 1; l <= n; ++l) {
+      EXPECT_EQ(ft.switches_at(l), ipow(4, n) / (1L << (l + 1)))
+          << "n=" << n << " l=" << l;
+      switches += ft.switches_at(l);
+    }
+    EXPECT_EQ(ft.num_nodes(), ft.num_processors() + switches);
+  }
+}
+
+TEST(FatTree, PaperExampleSixtyFourProcessors) {
+  // Fig. 2 of the paper: N = 64 has 16 + 8 + 4 switches.
+  ButterflyFatTree ft(3);
+  EXPECT_EQ(ft.num_processors(), 64);
+  EXPECT_EQ(ft.switches_at(1), 16);
+  EXPECT_EQ(ft.switches_at(2), 8);
+  EXPECT_EQ(ft.switches_at(3), 4);
+}
+
+TEST(FatTree, ProcessorWiring) {
+  ButterflyFatTree ft(3);
+  for (int p = 0; p < ft.num_processors(); ++p) {
+    // P(a) on child (a mod 4) of S(1, floor(a/4)).
+    const int sw = ft.switch_id(1, p / 4);
+    EXPECT_EQ(ft.neighbor(p, 0), sw);
+    EXPECT_EQ(ft.neighbor_port(p, 0), p % 4);
+    EXPECT_EQ(ft.neighbor(sw, p % 4), p);
+  }
+}
+
+TEST(FatTree, ParentWiringFollowsPaperFormula) {
+  for (int n = 2; n <= 4; ++n) {
+    ButterflyFatTree ft(n);
+    for (int l = 1; l < n; ++l) {
+      const int two_lm1 = 1 << (l - 1);
+      const int two_l = 1 << l;
+      const int two_lp1 = 1 << (l + 1);
+      for (int a = 0; a < ft.switches_at(l); ++a) {
+        const int me = ft.switch_id(l, a);
+        const int child_index = (a % two_lp1) / two_lm1;
+        for (int p = 0; p < 2; ++p) {
+          const int parent_addr = (a / two_lp1) * two_l + (a + p * two_lm1) % two_l;
+          const int parent = ft.switch_id(l + 1, parent_addr);
+          EXPECT_EQ(ft.neighbor(me, ButterflyFatTree::kParentPort0 + p), parent);
+          EXPECT_EQ(ft.neighbor_port(me, ButterflyFatTree::kParentPort0 + p),
+                    child_index);
+        }
+      }
+    }
+  }
+}
+
+TEST(FatTree, TopLevelHasNoParents) {
+  ButterflyFatTree ft(3);
+  for (int a = 0; a < ft.switches_at(3); ++a) {
+    const int sw = ft.switch_id(3, a);
+    EXPECT_EQ(ft.neighbor(sw, ButterflyFatTree::kParentPort0), kNoNode);
+    EXPECT_EQ(ft.neighbor(sw, ButterflyFatTree::kParentPort1), kNoNode);
+  }
+}
+
+TEST(FatTree, EverySwitchChildConnected) {
+  ButterflyFatTree ft(3);
+  for (int l = 1; l <= 3; ++l) {
+    for (int a = 0; a < ft.switches_at(l); ++a) {
+      const int sw = ft.switch_id(l, a);
+      for (int c = 0; c < 4; ++c) EXPECT_NE(ft.neighbor(sw, c), kNoNode);
+    }
+  }
+}
+
+TEST(FatTree, StructuralVerifierPasses) {
+  for (int n = 1; n <= 4; ++n) {
+    ButterflyFatTree ft(n);
+    const VerifyReport report = verify_topology(ft);
+    EXPECT_TRUE(report.ok()) << "n=" << n << ": " << (report.ok() ? "" : report.violations[0]);
+  }
+}
+
+TEST(FatTree, CoverageBlocks) {
+  ButterflyFatTree ft(3);
+  // S(l, a) covers the 4^l processors of block a >> (l-1); verify against
+  // actual downward reachability (BFS restricted to child links).
+  for (int l = 1; l <= 3; ++l) {
+    for (int a = 0; a < ft.switches_at(l); ++a) {
+      std::set<int> reachable;
+      // Depth-first down the children.
+      std::vector<int> stack{ft.switch_id(l, a)};
+      while (!stack.empty()) {
+        const int node = stack.back();
+        stack.pop_back();
+        if (ft.is_processor(node)) {
+          reachable.insert(node);
+          continue;
+        }
+        for (int c = 0; c < 4; ++c) stack.push_back(ft.neighbor(node, c));
+      }
+      EXPECT_EQ(static_cast<long>(reachable.size()), ipow(4, l));
+      for (int p = 0; p < ft.num_processors(); ++p) {
+        EXPECT_EQ(ft.covers(l, a, p), reachable.count(p) == 1)
+            << "l=" << l << " a=" << a << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(FatTree, LcaLevelAgainstDefinition) {
+  ButterflyFatTree ft(3);
+  EXPECT_EQ(ft.lca_level(0, 0), 0);
+  EXPECT_EQ(ft.lca_level(0, 1), 1);   // same leaf switch
+  EXPECT_EQ(ft.lca_level(0, 4), 2);   // same level-2 block of 16
+  EXPECT_EQ(ft.lca_level(0, 15), 2);
+  EXPECT_EQ(ft.lca_level(0, 16), 3);
+  EXPECT_EQ(ft.lca_level(0, 63), 3);
+}
+
+TEST(FatTree, DistanceIsTwiceLcaLevel) {
+  ButterflyFatTree ft(2);
+  for (int s = 0; s < ft.num_processors(); ++s)
+    for (int d = 0; d < ft.num_processors(); ++d)
+      EXPECT_EQ(ft.distance(s, d), 2 * ft.lca_level(s, d));
+}
+
+TEST(FatTree, MeanDistanceMatchesBruteForce) {
+  for (int n = 1; n <= 3; ++n) {
+    ButterflyFatTree ft(n);
+    double sum = 0.0;
+    long pairs = 0;
+    for (int s = 0; s < ft.num_processors(); ++s) {
+      for (int d = 0; d < ft.num_processors(); ++d) {
+        if (s == d) continue;
+        sum += ft.distance(s, d);
+        ++pairs;
+      }
+    }
+    EXPECT_NEAR(ft.mean_distance(), sum / static_cast<double>(pairs), 1e-12)
+        << "n=" << n;
+  }
+}
+
+TEST(FatTree, MeanDistanceKnownValueAt1024) {
+  // D̄ = sum 2l * 3 * 4^(l-1) / 1023 = 9558/1023 for n = 5.
+  ButterflyFatTree ft(5);
+  EXPECT_NEAR(ft.mean_distance(), 9558.0 / 1023.0, 1e-12);
+}
+
+TEST(FatTree, DownPortIsBase4Digit) {
+  ButterflyFatTree ft(3);
+  // From a level-3 switch toward processor 27 = (1 2 3)_4 the child port is
+  // digit 2, then digit 1, then digit 0.
+  EXPECT_EQ(ButterflyFatTree::down_port(3, 27), 1);
+  EXPECT_EQ(ButterflyFatTree::down_port(2, 27), 2);
+  EXPECT_EQ(ButterflyFatTree::down_port(1, 27), 3);
+}
+
+TEST(FatTree, RouteUpGivesBothParents) {
+  ButterflyFatTree ft(3);
+  const int sw = ft.switch_id(1, 0);  // covers 0..3
+  const RouteOptions up = ft.route(sw, 63);
+  EXPECT_EQ(up.size(), 2);
+  EXPECT_TRUE(up.contains(ButterflyFatTree::kParentPort0));
+  EXPECT_TRUE(up.contains(ButterflyFatTree::kParentPort1));
+}
+
+TEST(FatTree, RouteDownIsUnique) {
+  ButterflyFatTree ft(3);
+  const int sw = ft.switch_id(1, 0);
+  const RouteOptions down = ft.route(sw, 2);
+  EXPECT_EQ(down.size(), 1);
+  EXPECT_EQ(down[0], 2);
+}
+
+TEST(FatTree, RouteAtProcessor) {
+  ButterflyFatTree ft(2);
+  const RouteOptions inject = ft.route(3, 9);
+  EXPECT_EQ(inject.size(), 1);
+  EXPECT_EQ(inject[0], 0);
+  const RouteOptions arrived = ft.route(9, 9);
+  EXPECT_EQ(arrived.size(), 0);
+}
+
+TEST(FatTree, TraceRouteReachesEveryDestination) {
+  ButterflyFatTree ft(2);
+  for (int s = 0; s < ft.num_processors(); ++s) {
+    for (int d = 0; d < ft.num_processors(); ++d) {
+      if (s == d) continue;
+      const std::vector<int> path = trace_route(ft, s, d);
+      ASSERT_FALSE(path.empty()) << s << "->" << d;
+      EXPECT_EQ(path.front(), s);
+      EXPECT_EQ(path.back(), d);
+      // Path length in channels == number of edges == distance.
+      EXPECT_EQ(static_cast<int>(path.size()) - 1, ft.distance(s, d));
+    }
+  }
+}
+
+TEST(FatTree, OutputBundlesPairParents) {
+  ButterflyFatTree ft(3);
+  const auto bundles = ft.output_bundles(ft.switch_id(1, 0));
+  ASSERT_EQ(bundles.size(), 5u);  // 4 singleton children + 1 parent pair
+  EXPECT_EQ(bundles[4].count, 2);
+  // Top level: no parent bundle.
+  EXPECT_EQ(ft.output_bundles(ft.switch_id(3, 0)).size(), 4u);
+}
+
+TEST(FatTree, LinksBetweenLevelsMatchPaperCounting) {
+  ButterflyFatTree ft(5);  // N = 1024
+  EXPECT_EQ(ft.links_between(0), 1024);  // processor links
+  // "There are 4^n / 2^l links between level l and l+1."
+  for (int l = 1; l < 5; ++l) EXPECT_EQ(ft.links_between(l), 1024L >> l);
+}
+
+TEST(FatTree, NodeLevelsAndAddresses) {
+  ButterflyFatTree ft(2);
+  EXPECT_EQ(ft.node_level(0), 0);
+  EXPECT_EQ(ft.node_level(ft.switch_id(1, 2)), 1);
+  EXPECT_EQ(ft.node_level(ft.switch_id(2, 1)), 2);
+  EXPECT_EQ(ft.switch_addr(ft.switch_id(2, 1)), 1);
+}
+
+// Parameterized: routing minimality and reachability at every size.
+class FatTreeSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeSizes, VerifierAndDistances) {
+  ButterflyFatTree ft(GetParam());
+  const VerifyReport report = verify_topology(ft);
+  EXPECT_TRUE(report.ok()) << (report.ok() ? "" : report.violations[0]);
+  // BFS distance from processor 0 agrees with the closed form everywhere.
+  const std::vector<int> bfs = bfs_channel_distances(ft, 0);
+  for (int d = 0; d < ft.num_processors(); ++d)
+    EXPECT_EQ(bfs[static_cast<std::size_t>(d)], ft.distance(0, d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FatTreeSizes, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace wormnet::topo

@@ -1,0 +1,73 @@
+// Tests for the fixed-width histogram.
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wormnet::util {
+namespace {
+
+TEST(Histogram, BinsCountCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(0.9);
+  h.add(5.0);
+  h.add(9.99);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(5), 1);
+  EXPECT_EQ(h.bin_count(9), 1);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);   // hi edge counts as overflow (half-open range)
+  h.add(27.0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.count(), 3);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 18.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 20.0);
+}
+
+TEST(Histogram, MedianOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.1), 10.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+}
+
+TEST(Histogram, QuantileEmptyAndExtremes) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty -> lo
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_GE(h.quantile(1.0), 0.5);
+}
+
+TEST(Histogram, AsciiRendersNonEmptyBins) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(2.5);
+  h.add(2.6);
+  const std::string art = h.ascii();
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find("[2, 3)"), std::string::npos);
+}
+
+TEST(Histogram, TotalIsExactDespiteRangeMisguess) {
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 100; ++i) h.add(i * 1.0);  // almost all overflow
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.overflow() + h.underflow() + h.bin_count(0) + h.bin_count(1), 100);
+}
+
+}  // namespace
+}  // namespace wormnet::util

@@ -1,0 +1,112 @@
+// Tests for the binary hypercube topology with e-cube routing.
+#include "topo/hypercube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "topo/graph_checks.hpp"
+
+namespace wormnet::topo {
+namespace {
+
+TEST(Hypercube, Counts) {
+  Hypercube hc(4);
+  EXPECT_EQ(hc.num_processors(), 16);
+  EXPECT_EQ(hc.num_nodes(), 32);
+  EXPECT_EQ(hc.num_ports(hc.router_of(0)), 5);
+  EXPECT_EQ(hc.num_ports(0), 1);
+}
+
+TEST(Hypercube, DimensionLinks) {
+  Hypercube hc(3);
+  for (int a = 0; a < 8; ++a) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(hc.neighbor(hc.router_of(a), d), hc.router_of(a ^ (1 << d)));
+      EXPECT_EQ(hc.neighbor_port(hc.router_of(a), d), d);
+    }
+    EXPECT_EQ(hc.neighbor(hc.router_of(a), 3), a);  // processor port
+  }
+}
+
+TEST(Hypercube, StructuralVerifierPasses) {
+  for (int n = 1; n <= 5; ++n) {
+    Hypercube hc(n);
+    const VerifyReport report = verify_topology(hc);
+    EXPECT_TRUE(report.ok()) << "n=" << n << (report.ok() ? "" : report.violations[0]);
+  }
+}
+
+TEST(Hypercube, EcubeFixesLowestDimensionFirst) {
+  Hypercube hc(4);
+  // At router 0 heading to 0b1010: lowest differing bit is dim 1.
+  const RouteOptions r = hc.route(hc.router_of(0), 0b1010);
+  ASSERT_EQ(r.size(), 1);
+  EXPECT_EQ(r[0], 1);
+}
+
+TEST(Hypercube, RouteEjectsAtDestinationRouter) {
+  Hypercube hc(3);
+  const RouteOptions r = hc.route(hc.router_of(5), 5);
+  ASSERT_EQ(r.size(), 1);
+  EXPECT_EQ(r[0], 3);  // processor port
+}
+
+TEST(Hypercube, DistanceIsHammingPlusTwo) {
+  Hypercube hc(4);
+  for (int s = 0; s < 16; ++s) {
+    for (int d = 0; d < 16; ++d) {
+      if (s == d) {
+        EXPECT_EQ(hc.distance(s, d), 0);
+      } else {
+        EXPECT_EQ(hc.distance(s, d),
+                  std::popcount(static_cast<unsigned>(s ^ d)) + 2);
+      }
+    }
+  }
+}
+
+TEST(Hypercube, MeanDistanceMatchesBruteForce) {
+  for (int n = 1; n <= 4; ++n) {
+    Hypercube hc(n);
+    double sum = 0.0;
+    long pairs = 0;
+    for (int s = 0; s < hc.num_processors(); ++s)
+      for (int d = 0; d < hc.num_processors(); ++d) {
+        if (s == d) continue;
+        sum += hc.distance(s, d);
+        ++pairs;
+      }
+    EXPECT_NEAR(hc.mean_distance(), sum / static_cast<double>(pairs), 1e-12);
+  }
+}
+
+TEST(Hypercube, TraceRouteVisitsDimensionsAscending) {
+  Hypercube hc(4);
+  const std::vector<int> path = trace_route(hc, 0, 0b1011);
+  // processor 0 -> router 0 -> router 1 -> router 3 -> router 11 -> proc 11.
+  ASSERT_EQ(path.size(), 6u);
+  EXPECT_EQ(path[1], hc.router_of(0));
+  EXPECT_EQ(path[2], hc.router_of(1));
+  EXPECT_EQ(path[3], hc.router_of(3));
+  EXPECT_EQ(path[4], hc.router_of(0b1011));
+  EXPECT_EQ(path[5], 0b1011);
+}
+
+TEST(Hypercube, SingletonBundlesOnly) {
+  Hypercube hc(3);
+  const auto bundles = hc.output_bundles(hc.router_of(0));
+  EXPECT_EQ(bundles.size(), 4u);  // 3 dims + processor link
+  for (const PortBundle& b : bundles) EXPECT_EQ(b.count, 1);
+}
+
+TEST(Hypercube, HighDimensionRouterBundlesFit) {
+  // Regression: a 10-dim router has 11 ports — more than any fixed-size
+  // bundle array would hold.
+  Hypercube hc(10);
+  const auto bundles = hc.output_bundles(hc.router_of(5));
+  EXPECT_EQ(bundles.size(), 11u);
+}
+
+}  // namespace
+}  // namespace wormnet::topo

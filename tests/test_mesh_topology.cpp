@@ -1,0 +1,105 @@
+// Tests for the k-ary d-mesh with dimension-order routing.
+#include "topo/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/graph_checks.hpp"
+
+namespace wormnet::topo {
+namespace {
+
+TEST(Mesh, CountsAndCoordinates) {
+  Mesh m(4, 2);
+  EXPECT_EQ(m.num_processors(), 16);
+  EXPECT_EQ(m.num_nodes(), 32);
+  EXPECT_EQ(m.coord(7, 0), 3);  // 7 = (3, 1) in a 4x4 row-major mesh
+  EXPECT_EQ(m.coord(7, 1), 1);
+}
+
+TEST(Mesh, BoundaryPortsUnconnected) {
+  Mesh m(3, 2);
+  // Corner router (0,0): minus ports of both dims unconnected.
+  const int r00 = m.router_of(0);
+  EXPECT_EQ(m.neighbor(r00, 0), kNoNode);  // x-
+  EXPECT_NE(m.neighbor(r00, 1), kNoNode);  // x+
+  EXPECT_EQ(m.neighbor(r00, 2), kNoNode);  // y-
+  EXPECT_NE(m.neighbor(r00, 3), kNoNode);  // y+
+  // Opposite corner (2,2): plus ports unconnected.
+  const int r22 = m.router_of(8);
+  EXPECT_NE(m.neighbor(r22, 0), kNoNode);
+  EXPECT_EQ(m.neighbor(r22, 1), kNoNode);
+  EXPECT_NE(m.neighbor(r22, 2), kNoNode);
+  EXPECT_EQ(m.neighbor(r22, 3), kNoNode);
+}
+
+TEST(Mesh, PlusMinusPortsPair) {
+  Mesh m(4, 2);
+  const int r = m.router_of(5);  // (1,1)
+  EXPECT_EQ(m.neighbor(r, 1), m.router_of(6));
+  EXPECT_EQ(m.neighbor_port(r, 1), 0);  // arrives on neighbor's minus port
+  EXPECT_EQ(m.neighbor(r, 0), m.router_of(4));
+  EXPECT_EQ(m.neighbor_port(r, 0), 1);
+}
+
+TEST(Mesh, StructuralVerifierPasses) {
+  for (auto [k, d] : {std::pair{2, 1}, {4, 1}, {3, 2}, {4, 2}, {3, 3}}) {
+    Mesh m(k, d);
+    const VerifyReport report = verify_topology(m);
+    EXPECT_TRUE(report.ok()) << m.name() << ": "
+                             << (report.ok() ? "" : report.violations[0]);
+  }
+}
+
+TEST(Mesh, DorCorrectsLowestDimensionFirst) {
+  Mesh m(4, 2);
+  // From (0,0) to (2,3): x first.
+  const RouteOptions r = m.route(m.router_of(0), 2 + 3 * 4);
+  ASSERT_EQ(r.size(), 1);
+  EXPECT_EQ(r[0], 1);  // x+
+  // From (2,0) to (2,3): x done, go y+.
+  const RouteOptions r2 = m.route(m.router_of(2), 2 + 3 * 4);
+  ASSERT_EQ(r2.size(), 1);
+  EXPECT_EQ(r2[0], 3);  // y+
+}
+
+TEST(Mesh, DistanceIsManhattanPlusTwo) {
+  Mesh m(4, 2);
+  EXPECT_EQ(m.distance(0, 0), 0);
+  EXPECT_EQ(m.distance(0, 3), 3 + 2);
+  EXPECT_EQ(m.distance(0, 15), 6 + 2);  // (0,0)->(3,3)
+  EXPECT_EQ(m.distance(5, 6), 1 + 2);
+}
+
+TEST(Mesh, MeanDistanceMatchesBruteForce) {
+  for (auto [k, d] : {std::pair{4, 1}, {3, 2}, {4, 2}, {2, 3}}) {
+    Mesh m(k, d);
+    double sum = 0.0;
+    long pairs = 0;
+    for (int s = 0; s < m.num_processors(); ++s)
+      for (int t = 0; t < m.num_processors(); ++t) {
+        if (s == t) continue;
+        sum += m.distance(s, t);
+        ++pairs;
+      }
+    EXPECT_NEAR(m.mean_distance(), sum / static_cast<double>(pairs), 1e-12)
+        << m.name();
+  }
+}
+
+TEST(Mesh, TraceRouteTakesManhattanPath) {
+  Mesh m(4, 2);
+  const std::vector<int> path = trace_route(m, 0, 10);  // (0,0) -> (2,2)
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(static_cast<int>(path.size()) - 1, m.distance(0, 10));
+}
+
+TEST(Mesh, OneDimensionalMeshIsALine) {
+  Mesh line(5, 1);
+  EXPECT_EQ(line.num_processors(), 5);
+  EXPECT_EQ(line.distance(0, 4), 4 + 2);
+  const VerifyReport report = verify_topology(line);
+  EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace wormnet::topo

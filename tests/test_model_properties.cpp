@@ -1,0 +1,289 @@
+// Property suites over the analytical model: structural facts that must
+// hold for EVERY configuration, checked across broad parameter sweeps.
+// These complement the point tests in test_fattree_model.cpp — a regression
+// anywhere in the Eq. 4-26 chain shows up here first.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/fattree_graph.hpp"
+#include "core/fattree_model.hpp"
+#include "core/full_graph.hpp"
+#include "core/hypercube_graph.hpp"
+#include "core/network_model.hpp"
+#include "topo/channels.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/mesh.hpp"
+#include "util/rng.hpp"
+
+namespace wormnet::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fat-tree model properties over (levels, worm, load fraction).
+class ModelProperties
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {
+ protected:
+  FatTreeModel model() const {
+    const auto [levels, sf, frac] = GetParam();
+    (void)frac;
+    return FatTreeModel({.levels = levels, .worm_flits = sf});
+  }
+  double load() const {
+    const auto [levels, sf, frac] = GetParam();
+    (void)levels;
+    (void)sf;
+    return model().saturation_load() * frac;
+  }
+};
+
+TEST_P(ModelProperties, LatencyBoundedBelowByZeroLoad) {
+  const FatTreeModel m = model();
+  const FatTreeEvaluation ev = m.evaluate_load(load());
+  ASSERT_TRUE(ev.stable);
+  EXPECT_GE(ev.latency + 1e-9,
+            m.options().worm_flits + m.mean_distance() - 1.0);
+}
+
+TEST_P(ModelProperties, LatencyIncreasesWithLoad) {
+  const FatTreeModel m = model();
+  const double l1 = m.evaluate_load(load()).latency;
+  const double l2 = m.evaluate_load(load() * 1.02).latency;
+  if (std::isfinite(l2)) EXPECT_GE(l2, l1);
+}
+
+TEST_P(ModelProperties, WaitsAreNonNegativeEverywhere) {
+  const FatTreeEvaluation ev = model().evaluate_load(load());
+  ASSERT_TRUE(ev.stable);
+  for (double w : ev.w_up) EXPECT_GE(w, 0.0);
+  for (double w : ev.w_down) EXPECT_GE(w, 0.0);
+  EXPECT_GE(ev.inj_wait, 0.0);
+}
+
+TEST_P(ModelProperties, UtilizationsWithinUnitInterval) {
+  const FatTreeEvaluation ev = model().evaluate_load(load());
+  ASSERT_TRUE(ev.stable);
+  for (double rho : ev.rho_up) {
+    EXPECT_GE(rho, 0.0);
+    EXPECT_LT(rho, 1.0);
+  }
+  for (double rho : ev.rho_down) {
+    EXPECT_GE(rho, 0.0);
+    EXPECT_LT(rho, 1.0);
+  }
+}
+
+TEST_P(ModelProperties, TopUpBundleIsTheBusiestUpChannel) {
+  // λ·x̄ grows with level (Eq. 14's 2^l beats P↑'s decay), so the top-level
+  // bundle is the utilization bottleneck — the structural reason capacity
+  // halves per level.
+  const auto [levels, sf, frac] = GetParam();
+  if (levels < 2) return;
+  (void)sf;
+  (void)frac;
+  const FatTreeEvaluation ev = model().evaluate_load(load());
+  ASSERT_TRUE(ev.stable);
+  const double top = ev.rho_up[static_cast<std::size_t>(levels - 1)];
+  for (int l = 1; l < levels; ++l)
+    EXPECT_LE(ev.rho_up[static_cast<std::size_t>(l)], top + 1e-12) << "l=" << l;
+}
+
+TEST_P(ModelProperties, ServiceTimeChainsMonotone) {
+  const auto [levels, sf, frac] = GetParam();
+  (void)frac;
+  const FatTreeEvaluation ev = model().evaluate_load(load());
+  ASSERT_TRUE(ev.stable);
+  // Down-chain non-decreasing with level; every x̄ at least s_f.
+  for (int l = 0; l < levels; ++l) {
+    EXPECT_GE(ev.x_down[static_cast<std::size_t>(l)], sf - 1e-9);
+    EXPECT_GE(ev.x_up[static_cast<std::size_t>(l)], sf - 1e-9);
+    if (l > 0)
+      EXPECT_GE(ev.x_down[static_cast<std::size_t>(l)],
+                ev.x_down[static_cast<std::size_t>(l - 1)] - 1e-9);
+  }
+}
+
+TEST_P(ModelProperties, ScaleInvarianceInWormLength) {
+  // (λ₀, s_f) -> (λ₀/2, 2·s_f) multiplies every x̄ and W̄ by exactly 2.
+  const auto [levels, sf, frac] = GetParam();
+  (void)frac;
+  FatTreeModel m1({.levels = levels, .worm_flits = sf});
+  FatTreeModel m2({.levels = levels, .worm_flits = 2.0 * sf});
+  const double lambda0 = m1.saturation_rate() * 0.6;
+  const FatTreeEvaluation a = m1.evaluate(lambda0);
+  const FatTreeEvaluation b = m2.evaluate(lambda0 / 2.0);
+  ASSERT_TRUE(a.stable && b.stable);
+  EXPECT_NEAR(b.inj_service, 2.0 * a.inj_service, 1e-6 * a.inj_service);
+  EXPECT_NEAR(b.inj_wait, 2.0 * a.inj_wait, 1e-6 * std::max(1.0, a.inj_wait));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelProperties,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(8.0, 16.0, 64.0),
+                       ::testing::Values(0.2, 0.5, 0.8)));
+
+// ---------------------------------------------------------------------------
+// Channel-graph flow facts.
+
+TEST(GraphProperties, CollapsedFatTreeFlowConservation) {
+  // Total up-flow entering level l+1 equals total up-flow at level l times
+  // the branching weight; with the paper's unconditional weights this holds
+  // as Eq. 14 consistency: links(l)·λ(l)·P↑(l+1-ish)... verified directly:
+  // N·λ₀·P↑_l equals rate_per_link times the link count at every level.
+  for (int levels : {2, 3, 5}) {
+    const NetworkModel net = build_fattree_collapsed(levels);
+    FatTreeModel m({.levels = levels, .worm_flits = 16.0});
+    const double big_n = static_cast<double>(m.num_processors());
+    for (int l = 0; l < levels; ++l) {
+      const double per_link =
+          net.graph.at(net.class_id("up" + std::to_string(l))).rate_per_link;
+      const double links = l == 0 ? big_n : big_n / (1 << l);
+      EXPECT_NEAR(per_link * links, big_n * m.up_probability(l), 1e-9)
+          << "levels=" << levels << " l=" << l;
+    }
+  }
+}
+
+TEST(GraphProperties, HypercubeTransitionsMatchMonteCarloRouting) {
+  // The collapsed hypercube transition probabilities (first-differing-bit
+  // combinatorics) must match empirical e-cube routing statistics.
+  const int dims = 6;
+  topo::Hypercube hc(dims);
+  const NetworkModel net = build_hypercube_collapsed(dims);
+  util::Rng rng(123);
+  std::vector<long> dim_visits(static_cast<std::size_t>(dims), 0);
+  std::vector<std::vector<long>> dim_to_dim(
+      static_cast<std::size_t>(dims),
+      std::vector<long>(static_cast<std::size_t>(dims + 1), 0));  // +1: eject
+  const int trials = 200'000;
+  const int big_n = hc.num_processors();
+  for (int t = 0; t < trials; ++t) {
+    const int s = static_cast<int>(rng.uniform_int(big_n));
+    int d = static_cast<int>(rng.uniform_int(big_n - 1));
+    if (d >= s) ++d;
+    int prev_dim = -1;
+    const int diff = s ^ d;
+    for (int bit = 0; bit < dims; ++bit) {
+      if (((diff >> bit) & 1) == 0) continue;
+      ++dim_visits[static_cast<std::size_t>(bit)];
+      if (prev_dim >= 0)
+        ++dim_to_dim[static_cast<std::size_t>(prev_dim)][static_cast<std::size_t>(bit)];
+      prev_dim = bit;
+    }
+    ++dim_to_dim[static_cast<std::size_t>(prev_dim)][static_cast<std::size_t>(dims)];
+  }
+  for (int d1 = 0; d1 < dims; ++d1) {
+    const auto visits = static_cast<double>(dim_visits[static_cast<std::size_t>(d1)]);
+    const ChannelClass& cls = net.graph.at(net.class_id("dim" + std::to_string(d1)));
+    for (const Transition& t : cls.next) {
+      double measured;
+      if (net.graph.at(t.target).terminal) {
+        measured = static_cast<double>(
+                       dim_to_dim[static_cast<std::size_t>(d1)][static_cast<std::size_t>(dims)]) /
+                   visits;
+      } else {
+        // Find the target dim index by matching labels dim0..dim5.
+        int d2 = -1;
+        for (int k = d1 + 1; k < dims; ++k)
+          if (net.class_id("dim" + std::to_string(k)) == t.target) d2 = k;
+        ASSERT_GE(d2, 0);
+        measured = static_cast<double>(
+                       dim_to_dim[static_cast<std::size_t>(d1)][static_cast<std::size_t>(d2)]) /
+                   visits;
+      }
+      EXPECT_NEAR(measured, t.weight, 0.01) << "dim" << d1;
+    }
+  }
+}
+
+TEST(GraphProperties, MeshRatesMatchMonteCarloRouting) {
+  // Exact flow propagation vs empirical DOR walks on a 4x4 mesh.
+  topo::Mesh mesh(4, 2);
+  const NetworkModel net = build_full_channel_graph(mesh);
+  const topo::ChannelTable ct(mesh);
+  util::Rng rng(321);
+  std::vector<double> counts(static_cast<std::size_t>(ct.size()), 0.0);
+  const int trials = 300'000;
+  const int big_n = mesh.num_processors();
+  for (int t = 0; t < trials; ++t) {
+    const int s = static_cast<int>(rng.uniform_int(big_n));
+    int d = static_cast<int>(rng.uniform_int(big_n - 1));
+    if (d >= s) ++d;
+    int node = s;
+    while (!(mesh.is_processor(node) && node == d)) {
+      const topo::RouteOptions opts = mesh.route(node, d);
+      ASSERT_GT(opts.size(), 0);
+      const int ch = ct.from(node, opts[0]);
+      counts[static_cast<std::size_t>(ch)] += 1.0;
+      node = mesh.neighbor(node, opts[0]);
+    }
+  }
+  // Scale: each trial injects one message; unit-rate model injects 1 per PE
+  // per cycle, i.e. trials/N messages-per-source worth of flow.
+  const double scale = static_cast<double>(trials) / big_n;
+  for (int ch = 0; ch < ct.size(); ++ch) {
+    const double expected = net.graph.at(ch).rate_per_link;
+    const double measured = counts[static_cast<std::size_t>(ch)] / scale;
+    EXPECT_NEAR(measured, expected, std::max(0.03, expected * 0.05)) << "ch=" << ch;
+  }
+}
+
+TEST(GraphProperties, SolverResultIndependentOfClassInsertionOrder) {
+  // Build the same 2-level fat-tree graph with classes inserted in reverse
+  // and confirm identical solutions (the reverse-topological sweep must not
+  // depend on id order).
+  NetworkModel fwd = build_fattree_collapsed(2);
+  // Reversed construction:
+  NetworkModel rev;
+  ChannelClass down0;
+  down0.label = "down0";
+  down0.rate_per_link = fwd.graph.at(fwd.class_id("down0")).rate_per_link;
+  down0.terminal = true;
+  ChannelClass down1 = down0;
+  down1.label = "down1";
+  down1.terminal = false;
+  down1.rate_per_link = fwd.graph.at(fwd.class_id("down1")).rate_per_link;
+  ChannelClass up1;
+  up1.label = "up1";
+  up1.servers = 2;
+  up1.rate_per_link = fwd.graph.at(fwd.class_id("up1")).rate_per_link;
+  ChannelClass up0;
+  up0.label = "up0";
+  up0.rate_per_link = fwd.graph.at(fwd.class_id("up0")).rate_per_link;
+  // Insert most-upstream first (worst case for a naive sweep).
+  const int iu0 = rev.graph.add_channel(up0);
+  const int iu1 = rev.graph.add_channel(up1);
+  const int id1 = rev.graph.add_channel(down1);
+  const int id0 = rev.graph.add_channel(down0);
+  const FatTreeModel m({.levels = 2, .worm_flits = 16.0});
+  const double pu = m.up_probability(1);
+  rev.graph.add_transition(iu0, iu1, pu, pu);
+  rev.graph.add_transition(iu0, id0, 1.0 - pu, (1.0 - pu) / 3.0);
+  rev.graph.add_transition(iu1, id1, 1.0, 1.0 / 3.0);
+  rev.graph.add_transition(id1, id0, 1.0, 0.25);
+  rev.injection_classes = {iu0};
+  rev.mean_distance = fwd.mean_distance;
+
+  SolveOptions opts;
+  opts.worm_flits = 16.0;
+  const LatencyEstimate a = model_latency(fwd, 0.01, opts);
+  const LatencyEstimate b = model_latency(rev, 0.01, opts);
+  EXPECT_NEAR(a.latency, b.latency, 1e-12);
+}
+
+TEST(GraphProperties, SolveIsDeterministic) {
+  const NetworkModel net = build_fattree_collapsed(4);
+  SolveOptions opts;
+  opts.worm_flits = 32.0;
+  const SolveResult a = model_solve(net, 0.0007, opts);
+  const SolveResult b = model_solve(net, 0.0007, opts);
+  for (int i = 0; i < net.graph.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.service_time(i), b.service_time(i));
+    EXPECT_DOUBLE_EQ(a.wait(i), b.wait(i));
+  }
+}
+
+}  // namespace
+}  // namespace wormnet::core

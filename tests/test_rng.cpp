@@ -1,0 +1,159 @@
+// Tests for the xoshiro256** RNG and its distributions.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace wormnet::util {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a = Rng::stream(7, 0);
+  Rng b = Rng::stream(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, StreamIsReproducible) {
+  Rng a = Rng::stream(99, 42);
+  Rng b = Rng::stream(99, 42);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformPosNeverZero) {
+  Rng r(4);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform_pos();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(5);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  // SE of the mean is ~0.0009; 5 sigma band.
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformIntInRangeAndHitsAllValues) {
+  Rng r(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    const std::uint64_t v = r.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntIsApproximatelyUniform) {
+  Rng r(7);
+  const int buckets = 8;
+  const int n = 80'000;
+  std::vector<int> count(buckets, 0);
+  for (int i = 0; i < n; ++i) ++count[r.uniform_int(buckets)];
+  // Chi-square with 7 dof: 5-sigma-ish acceptance ~ 40.
+  double chi2 = 0.0;
+  const double expect = static_cast<double>(n) / buckets;
+  for (int c : count) chi2 += (c - expect) * (c - expect) / expect;
+  EXPECT_LT(chi2, 40.0);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng r(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2'000; ++i) {
+    const std::int64_t v = r.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(9);
+  const int n = 100'000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateProbabilities) {
+  Rng r(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng r(11);
+  const double rate = 0.25;
+  const int n = 200'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.exponential(rate);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.05);
+}
+
+TEST(Rng, ExponentialVarianceMatches) {
+  Rng r(12);
+  const double rate = 2.0;
+  const int n = 200'000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.exponential(rate);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(var, 1.0 / (rate * rate), 0.02);
+}
+
+TEST(Rng, PickOfTwoBalanced) {
+  Rng r(13);
+  const int n = 100'000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) ones += r.pick_of_two();
+  EXPECT_NEAR(ones / static_cast<double>(n), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace wormnet::util

@@ -1,0 +1,144 @@
+// Basic simulator timing tests: uncontended worms have exactly the model's
+// zero-load latency D + s_f - 1 on every topology.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/simulator.hpp"
+#include "topo/butterfly_fattree.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormnet::sim {
+namespace {
+
+SimConfig scripted_config(int worm_flits) {
+  SimConfig cfg;
+  cfg.worm_flits = worm_flits;
+  cfg.warmup_cycles = 0;
+  // Scripted runs end on delivery; a wide window keeps every delivery
+  // inside the throughput-accounting interval.
+  cfg.measure_cycles = 1'000'000;
+  cfg.max_cycles = 2'000'000;
+  return cfg;
+}
+
+TEST(SimBasic, FatTreeSameLeafSwitch) {
+  topo::ButterflyFatTree ft(2);
+  SimNetwork net(ft);
+  Simulator s(net, scripted_config(16));
+  s.add_message(0, 0, 1);  // D = 2
+  const SimResult r = s.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.latency.count(), 1);
+  EXPECT_DOUBLE_EQ(r.latency.mean(), 2 + 16 - 1);
+  EXPECT_DOUBLE_EQ(r.distance.mean(), 2);
+  EXPECT_DOUBLE_EQ(r.queue_wait.mean(), 0);
+  EXPECT_DOUBLE_EQ(r.inj_service.mean(), 16);
+}
+
+TEST(SimBasic, FatTreeAcrossTheRoot) {
+  topo::ButterflyFatTree ft(2);
+  SimNetwork net(ft);
+  Simulator s(net, scripted_config(16));
+  s.add_message(0, 0, 15);  // LCA level 2, D = 4
+  const SimResult r = s.run();
+  EXPECT_DOUBLE_EQ(r.latency.mean(), 4 + 16 - 1);
+  EXPECT_DOUBLE_EQ(r.distance.mean(), 4);
+}
+
+TEST(SimBasic, SingleFlitWorm) {
+  topo::ButterflyFatTree ft(2);
+  SimNetwork net(ft);
+  Simulator s(net, scripted_config(1));
+  s.add_message(0, 3, 12);
+  const SimResult r = s.run();
+  const int d = ft.distance(3, 12);
+  EXPECT_DOUBLE_EQ(r.latency.mean(), d);  // D + 1 - 1
+}
+
+TEST(SimBasic, DelayedScriptedInjection) {
+  topo::ButterflyFatTree ft(2);
+  SimNetwork net(ft);
+  Simulator s(net, scripted_config(8));
+  s.add_message(100, 5, 9);
+  const SimResult r = s.run();
+  const int d = ft.distance(5, 9);
+  EXPECT_DOUBLE_EQ(r.latency.mean(), d + 8 - 1);  // latency counted from gen
+  EXPECT_GE(r.cycles_run, 100 + d + 8 - 1);
+}
+
+TEST(SimBasic, WormMuchLongerThanPath) {
+  topo::ButterflyFatTree ft(1);  // tiny network, D = 2
+  SimNetwork net(ft);
+  Simulator s(net, scripted_config(64));
+  s.add_message(0, 0, 3);
+  const SimResult r = s.run();
+  EXPECT_DOUBLE_EQ(r.latency.mean(), 2 + 64 - 1);
+}
+
+// Uncontended latency across all topologies and worm lengths.
+class ZeroLoadExactness
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ZeroLoadExactness, FatTree) {
+  const auto [levels, sf] = GetParam();
+  topo::ButterflyFatTree ft(levels);
+  SimNetwork net(ft);
+  // A handful of src/dst pairs at different LCA levels, far apart in time
+  // so they never interact.
+  const int pairs[][2] = {{0, 1}, {0, ft.num_processors() - 1}, {2, 3}};
+  long t = 0;
+  Simulator s(net, scripted_config(sf));
+  for (const auto& p : pairs) {
+    s.add_message(t, p[0], p[1]);
+    t += 10'000;
+  }
+  const SimResult r = s.run();
+  EXPECT_EQ(r.latency.count(), 3);
+  // Mean latency equals mean distance + s_f - 1 exactly.
+  EXPECT_DOUBLE_EQ(r.latency.mean(), r.distance.mean() + sf - 1);
+}
+
+TEST_P(ZeroLoadExactness, Hypercube) {
+  const auto [dims, sf] = GetParam();
+  topo::Hypercube hc(dims + 1);  // reuse the level parameter as dims-1
+  SimNetwork net(hc);
+  Simulator s(net, scripted_config(sf));
+  s.add_message(0, 0, hc.num_processors() - 1);  // max Hamming distance
+  const SimResult r = s.run();
+  EXPECT_DOUBLE_EQ(r.latency.mean(), hc.distance(0, hc.num_processors() - 1) + sf - 1);
+}
+
+TEST_P(ZeroLoadExactness, Mesh) {
+  const auto [k, sf] = GetParam();
+  topo::Mesh m(k + 2, 2);  // radix 3..6
+  SimNetwork net(m);
+  Simulator s(net, scripted_config(sf));
+  s.add_message(0, 0, m.num_processors() - 1);  // corner to corner
+  const SimResult r = s.run();
+  EXPECT_DOUBLE_EQ(r.latency.mean(),
+                   m.distance(0, m.num_processors() - 1) + sf - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ZeroLoadExactness,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(8, 16, 33)));
+
+TEST(SimBasic, ResultAccountingFieldsConsistent) {
+  topo::ButterflyFatTree ft(2);
+  SimNetwork net(ft);
+  SimConfig cfg = scripted_config(16);
+  Simulator s(net, cfg);
+  s.add_message(0, 0, 9);
+  s.add_message(0, 4, 2);
+  const SimResult r = s.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_EQ(r.latency.count(), 2);
+  EXPECT_EQ(r.delivered_messages, 2);
+  EXPECT_EQ(r.delivered_flits, 32);
+}
+
+}  // namespace
+}  // namespace wormnet::sim

@@ -1,0 +1,160 @@
+// Accounting tests: conservation, per-channel rates against the paper's
+// Eq. 14/15, utilizations, throughput and distance statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fattree_model.hpp"
+#include "sim/simulator.hpp"
+#include "topo/butterfly_fattree.hpp"
+#include "topo/channels.hpp"
+
+namespace wormnet::sim {
+namespace {
+
+SimConfig stable_config() {
+  SimConfig cfg;
+  cfg.load_flits = 0.03;
+  cfg.worm_flits = 16;
+  cfg.seed = 21;
+  cfg.warmup_cycles = 5'000;
+  cfg.measure_cycles = 60'000;
+  cfg.max_cycles = 600'000;
+  cfg.channel_stats = true;
+  return cfg;
+}
+
+TEST(SimStats, EveryTaggedMessageDeliveredAndCounted) {
+  topo::ButterflyFatTree ft(2);
+  SimNetwork net(ft);
+  SimConfig cfg = stable_config();
+  Simulator s(net, cfg);
+  const SimResult r = s.run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_FALSE(r.saturated);
+  // Tagged messages == messages generated inside the window, and all of
+  // them contributed a latency sample.
+  EXPECT_EQ(r.latency.count(), r.generated_messages);
+  EXPECT_GT(r.generated_messages, 1'000);
+}
+
+TEST(SimStats, ThroughputMatchesOfferedLoadWhenStable) {
+  topo::ButterflyFatTree ft(3);
+  SimNetwork net(ft);
+  SimConfig cfg = stable_config();
+  Simulator s(net, cfg);
+  const SimResult r = s.run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_NEAR(r.throughput_flits_per_pe, cfg.load_flits, cfg.load_flits * 0.08);
+}
+
+TEST(SimStats, ChannelRatesMatchEq14) {
+  // The measured per-link message rates, aggregated by (level, direction),
+  // must reproduce λ⟨l,l+1⟩ = λ₀ P↑_l 2^l — the paper's §3.2 —
+  // and the down rates must mirror the up rates (Eq. 15).
+  topo::ButterflyFatTree ft(3);
+  SimNetwork net(ft);
+  SimConfig cfg = stable_config();
+  Simulator s(net, cfg);
+  const SimResult r = s.run();
+  ASSERT_TRUE(r.completed);
+
+  core::FatTreeModel model({.levels = 3, .worm_flits = 16.0});
+  const double lambda0 = cfg.load_flits / cfg.worm_flits;
+  const topo::ChannelTable ct(ft);
+  const double window = static_cast<double>(cfg.measure_cycles);
+
+  std::vector<double> up_rate(3, 0.0), down_rate(3, 0.0);
+  std::vector<int> up_links(3, 0), down_links(3, 0);
+  for (int ch = 0; ch < ct.size(); ++ch) {
+    const topo::DirectedChannel& dc = ct.at(ch);
+    const int lf = ft.node_level(dc.src_node);
+    const int lt = ft.node_level(dc.dst_node);
+    const double rate = static_cast<double>(
+                            r.channels[static_cast<std::size_t>(ch)].worms) /
+                        window;
+    if (lt > lf) {
+      up_rate[static_cast<std::size_t>(lf)] += rate;
+      ++up_links[static_cast<std::size_t>(lf)];
+    } else {
+      down_rate[static_cast<std::size_t>(lt)] += rate;
+      ++down_links[static_cast<std::size_t>(lt)];
+    }
+  }
+  for (int l = 0; l < 3; ++l) {
+    const double expected = model.rate_up(l, lambda0);
+    const double measured_up = up_rate[static_cast<std::size_t>(l)] /
+                               up_links[static_cast<std::size_t>(l)];
+    const double measured_down = down_rate[static_cast<std::size_t>(l)] /
+                                 down_links[static_cast<std::size_t>(l)];
+    EXPECT_NEAR(measured_up, expected, expected * 0.05) << "up level " << l;
+    EXPECT_NEAR(measured_down, expected, expected * 0.05) << "down level " << l;
+  }
+}
+
+TEST(SimStats, ChannelUtilizationBelowOneWhenStable) {
+  topo::ButterflyFatTree ft(3);
+  SimNetwork net(ft);
+  SimConfig cfg = stable_config();
+  Simulator s(net, cfg);
+  const SimResult r = s.run();
+  ASSERT_TRUE(r.completed);
+  const double window = static_cast<double>(cfg.measure_cycles);
+  for (const ChannelStat& st : r.channels) {
+    EXPECT_LE(static_cast<double>(st.busy_cycles), window * 1.0 + 1);
+    EXPECT_LT(static_cast<double>(st.busy_cycles) / window, 0.999);
+  }
+}
+
+TEST(SimStats, MeanDistanceMatchesTopology) {
+  topo::ButterflyFatTree ft(3);
+  SimNetwork net(ft);
+  SimConfig cfg = stable_config();
+  Simulator s(net, cfg);
+  const SimResult r = s.run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_NEAR(r.distance.mean(), ft.mean_distance(), ft.mean_distance() * 0.02);
+}
+
+TEST(SimStats, InjectionServiceAtLeastWormLength) {
+  topo::ButterflyFatTree ft(2);
+  SimNetwork net(ft);
+  SimConfig cfg = stable_config();
+  Simulator s(net, cfg);
+  const SimResult r = s.run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_GE(r.inj_service.min(), 16.0);
+  EXPECT_GE(r.latency.min(), 16.0 + 2.0 - 1.0);
+}
+
+TEST(SimStats, OverloadedRunReportsSaturation) {
+  topo::ButterflyFatTree ft(2);
+  SimNetwork net(ft);
+  SimConfig cfg;
+  cfg.load_flits = 0.5;  // way past capacity
+  cfg.worm_flits = 16;
+  cfg.seed = 22;
+  cfg.warmup_cycles = 1'000;
+  cfg.measure_cycles = 5'000;
+  cfg.max_cycles = 30'000;  // don't wait for the backlog to drain
+  Simulator s(net, cfg);
+  const SimResult r = s.run();
+  EXPECT_TRUE(r.saturated);
+  // Delivered throughput is pinned near capacity, far below offered.
+  EXPECT_LT(r.throughput_flits_per_pe, 0.4);
+  EXPECT_GT(r.throughput_flits_per_pe, 0.05);
+}
+
+TEST(SimStats, ChannelStatsCanBeDisabled) {
+  topo::ButterflyFatTree ft(2);
+  SimNetwork net(ft);
+  SimConfig cfg = stable_config();
+  cfg.channel_stats = false;
+  cfg.measure_cycles = 5'000;
+  Simulator s(net, cfg);
+  const SimResult r = s.run();
+  EXPECT_TRUE(r.channels.empty());
+}
+
+}  // namespace
+}  // namespace wormnet::sim

@@ -1,0 +1,112 @@
+// Tests for RunningStats (Welford) and RateCounter.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wormnet::util {
+namespace {
+
+TEST(RunningStats, EmptyStateIsNaNOrInf) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.variance()));
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_TRUE(std::isnan(s.variance()));
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(17);
+  RunningStats whole, part1, part2;
+  for (int i = 0; i < 1'000; ++i) {
+    const double v = rng.uniform() * 10.0 - 5.0;
+    whole.add(v);
+    (i % 2 == 0 ? part1 : part2).add(v);
+  }
+  part1.merge(part2);
+  EXPECT_EQ(part1.count(), whole.count());
+  EXPECT_NEAR(part1.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(part1.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(part1.min(), whole.min());
+  EXPECT_DOUBLE_EQ(part1.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // merging empty is a no-op
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);  // merging into empty copies
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, SemShrinksWithN) {
+  RunningStats small, large;
+  Rng rng(18);
+  for (int i = 0; i < 100; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 10'000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.sem(), large.sem());
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffset) {
+  // Welford must not cancel catastrophically at mean ~1e9, variance ~1.
+  RunningStats s;
+  for (int i = 0; i < 1'000; ++i) s.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  EXPECT_NEAR(s.mean(), 1e9, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25027, 0.05);
+}
+
+TEST(RunningStats, ClearResets) {
+  RunningStats s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_TRUE(std::isnan(s.mean()));
+}
+
+TEST(RateCounter, BasicRate) {
+  RateCounter c;
+  c.hit();
+  c.hit(4);
+  c.set_elapsed(10.0);
+  EXPECT_EQ(c.events(), 5);
+  EXPECT_DOUBLE_EQ(c.rate(), 0.5);
+}
+
+TEST(RateCounter, NoWindowIsNaN) {
+  RateCounter c;
+  c.hit();
+  EXPECT_TRUE(std::isnan(c.rate()));
+}
+
+}  // namespace
+}  // namespace wormnet::util

@@ -1,0 +1,94 @@
+// Tests for the result Table.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace wormnet::util {
+namespace {
+
+TEST(Table, HeaderAndRowRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({1.0, std::string("x")});
+  EXPECT_EQ(t.rows(), 1);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t.num(0, 0), 1.0);
+  EXPECT_EQ(std::get<std::string>(t.at(0, 1)), "x");
+}
+
+TEST(Table, NumOnNonNumericIsNaN) {
+  Table t({"a"});
+  t.add_row({std::string("text")});
+  EXPECT_TRUE(std::isnan(t.num(0, 0)));
+}
+
+TEST(Table, ColIndexLookup) {
+  Table t({"load", "latency"});
+  EXPECT_EQ(t.col_index("load"), 0);
+  EXPECT_EQ(t.col_index("latency"), 1);
+  EXPECT_EQ(t.col_index("absent"), -1);
+}
+
+TEST(Table, IncrementalRowBuilding) {
+  Table t({"x", "y", "z"});
+  t.begin_row();
+  t.push(1.0);
+  t.push(2.0);
+  t.push(std::monostate{});
+  EXPECT_EQ(t.rows(), 1);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(t.at(0, 2)));
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b"), 10.25});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("10.2500"), std::string::npos);  // default precision 4
+  EXPECT_NE(s.find("----"), std::string::npos);     // header rule
+}
+
+TEST(Table, PrecisionControl) {
+  Table t({"v"});
+  t.set_precision(0, 1);
+  t.add_row({3.14159});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("3.1"), std::string::npos);
+  EXPECT_EQ(out.str().find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesCommasAndQuotes) {
+  Table t({"a", "b"});
+  t.add_row({std::string("x,y"), std::string("say \"hi\"")});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_NE(out.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, SpecialDoublesRender) {
+  Table t({"v"});
+  t.add_row({std::numeric_limits<double>::infinity()});
+  t.add_row({std::numeric_limits<double>::quiet_NaN()});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("inf"), std::string::npos);
+  EXPECT_NE(out.str().find("nan"), std::string::npos);
+}
+
+TEST(Table, EmptyCellRendersDash) {
+  Table t({"v"});
+  t.add_row({std::monostate{}});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wormnet::util

@@ -1,0 +1,59 @@
+// Tests for the thread pool / parallel_for.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace wormnet::util {
+namespace {
+
+TEST(ThreadPool, RunsAllJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  ThreadPool pool(4);
+  parallel_for(pool, 500, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForComputesDeterministicResult) {
+  std::vector<double> out(1000, 0.0);
+  parallel_for(1000, [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] = static_cast<double>(i) * 2.0;
+  });
+  const double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  parallel_for(pool, 37, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 37);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  parallel_for(pool, 10, [&](std::int64_t) { ++count; });
+  parallel_for(pool, 10, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 20);
+}
+
+}  // namespace
+}  // namespace wormnet::util
