@@ -29,14 +29,14 @@ int main(int argc, char** argv) {
   without.blocking_correction = false;
 
   core::FatTreeModel model_with(with), model_without(without);
-  sweep.loads = bench::fraction_loads(model_with.saturation_load(),
+  harness::SweepEngine engine;
+  sweep.loads = bench::fraction_loads(engine.saturation_load(model_with),
                                       /*include_past_saturation=*/false);
 
   topo::ButterflyFatTree ft(levels);
-  const auto rows_with =
-      harness::compare_latency(ft, bench::fattree_model_fn(with), sweep);
+  const auto rows_with = harness::compare_latency(ft, model_with, sweep, &engine);
   const auto rows_without =
-      harness::model_only_sweep(bench::fattree_model_fn(without), sweep);
+      harness::model_only_sweep(model_without, sweep, &engine);
 
   util::Table t({"load(flits/cyc)", "sim L", "corrected model L",
                  "uncorrected model L", "corrected err %", "uncorrected err %"});
@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   harness::print_experiment(
       "ABL-BP: wormhole blocking-probability correction (Eq. 9/10) on vs off", t);
   std::printf("model saturation: corrected %.5f vs uncorrected %.5f flits/cyc/PE\n",
-              model_with.saturation_load(), model_without.saturation_load());
+              engine.saturation_load(model_with),
+              engine.saturation_load(model_without));
   return 0;
 }

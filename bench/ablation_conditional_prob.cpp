@@ -24,22 +24,29 @@ int main(int argc, char** argv) {
   const int worm = static_cast<int>(args.get_int("worm", 16));
   bench::reject_unknown_flags(args);
 
-  const core::NetworkModel paper = core::build_fattree_collapsed(levels);
-  const core::NetworkModel exact =
+  core::GeneralModel paper = core::build_fattree_collapsed(levels);
+  core::GeneralModel exact =
       core::build_fattree_collapsed(levels, 2, /*exact_conditionals=*/true);
-  core::SolveOptions opts;
-  opts.worm_flits = worm;
-  const double sat_paper = core::model_saturation_rate(paper, opts) * worm;
-  const double sat_exact = core::model_saturation_rate(exact, opts) * worm;
+  paper.opts.worm_flits = worm;
+  exact.opts.worm_flits = worm;
+
+  harness::SweepEngine engine;
+  const double sat_paper = engine.saturation_load(paper);
+  const double sat_exact = engine.saturation_load(exact);
+
+  const std::vector<double> fracs{0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95};
+  std::vector<double> loads;
+  for (double f : fracs) loads.push_back(sat_paper * f);
+  const auto pts_paper = engine.sweep_load(paper, loads);
+  const auto pts_exact = engine.sweep_load(exact, loads);
 
   util::Table t({"load(flits/cyc)", "paper (uncond. P↑) L", "exact conditional L",
                  "difference %"});
   t.set_precision(0, 4);
-  for (double frac : {0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95}) {
-    const double load = sat_paper * frac;
-    const double a = core::model_latency(paper, load / worm, opts).latency;
-    const double b = core::model_latency(exact, load / worm, opts).latency;
-    t.add_row({load, a, b, 100.0 * (a - b) / b});
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const double a = pts_paper[i].est.latency;
+    const double b = pts_exact[i].est.latency;
+    t.add_row({loads[i], a, b, 100.0 * (a - b) / b});
   }
   harness::print_experiment(
       "ABL-COND: Eq. 22's unconditional P↑ vs exact conditional branching, N=" +

@@ -27,19 +27,24 @@ int main(int argc, char** argv) {
   typo.erratum_2lambda = false;
 
   core::FatTreeModel model_ok(corrected), model_typo(typo);
-  const double sat_ok = model_ok.saturation_load();
-  const double sat_typo = model_typo.saturation_load();
+  harness::SweepEngine engine;
+  const double sat_ok = engine.saturation_load(model_ok);
+  const double sat_typo = engine.saturation_load(model_typo);
+
+  const std::vector<double> fracs{0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95};
+  std::vector<double> loads;
+  for (double f : fracs) loads.push_back(sat_ok * f);
+  const auto pts_ok = engine.sweep_load(model_ok, loads);
+  const auto pts_typo = engine.sweep_load(model_typo, loads);
 
   util::Table t({"load(flits/cyc)", "corrected L", "as-typeset L", "drift %"});
   t.set_precision(0, 4);
-  for (double frac : {0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95}) {
-    const double load = sat_ok * frac;
-    const double a = model_ok.evaluate_load(load).latency;
-    const core::FatTreeEvaluation evb = model_typo.evaluate_load(load);
-    t.add_row({load, a,
-               evb.stable ? util::Cell{evb.latency} : util::Cell{std::string("inf")},
-               evb.stable ? util::Cell{100.0 * (evb.latency - a) / a}
-                          : util::Cell{}});
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const double a = pts_ok[i].est.latency;
+    const core::LatencyEstimate& b = pts_typo[i].est;
+    t.add_row({loads[i], a,
+               b.stable ? util::Cell{b.latency} : util::Cell{std::string("inf")},
+               b.stable ? util::Cell{100.0 * (b.latency - a) / a} : util::Cell{}});
   }
   harness::print_experiment(
       "ABL-ERR: corrected Eq. 21/23 (M/G/2 at 2λ) vs as-typeset (M/G/2 at λ)", t);

@@ -28,14 +28,13 @@ int main(int argc, char** argv) {
   split.multi_server = false;
 
   core::FatTreeModel model_full(full), model_split(split);
-  sweep.loads = bench::fraction_loads(model_full.saturation_load(),
+  harness::SweepEngine engine;
+  sweep.loads = bench::fraction_loads(engine.saturation_load(model_full),
                                       /*include_past_saturation=*/false);
 
   topo::ButterflyFatTree ft(levels);
-  const auto rows_full =
-      harness::compare_latency(ft, bench::fattree_model_fn(full), sweep);
-  const auto rows_split =
-      harness::model_only_sweep(bench::fattree_model_fn(split), sweep);
+  const auto rows_full = harness::compare_latency(ft, model_full, sweep, &engine);
+  const auto rows_split = harness::model_only_sweep(model_split, sweep, &engine);
 
   util::Table t({"load(flits/cyc)", "sim L", "M/G/2 model L", "M/G/1-split L",
                  "M/G/2 err %", "M/G/1 err %"});
@@ -54,6 +53,6 @@ int main(int argc, char** argv) {
       "ABL-MS: multi-server (M/G/2) vs independent-link (M/G/1) up-channel model",
       t);
   std::printf("model saturation: M/G/2 %.5f vs M/G/1-split %.5f flits/cyc/PE\n",
-              model_full.saturation_load(), model_split.saturation_load());
+              engine.saturation_load(model_full), engine.saturation_load(model_split));
   return 0;
 }

@@ -1,77 +1,18 @@
 // bench/bench_common.hpp
 //
-// Shared plumbing for the experiment binaries: model adapters and the load
-// grids used across figures.  Every bench accepts --quick to shrink its
-// simulation windows (CI-friendly), and prints through
-// harness::print_experiment so each emits both an aligned table and CSV.
+// Thin bench-side veneer over the harness library.  The shared plumbing
+// (load grids, sweep defaults, flag validation, the sweep engine itself)
+// lives in wormnet::harness so every bench links against ONE copy; this
+// header only re-exports it under the bench namespace and pulls in the
+// umbrella header.
 #pragma once
-
-#include <cstdio>
-#include <string>
-#include <vector>
 
 #include "wormnet.hpp"
 
 namespace wormnet::bench {
 
-/// Adapt the closed-form fat-tree model to the harness ModelFn signature.
-inline harness::ModelFn fattree_model_fn(core::FatTreeModelOptions opts) {
-  return [opts](double load) {
-    core::FatTreeModel model(opts);
-    const core::FatTreeEvaluation ev = model.evaluate_load(load);
-    core::LatencyEstimate est;
-    est.stable = ev.stable;
-    est.latency = ev.latency;
-    est.inj_wait = ev.inj_wait;
-    est.inj_service = ev.inj_service;
-    est.mean_distance = ev.mean_distance;
-    return est;
-  };
-}
-
-/// Adapt a NetworkModel (hypercube, mesh, custom) to ModelFn.
-inline harness::ModelFn network_model_fn(const core::NetworkModel* net,
-                                         core::SolveOptions opts) {
-  return [net, opts](double load) {
-    return core::model_latency(*net, load / opts.worm_flits, opts);
-  };
-}
-
-/// Load grid as fractions of a saturation point: dense through the knee and
-/// two points past saturation so the series shows the blow-up, like the
-/// paper's Fig. 3 curves.
-inline std::vector<double> fraction_loads(double saturation_load,
-                                          bool include_past_saturation = true) {
-  std::vector<double> loads;
-  for (double f : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.875, 0.95})
-    loads.push_back(saturation_load * f);
-  if (include_past_saturation) {
-    loads.push_back(saturation_load * 1.05);
-    loads.push_back(saturation_load * 1.15);
-  }
-  return loads;
-}
-
-/// Standard sweep parameters; --quick shrinks windows ~4x.
-inline harness::SweepConfig sweep_defaults(const util::Args& args, int worm_flits) {
-  harness::SweepConfig cfg;
-  cfg.worm_flits = worm_flits;
-  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  const bool quick = args.get_bool("quick", false);
-  cfg.warmup_cycles = args.get_int("warmup", quick ? 4'000 : 12'000);
-  cfg.measure_cycles = args.get_int("measure", quick ? 10'000 : 40'000);
-  cfg.max_cycles = args.get_int("max-cycles", quick ? 60'000 : 250'000);
-  return cfg;
-}
-
-/// Abort on mistyped flags so a typo never silently runs the default.
-inline void reject_unknown_flags(const util::Args& args) {
-  const auto unused = args.unused();
-  if (unused.empty()) return;
-  std::fprintf(stderr, "unknown flag(s):");
-  for (const auto& u : unused) std::fprintf(stderr, " --%s", u.c_str());
-  std::fprintf(stderr, "\n");
-  std::exit(2);
-}
+using harness::fraction_loads;
+using harness::reject_unknown_flags;
+using harness::sweep_defaults;
 
 }  // namespace wormnet::bench

@@ -11,6 +11,7 @@
 //
 //   ./ext_multiserver_fattree [--levels=3] [--worm=16] [--quick]
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "topo/generalized_fattree.hpp"
@@ -33,12 +34,16 @@ int main(int argc, char** argv) {
   t.set_precision(2, 5);
   t.set_precision(3, 3);
 
-  for (int m = 1; m <= 4; ++m) {
+  std::vector<core::FatTreeModel> models;
+  for (int m = 1; m <= 4; ++m)
+    models.emplace_back(core::FatTreeModelOptions{
+        .levels = levels, .worm_flits = static_cast<double>(worm), .parents = m});
+
+  harness::SweepEngine engine;
+  for (const core::FatTreeModel& model : models) {
+    const int m = model.options().parents;
     topo::GeneralizedFatTree ft(levels, m);
-    core::FatTreeModel model({.levels = levels,
-                              .worm_flits = static_cast<double>(worm),
-                              .parents = m});
-    const double sat = model.saturation_load();
+    const double sat = engine.saturation_load(model);
     const harness::ThroughputRow thr = harness::compare_throughput(
         ft, sat, worm, seed, warmup, measure);
 
@@ -52,7 +57,7 @@ int main(int argc, char** argv) {
     cfg.max_cycles = 20 * measure;
     cfg.channel_stats = false;
     const sim::SimResult r = sim::simulate(ft, cfg);
-    const double model_latency = model.evaluate_load(load).latency;
+    const double model_latency = engine.evaluate_load(model, load).latency;
     t.add_row({static_cast<double>(m), sat, thr.sim_overload_throughput, thr.ratio,
                model_latency, r.latency.mean(),
                100.0 * (model_latency - r.latency.mean()) / r.latency.mean()});

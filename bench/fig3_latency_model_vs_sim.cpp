@@ -28,19 +28,19 @@ int main(int argc, char** argv) {
   std::printf("FIG3: %s, Poisson arrivals, uniform destinations\n",
               ft.name().c_str());
 
+  harness::SweepEngine engine;
   for (long worm : worms) {
-    core::FatTreeModelOptions mopts{.levels = levels,
-                                    .worm_flits = static_cast<double>(worm)};
-    core::FatTreeModel model(mopts);
+    core::FatTreeModel model({.levels = levels,
+                              .worm_flits = static_cast<double>(worm)});
+    const double sat = engine.saturation_load(model);
     harness::SweepConfig sweep = base;
     sweep.worm_flits = static_cast<int>(worm);
-    sweep.loads = bench::fraction_loads(model.saturation_load());
+    sweep.loads = bench::fraction_loads(sat);
 
-    const auto rows =
-        harness::compare_latency(ft, bench::fattree_model_fn(mopts), sweep);
+    const auto rows = harness::compare_latency(ft, model, sweep, &engine);
     harness::print_experiment(
         "FIG3 series: " + std::to_string(worm) + "-flit worms (model saturation " +
-            std::to_string(model.saturation_load()) + " flits/cyc/PE)",
+            std::to_string(sat) + " flits/cyc/PE)",
         harness::comparison_table(rows));
     std::printf("mean |model-sim| latency error over stable points: %.2f%%\n",
                 harness::mean_abs_pct_error(rows));

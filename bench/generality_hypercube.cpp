@@ -10,6 +10,7 @@
 //   ./generality_hypercube [--dims=6,8,10] [--worm=16] [--quick]
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -21,17 +22,22 @@ int main(int argc, char** argv) {
   harness::SweepConfig base = bench::sweep_defaults(args, worm);
   bench::reject_unknown_flags(args);
 
+  std::vector<core::GeneralModel> models;
+  models.reserve(dims_list.size());
   for (long dims : dims_list) {
-    topo::Hypercube hc(static_cast<int>(dims));
-    const core::NetworkModel net = core::build_hypercube_collapsed(static_cast<int>(dims));
-    core::SolveOptions opts;
-    opts.worm_flits = worm;
-    const double sat = core::model_saturation_rate(net, opts) * worm;
+    models.push_back(core::build_hypercube_collapsed(static_cast<int>(dims)));
+    models.back().opts.worm_flits = worm;
+  }
+
+  harness::SweepEngine engine;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const core::GeneralModel& net = models[i];
+    topo::Hypercube hc(static_cast<int>(dims_list[i]));
+    const double sat = engine.saturation_load(net);
 
     harness::SweepConfig sweep = base;
     sweep.loads = {sat * 0.2, sat * 0.4, sat * 0.6, sat * 0.8, sat * 0.9};
-    const auto rows =
-        harness::compare_latency(hc, bench::network_model_fn(&net, opts), sweep);
+    const auto rows = harness::compare_latency(hc, net, sweep, &engine);
     harness::print_experiment(
         "GEN-HC: " + hc.name() + ", " + std::to_string(worm) +
             "-flit worms (model saturation " + std::to_string(sat) +

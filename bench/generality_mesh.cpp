@@ -14,6 +14,8 @@
 //   ./generality_mesh [--radix=8,16] [--worm=16] [--quick]
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -25,17 +27,23 @@ int main(int argc, char** argv) {
   harness::SweepConfig base = bench::sweep_defaults(args, worm);
   bench::reject_unknown_flags(args);
 
+  std::vector<std::unique_ptr<topo::Mesh>> meshes;
+  std::vector<core::GeneralModel> models;
   for (long radix : radix_list) {
-    topo::Mesh mesh(static_cast<int>(radix), 2);
-    const core::NetworkModel net = core::build_full_channel_graph(mesh);
-    core::SolveOptions opts;
-    opts.worm_flits = worm;
-    const double sat = core::model_saturation_rate(net, opts) * worm;
+    meshes.push_back(std::make_unique<topo::Mesh>(static_cast<int>(radix), 2));
+    models.push_back(core::build_full_channel_graph(*meshes.back()));
+    models.back().opts.worm_flits = worm;
+  }
+
+  harness::SweepEngine engine;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const core::GeneralModel& net = models[i];
+    const topo::Mesh& mesh = *meshes[i];
+    const double sat = engine.saturation_load(net);
 
     harness::SweepConfig sweep = base;
     sweep.loads = {sat * 0.2, sat * 0.4, sat * 0.6, sat * 0.8, sat * 0.9};
-    const auto rows =
-        harness::compare_latency(mesh, bench::network_model_fn(&net, opts), sweep);
+    const auto rows = harness::compare_latency(mesh, net, sweep, &engine);
     harness::print_experiment(
         "GEN-MESH: " + mesh.name() + ", " + std::to_string(worm) +
             "-flit worms, per-channel model with " +

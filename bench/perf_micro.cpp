@@ -31,27 +31,51 @@ void BM_FatTreeSaturationSolve(benchmark::State& state) {
 BENCHMARK(BM_FatTreeSaturationSolve)->Arg(5);
 
 void BM_GeneralSolverCollapsedFatTree(benchmark::State& state) {
-  const core::NetworkModel net =
+  const core::GeneralModel net =
       core::build_fattree_collapsed(static_cast<int>(state.range(0)));
-  core::SolveOptions opts;
-  opts.worm_flits = 16.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::model_latency(net, 0.001, opts).latency);
+    benchmark::DoNotOptimize(net.evaluate(0.001).latency);
   }
 }
 BENCHMARK(BM_GeneralSolverCollapsedFatTree)->Arg(5)->Arg(8);
 
 void BM_GeneralSolverMeshPerChannel(benchmark::State& state) {
   topo::Mesh mesh(static_cast<int>(state.range(0)), 2);
-  const core::NetworkModel net = core::build_full_channel_graph(mesh);
-  core::SolveOptions opts;
-  opts.worm_flits = 16.0;
+  const core::GeneralModel net = core::build_full_channel_graph(mesh);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::model_latency(net, 0.001, opts).latency);
+    benchmark::DoNotOptimize(net.evaluate(0.001).latency);
   }
   state.SetLabel(std::to_string(net.graph.size()) + " channel classes");
 }
 BENCHMARK(BM_GeneralSolverMeshPerChannel)->Arg(8)->Arg(16);
+
+void BM_SweepEngineColdSweep(benchmark::State& state) {
+  // A 32-point λ-sweep through the engine with caching disabled: the cost
+  // of batched dispatch itself.
+  core::FatTreeModel model({.levels = 5, .worm_flits = 16.0});
+  const double sat = model.saturation_rate();
+  std::vector<double> lambdas;
+  for (int i = 1; i <= 32; ++i) lambdas.push_back(sat * 0.95 * i / 32);
+  harness::SweepEngine engine({0, true, /*memoize=*/false});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.sweep_lambda(model, lambdas).back().est.latency);
+  }
+}
+BENCHMARK(BM_SweepEngineColdSweep)->Unit(benchmark::kMicrosecond);
+
+void BM_SweepEngineMemoizedSweep(benchmark::State& state) {
+  // The same sweep with the memo cache hot: the engine's fast path.
+  core::FatTreeModel model({.levels = 5, .worm_flits = 16.0});
+  const double sat = model.saturation_rate();
+  std::vector<double> lambdas;
+  for (int i = 1; i <= 32; ++i) lambdas.push_back(sat * 0.95 * i / 32);
+  harness::SweepEngine engine;
+  engine.sweep_lambda(model, lambdas);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.sweep_lambda(model, lambdas).back().est.latency);
+  }
+}
+BENCHMARK(BM_SweepEngineMemoizedSweep)->Unit(benchmark::kMicrosecond);
 
 void BM_FullGraphBuild(benchmark::State& state) {
   topo::ButterflyFatTree ft(static_cast<int>(state.range(0)));

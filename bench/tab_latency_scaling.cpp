@@ -9,6 +9,7 @@
 //   ./tab_latency_scaling [--levels=2,3,4,5] [--worm=16] [--quick]
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -25,16 +26,22 @@ int main(int argc, char** argv) {
   t.set_precision(0, 0);
   t.set_precision(1, 4);
 
-  for (long levels : levels_list) {
-    topo::ButterflyFatTree ft(static_cast<int>(levels));
-    core::FatTreeModelOptions mopts{.levels = static_cast<int>(levels),
-                                    .worm_flits = static_cast<double>(worm)};
-    core::FatTreeModel model(mopts);
+  // The models stay alive for the engine's whole run (its memo cache keys
+  // on their addresses).
+  std::vector<core::FatTreeModel> models;
+  models.reserve(levels_list.size());
+  for (long levels : levels_list)
+    models.emplace_back(core::FatTreeModelOptions{
+        .levels = static_cast<int>(levels),
+        .worm_flits = static_cast<double>(worm)});
+
+  harness::SweepEngine engine;
+  for (const core::FatTreeModel& model : models) {
+    topo::ButterflyFatTree ft(model.options().levels);
     harness::SweepConfig sweep = base;
-    const double sat = model.saturation_load();
+    const double sat = engine.saturation_load(model);
     sweep.loads = {sat * 0.25, sat * 0.5, sat * 0.75, sat * 0.9};
-    const auto rows =
-        harness::compare_latency(ft, bench::fattree_model_fn(mopts), sweep);
+    const auto rows = harness::compare_latency(ft, model, sweep, &engine);
     for (const auto& r : rows) {
       const double err =
           r.sim_latency > 0.0

@@ -10,6 +10,7 @@
 //
 //   ./tab_throughput_saturation [--levels=2,3,4,5] [--worms=16,32,64] [--quick]
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -32,18 +33,25 @@ int main(int argc, char** argv) {
   t.set_precision(3, 5);
   t.set_precision(4, 3);
 
-  for (long levels : levels_list) {
-    topo::ButterflyFatTree ft(static_cast<int>(levels));
-    for (long worm : worms) {
-      core::FatTreeModel model({.levels = static_cast<int>(levels),
-                                .worm_flits = static_cast<double>(worm)});
-      const harness::ThroughputRow row = harness::compare_throughput(
-          ft, model.saturation_load(), static_cast<int>(worm), seed, warmup,
-          measure);
-      t.add_row({static_cast<double>(ft.num_processors()),
-                 static_cast<double>(worm), row.model_saturation_load,
-                 row.sim_overload_throughput, row.ratio});
-    }
+  // One model per (N, worm) cell, alive for the engine's whole run; the
+  // engine's cache makes each saturation bisection a one-time cost.
+  std::vector<core::FatTreeModel> models;
+  models.reserve(levels_list.size() * worms.size());
+  for (long levels : levels_list)
+    for (long worm : worms)
+      models.emplace_back(core::FatTreeModelOptions{
+          .levels = static_cast<int>(levels),
+          .worm_flits = static_cast<double>(worm)});
+
+  harness::SweepEngine engine;
+  for (const core::FatTreeModel& model : models) {
+    topo::ButterflyFatTree ft(model.options().levels);
+    const int worm = static_cast<int>(model.worm_flits());
+    const harness::ThroughputRow row = harness::compare_throughput(
+        ft, engine.saturation_load(model), worm, seed, warmup, measure);
+    t.add_row({static_cast<double>(ft.num_processors()),
+               static_cast<double>(worm), row.model_saturation_load,
+               row.sim_overload_throughput, row.ratio});
   }
   harness::print_experiment(
       "TAB-THR: saturation throughput, model (Eq. 26) vs simulator overload", t);

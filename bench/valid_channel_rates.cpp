@@ -75,8 +75,12 @@ int main(int argc, char** argv) {
                         (window * down_links[static_cast<std::size_t>(l)]);
     const double util_frac = up_busy[static_cast<std::size_t>(l)] /
                              (window * up_links[static_cast<std::size_t>(l)]);
-    t.add_row({std::string("<") + std::to_string(l) + "," + std::to_string(l + 1) +
-                   ">",
+    std::string pair_label = "<";
+    pair_label += std::to_string(l);
+    pair_label += ",";
+    pair_label += std::to_string(l + 1);
+    pair_label += ">";
+    t.add_row({std::move(pair_label),
                static_cast<double>(up_links[static_cast<std::size_t>(l)]), expected,
                up, down, 100.0 * (up - expected) / expected, util_frac});
   }

@@ -21,7 +21,7 @@ int main() {
   const double sf = 16.0;
 
   // --- Build: inj -> middle(two-server) -> eject. -----------------------
-  core::NetworkModel net;
+  core::GeneralModel net;
   core::ChannelClass eject;
   eject.label = "eject";
   eject.servers = 1;
@@ -47,20 +47,22 @@ int main() {
   net.graph.add_transition(mid, ej, 1.0, 1.0 / 8.0);
   net.injection_classes = {in};
   net.mean_distance = 3.0;  // inj + middle + eject
+  net.model_name = "dance-hall";
+  net.opts.worm_flits = sf;
 
   std::printf("custom two-stage network under the general wormhole model\n");
   std::printf("(middle stage = two-server bundle, the paper's M/G/2 construct)\n\n");
 
-  core::SolveOptions opts;
-  opts.worm_flits = sf;
-  const double sat = core::model_saturation_rate(net, opts);
+  // As a NetworkModel, the hand-built graph plugs straight into the engine.
+  harness::SweepEngine engine;
+  const double sat = engine.saturation_rate(net);
   std::printf("saturation: %.5f messages/cycle/PE (%.4f flits/cycle/PE)\n\n",
               sat, sat * sf);
 
   util::Table t({"lambda0", "latency", "W_inj", "x_inj", "middle rho"});
   for (double frac : {0.2, 0.4, 0.6, 0.8, 0.9}) {
     const double lambda0 = sat * frac;
-    const core::SolveResult res = core::model_solve(net, lambda0, opts);
+    const core::SolveResult res = net.solve(lambda0);
     const core::LatencyEstimate est =
         core::estimate_latency(res, net.injection_classes, net.mean_distance);
     t.add_row({lambda0, est.latency, est.inj_wait, est.inj_service,
@@ -70,9 +72,9 @@ int main() {
   t.print(std::cout);
 
   // --- Ablation: what if we ignored the pooling of the two middle links?
-  core::SolveOptions naive = opts;
-  naive.multi_server = false;
-  const double sat_naive = core::model_saturation_rate(net, naive);
+  core::GeneralModel naive = net;
+  naive.opts.multi_server = false;
+  const double sat_naive = engine.saturation_rate(naive);
   std::printf("\nwith the two-server pool modeled as independent M/G/1 links,"
               " predicted saturation drops from %.5f to %.5f (-%.1f%%)\n",
               sat, sat_naive, 100.0 * (1.0 - sat_naive / sat));
@@ -81,15 +83,16 @@ int main() {
   // The 16-processor fat-tree's level-1 switches feed exactly such a
   // two-server bundle; compare model vs simulation there.
   topo::ButterflyFatTree ft(2);
-  const core::NetworkModel ftnet = core::build_fattree_collapsed(2);
-  const double ft_sat = core::model_saturation_rate(ftnet, opts);
+  core::GeneralModel ftnet = core::build_fattree_collapsed(2);
+  ftnet.opts.worm_flits = sf;
+  const double ft_sat = engine.saturation_rate(ftnet);
   sim::SimConfig cfg;
   cfg.load_flits = ft_sat * 0.6 * sf;
   cfg.worm_flits = static_cast<int>(sf);
   cfg.warmup_cycles = 5'000;
   cfg.measure_cycles = 30'000;
   const sim::SimResult r = sim::simulate(ft, cfg);
-  const core::LatencyEstimate est = core::model_latency(ftnet, ft_sat * 0.6, opts);
+  const core::LatencyEstimate est = engine.evaluate(ftnet, ft_sat * 0.6);
   std::printf("\nsanity (16-PE fat-tree at 60%% load): model %.2f cycles,"
               " simulator %.2f cycles\n",
               est.latency, r.latency.mean());

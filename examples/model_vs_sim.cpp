@@ -2,7 +2,8 @@
 //
 // Reproduces a single series of the paper's Figure 3 for any network size
 // and worm length, printing model and simulator latencies side by side with
-// the model's error summarized at the end.
+// the model's error summarized at the end.  The model side runs through the
+// SweepEngine; the simulator points run across the thread pool.
 //
 //   ./model_vs_sim [--levels=3] [--worm=16] [--points=10]
 //                  [--warmup=10000] [--measure=40000] [--seed=1]
@@ -20,7 +21,8 @@ int main(int argc, char** argv) {
 
   core::FatTreeModel model(
       {.levels = levels, .worm_flits = static_cast<double>(worm)});
-  const double saturation = model.saturation_load();
+  harness::SweepEngine engine;
+  const double saturation = engine.saturation_load(model);
 
   harness::SweepConfig sweep;
   for (int i = 1; i <= points; ++i)
@@ -30,22 +32,11 @@ int main(int argc, char** argv) {
   sweep.warmup_cycles = args.get_int("warmup", 10'000);
   sweep.measure_cycles = args.get_int("measure", 40'000);
 
-  const harness::ModelFn fn = [&](double load) {
-    const core::FatTreeEvaluation ev = model.evaluate_load(load);
-    core::LatencyEstimate est;
-    est.stable = ev.stable;
-    est.latency = ev.latency;
-    est.inj_wait = ev.inj_wait;
-    est.inj_service = ev.inj_service;
-    est.mean_distance = ev.mean_distance;
-    return est;
-  };
-
   topo::ButterflyFatTree ft(levels);
   std::printf("sweeping %s, %d-flit worms, %d load points up to %.4f"
               " flits/cycle/PE\n",
               ft.name().c_str(), worm, points, sweep.loads.back());
-  const auto rows = harness::compare_latency(ft, fn, sweep);
+  const auto rows = harness::compare_latency(ft, model, sweep, &engine);
   harness::comparison_table(rows).print(std::cout);
   std::printf("\nmean |model-sim| error over stable points: %.2f%%\n",
               harness::mean_abs_pct_error(rows));

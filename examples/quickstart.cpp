@@ -1,8 +1,9 @@
 // quickstart — the smallest useful wormnet program.
 //
-// Builds the analytical model of a 64-processor butterfly fat-tree, asks it
-// for latency at a few offered loads and for the saturation throughput, and
-// cross-checks one point against the flit-level simulator.
+// Builds the analytical model of a 64-processor butterfly fat-tree, runs a
+// load sweep through the SweepEngine (parallel + memoized), asks for the
+// saturation throughput, and cross-checks one point against the flit-level
+// simulator.
 //
 //   ./quickstart [--levels=3] [--worm=16]
 #include <cstdio>
@@ -23,16 +24,19 @@ int main(int argc, char** argv) {
   std::printf("mean distance D̄ = %.3f channels, zero-load latency = %.1f cycles\n",
               model.mean_distance(), worm + model.mean_distance() - 1.0);
 
-  const double saturation = model.saturation_load();
-  std::printf("model saturation throughput: %.4f flits/cycle/processor\n\n", saturation);
+  // 2. The sweep engine: batched parallel evaluation with memoization.
+  harness::SweepEngine engine;
+  const double saturation = engine.saturation_load(model);
+  std::printf("model saturation throughput: %.4f flits/cycle/processor\n\n",
+              saturation);
 
   std::printf("%-22s %-14s\n", "load(flits/cyc/PE)", "latency(cycles)");
-  for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-    const core::FatTreeEvaluation ev = model.evaluate_load(saturation * frac);
-    std::printf("%-22.4f %-14.2f\n", ev.load_flits, ev.latency);
-  }
+  const auto points =
+      engine.sweep_saturation_fractions(model, {0.1, 0.3, 0.5, 0.7, 0.9});
+  for (const harness::SweepPoint& pt : points)
+    std::printf("%-22.4f %-14.2f\n", pt.load_flits, pt.est.latency);
 
-  // 2. One simulation point to show the model is honest.
+  // 3. One simulation point to show the model is honest.
   const double load = saturation * 0.5;
   sim::SimConfig cfg;
   cfg.load_flits = load;
@@ -43,7 +47,7 @@ int main(int argc, char** argv) {
   const sim::SimResult r = sim::simulate(ft, cfg);
   std::printf("\nat load %.4f: model says %.2f cycles, simulation measured %.2f"
               " (+-%.2f, %lld worms)\n",
-              load, model.evaluate_load(load).latency, r.latency.mean(),
+              load, engine.evaluate_load(model, load).latency, r.latency.mean(),
               r.latency.sem(), static_cast<long long>(r.latency.count()));
   return 0;
 }

@@ -8,7 +8,7 @@ namespace wormnet::core {
 
 using util::ipow;
 
-NetworkModel build_fattree_collapsed(int levels, int parents,
+GeneralModel build_fattree_collapsed(int levels, int parents,
                                      bool exact_conditionals) {
   WORMNET_EXPECTS(levels >= 1 && levels <= 8);
   WORMNET_EXPECTS(parents >= 1 && parents <= 4);
@@ -24,7 +24,7 @@ NetworkModel build_fattree_collapsed(int levels, int parents,
     return up_prob(l) * fan;
   };
 
-  NetworkModel net;
+  GeneralModel net;
   std::vector<int> up(static_cast<std::size_t>(n));
   std::vector<int> down(static_cast<std::size_t>(n));
 
@@ -77,6 +77,8 @@ NetworkModel build_fattree_collapsed(int levels, int parents,
   }
 
   net.injection_classes = {up[0]};
+  net.model_name = "collapsed-fattree(n=" + std::to_string(levels) +
+                   ",m=" + std::to_string(parents) + ")";
   const double denom = num_procs - 1.0;
   double dbar = 0.0;
   for (int l = 1; l <= n; ++l)

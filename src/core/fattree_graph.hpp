@@ -11,7 +11,7 @@
 // "down0" (the ejection channel ⟨1,0⟩) … "down{n-1}" (⟨n,n-1⟩).
 #pragma once
 
-#include "core/network_model.hpp"
+#include "core/general_model.hpp"
 
 namespace wormnet::core {
 
@@ -27,7 +27,7 @@ namespace wormnet::core {
 /// ignores.  With it, the collapsed graph agrees with the exact-flow
 /// per-channel graph (full_graph.hpp) to machine precision; without it, the
 /// two differ by the (sub-0.1%) approximation error the paper accepts.
-NetworkModel build_fattree_collapsed(int levels, int parents = 2,
+GeneralModel build_fattree_collapsed(int levels, int parents = 2,
                                      bool exact_conditionals = false);
 
 }  // namespace wormnet::core

@@ -2,19 +2,24 @@
 
 #include <cmath>
 
-#include "core/saturation.hpp"
-#include "queueing/queueing.hpp"
+#include "queueing/channel_solver.hpp"
+#include "util/assert.hpp"
 #include "util/math.hpp"
 
 namespace wormnet::core {
 
-using util::clamp01;
+using queueing::ChannelSolver;
 using util::ipow;
 
 FatTreeModel::FatTreeModel(FatTreeModelOptions opts) : opts_(opts) {
   WORMNET_EXPECTS(opts_.levels >= 1 && opts_.levels <= 8);
   WORMNET_EXPECTS(opts_.worm_flits > 0.0);
   WORMNET_EXPECTS(opts_.parents >= 1 && opts_.parents <= 4);
+}
+
+std::string FatTreeModel::name() const {
+  return "butterfly-fattree(n=" + std::to_string(opts_.levels) +
+         ",m=" + std::to_string(opts_.parents) + ")";
 }
 
 long FatTreeModel::num_processors() const { return ipow(4, opts_.levels); }
@@ -45,10 +50,21 @@ double FatTreeModel::rate_up(int level, double lambda0) const {
   return lambda0 * up_probability(level) * std::pow(fan, level);
 }
 
-FatTreeEvaluation FatTreeModel::evaluate(double lambda0) const {
+LatencyEstimate FatTreeEvaluation::summary() const {
+  LatencyEstimate est;
+  est.stable = stable;
+  est.latency = latency;
+  est.inj_wait = inj_wait;
+  est.inj_service = inj_service;
+  est.mean_distance = mean_distance;
+  return est;
+}
+
+FatTreeEvaluation FatTreeModel::evaluate_detail(double lambda0) const {
   WORMNET_EXPECTS(lambda0 >= 0.0);
   const int n = opts_.levels;
   const double sf = opts_.worm_flits;
+  const ChannelSolver solver(sf, opts_.ablation());
 
   FatTreeEvaluation ev;
   ev.lambda0 = lambda0;
@@ -66,84 +82,68 @@ FatTreeEvaluation FatTreeModel::evaluate(double lambda0) const {
     ev.lambda_up[static_cast<std::size_t>(l)] = rate_up(l, lambda0);
   auto lam = [&](int l) { return ev.lambda_up[static_cast<std::size_t>(l)]; };
 
-  // Wait of the m-link up bundle at level l >= 1 under the ablation flags.
   const int m = opts_.parents;
-  auto up_bundle_wait = [&](int l, double xbar) {
-    if (!opts_.multi_server)
-      return queueing::mg1_wait_wormhole(lam(l), xbar, sf);
-    const double lambda_arg = opts_.erratum_2lambda ? m * lam(l) : lam(l);
-    return queueing::wormhole_wait(m, lambda_arg, xbar, sf);
-  };
-  // Blocking factor 1 - (λ_in/λ_out)·R under the ablation flag (Eq. 10).
-  // (With independent single-server up links the worm commits to one
-  // specific link uniformly, dividing R by m — the caller passes the
-  // per-link R.)
-  auto blocking = [&](double lam_in, double lam_out, double r) {
-    if (!opts_.blocking_correction) return 1.0;
-    return lam_out > 0.0 ? clamp01(1.0 - (lam_in / lam_out) * r) : 1.0;
-  };
-  // p·W with the p == 0 case short-circuited: a zero blocking probability
-  // means "never waits here", which must hold even when W has diverged past
-  // saturation (0 * inf would otherwise poison the chain with NaN).
-  auto wait_term = [](double p, double w) { return p > 0.0 ? p * w : 0.0; };
 
   // --- Down chain, Eq. 16–19, resolved from the ejection channel upward.
-  ev.x_down[0] = sf;  // Eq. 16
-  ev.w_down[0] = queueing::mg1_wait_wormhole(lam(0), ev.x_down[0], sf);  // Eq. 17
+  // Down channels are single-server; their waits come from the kernel's
+  // M/G/1 path (Eq. 17/19).
+  ev.x_down[0] = solver.terminal_service();  // Eq. 16
+  ev.w_down[0] = solver.bundle_wait(1, lam(0), ev.x_down[0]);  // Eq. 17
   for (int l = 1; l < n; ++l) {
     // Eq. 18: continue down one of 4 children, R = 1/4.
-    const double p = blocking(lam(l), lam(l - 1), 0.25);
+    const double p = solver.blocking_factor(1, lam(l), lam(l - 1), 0.25);
     ev.x_down[static_cast<std::size_t>(l)] =
         ev.x_down[static_cast<std::size_t>(l - 1)] +
-        wait_term(p, ev.w_down[static_cast<std::size_t>(l - 1)]);
-    ev.w_down[static_cast<std::size_t>(l)] = queueing::mg1_wait_wormhole(
-        lam(l), ev.x_down[static_cast<std::size_t>(l)], sf);  // Eq. 19
+        ChannelSolver::wait_term(p, ev.w_down[static_cast<std::size_t>(l - 1)]);
+    ev.w_down[static_cast<std::size_t>(l)] =
+        solver.bundle_wait(1, lam(l), ev.x_down[static_cast<std::size_t>(l)]);  // Eq. 19
   }
 
-  // --- Up chain, Eq. 20–24, resolved from the top downward.
+  // --- Up chain, Eq. 20–24, resolved from the top downward.  Up bundles at
+  // level >= 1 are m-server channels; the kernel applies the erratum's
+  // total-rate correction (Eq. 21/23) and the ablation switches.
   {
     // Eq. 20: after the top-most up channel ⟨n-1, n⟩ a message descends to
     // one of 3 siblings; λ⟨n-1,n⟩ = λ⟨n,n-1⟩ makes the factor exactly 2/3.
     const int l = n - 1;
-    const double p = blocking(lam(l), lam(l), 1.0 / 3.0);
+    const double p = solver.blocking_factor(1, lam(l), lam(l), 1.0 / 3.0);
     ev.x_up[static_cast<std::size_t>(l)] =
         ev.x_down[static_cast<std::size_t>(l)] +
-        wait_term(p, ev.w_down[static_cast<std::size_t>(l)]);
+        ChannelSolver::wait_term(p, ev.w_down[static_cast<std::size_t>(l)]);
   }
   if (n >= 2) {
     const int top = n - 1;
     ev.w_up[static_cast<std::size_t>(top)] =
-        up_bundle_wait(top, ev.x_up[static_cast<std::size_t>(top)]);  // Eq. 21
+        solver.bundle_wait(m, lam(top), ev.x_up[static_cast<std::size_t>(top)]);  // Eq. 21
   }
   for (int l = n - 1; l >= 1; --l) {
     // Eq. 22 for channel ⟨l-1, l⟩.
     const double pu = up_probability(l);
     const double pd = 1.0 - pu;  // Eq. 13
-    const double r_up = opts_.multi_server ? pu : pu / m;
-    const double block_up = blocking(lam(l - 1), lam(l), r_up);
+    const double block_up = solver.blocking_factor(m, lam(l - 1), lam(l), pu);
     const double up_term =
         ev.x_up[static_cast<std::size_t>(l)] +
-        wait_term(block_up, ev.w_up[static_cast<std::size_t>(l)]);
-    const double block_down = blocking(lam(l - 1), lam(l - 1), pd / 3.0);
+        ChannelSolver::wait_term(block_up, ev.w_up[static_cast<std::size_t>(l)]);
+    const double block_down = solver.blocking_factor(1, lam(l - 1), lam(l - 1), pd / 3.0);
     const double down_term =
         ev.x_down[static_cast<std::size_t>(l - 1)] +
-        wait_term(block_down, ev.w_down[static_cast<std::size_t>(l - 1)]);
+        ChannelSolver::wait_term(block_down, ev.w_down[static_cast<std::size_t>(l - 1)]);
     ev.x_up[static_cast<std::size_t>(l - 1)] = pu * up_term + pd * down_term;
     if (l - 1 >= 1) {
       ev.w_up[static_cast<std::size_t>(l - 1)] =
-          up_bundle_wait(l - 1, ev.x_up[static_cast<std::size_t>(l - 1)]);  // Eq. 23
+          solver.bundle_wait(m, lam(l - 1), ev.x_up[static_cast<std::size_t>(l - 1)]);  // Eq. 23
     }
   }
   // Eq. 24: the injection channel has no redundant twin — M/G/1.
-  ev.w_up[0] = queueing::mg1_wait_wormhole(lam(0), ev.x_up[0], sf);
+  ev.w_up[0] = solver.bundle_wait(1, lam(0), ev.x_up[0]);
 
   // Utilizations (diagnostics; also the stability verdict).
   for (int l = 0; l < n; ++l) {
     const int servers = (l >= 1) ? m : 1;
-    ev.rho_up[static_cast<std::size_t>(l)] = queueing::utilization(
-        lam(l) * servers, ev.x_up[static_cast<std::size_t>(l)], servers);
-    ev.rho_down[static_cast<std::size_t>(l)] = queueing::utilization(
-        lam(l), ev.x_down[static_cast<std::size_t>(l)], 1);
+    ev.rho_up[static_cast<std::size_t>(l)] = solver.bundle_utilization(
+        servers, lam(l), ev.x_up[static_cast<std::size_t>(l)]);
+    ev.rho_down[static_cast<std::size_t>(l)] = solver.bundle_utilization(
+        1, lam(l), ev.x_down[static_cast<std::size_t>(l)]);
   }
 
   ev.inj_wait = ev.w_up[0];
@@ -157,20 +157,12 @@ FatTreeEvaluation FatTreeModel::evaluate(double lambda0) const {
   return ev;
 }
 
-FatTreeEvaluation FatTreeModel::evaluate_load(double load_flits) const {
-  return evaluate(load_flits / opts_.worm_flits);
+FatTreeEvaluation FatTreeModel::evaluate_load_detail(double load_flits) const {
+  return evaluate_detail(load_flits / opts_.worm_flits);
 }
 
-double FatTreeModel::saturation_rate() const {
-  // Eq. 26: find λ₀ with λ₀ · x̄⟨0,1⟩(λ₀) = 1.  x̄⟨0,1⟩ >= s_f pins the
-  // root below 1/s_f.
-  return find_saturation_rate(
-      [this](double lambda0) { return evaluate(lambda0).inj_service; },
-      1.0 / opts_.worm_flits);
-}
-
-double FatTreeModel::saturation_load() const {
-  return saturation_rate() * opts_.worm_flits;
+LatencyEstimate FatTreeModel::evaluate(double lambda0) const {
+  return evaluate_detail(lambda0).summary();
 }
 
 }  // namespace wormnet::core

@@ -10,7 +10,7 @@
 //  * "down l" is the channel class ⟨l+1, l⟩ for l = 0 .. n-1; down 0 is the
 //    ejection channel ⟨1, 0⟩ with deterministic service s_f (Eq. 16).
 //
-// Recurrences (λ from Eq. 12–15; W from Eq. 6/8 with C_b² from Eq. 5):
+// Recurrences (λ from Eq. 12–15; W from the ChannelSolver kernel):
 //  * down:  x̄⟨l+1,l⟩ = x̄⟨l,l-1⟩ + (1 − ¼·λ⟨l+1,l⟩/λ⟨l,l-1⟩)·W̄⟨l,l-1⟩   (Eq. 18)
 //  * top:   x̄⟨n-1,n⟩ = x̄⟨n,n-1⟩ + ⅔·W̄⟨n,n-1⟩                           (Eq. 20)
 //  * up:    x̄⟨l-1,l⟩ = P↑_l·[x̄⟨l,l+1⟩ + (1 − (λ⟨l-1,l⟩/λ⟨l,l+1⟩)·P↑_l)·W̄⟨l,l+1⟩]
@@ -20,15 +20,17 @@
 //  * L = W̄⟨0,1⟩ + x̄⟨0,1⟩ + D̄ − 1                                        (Eq. 25)
 //  * saturation: the λ₀ at which x̄⟨0,1⟩ = 1/λ₀                           (Eq. 26)
 //
-// The same ablation switches as the general solver are provided so the
-// paper's two novelties (and the erratum) can be isolated.  With all
-// switches at their defaults this class agrees with the general solver on
-// the collapsed fat-tree graph to machine precision (tested).
+// The per-channel wait/blocking arithmetic lives in the shared
+// queueing::ChannelSolver kernel — this class only wires the fat-tree's
+// level structure into it, and exposes the NetworkModel interface so the
+// sweep engine and harness drive it like any other model.  With all
+// switches at their defaults it agrees with the general solver on the
+// collapsed fat-tree graph to machine precision (tested).
 #pragma once
 
 #include <vector>
 
-#include "core/general_model.hpp"
+#include "core/network_model.hpp"
 
 namespace wormnet::core {
 
@@ -46,6 +48,11 @@ struct FatTreeModelOptions {
   /// rates become λ₀·P↑_l·(4/m)^l and bundle waits use m servers at total
   /// rate m·λ.
   int parents = 2;
+
+  /// The switches the ChannelSolver kernel consumes.
+  queueing::AblationOptions ablation() const {
+    return {multi_server, blocking_correction, erratum_2lambda};
+  }
 };
 
 /// Full per-level evaluation at one injection rate.
@@ -62,10 +69,13 @@ struct FatTreeEvaluation {
   std::vector<double> lambda_up, x_up, w_up, rho_up;
   /// Index l holds channel ⟨l+1, l⟩ (size n).
   std::vector<double> x_down, w_down, rho_down;
+
+  /// The network-level summary of this evaluation (Eq. 25).
+  LatencyEstimate summary() const;
 };
 
 /// The paper's butterfly fat-tree model.
-class FatTreeModel {
+class FatTreeModel final : public NetworkModel {
  public:
   explicit FatTreeModel(FatTreeModelOptions opts);
 
@@ -81,17 +91,16 @@ class FatTreeModel {
   /// λ⟨l,l+1⟩ of Eq. 14 per physical link, at injection rate lambda0.
   double rate_up(int level, double lambda0) const;
 
-  /// Evaluate the model at λ₀ messages/cycle/processor.
-  FatTreeEvaluation evaluate(double lambda0) const;
+  /// Full per-level evaluation at λ₀ messages/cycle/processor.
+  FatTreeEvaluation evaluate_detail(double lambda0) const;
+  /// Per-level evaluation at a load in flits/cycle/processor.
+  FatTreeEvaluation evaluate_load_detail(double load_flits) const;
 
-  /// Evaluate at a load expressed in flits/cycle/processor (Fig. 3's x-axis).
-  FatTreeEvaluation evaluate_load(double load_flits) const;
-
-  /// Saturation injection rate λ₀* solving Eq. 26 (x̄⟨0,1⟩·λ₀ = 1) by
-  /// bisection; the returned rate is in messages/cycle/processor.
-  double saturation_rate() const;
-  /// Saturation throughput in flits/cycle/processor (λ₀* · s_f).
-  double saturation_load() const;
+  // NetworkModel interface.
+  std::string name() const override;
+  double worm_flits() const override { return opts_.worm_flits; }
+  queueing::AblationOptions ablation() const override { return opts_.ablation(); }
+  LatencyEstimate evaluate(double lambda0) const override;
 
  private:
   FatTreeModelOptions opts_;

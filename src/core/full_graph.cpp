@@ -36,7 +36,7 @@ void walk(const topo::Topology& topo, const topo::ChannelTable& ct, int node, in
 
 }  // namespace
 
-NetworkModel build_full_channel_graph(const topo::Topology& topo) {
+GeneralModel build_full_channel_graph(const topo::Topology& topo) {
   const topo::ChannelTable ct(topo);
   const int num_channels = ct.size();
   const int procs = topo.num_processors();
@@ -72,7 +72,7 @@ NetworkModel build_full_channel_graph(const topo::Topology& topo) {
     }
   }
 
-  NetworkModel net;
+  GeneralModel net;
   for (int ch = 0; ch < num_channels; ++ch) {
     const topo::DirectedChannel& dc = ct.at(ch);
     ChannelClass c;
@@ -108,6 +108,7 @@ NetworkModel build_full_channel_graph(const topo::Topology& topo) {
     net.injection_classes.push_back(inj);
   }
   net.mean_distance = topo.mean_distance();
+  net.model_name = "full-channel(" + topo.name() + ")";
 
   const std::string problems = net.graph.validate();
   WORMNET_ENSURES(problems.empty());

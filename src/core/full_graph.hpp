@@ -18,13 +18,13 @@
 // sizes where a per-channel model is interesting (N <= ~1k).
 #pragma once
 
-#include "core/network_model.hpp"
+#include "core/general_model.hpp"
 #include "topo/topology.hpp"
 
 namespace wormnet::core {
 
 /// Build the per-physical-channel model of `topo` under uniform traffic at
 /// unit injection rate.  Labels: "ch{src}:{port}" for every channel.
-NetworkModel build_full_channel_graph(const topo::Topology& topo);
+GeneralModel build_full_channel_graph(const topo::Topology& topo);
 
 }  // namespace wormnet::core

@@ -3,70 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
-#include "queueing/queueing.hpp"
+#include "core/saturation.hpp"
+#include "queueing/channel_solver.hpp"
 #include "util/math.hpp"
 
 namespace wormnet::core {
 
-using util::clamp01;
-using util::kInf;
-
 namespace {
 
-/// W̄ of the bundle serving class `j` under the options' ablation switches.
-double bundle_wait(const ChannelClass& cls, double xbar, const SolveOptions& opts) {
-  const double lambda_link = cls.rate_per_link * opts.injection_scale;
-  if (!opts.multi_server || cls.servers == 1) {
-    // Each physical link treated as an independent M/G/1 at its own rate.
-    return queueing::mg1_wait_wormhole(lambda_link, xbar, opts.worm_flits);
-  }
-  // Corrected form: the m-server queue sees the bundle's total rate.  The
-  // uncorrected published formula used the per-link rate.
-  const double lambda_arg =
-      opts.erratum_2lambda ? lambda_link * cls.servers : lambda_link;
-  return queueing::wormhole_wait(cls.servers, lambda_arg, xbar, opts.worm_flits);
-}
+using queueing::ChannelSolver;
 
-/// ρ of the bundle serving class `j` (always at the true total rate;
-/// ablations change the wait formula, not the physics of utilization).
-double bundle_utilization(const ChannelClass& cls, double xbar,
-                          const SolveOptions& opts) {
-  const double lambda_link = cls.rate_per_link * opts.injection_scale;
-  return queueing::utilization(lambda_link * cls.servers, xbar, cls.servers);
+/// W̄ of the bundle serving class `j` at the solve's injection scale.
+double bundle_wait(const ChannelSolver& solver, const ChannelClass& cls,
+                   double xbar, double injection_scale) {
+  return solver.bundle_wait(cls.servers, cls.rate_per_link * injection_scale, xbar);
 }
 
 /// Eq. 9/10 factor for a transition from class `from` into class `to`.
-double blocking_factor(const ChannelClass& from, const ChannelClass& to,
-                       const Transition& t, const SolveOptions& opts) {
-  if (!opts.blocking_correction) return 1.0;
-  // P = 1 - m (λ_i / λ_j^total) R(i|j); with per-link rates the m cancels:
-  // P = 1 - (λ_i^link / λ_j^link) R(i|j).  When the multi-server treatment
-  // is ablated the worm commits to one specific link out of m uniformly, so
-  // R splits into R/m per link.
-  const double lam_in = from.rate_per_link;
-  const double lam_out = to.rate_per_link;
-  if (lam_out <= 0.0) return 1.0;
-  double r = t.route_prob;
-  if (!opts.multi_server && to.servers > 1) r /= to.servers;
-  return clamp01(1.0 - (lam_in / lam_out) * r);
+/// Rates at unit injection scale: the λ_in/λ_out ratio is scale-invariant.
+double blocking_factor(const ChannelSolver& solver, const ChannelClass& from,
+                       const ChannelClass& to, const Transition& t) {
+  return solver.blocking_factor(to.servers, from.rate_per_link, to.rate_per_link,
+                                t.route_prob);
 }
 
 /// One evaluation of Eq. 11 for class `i` given current service times.
-double compose_service_time(const ChannelGraph& graph, int i,
-                            const std::vector<double>& x,
-                            const std::vector<double>& waits,
-                            const SolveOptions& opts) {
+double compose_service_time(const ChannelSolver& solver, const ChannelGraph& graph,
+                            int i, const std::vector<double>& x,
+                            const std::vector<double>& waits) {
   const ChannelClass& cls = graph.at(i);
-  if (cls.terminal) return opts.worm_flits;
+  if (cls.terminal) return solver.terminal_service();
   double xi = 0.0;
   for (const Transition& t : cls.next) {
     const ChannelClass& target = graph.at(t.target);
-    const double p = blocking_factor(cls, target, t, opts);
-    // p == 0 means the correction proves this input never waits there (a
-    // channel fed exclusively by one input); skip the product so an
-    // infinite wait past saturation doesn't turn 0 * inf into NaN.
+    const double p = blocking_factor(solver, cls, target, t);
     const double wait_term =
-        p > 0.0 ? p * waits[static_cast<std::size_t>(t.target)] : 0.0;
+        ChannelSolver::wait_term(p, waits[static_cast<std::size_t>(t.target)]);
     xi += t.weight * (x[static_cast<std::size_t>(t.target)] + wait_term);
   }
   return xi;
@@ -78,6 +50,9 @@ SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& o
   WORMNET_EXPECTS(opts.worm_flits > 0.0);
   WORMNET_EXPECTS(opts.injection_scale >= 0.0);
   WORMNET_EXPECTS(graph.validate().empty());
+
+  const ChannelSolver solver(opts.worm_flits, opts.ablation());
+  const double scale = opts.injection_scale;
 
   const int n = graph.size();
   SolveResult result;
@@ -93,9 +68,10 @@ SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& o
     for (int id : order) {
       // Successors are already final; compose this class's x̄ from them,
       // then evaluate the wait of this class's bundle at that final x̄.
-      x[static_cast<std::size_t>(id)] = compose_service_time(graph, id, x, waits, opts);
+      x[static_cast<std::size_t>(id)] =
+          compose_service_time(solver, graph, id, x, waits);
       waits[static_cast<std::size_t>(id)] =
-          bundle_wait(graph.at(id), x[static_cast<std::size_t>(id)], opts);
+          bundle_wait(solver, graph.at(id), x[static_cast<std::size_t>(id)], scale);
     }
     result.iterations = 1;
     result.converged = true;
@@ -106,10 +82,10 @@ SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& o
       double max_delta = 0.0;
       for (int id = 0; id < n; ++id) {
         waits[static_cast<std::size_t>(id)] =
-            bundle_wait(graph.at(id), x[static_cast<std::size_t>(id)], opts);
+            bundle_wait(solver, graph.at(id), x[static_cast<std::size_t>(id)], scale);
       }
       for (int id = 0; id < n; ++id) {
-        const double next = compose_service_time(graph, id, x, waits, opts);
+        const double next = compose_service_time(solver, graph, id, x, waits);
         const double cur = x[static_cast<std::size_t>(id)];
         double blended = cur + opts.damping * (next - cur);
         if (std::isinf(next)) blended = next;  // saturation dominates damping
@@ -124,7 +100,7 @@ SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& o
     }
     for (int id = 0; id < n; ++id) {
       waits[static_cast<std::size_t>(id)] =
-          bundle_wait(graph.at(id), x[static_cast<std::size_t>(id)], opts);
+          bundle_wait(solver, graph.at(id), x[static_cast<std::size_t>(id)], scale);
     }
   }
 
@@ -132,8 +108,9 @@ SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& o
     ChannelSolution& sol = result.channels[static_cast<std::size_t>(id)];
     sol.service_time = x[static_cast<std::size_t>(id)];
     sol.wait = waits[static_cast<std::size_t>(id)];
-    sol.utilization = bundle_utilization(graph.at(id), sol.service_time, opts);
-    sol.cb2 = queueing::wormhole_cb2(sol.service_time, opts.worm_flits);
+    sol.utilization = solver.bundle_utilization(
+        graph.at(id).servers, graph.at(id).rate_per_link * scale, sol.service_time);
+    sol.cb2 = solver.cb2(sol.service_time);
     if (!std::isfinite(sol.service_time) || !std::isfinite(sol.wait) ||
         sol.utilization >= 1.0) {
       result.stable = false;
@@ -161,6 +138,41 @@ LatencyEstimate estimate_latency(const SolveResult& solution,
   est.latency = est.inj_wait + est.inj_service + mean_distance - 1.0;
   if (!std::isfinite(est.latency)) est.stable = false;
   return est;
+}
+
+int GeneralModel::class_id(const std::string& label) const {
+  auto it = labels.find(label);
+  WORMNET_EXPECTS(it != labels.end());
+  return it->second;
+}
+
+SolveResult GeneralModel::solve(double lambda0) const {
+  SolveOptions run = opts;
+  run.injection_scale = lambda0;
+  return solve_general_model(graph, run);
+}
+
+LatencyEstimate GeneralModel::evaluate(double lambda0) const {
+  return estimate_latency(solve(lambda0), injection_classes, mean_distance);
+}
+
+SolveResult model_solve(const GeneralModel& net, double lambda0, SolveOptions base) {
+  base.injection_scale = lambda0;
+  return solve_general_model(net.graph, base);
+}
+
+LatencyEstimate model_latency(const GeneralModel& net, double lambda0,
+                              SolveOptions base) {
+  const SolveResult res = model_solve(net, lambda0, base);
+  return estimate_latency(res, net.injection_classes, net.mean_distance);
+}
+
+double model_saturation_rate(const GeneralModel& net, SolveOptions base) {
+  return find_saturation_rate(
+      [&](double lambda0) {
+        return model_latency(net, lambda0, base).inj_service;
+      },
+      1.0 / base.worm_flits);
 }
 
 }  // namespace wormnet::core

@@ -7,11 +7,11 @@
 //
 //     x̄_i = Σ_j  weight(i→j) · [ x̄_j + P(i|j) · W̄_j ]
 //
-// where W̄_j is the M/G/m mean wait of the output bundle serving class j
-// (Eq. 6 for m = 1, Hokstad's Eq. 8 for m = 2, the generalized kernel for
-// m > 2), evaluated at the bundle's total rate, and P(i|j) is the wormhole
-// blocking-probability correction of Eq. 9/10.  Terminal (ejection) classes
-// have x̄ = s_f, the worm length in flits.
+// where W̄_j is the M/G/m mean wait of the output bundle serving class j and
+// P(i|j) is the wormhole blocking-probability correction of Eq. 9/10 — both
+// evaluated by the shared queueing::ChannelSolver kernel, the single home of
+// that recurrence.  Terminal (ejection) classes have x̄ = s_f, the worm
+// length in flits.
 //
 // The service times resolve in reverse-topological order — "from the last
 // channel backwards to the injecting channel" — in a single exact sweep when
@@ -19,19 +19,17 @@
 // and DOR mesh).  For cyclic graphs the solver falls back to damped
 // fixed-point iteration.
 //
-// Ablation switches reproduce the paper's two claimed novelties and the
-// published erratum, so benches can quantify each ingredient's contribution:
-//  * multi_server = false     → treat an m-link bundle as m independent
-//                               M/G/1 servers, each with the per-link rate;
-//  * blocking_correction = false → P(i|j) ≡ 1 (plain store-and-forward-style
-//                               reuse of Poisson queueing results);
-//  * erratum_2lambda = false  → evaluate M/G/2 at the per-link rate, the
-//                               uncorrected formula as originally typeset.
+// The ablation switches (queueing::AblationOptions) reproduce the paper's
+// two claimed novelties and the published erratum, so benches can quantify
+// each ingredient's contribution.
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/channel_graph.hpp"
+#include "core/network_model.hpp"
 
 namespace wormnet::core {
 
@@ -45,6 +43,11 @@ struct SolveOptions {
   int max_iterations = 500;        ///< fixed-point cap for cyclic graphs
   double tolerance = 1e-12;        ///< fixed-point convergence threshold
   double damping = 0.5;            ///< fixed-point damping factor in (0, 1]
+
+  /// The switches the ChannelSolver kernel consumes.
+  queueing::AblationOptions ablation() const {
+    return {multi_server, blocking_correction, erratum_2lambda};
+  }
 };
 
 /// Per-class solution values.
@@ -74,21 +77,57 @@ struct SolveResult {
 /// Preconditions: graph.validate() is empty.
 SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& opts);
 
-/// Network-level latency summary assembled from a SolveResult (Eq. 2/25):
-///     L = mean_j [ W̄_inj(j) + x̄_inj(j) ] + D̄ - 1.
-struct LatencyEstimate {
-  bool stable = true;
-  double latency = 0.0;       ///< L, cycles from generation to tail delivery
-  double inj_wait = 0.0;      ///< mean source-queue wait
-  double inj_service = 0.0;   ///< mean injection-channel service time
-  double mean_distance = 0.0; ///< D̄ in channels
-};
-
 /// Average Eq. 1 over the given injection classes with uniform weights.
 /// `injection_classes` lists the class id of each PE's injection channel
 /// (one entry per symmetric group is fine when all PEs are equivalent).
 LatencyEstimate estimate_latency(const SolveResult& solution,
                                  const std::vector<int>& injection_classes,
                                  double mean_distance);
+
+/// The general model packaged for one concrete network: the channel graph
+/// (with unit-injection rates), the injection channel classes, the mean
+/// path length, and the solve options.  Builders in fattree_graph.hpp,
+/// hypercube_graph.hpp and full_graph.hpp produce these; as a NetworkModel
+/// it plugs straight into the sweep engine and experiment harness.
+class GeneralModel final : public NetworkModel {
+ public:
+  ChannelGraph graph;
+  /// Class ids of the processors' injection channels (one per symmetry
+  /// group; estimate_latency averages them uniformly).
+  std::vector<int> injection_classes;
+  /// D̄ of the paper's Eq. 2, counted in channels.
+  double mean_distance = 0.0;
+  /// Builder-provided label → class id map (used by tests and reports).
+  std::map<std::string, int> labels;
+  /// Worm length, ablation switches and solver knobs.  `injection_scale`
+  /// is overridden per evaluation by the λ₀ argument.
+  SolveOptions opts;
+  /// Builder-provided identity for reports.
+  std::string model_name = "general";
+
+  /// Look up a labeled class id; aborts if absent.
+  int class_id(const std::string& label) const;
+
+  /// Full solve at λ₀ (per-channel detail).
+  SolveResult solve(double lambda0) const;
+
+  // NetworkModel interface.
+  std::string name() const override { return model_name; }
+  double worm_flits() const override { return opts.worm_flits; }
+  queueing::AblationOptions ablation() const override { return opts.ablation(); }
+  LatencyEstimate evaluate(double lambda0) const override;
+};
+
+/// Full solve at λ₀ (per-channel detail).  `base` supplies worm length and
+/// ablation switches; its injection_scale is overridden by `lambda0`.
+SolveResult model_solve(const GeneralModel& net, double lambda0, SolveOptions base);
+
+/// Solve the model at injection rate λ₀ (messages/cycle/PE) and report
+/// network latency, same option handling.
+LatencyEstimate model_latency(const GeneralModel& net, double lambda0,
+                              SolveOptions base);
+
+/// Saturation injection rate λ₀* (Eq. 26) for the network under `base`.
+double model_saturation_rate(const GeneralModel& net, SolveOptions base);
 
 }  // namespace wormnet::core

@@ -6,12 +6,12 @@
 
 namespace wormnet::core {
 
-NetworkModel build_hypercube_collapsed(int dims) {
+GeneralModel build_hypercube_collapsed(int dims) {
   WORMNET_EXPECTS(dims >= 1 && dims <= 16);
   const int n = dims;
   const double big_n = static_cast<double>(1L << n);
 
-  NetworkModel net;
+  GeneralModel net;
 
   ChannelClass inj;
   inj.label = "inj";
@@ -58,6 +58,7 @@ NetworkModel build_hypercube_collapsed(int dims) {
   }
 
   net.injection_classes = {inj_id};
+  net.model_name = "collapsed-hypercube(n=" + std::to_string(dims) + ")";
   // Mean Hamming distance over distinct pairs plus injection and ejection.
   net.mean_distance = n * (big_n / 2.0) / (big_n - 1.0) + 2.0;
 

@@ -17,11 +17,11 @@
 // Class labels: "inj", "dim0" … "dim{n-1}", "eject".
 #pragma once
 
-#include "core/network_model.hpp"
+#include "core/general_model.hpp"
 
 namespace wormnet::core {
 
 /// Build the collapsed hypercube model for `dims` dimensions (N = 2^dims).
-NetworkModel build_hypercube_collapsed(int dims);
+GeneralModel build_hypercube_collapsed(int dims);
 
 }  // namespace wormnet::core

@@ -1,32 +1,26 @@
 #include "core/network_model.hpp"
 
 #include "core/saturation.hpp"
+#include "util/assert.hpp"
 
 namespace wormnet::core {
 
-int NetworkModel::class_id(const std::string& label) const {
-  auto it = labels.find(label);
-  WORMNET_EXPECTS(it != labels.end());
-  return it->second;
+LatencyEstimate NetworkModel::evaluate_load(double load_flits) const {
+  return evaluate(load_flits / worm_flits());
 }
 
-SolveResult model_solve(const NetworkModel& net, double lambda0, SolveOptions base) {
-  base.injection_scale = lambda0;
-  return solve_general_model(net.graph, base);
-}
-
-LatencyEstimate model_latency(const NetworkModel& net, double lambda0,
-                              SolveOptions base) {
-  const SolveResult res = model_solve(net, lambda0, base);
-  return estimate_latency(res, net.injection_classes, net.mean_distance);
-}
-
-double model_saturation_rate(const NetworkModel& net, SolveOptions base) {
+double NetworkModel::saturation_rate() const {
+  const double sf = worm_flits();
+  WORMNET_EXPECTS(sf > 0.0);
+  // Eq. 26: find λ₀ with λ₀ · x̄_inj(λ₀) = 1.  x̄_inj >= s_f pins the root
+  // below 1/s_f.
   return find_saturation_rate(
-      [&](double lambda0) {
-        return model_latency(net, lambda0, base).inj_service;
-      },
-      1.0 / base.worm_flits);
+      [this](double lambda0) { return evaluate(lambda0).inj_service; },
+      1.0 / sf);
+}
+
+double NetworkModel::saturation_load() const {
+  return saturation_rate() * worm_flits();
 }
 
 }  // namespace wormnet::core

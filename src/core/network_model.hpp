@@ -1,47 +1,60 @@
 // wormnet/core/network_model.hpp
 //
-// A packaged instance of the general model for one concrete network: the
-// channel graph (with unit-injection rates), the injection channel classes,
-// and the mean path length.  Builders in fattree_graph.hpp,
-// hypercube_graph.hpp and full_graph.hpp produce these; the helpers below
-// evaluate latency and saturation without the caller touching the solver
-// plumbing.
+// The polymorphic surface of the analytical model: every instantiation —
+// the closed-form butterfly fat-tree (§3), the general channel-graph solver
+// (§2) over collapsed fat-tree / hypercube / per-channel mesh graphs, and
+// any user-built model — implements this one interface, so the sweep engine
+// and experiment harness drive all of them uniformly.
+//
+// Implementations own their topology description and ablation switches; the
+// interface deals only in the paper's observable quantities: the latency
+// estimate at an injection rate (Eq. 2/25) and the saturation rate (Eq. 26).
 #pragma once
 
-#include <map>
 #include <string>
-#include <vector>
 
-#include "core/channel_graph.hpp"
-#include "core/general_model.hpp"
+#include "queueing/channel_solver.hpp"
 
 namespace wormnet::core {
 
-/// A channel graph plus the metadata needed to turn a solve into a latency.
-struct NetworkModel {
-  ChannelGraph graph;
-  /// Class ids of the processors' injection channels (one per symmetry
-  /// group; estimate_latency averages them uniformly).
-  std::vector<int> injection_classes;
-  /// D̄ of the paper's Eq. 2, counted in channels.
-  double mean_distance = 0.0;
-  /// Builder-provided label → class id map (used by tests and reports).
-  std::map<std::string, int> labels;
-
-  /// Look up a labeled class id; aborts if absent.
-  int class_id(const std::string& label) const;
+/// Network-level latency summary (Eq. 2/25):
+///     L = mean_j [ W̄_inj(j) + x̄_inj(j) ] + D̄ - 1.
+struct LatencyEstimate {
+  bool stable = true;
+  double latency = 0.0;       ///< L, cycles from generation to tail delivery
+  double inj_wait = 0.0;      ///< mean source-queue wait
+  double inj_service = 0.0;   ///< mean injection-channel service time
+  double mean_distance = 0.0; ///< D̄ in channels
 };
 
-/// Solve the model at injection rate λ₀ (messages/cycle/PE) and report
-/// network latency.  `base` supplies worm length and ablation switches; its
-/// injection_scale is overridden by `lambda0`.
-LatencyEstimate model_latency(const NetworkModel& net, double lambda0,
-                              SolveOptions base);
+/// An analytical wormhole-network model evaluated at an injection rate.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
 
-/// Full solve at λ₀ (per-channel detail), same option handling.
-SolveResult model_solve(const NetworkModel& net, double lambda0, SolveOptions base);
+  /// Human-readable model identity for reports and logs.
+  virtual std::string name() const = 0;
 
-/// Saturation injection rate λ₀* (Eq. 26) for the network under `base`.
-double model_saturation_rate(const NetworkModel& net, SolveOptions base);
+  /// s_f, the worm length in flits this model was configured with.
+  virtual double worm_flits() const = 0;
+
+  /// The ablation switches in force (the paper's two novelties + erratum).
+  virtual queueing::AblationOptions ablation() const = 0;
+
+  /// Evaluate at λ₀ messages/cycle/processor.
+  virtual LatencyEstimate evaluate(double lambda0) const = 0;
+
+  /// Evaluate at a load expressed in flits/cycle/processor (Fig. 3's x-axis).
+  LatencyEstimate evaluate_load(double load_flits) const;
+
+  /// Saturation injection rate λ₀* solving Eq. 26 (λ₀ · x̄_inj(λ₀) = 1) by
+  /// bisection.  The default implementation brackets from 1/s_f (the
+  /// injection channel can never serve faster than one worm per s_f cycles);
+  /// implementations may override with a cheaper closed form.
+  virtual double saturation_rate() const;
+
+  /// Saturation throughput in flits/cycle/processor (λ₀* · s_f).
+  double saturation_load() const;
+};
 
 }  // namespace wormnet::core

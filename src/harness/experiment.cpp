@@ -1,7 +1,10 @@
 #include "harness/experiment.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "sim/simulator.hpp"
 #include "util/assert.hpp"
@@ -10,27 +13,48 @@
 
 namespace wormnet::harness {
 
+namespace {
+
+/// Copy one engine point into the model half of a comparison row.
+void fill_model_side(ComparisonRow& row, const SweepPoint& pt) {
+  row.model_latency = pt.est.latency;
+  row.model_inj_wait = pt.est.inj_wait;
+  row.model_inj_service = pt.est.inj_service;
+  row.model_stable = pt.est.stable;
+}
+
+}  // namespace
+
 std::vector<ComparisonRow> compare_latency(const topo::Topology& topo,
-                                           const ModelFn& model,
-                                           const SweepConfig& cfg) {
+                                           const core::NetworkModel& model,
+                                           const SweepConfig& cfg,
+                                           SweepEngine* engine) {
   WORMNET_EXPECTS(!cfg.loads.empty());
   const sim::SimNetwork net(topo);
   std::vector<ComparisonRow> rows(cfg.loads.size());
 
+  // Model side: one batched engine sweep (memoized across calls).  A
+  // private engine lives only for this block so its worker pool is gone
+  // before the simulation pool below spins up.
+  {
+    std::unique_ptr<SweepEngine> local;
+    if (!engine)
+      local = std::make_unique<SweepEngine>(SweepEngine::Options{cfg.threads});
+    SweepEngine& eng = engine ? *engine : *local;
+    const std::vector<SweepPoint> points = eng.sweep_load(model, cfg.loads);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      rows[i].load = cfg.loads[i];
+      fill_model_side(rows[i], points[i]);
+    }
+  }
+
+  // Simulation side: independent deterministic points across the pool.
+  util::ThreadPool pool(cfg.threads);
   util::parallel_for(
-      static_cast<std::int64_t>(cfg.loads.size()), [&](std::int64_t i) {
-        const double load = cfg.loads[static_cast<std::size_t>(i)];
+      pool, static_cast<std::int64_t>(cfg.loads.size()), [&](std::int64_t i) {
         ComparisonRow& row = rows[static_cast<std::size_t>(i)];
-        row.load = load;
-
-        const core::LatencyEstimate est = model(load);
-        row.model_latency = est.latency;
-        row.model_inj_wait = est.inj_wait;
-        row.model_inj_service = est.inj_service;
-        row.model_stable = est.stable;
-
         sim::SimConfig sc;
-        sc.load_flits = load;
+        sc.load_flits = row.load;
         sc.worm_flits = cfg.worm_flits;
         sc.seed = cfg.seed + static_cast<std::uint64_t>(i);
         sc.warmup_cycles = cfg.warmup_cycles;
@@ -49,20 +73,19 @@ std::vector<ComparisonRow> compare_latency(const topo::Topology& topo,
   return rows;
 }
 
-std::vector<ComparisonRow> model_only_sweep(const ModelFn& model,
-                                            const SweepConfig& cfg) {
-  std::vector<ComparisonRow> rows;
-  rows.reserve(cfg.loads.size());
-  for (double load : cfg.loads) {
-    ComparisonRow row;
-    row.load = load;
-    const core::LatencyEstimate est = model(load);
-    row.model_latency = est.latency;
-    row.model_inj_wait = est.inj_wait;
-    row.model_inj_service = est.inj_service;
-    row.model_stable = est.stable;
-    row.sim_latency = util::kNaN;
-    rows.push_back(row);
+std::vector<ComparisonRow> model_only_sweep(const core::NetworkModel& model,
+                                            const SweepConfig& cfg,
+                                            SweepEngine* engine) {
+  std::unique_ptr<SweepEngine> local;
+  if (!engine) local = std::make_unique<SweepEngine>(SweepEngine::Options{cfg.threads});
+  SweepEngine& eng = engine ? *engine : *local;
+
+  const std::vector<SweepPoint> points = eng.sweep_load(model, cfg.loads);
+  std::vector<ComparisonRow> rows(cfg.loads.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].load = cfg.loads[i];
+    fill_model_side(rows[i], points[i]);
+    rows[i].sim_latency = util::kNaN;
   }
   return rows;
 }
@@ -130,6 +153,38 @@ void print_experiment(const std::string& title, const util::Table& table) {
   std::cout << "--- csv ---\n";
   table.print_csv(std::cout);
   std::cout.flush();
+}
+
+std::vector<double> fraction_loads(double saturation_load,
+                                   bool include_past_saturation) {
+  std::vector<double> loads;
+  for (double f : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.875, 0.95})
+    loads.push_back(saturation_load * f);
+  if (include_past_saturation) {
+    loads.push_back(saturation_load * 1.05);
+    loads.push_back(saturation_load * 1.15);
+  }
+  return loads;
+}
+
+SweepConfig sweep_defaults(const util::Args& args, int worm_flits) {
+  SweepConfig cfg;
+  cfg.worm_flits = worm_flits;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const bool quick = args.get_bool("quick", false);
+  cfg.warmup_cycles = args.get_int("warmup", quick ? 4'000 : 12'000);
+  cfg.measure_cycles = args.get_int("measure", quick ? 10'000 : 40'000);
+  cfg.max_cycles = args.get_int("max-cycles", quick ? 60'000 : 250'000);
+  return cfg;
+}
+
+void reject_unknown_flags(const util::Args& args) {
+  const auto unused = args.unused();
+  if (unused.empty()) return;
+  std::fprintf(stderr, "unknown flag(s):");
+  for (const auto& u : unused) std::fprintf(stderr, " --%s", u.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
 }
 
 }  // namespace wormnet::harness

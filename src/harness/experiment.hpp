@@ -1,26 +1,24 @@
 // wormnet/harness/experiment.hpp
 //
 // The experiment harness ties the analytical model and the simulator
-// together: it sweeps offered load over a topology, evaluates both sides,
-// and renders the paper-style comparison series.  Every bench binary is a
-// thin wrapper around these functions.
+// together: it sweeps offered load over a topology, evaluates both sides
+// (the model through the SweepEngine, the simulator across the thread
+// pool), and renders the paper-style comparison series.  Every bench binary
+// is a thin wrapper around these functions.
 #pragma once
 
-#include <functional>
 #include <string>
 #include <vector>
 
-#include "core/general_model.hpp"
+#include "core/network_model.hpp"
+#include "harness/sweep_engine.hpp"
 #include "sim/config.hpp"
 #include "sim/metrics.hpp"
 #include "topo/topology.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace wormnet::harness {
-
-/// A model evaluated at a load (flits/cycle/PE); adapts FatTreeModel,
-/// NetworkModel and ablated variants uniformly.
-using ModelFn = std::function<core::LatencyEstimate(double load_flits)>;
 
 /// Sweep parameters shared by the latency experiments.
 struct SweepConfig {
@@ -51,14 +49,17 @@ struct ComparisonRow {
 };
 
 /// Run the sweep: simulate every load point (in parallel when the host has
-/// cores to spare) and evaluate `model` at the same points.
+/// cores to spare) and evaluate `model` at the same points through
+/// `engine`.  A null engine uses a private one for the call.
 std::vector<ComparisonRow> compare_latency(const topo::Topology& topo,
-                                           const ModelFn& model,
-                                           const SweepConfig& cfg);
+                                           const core::NetworkModel& model,
+                                           const SweepConfig& cfg,
+                                           SweepEngine* engine = nullptr);
 
 /// Model-only sweep (for ablation benches where simulation is reused).
-std::vector<ComparisonRow> model_only_sweep(const ModelFn& model,
-                                            const SweepConfig& cfg);
+std::vector<ComparisonRow> model_only_sweep(const core::NetworkModel& model,
+                                            const SweepConfig& cfg,
+                                            SweepEngine* engine = nullptr);
 
 /// Render comparison rows as a table: one row per load with model and
 /// simulation columns (the text form of one Fig. 3 series).
@@ -87,5 +88,19 @@ ThroughputRow compare_throughput(const topo::Topology& topo,
 /// Print a table with a heading and its CSV twin, the uniform output format
 /// of every bench binary.
 void print_experiment(const std::string& title, const util::Table& table);
+
+// --- Shared bench plumbing (previously duplicated in bench/bench_common.hpp).
+
+/// Load grid as fractions of a saturation point: dense through the knee and
+/// two points past saturation so the series shows the blow-up, like the
+/// paper's Fig. 3 curves.
+std::vector<double> fraction_loads(double saturation_load,
+                                   bool include_past_saturation = true);
+
+/// Standard sweep parameters; --quick shrinks windows ~4x.
+SweepConfig sweep_defaults(const util::Args& args, int worm_flits);
+
+/// Abort on mistyped flags so a typo never silently runs the default.
+void reject_unknown_flags(const util::Args& args);
 
 }  // namespace wormnet::harness

@@ -1,0 +1,195 @@
+#include "harness/sweep_engine.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "core/saturation.hpp"
+#include "util/assert.hpp"
+
+namespace wormnet::harness {
+
+namespace {
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+SweepEngine::Key SweepEngine::make_key(const core::NetworkModel& model,
+                                       double lambda0) {
+  // Mix every interface-visible configuration axis into the key — worm
+  // length and the three ablation switches — so mutating those on a cached
+  // model (or rebuilding one at a reused address with different options)
+  // misses instead of returning a stale estimate.  Configuration the
+  // interface cannot see (solver tolerances, a rewired graph) still
+  // requires clear_cache(), as documented in the header.
+  const queueing::AblationOptions abl = model.ablation();
+  const std::uint64_t config_bits =
+      (static_cast<std::uint64_t>(abl.multi_server) << 62) |
+      (static_cast<std::uint64_t>(abl.blocking_correction) << 61) |
+      (static_cast<std::uint64_t>(abl.erratum_2lambda) << 60) |
+      (double_bits(model.worm_flits()) >> 3);
+  return Key{&model, double_bits(lambda0) ^ (config_bits << 1)};
+}
+
+std::size_t SweepEngine::KeyHash::operator()(const Key& k) const {
+  // splitmix64-style mix of the pointer and the λ bit pattern.
+  std::uint64_t h = reinterpret_cast<std::uintptr_t>(k.model);
+  h ^= k.lambda_bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return static_cast<std::size_t>(h);
+}
+
+SweepEngine::SweepEngine(Options opts) : opts_(opts) {
+  if (opts_.parallel)
+    pool_ = std::make_unique<util::ThreadPool>(opts_.threads);
+}
+
+unsigned SweepEngine::threads() const { return pool_ ? pool_->size() : 1u; }
+
+bool SweepEngine::lookup(const Key& key, core::LatencyEstimate& out) {
+  if (!opts_.memoize) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  out = it->second;
+  return true;
+}
+
+void SweepEngine::store(const Key& key, const core::LatencyEstimate& est) {
+  if (!opts_.memoize) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.emplace(key, est);
+}
+
+core::LatencyEstimate SweepEngine::evaluate(const core::NetworkModel& model,
+                                            double lambda0) {
+  const Key key = make_key(model, lambda0);
+  core::LatencyEstimate est;
+  if (lookup(key, est)) return est;
+  est = model.evaluate(lambda0);
+  store(key, est);
+  return est;
+}
+
+core::LatencyEstimate SweepEngine::evaluate_load(const core::NetworkModel& model,
+                                                 double load_flits) {
+  return evaluate(model, load_flits / model.worm_flits());
+}
+
+std::vector<SweepPoint> SweepEngine::sweep_lambda(const core::NetworkModel& model,
+                                                  const std::vector<double>& lambdas) {
+  const double sf = model.worm_flits();
+  std::vector<SweepPoint> points(lambdas.size());
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    points[i].lambda0 = lambdas[i];
+    points[i].load_flits = lambdas[i] * sf;
+  }
+
+  // Resolve cache hits up front and collect the distinct misses, so each
+  // unique λ₀ is looked up and evaluated exactly once no matter how often
+  // it appears; duplicates copy from their representative and count as
+  // hits (they are evaluations avoided).
+  std::unordered_map<std::uint64_t, std::size_t> rep;  // λ bits → first index
+  std::vector<std::size_t> jobs;                       // uncached unique λ₀
+  std::vector<std::size_t> dups;                       // later occurrences
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    if (!rep.emplace(double_bits(lambdas[i]), i).second) {
+      dups.push_back(i);
+      continue;
+    }
+    if (!lookup(make_key(model, lambdas[i]), points[i].est)) jobs.push_back(i);
+  }
+  if (!dups.empty() && opts_.memoize) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hits_ += dups.size();
+  }
+
+  // Evaluate the unique misses — on the pool when parallel, in order when
+  // serial.  Each job is a pure function of (model, λ₀), so the schedule
+  // cannot change any result bit.
+  if (pool_ && jobs.size() > 1) {
+    util::parallel_for(*pool_, static_cast<std::int64_t>(jobs.size()),
+                       [&](std::int64_t j) {
+                         const std::size_t i = jobs[static_cast<std::size_t>(j)];
+                         points[i].est = model.evaluate(lambdas[i]);
+                       });
+  } else {
+    for (std::size_t i : jobs) points[i].est = model.evaluate(lambdas[i]);
+  }
+  for (std::size_t i : jobs) store(make_key(model, lambdas[i]), points[i].est);
+
+  // Fill duplicates from their representative (cached or freshly computed).
+  for (std::size_t i : dups) {
+    points[i].est = points[rep.at(double_bits(lambdas[i]))].est;
+  }
+  return points;
+}
+
+std::vector<SweepPoint> SweepEngine::sweep_load(const core::NetworkModel& model,
+                                                const std::vector<double>& loads) {
+  const double sf = model.worm_flits();
+  std::vector<double> lambdas;
+  lambdas.reserve(loads.size());
+  for (double load : loads) lambdas.push_back(load / sf);
+  std::vector<SweepPoint> points = sweep_lambda(model, lambdas);
+  // Report the caller's loads verbatim (λ·s_f could differ in the last ulp).
+  for (std::size_t i = 0; i < loads.size(); ++i) points[i].load_flits = loads[i];
+  return points;
+}
+
+std::vector<SweepPoint> SweepEngine::sweep_saturation_fractions(
+    const core::NetworkModel& model, const std::vector<double>& fractions) {
+  const double sat = saturation_rate(model);
+  std::vector<double> lambdas;
+  lambdas.reserve(fractions.size());
+  for (double f : fractions) lambdas.push_back(sat * f);
+  return sweep_lambda(model, lambdas);
+}
+
+double SweepEngine::saturation_rate(const core::NetworkModel& model) {
+  const double sf = model.worm_flits();
+  WORMNET_EXPECTS(sf > 0.0);
+  // The same Eq. 26 bisection the models run themselves, but with every
+  // probe routed through the cache: repeating the search is free, and the
+  // probes seed the cache for later sweeps near saturation.
+  return core::find_saturation_rate(
+      [&](double lambda0) { return evaluate(model, lambda0).inj_service; },
+      1.0 / sf);
+}
+
+double SweepEngine::saturation_load(const core::NetworkModel& model) {
+  return saturation_rate(model) * model.worm_flits();
+}
+
+std::uint64_t SweepEngine::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t SweepEngine::cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t SweepEngine::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+void SweepEngine::clear_cache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+}  // namespace wormnet::harness

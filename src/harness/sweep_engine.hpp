@@ -1,0 +1,116 @@
+// wormnet/harness/sweep_engine.hpp
+//
+// Batched evaluation engine for analytical models: λ-sweeps, load-sweeps
+// and saturation bisections over any core::NetworkModel, executed as
+// parallel jobs on a util::ThreadPool with per-(model, λ₀) memoization.
+//
+// Why an engine instead of a for-loop:
+//  * every bench used to hand-roll its own sweep loop; the engine is the
+//    one place that owns batching, threading and caching;
+//  * model evaluations are pure functions of (model, λ₀), so parallel and
+//    serial execution produce BITWISE-identical results (tested) — the
+//    engine just reorders work, never arithmetic;
+//  * saturation searches and fraction-of-saturation sweeps re-evaluate the
+//    same points repeatedly across benches; the memo cache collapses those
+//    into one solve each.
+//
+// The cache keys on the model's ADDRESS plus the λ₀ bit pattern plus the
+// interface-visible configuration (worm length, ablation switches): two
+// distinct model objects never share entries, and flipping an ablation
+// switch on a live model misses rather than reading stale data.  Two
+// caveats remain: an engine must not outlive a model whose address is
+// reused (keep models alive for the engine's lifetime, or clear_cache()
+// when recycling storage), and configuration the interface cannot see —
+// solver tolerances, an edited channel graph — requires clear_cache()
+// after mutation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/network_model.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wormnet::harness {
+
+/// One evaluated point of a sweep.
+struct SweepPoint {
+  double lambda0 = 0.0;     ///< injection rate, messages/cycle/PE
+  double load_flits = 0.0;  ///< λ₀ · s_f, flits/cycle/PE
+  core::LatencyEstimate est;
+};
+
+/// Parallel, memoizing sweep executor.
+class SweepEngine {
+ public:
+  struct Options {
+    unsigned threads = 0;  ///< worker count; 0 = hardware concurrency
+    bool parallel = true;  ///< false: evaluate on the calling thread, in order
+    bool memoize = true;   ///< false: always re-evaluate (for benchmarking)
+  };
+
+  SweepEngine() : SweepEngine(Options{}) {}
+  explicit SweepEngine(Options opts);
+
+  /// Evaluate one point (through the cache).
+  core::LatencyEstimate evaluate(const core::NetworkModel& model, double lambda0);
+  /// Evaluate one point given a flit load.
+  core::LatencyEstimate evaluate_load(const core::NetworkModel& model,
+                                      double load_flits);
+
+  /// Evaluate every λ₀ in `lambdas`; one SweepPoint per input, same order.
+  std::vector<SweepPoint> sweep_lambda(const core::NetworkModel& model,
+                                       const std::vector<double>& lambdas);
+  /// Evaluate every flit load in `loads`; one SweepPoint per input, same order.
+  std::vector<SweepPoint> sweep_load(const core::NetworkModel& model,
+                                     const std::vector<double>& loads);
+  /// Evaluate at the given fractions of the model's saturation load.
+  std::vector<SweepPoint> sweep_saturation_fractions(
+      const core::NetworkModel& model, const std::vector<double>& fractions);
+
+  /// Saturation rate λ₀* (Eq. 26), with every bisection probe memoized so
+  /// repeated searches over the same model are free.
+  double saturation_rate(const core::NetworkModel& model);
+  /// Saturation throughput λ₀* · s_f in flits/cycle/PE.
+  double saturation_load(const core::NetworkModel& model);
+
+  /// Number of worker threads backing parallel sweeps (1 when serial).
+  unsigned threads() const;
+
+  // Cache observability (tests; perf reports).
+  std::uint64_t cache_hits() const;
+  std::uint64_t cache_misses() const;
+  std::size_t cache_size() const;
+  void clear_cache();
+
+ private:
+  struct Key {
+    const core::NetworkModel* model;
+    std::uint64_t lambda_bits;
+    bool operator==(const Key& o) const {
+      return model == o.model && lambda_bits == o.lambda_bits;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  /// Cache key for one (model, λ₀) evaluation.
+  static Key make_key(const core::NetworkModel& model, double lambda0);
+
+  /// Cache lookup; returns true and fills `out` on a hit.
+  bool lookup(const Key& key, core::LatencyEstimate& out);
+  void store(const Key& key, const core::LatencyEstimate& est);
+
+  Options opts_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null when serial
+  mutable std::mutex mu_;
+  std::unordered_map<Key, core::LatencyEstimate, KeyHash> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace wormnet::harness

@@ -1,0 +1,53 @@
+#include "queueing/channel_solver.hpp"
+
+#include "queueing/queueing.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace wormnet::queueing {
+
+ChannelSolver::ChannelSolver(double worm_flits, AblationOptions ablation)
+    : worm_flits_(worm_flits), ablation_(ablation) {
+  WORMNET_EXPECTS(worm_flits_ > 0.0);
+}
+
+double ChannelSolver::cb2(double xbar) const {
+  return wormhole_cb2(xbar, worm_flits_);
+}
+
+double ChannelSolver::bundle_wait(int servers, double lambda_link, double xbar) const {
+  WORMNET_EXPECTS(servers >= 1);
+  if (!ablation_.multi_server || servers == 1) {
+    // Each physical link treated as an independent M/G/1 at its own rate.
+    return mg1_wait_wormhole(lambda_link, xbar, worm_flits_);
+  }
+  // Corrected form (the erratum at Eq. 21/23): the m-server queue sees the
+  // bundle's total rate.  The uncorrected published formula used the
+  // per-link rate.
+  const double lambda_arg =
+      ablation_.erratum_2lambda ? lambda_link * servers : lambda_link;
+  return wormhole_wait(servers, lambda_arg, xbar, worm_flits_);
+}
+
+double ChannelSolver::bundle_utilization(int servers, double lambda_link,
+                                         double xbar) const {
+  WORMNET_EXPECTS(servers >= 1);
+  return utilization(lambda_link * servers, xbar, servers);
+}
+
+double ChannelSolver::blocking_factor(int servers, double lambda_in_link,
+                                      double lambda_out_link,
+                                      double route_prob) const {
+  WORMNET_EXPECTS(servers >= 1);
+  if (!ablation_.blocking_correction) return 1.0;
+  if (lambda_out_link <= 0.0) return 1.0;  // vacuous: no contention either way
+  double r = route_prob;
+  if (!ablation_.multi_server && servers > 1) r /= servers;
+  return util::clamp01(1.0 - (lambda_in_link / lambda_out_link) * r);
+}
+
+double ChannelSolver::wait_term(double blocking, double wait) {
+  return blocking > 0.0 ? blocking * wait : 0.0;
+}
+
+}  // namespace wormnet::queueing

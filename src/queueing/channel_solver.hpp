@@ -1,0 +1,92 @@
+// wormnet/queueing/channel_solver.hpp
+//
+// The per-channel solver kernel of the Greenberg & Guan model — the ONE
+// place the repository evaluates the paper's wait/blocking recurrence.
+// Both instantiations of the model (the closed-form butterfly fat-tree of
+// §3 and the general channel-graph solver of §2) are thin drivers around
+// this kernel: they decide WHICH channels feed which, while the kernel owns
+// HOW a channel's wait, utilization and blocking discount are computed.
+//
+// The kernel bundles three ingredients, each behind its ablation switch:
+//  * bundle_wait       — W̄ of an m-link output bundle: M/G/1 (Eq. 6) for
+//                        m = 1, Hokstad's M/G/2 (Eq. 8) for m = 2 with the
+//                        published erratum's 2λ correction at Eq. 21/23,
+//                        and the generalized M/G/m kernel for m > 2;
+//  * blocking_factor   — the wormhole blocking-probability correction
+//                        P(i|j) of Eq. 9/10 in per-link-rate form;
+//  * wait_term         — the guarded p·W̄ product (0·∞ must be 0: a zero
+//                        blocking probability means "never waits here" even
+//                        past saturation).
+//
+// All rates passed to the kernel are PER PHYSICAL LINK; the kernel applies
+// the m-server total-rate correction internally so callers cannot disagree
+// about the erratum.
+#pragma once
+
+namespace wormnet::queueing {
+
+/// The paper's two novelties and its published erratum as switches, so the
+/// contribution of each ingredient can be isolated (the ablation benches)
+/// and so every model implementation exposes the same knobs.
+struct AblationOptions {
+  /// Novelty (1): model an m-link bundle as one M/G/m pool.  Off: m
+  /// independent M/G/1 servers, each at the per-link rate.
+  bool multi_server = true;
+  /// Novelty (2): apply the Eq. 9/10 blocking-probability discount.  Off:
+  /// P(i|j) ≡ 1 (plain store-and-forward reuse of Poisson results).
+  bool blocking_correction = true;
+  /// The erratum at Eq. 21/23: evaluate the M/G/m wait at the bundle's
+  /// TOTAL rate m·λ.  Off: the per-link rate as originally typeset.
+  bool erratum_2lambda = true;
+};
+
+/// Stateless-per-evaluation solver for one channel class; holds the worm
+/// length and ablation switches shared by every channel of one solve.
+class ChannelSolver {
+ public:
+  explicit ChannelSolver(double worm_flits, AblationOptions ablation = {});
+
+  /// s_f, the worm length in flits (== the deterministic part of service).
+  double worm_flits() const { return worm_flits_; }
+  /// The switches in force.
+  const AblationOptions& ablation() const { return ablation_; }
+
+  /// Service time of a terminal (ejection) channel: exactly s_f (Eq. 16).
+  double terminal_service() const { return worm_flits_; }
+
+  /// Squared coefficient of variation of channel service time, Eq. 5.
+  double cb2(double xbar) const;
+
+  /// Mean wait W̄ of an m-link bundle whose PER-LINK message rate is
+  /// `lambda_link` and whose per-message service time is `xbar`.
+  /// Dispatches on m and the ablation switches:
+  ///   m == 1 or multi_server off  → M/G/1 at the per-link rate (Eq. 6);
+  ///   m >= 2, erratum on          → M/G/m at the total rate m·λ (Eq. 8/21/23);
+  ///   m >= 2, erratum off         → M/G/m at the per-link rate (as typeset).
+  double bundle_wait(int servers, double lambda_link, double xbar) const;
+
+  /// Utilization ρ of the bundle, always at the true total rate m·λ (the
+  /// ablations change the wait formula, not the physics of utilization).
+  double bundle_utilization(int servers, double lambda_link, double xbar) const;
+
+  /// Blocking-probability correction P(i|j) of Eq. 9/10 in per-link form:
+  ///     P = 1 − (λ_in / λ_out) · R(i|j),   clamped into [0, 1],
+  /// where `servers` is m of the TARGET bundle.  With per-link rates the m
+  /// of Eq. 10 cancels; when the multi-server treatment is ablated the worm
+  /// commits to one specific link out of m uniformly, so R divides by m.
+  /// Returns 1 when the correction is ablated or the target carries no load.
+  double blocking_factor(int servers, double lambda_in_link,
+                         double lambda_out_link, double route_prob) const;
+
+  /// The guarded product p·W̄ used when composing service times (Eq. 11/18/
+  /// 20/22): p == 0 means the correction proves this input never waits
+  /// there, which must hold even when W̄ has diverged past saturation
+  /// (0 · ∞ would otherwise poison the whole chain with NaN).
+  static double wait_term(double blocking, double wait);
+
+ private:
+  double worm_flits_;
+  AblationOptions ablation_;
+};
+
+}  // namespace wormnet::queueing

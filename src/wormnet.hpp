@@ -27,6 +27,8 @@
 #include "core/network_model.hpp"      // IWYU pragma: export
 #include "core/saturation.hpp"         // IWYU pragma: export
 #include "harness/experiment.hpp"      // IWYU pragma: export
+#include "harness/sweep_engine.hpp"    // IWYU pragma: export
+#include "queueing/channel_solver.hpp" // IWYU pragma: export
 #include "queueing/queueing.hpp"       // IWYU pragma: export
 #include "sim/config.hpp"              // IWYU pragma: export
 #include "sim/metrics.hpp"             // IWYU pragma: export

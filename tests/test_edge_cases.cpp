@@ -57,7 +57,7 @@ TEST(ContractDeath, ChannelGraphRejectsBadTransitions) {
 }
 
 TEST(ContractDeath, NetworkModelUnknownLabel) {
-  const core::NetworkModel net = core::build_fattree_collapsed(2);
+  const core::GeneralModel net = core::build_fattree_collapsed(2);
   EXPECT_DEATH(net.class_id("nonexistent"), "precondition");
 }
 
@@ -86,7 +86,7 @@ TEST(EdgeCases, SolveAtExactlyZeroWorm) {
       [] {
         core::SolveOptions opts;
         opts.worm_flits = 0.0;
-        const core::NetworkModel net = core::build_fattree_collapsed(2);
+        const core::GeneralModel net = core::build_fattree_collapsed(2);
         core::solve_general_model(net.graph, opts);
       }(),
       "precondition");
@@ -132,14 +132,14 @@ TEST(EdgeCases, ZeroLoadSimulationDeliversNothing) {
 
 TEST(EdgeCases, ModelAtExactlySaturationIsUnstableOrHuge) {
   core::FatTreeModel m({.levels = 3, .worm_flits = 16.0});
-  const core::FatTreeEvaluation ev = m.evaluate(m.saturation_rate() * 1.0001);
+  const core::FatTreeEvaluation ev = m.evaluate_detail(m.saturation_rate() * 1.0001);
   EXPECT_FALSE(ev.stable);
 }
 
 TEST(EdgeCases, MaxSupportedFatTree) {
   // levels = 8 => 65,536 processors; the model must stay fast and finite.
   core::FatTreeModel m({.levels = 8, .worm_flits = 16.0});
-  const core::FatTreeEvaluation ev = m.evaluate_load(0.001);
+  const core::FatTreeEvaluation ev = m.evaluate_load_detail(0.001);
   EXPECT_TRUE(ev.stable);
   EXPECT_GT(m.saturation_load(), 0.0);
   EXPECT_NEAR(ev.mean_distance, m.mean_distance(), 1e-12);

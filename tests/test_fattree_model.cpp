@@ -46,7 +46,7 @@ TEST(FatTreeModel, ZeroLoadLatencyIsDistancePlusWormLength) {
   for (int n : {1, 2, 3, 5}) {
     for (double sf : {16.0, 32.0, 64.0}) {
       FatTreeModel m({.levels = n, .worm_flits = sf});
-      const FatTreeEvaluation ev = m.evaluate(0.0);
+      const FatTreeEvaluation ev = m.evaluate_detail(0.0);
       EXPECT_TRUE(ev.stable);
       EXPECT_NEAR(ev.latency, sf + m.mean_distance() - 1.0, 1e-9)
           << "n=" << n << " sf=" << sf;
@@ -58,7 +58,7 @@ TEST(FatTreeModel, ZeroLoadLatencyIsDistancePlusWormLength) {
 
 TEST(FatTreeModel, EjectionServiceIsWormLength) {
   FatTreeModel m({.levels = 3, .worm_flits = 32.0});
-  const FatTreeEvaluation ev = m.evaluate(0.0005);
+  const FatTreeEvaluation ev = m.evaluate_detail(0.0005);
   EXPECT_DOUBLE_EQ(ev.x_down[0], 32.0);  // Eq. 16
 }
 
@@ -66,7 +66,7 @@ TEST(FatTreeModel, LatencyIsMonotoneInLoad) {
   FatTreeModel m({.levels = 4, .worm_flits = 16.0});
   double prev = 0.0;
   for (double load = 0.002; load < 0.035; load += 0.004) {
-    const FatTreeEvaluation ev = m.evaluate_load(load);
+    const FatTreeEvaluation ev = m.evaluate_load_detail(load);
     ASSERT_TRUE(ev.stable) << "load=" << load;
     EXPECT_GT(ev.latency, prev);
     prev = ev.latency;
@@ -77,7 +77,7 @@ TEST(FatTreeModel, ServiceTimesGrowTowardTheSource) {
   // Under load, x̄⟨0,1⟩ accumulates every downstream wait, so it must exceed
   // the worm length and exceed every down-channel service time.
   FatTreeModel m({.levels = 4, .worm_flits = 16.0});
-  const FatTreeEvaluation ev = m.evaluate_load(0.025);
+  const FatTreeEvaluation ev = m.evaluate_load_detail(0.025);
   ASSERT_TRUE(ev.stable);
   EXPECT_GT(ev.inj_service, 16.0);
   for (int l = 0; l < 4; ++l) {
@@ -95,8 +95,8 @@ TEST(FatTreeModel, ServiceTimesGrowTowardTheSource) {
 TEST(FatTreeModel, UnstableAboveSaturation) {
   FatTreeModel m({.levels = 5, .worm_flits = 32.0});
   const double sat = m.saturation_load();
-  EXPECT_FALSE(m.evaluate_load(sat * 1.05).stable);
-  EXPECT_TRUE(m.evaluate_load(sat * 0.95).stable);
+  EXPECT_FALSE(m.evaluate_load_detail(sat * 1.05).stable);
+  EXPECT_TRUE(m.evaluate_load_detail(sat * 0.95).stable);
 }
 
 TEST(FatTreeModel, SaturationIsTheStabilityBoundary) {
@@ -105,12 +105,12 @@ TEST(FatTreeModel, SaturationIsTheStabilityBoundary) {
   // stability boundary; the solver must pin that boundary tightly.
   FatTreeModel m({.levels = 4, .worm_flits = 16.0});
   const double rate = m.saturation_rate();
-  const FatTreeEvaluation below = m.evaluate(rate * 0.999);
+  const FatTreeEvaluation below = m.evaluate_detail(rate * 0.999);
   ASSERT_TRUE(below.stable);
   // Below saturation the source still keeps up: λ₀·x̄⟨0,1⟩ < 1.
   EXPECT_LT(below.inj_service * below.lambda0, 1.0);
   // The boundary is tight: 0.1% above is already unstable.
-  EXPECT_FALSE(m.evaluate(rate * 1.001).stable);
+  EXPECT_FALSE(m.evaluate_detail(rate * 1.001).stable);
   // Utilizations compound through the service-time chain, so ρ_max climbs
   // through the final stretch toward 1 extremely steeply; 0.1% below the
   // boundary it is already high but not yet pinned at 1.
@@ -137,8 +137,8 @@ TEST(FatTreeModel, LatencyScalesLinearlyInWormLengthAtFixedFlitLoad) {
   FatTreeModel m16({.levels = 4, .worm_flits = 16.0});
   FatTreeModel m48({.levels = 4, .worm_flits = 48.0});
   const double load = 0.02;
-  const double core16 = m16.evaluate_load(load).latency - (m16.mean_distance() - 1.0);
-  const double core48 = m48.evaluate_load(load).latency - (m48.mean_distance() - 1.0);
+  const double core16 = m16.evaluate_load_detail(load).latency - (m16.mean_distance() - 1.0);
+  const double core48 = m48.evaluate_load_detail(load).latency - (m48.mean_distance() - 1.0);
   EXPECT_NEAR(core48, 3.0 * core16, 1e-6);
 }
 
@@ -150,7 +150,7 @@ TEST(FatTreeModel, ErratumMattersAtModerateLoad) {
   typo.erratum_2lambda = false;
   FatTreeModel m_good(good), m_typo(typo);
   const double load = 0.03;
-  EXPECT_GT(m_good.evaluate_load(load).latency, m_typo.evaluate_load(load).latency);
+  EXPECT_GT(m_good.evaluate_load_detail(load).latency, m_typo.evaluate_load_detail(load).latency);
 }
 
 TEST(FatTreeModel, MultiServerAblationChangesPrediction) {
@@ -158,8 +158,8 @@ TEST(FatTreeModel, MultiServerAblationChangesPrediction) {
   FatTreeModelOptions mg1 = mg2;
   mg1.multi_server = false;
   const double load = 0.03;
-  const double latency_mg2 = FatTreeModel(mg2).evaluate_load(load).latency;
-  const double latency_mg1 = FatTreeModel(mg1).evaluate_load(load).latency;
+  const double latency_mg2 = FatTreeModel(mg2).evaluate_load_detail(load).latency;
+  const double latency_mg1 = FatTreeModel(mg1).evaluate_load_detail(load).latency;
   // Treating each up-link as an isolated M/G/1 ignores the pooling benefit
   // of the redundant pair, over-predicting latency.
   EXPECT_GT(latency_mg1, latency_mg2);
@@ -170,8 +170,8 @@ TEST(FatTreeModel, BlockingAblationChangesPrediction) {
   FatTreeModelOptions without = with;
   without.blocking_correction = false;
   const double load = 0.03;
-  const double latency_with = FatTreeModel(with).evaluate_load(load).latency;
-  const double latency_without = FatTreeModel(without).evaluate_load(load).latency;
+  const double latency_with = FatTreeModel(with).evaluate_load_detail(load).latency;
+  const double latency_without = FatTreeModel(without).evaluate_load_detail(load).latency;
   // P(i|j) <= 1 discounts waits; dropping it must increase latency.
   EXPECT_GT(latency_without, latency_with);
 }
@@ -180,7 +180,7 @@ TEST(FatTreeModel, SmallestNetworkIsWellFormed) {
   // n = 1: four processors under one switch level; everything resolves via
   // the top-level rule (Eq. 20 with n = 1).
   FatTreeModel m({.levels = 1, .worm_flits = 16.0});
-  const FatTreeEvaluation ev = m.evaluate(0.01);
+  const FatTreeEvaluation ev = m.evaluate_detail(0.01);
   EXPECT_TRUE(ev.stable);
   EXPECT_NEAR(ev.mean_distance, 2.0, 1e-12);  // every pair shares the switch
   EXPECT_GT(ev.latency, 16.0 + 2.0 - 1.0);
@@ -189,8 +189,8 @@ TEST(FatTreeModel, SmallestNetworkIsWellFormed) {
 
 TEST(FatTreeModel, EvaluateLoadConvertsUnits) {
   FatTreeModel m({.levels = 3, .worm_flits = 32.0});
-  const FatTreeEvaluation a = m.evaluate(0.001);
-  const FatTreeEvaluation b = m.evaluate_load(0.032);
+  const FatTreeEvaluation a = m.evaluate_detail(0.001);
+  const FatTreeEvaluation b = m.evaluate_load_detail(0.032);
   EXPECT_NEAR(a.latency, b.latency, 1e-12);
   EXPECT_NEAR(b.lambda0, 0.001, 1e-15);
   EXPECT_NEAR(a.load_flits, 0.032, 1e-15);
@@ -205,7 +205,7 @@ TEST_P(FatTreeModelSweep, StableIffFinite) {
   const auto [levels, sf, frac] = GetParam();
   FatTreeModel m({.levels = levels, .worm_flits = sf});
   const double load = m.saturation_load() * frac;
-  const FatTreeEvaluation ev = m.evaluate_load(load);
+  const FatTreeEvaluation ev = m.evaluate_load_detail(load);
   EXPECT_EQ(ev.stable, std::isfinite(ev.latency));
   if (frac < 1.0) {
     EXPECT_TRUE(ev.stable) << "levels=" << levels << " sf=" << sf

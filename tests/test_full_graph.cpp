@@ -24,7 +24,7 @@ namespace {
 
 TEST(FullGraph, FatTreeRatesMatchEq14PerLevel) {
   topo::ButterflyFatTree ft(2);
-  const NetworkModel net = build_full_channel_graph(ft);
+  const GeneralModel net = build_full_channel_graph(ft);
   const topo::ChannelTable ct(ft);
   FatTreeModel model({.levels = 2, .worm_flits = 16.0});
   for (int ch = 0; ch < ct.size(); ++ch) {
@@ -51,17 +51,18 @@ TEST(FullGraph, FatTreeFullMatchesCollapsedUpToPaperApproximation) {
   // the paper itself makes.
   for (int levels : {1, 2, 3}) {
     topo::ButterflyFatTree ft(levels);
-    const NetworkModel full = build_full_channel_graph(ft);
-    const NetworkModel collapsed = build_fattree_collapsed(levels);
+    const GeneralModel full = build_full_channel_graph(ft);
+    const GeneralModel collapsed = build_fattree_collapsed(levels);
     SolveOptions opts;
     opts.worm_flits = 16.0;
     for (double lambda0 : {0.0005, 0.002}) {
       const LatencyEstimate a = model_latency(full, lambda0, opts);
       const LatencyEstimate b = model_latency(collapsed, lambda0, opts);
       ASSERT_EQ(a.stable, b.stable);
-      if (a.stable)
+      if (a.stable) {
         EXPECT_NEAR(a.latency, b.latency, 2e-3 * b.latency)
             << "levels=" << levels << " lambda0=" << lambda0;
+      }
     }
   }
 }
@@ -73,8 +74,8 @@ TEST(FullGraph, ExactConditionalsCloseTheGapToFullGraph) {
   // difference is entirely the paper's unconditional-P↑ approximation.
   for (int levels : {2, 3}) {
     topo::ButterflyFatTree ft(levels);
-    const NetworkModel full = build_full_channel_graph(ft);
-    const NetworkModel exact = build_fattree_collapsed(levels, 2,
+    const GeneralModel full = build_full_channel_graph(ft);
+    const GeneralModel exact = build_fattree_collapsed(levels, 2,
                                                        /*exact_conditionals=*/true);
     SolveOptions opts;
     opts.worm_flits = 16.0;
@@ -82,9 +83,10 @@ TEST(FullGraph, ExactConditionalsCloseTheGapToFullGraph) {
       const LatencyEstimate a = model_latency(full, lambda0, opts);
       const LatencyEstimate b = model_latency(exact, lambda0, opts);
       ASSERT_EQ(a.stable, b.stable);
-      if (a.stable)
+      if (a.stable) {
         EXPECT_NEAR(a.latency, b.latency, 1e-9 * b.latency)
             << "levels=" << levels << " lambda0=" << lambda0;
+      }
     }
   }
 }
@@ -92,24 +94,25 @@ TEST(FullGraph, ExactConditionalsCloseTheGapToFullGraph) {
 TEST(FullGraph, HypercubeFullMatchesCollapsed) {
   for (int dims : {2, 3, 4}) {
     topo::Hypercube hc(dims);
-    const NetworkModel full = build_full_channel_graph(hc);
-    const NetworkModel collapsed = build_hypercube_collapsed(dims);
+    const GeneralModel full = build_full_channel_graph(hc);
+    const GeneralModel collapsed = build_hypercube_collapsed(dims);
     SolveOptions opts;
     opts.worm_flits = 16.0;
     for (double lambda0 : {0.001, 0.004}) {
       const LatencyEstimate a = model_latency(full, lambda0, opts);
       const LatencyEstimate b = model_latency(collapsed, lambda0, opts);
       ASSERT_EQ(a.stable, b.stable);
-      if (a.stable)
+      if (a.stable) {
         EXPECT_NEAR(a.latency, b.latency, 1e-6 * b.latency)
             << "dims=" << dims << " lambda0=" << lambda0;
+      }
     }
   }
 }
 
 TEST(FullGraph, FlowConservationAtInjectionAndEjection) {
   topo::Mesh m(4, 2);
-  const NetworkModel net = build_full_channel_graph(m);
+  const GeneralModel net = build_full_channel_graph(m);
   const topo::ChannelTable ct(m);
   for (int p = 0; p < m.num_processors(); ++p) {
     // Unit injection per processor...
@@ -127,7 +130,7 @@ TEST(FullGraph, MeshCenterChannelsCarryMoreTraffic) {
   // DOR on a line: the middle links carry the most flow — the heterogeneity
   // that makes the mesh a real test of the per-channel model.
   topo::Mesh line(8, 1);
-  const NetworkModel net = build_full_channel_graph(line);
+  const GeneralModel net = build_full_channel_graph(line);
   const topo::ChannelTable ct(line);
   // x+ channel out of router i (port 1).
   auto plus_rate = [&](int i) {
@@ -142,7 +145,7 @@ TEST(FullGraph, MeshCenterChannelsCarryMoreTraffic) {
 
 TEST(FullGraph, MeshZeroLoadLatency) {
   topo::Mesh m(4, 2);
-  const NetworkModel net = build_full_channel_graph(m);
+  const GeneralModel net = build_full_channel_graph(m);
   SolveOptions opts;
   opts.worm_flits = 16.0;
   const LatencyEstimate est = model_latency(net, 0.0, opts);
@@ -151,7 +154,7 @@ TEST(FullGraph, MeshZeroLoadLatency) {
 
 TEST(FullGraph, MeshLatencyMonotoneAndSaturates) {
   topo::Mesh m(4, 2);
-  const NetworkModel net = build_full_channel_graph(m);
+  const GeneralModel net = build_full_channel_graph(m);
   SolveOptions opts;
   opts.worm_flits = 16.0;
   double prev = 0.0;
@@ -168,13 +171,13 @@ TEST(FullGraph, MeshLatencyMonotoneAndSaturates) {
 
 TEST(FullGraph, InjectionClassesOnePerProcessor) {
   topo::Hypercube hc(3);
-  const NetworkModel net = build_full_channel_graph(hc);
+  const GeneralModel net = build_full_channel_graph(hc);
   EXPECT_EQ(static_cast<int>(net.injection_classes.size()), hc.num_processors());
 }
 
 TEST(FullGraph, FatTreeUpBundlesHaveTwoServers) {
   topo::ButterflyFatTree ft(2);
-  const NetworkModel net = build_full_channel_graph(ft);
+  const GeneralModel net = build_full_channel_graph(ft);
   const topo::ChannelTable ct(ft);
   const int up0 = ct.from(ft.switch_id(1, 0), topo::ButterflyFatTree::kParentPort0);
   const int up1 = ct.from(ft.switch_id(1, 0), topo::ButterflyFatTree::kParentPort1);
@@ -188,7 +191,7 @@ TEST(FullGraph, AdaptiveSplitBalancesUpLinks) {
   // The probability-splitting walk sends half of each up-decision to each
   // parent: both up channels of a switch carry identical rates.
   topo::ButterflyFatTree ft(3);
-  const NetworkModel net = build_full_channel_graph(ft);
+  const GeneralModel net = build_full_channel_graph(ft);
   const topo::ChannelTable ct(ft);
   for (int a = 0; a < ft.switches_at(1); ++a) {
     const int sw = ft.switch_id(1, a);

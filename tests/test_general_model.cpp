@@ -18,8 +18,8 @@ namespace {
 
 // A minimal two-channel graph: injection feeding an ejection channel —
 // effectively an M/G/1 queue in front of a deterministic drain.
-NetworkModel two_channel_line() {
-  NetworkModel net;
+GeneralModel two_channel_line() {
+  GeneralModel net;
   ChannelClass ej;
   ej.label = "eject";
   ej.rate_per_link = 1.0;
@@ -67,7 +67,7 @@ TEST(ChannelGraph, ValidateRejectsTerminalWithTransitions) {
 }
 
 TEST(ChannelGraph, ReverseTopologicalOrderPutsTerminalsFirst) {
-  const NetworkModel net = two_channel_line();
+  const GeneralModel net = two_channel_line();
   const std::vector<int> order = net.graph.reverse_topological_order();
   ASSERT_EQ(order.size(), 2u);
   EXPECT_EQ(order[0], net.class_id("eject"));
@@ -90,7 +90,7 @@ TEST(GeneralModel, TwoChannelLineMatchesHandComputation) {
   // x̄_ej = s_f.  W_ej = M/G/1 wait at (λ, s_f) with the wormhole C².
   // Blocking: single input feeding single output exclusively -> P = 0, so
   // x̄_inj = s_f exactly, and W_inj is the source M/G/1 wait.
-  const NetworkModel net = two_channel_line();
+  const GeneralModel net = two_channel_line();
   SolveOptions opts;
   opts.worm_flits = 16.0;
   const double lambda0 = 0.03;
@@ -105,7 +105,7 @@ TEST(GeneralModel, TwoChannelLineMatchesHandComputation) {
 }
 
 TEST(GeneralModel, BlockingOffRestoresFullWait) {
-  const NetworkModel net = two_channel_line();
+  const GeneralModel net = two_channel_line();
   SolveOptions with;
   with.worm_flits = 16.0;
   SolveOptions without = with;
@@ -127,12 +127,12 @@ class CollapsedVsClosedForm
 TEST_P(CollapsedVsClosedForm, Agree) {
   const auto [levels, sf, frac] = GetParam();
   FatTreeModel closed({.levels = levels, .worm_flits = sf});
-  const NetworkModel net = build_fattree_collapsed(levels);
+  const GeneralModel net = build_fattree_collapsed(levels);
   SolveOptions opts;
   opts.worm_flits = sf;
   const double lambda0 = closed.saturation_rate() * frac;
 
-  const FatTreeEvaluation ev = closed.evaluate(lambda0);
+  const FatTreeEvaluation ev = closed.evaluate_detail(lambda0);
   const LatencyEstimate est = model_latency(net, lambda0, opts);
   ASSERT_EQ(ev.stable, est.stable);
   if (!ev.stable) return;
@@ -160,7 +160,7 @@ TEST(GeneralModel, AblationFlagsMatchClosedFormAblations) {
   // Each ablation switch must act identically on both implementations.
   const int levels = 4;
   const double sf = 16.0, lambda0 = 0.0012;
-  const NetworkModel net = build_fattree_collapsed(levels);
+  const GeneralModel net = build_fattree_collapsed(levels);
   for (int mask = 0; mask < 8; ++mask) {
     FatTreeModelOptions fo{.levels = levels, .worm_flits = sf};
     SolveOptions so;
@@ -168,11 +168,12 @@ TEST(GeneralModel, AblationFlagsMatchClosedFormAblations) {
     fo.multi_server = so.multi_server = (mask & 1) != 0;
     fo.blocking_correction = so.blocking_correction = (mask & 2) != 0;
     fo.erratum_2lambda = so.erratum_2lambda = (mask & 4) != 0;
-    const FatTreeEvaluation ev = FatTreeModel(fo).evaluate(lambda0);
+    const FatTreeEvaluation ev = FatTreeModel(fo).evaluate_detail(lambda0);
     const LatencyEstimate est = model_latency(net, lambda0, so);
     ASSERT_EQ(ev.stable, est.stable) << "mask=" << mask;
-    if (ev.stable)
+    if (ev.stable) {
       EXPECT_NEAR(est.latency, ev.latency, 1e-9) << "mask=" << mask;
+    }
   }
 }
 
@@ -210,7 +211,7 @@ TEST(GeneralModel, CyclicGraphConvergesByFixedPoint) {
 }
 
 TEST(GeneralModel, HypercubeCollapsedBasics) {
-  const NetworkModel net = build_hypercube_collapsed(6);
+  const GeneralModel net = build_hypercube_collapsed(6);
   SolveOptions opts;
   opts.worm_flits = 16.0;
   const LatencyEstimate zero = model_latency(net, 0.0, opts);
@@ -223,7 +224,7 @@ TEST(GeneralModel, HypercubeCollapsedBasics) {
 TEST(GeneralModel, HypercubeDimensionZeroCarriesLongestService) {
   // E-cube resolves dimension 0 first, so dim-0 channels sit earliest on
   // paths and accumulate the most downstream waiting.
-  const NetworkModel net = build_hypercube_collapsed(8);
+  const GeneralModel net = build_hypercube_collapsed(8);
   SolveOptions opts;
   opts.worm_flits = 16.0;
   const SolveResult res = model_solve(net, 0.003, opts);
@@ -263,7 +264,7 @@ TEST(EstimateLatency, AveragesInjectionClasses) {
 }
 
 TEST(GeneralModel, InjectionScaleZeroGivesZeroWaits) {
-  const NetworkModel net = build_fattree_collapsed(3);
+  const GeneralModel net = build_fattree_collapsed(3);
   SolveOptions opts;
   opts.worm_flits = 16.0;
   const SolveResult res = model_solve(net, 0.0, opts);

@@ -135,11 +135,11 @@ TEST(GenFatTreeModel, MoreParentsMoreCapacity) {
 TEST(GenFatTreeModel, CollapsedGraphMatchesClosedFormForAllM) {
   for (int m = 1; m <= 4; ++m) {
     core::FatTreeModel closed({.levels = 3, .worm_flits = 16.0, .parents = m});
-    const core::NetworkModel net = core::build_fattree_collapsed(3, m);
+    const core::GeneralModel net = core::build_fattree_collapsed(3, m);
     core::SolveOptions opts;
     opts.worm_flits = 16.0;
     const double lambda0 = closed.saturation_rate() * 0.6;
-    const core::FatTreeEvaluation ev = closed.evaluate(lambda0);
+    const core::LatencyEstimate ev = closed.evaluate(lambda0);
     const core::LatencyEstimate est = core::model_latency(net, lambda0, opts);
     ASSERT_TRUE(ev.stable);
     EXPECT_NEAR(est.latency, ev.latency, 1e-9) << "m=" << m;

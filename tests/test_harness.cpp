@@ -11,18 +11,8 @@
 namespace wormnet::harness {
 namespace {
 
-ModelFn fattree_model_fn(int levels, double worm_flits) {
-  return [levels, worm_flits](double load) {
-    core::FatTreeModel model({.levels = levels, .worm_flits = worm_flits});
-    const core::FatTreeEvaluation ev = model.evaluate_load(load);
-    core::LatencyEstimate est;
-    est.stable = ev.stable;
-    est.latency = ev.latency;
-    est.inj_wait = ev.inj_wait;
-    est.inj_service = ev.inj_service;
-    est.mean_distance = ev.mean_distance;
-    return est;
-  };
+core::FatTreeModel fattree_model(int levels, double worm_flits) {
+  return core::FatTreeModel({.levels = levels, .worm_flits = worm_flits});
 }
 
 SweepConfig small_sweep() {
@@ -38,7 +28,8 @@ SweepConfig small_sweep() {
 
 TEST(Harness, CompareLatencyProducesOneRowPerLoad) {
   topo::ButterflyFatTree ft(2);
-  const auto rows = compare_latency(ft, fattree_model_fn(2, 16.0), small_sweep());
+  const core::FatTreeModel model = fattree_model(2, 16.0);
+  const auto rows = compare_latency(ft, model, small_sweep());
   ASSERT_EQ(rows.size(), 3u);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     EXPECT_DOUBLE_EQ(rows[i].load, small_sweep().loads[i]);
@@ -51,15 +42,34 @@ TEST(Harness, CompareLatencyProducesOneRowPerLoad) {
 
 TEST(Harness, ModelAndSimAgreeInHarnessRun) {
   topo::ButterflyFatTree ft(2);
-  const auto rows = compare_latency(ft, fattree_model_fn(2, 16.0), small_sweep());
+  const core::FatTreeModel model = fattree_model(2, 16.0);
+  const auto rows = compare_latency(ft, model, small_sweep());
   const double mape = mean_abs_pct_error(rows);
   EXPECT_TRUE(std::isfinite(mape));
   EXPECT_LT(mape, 10.0);  // percent
 }
 
+TEST(Harness, CompareLatencyAcceptsSharedEngine) {
+  // Re-running the same sweep through one engine must reuse every model
+  // point (cache hits) and reproduce the rows exactly.
+  topo::ButterflyFatTree ft(2);
+  const core::FatTreeModel model = fattree_model(2, 16.0);
+  SweepEngine engine;
+  const auto a = compare_latency(ft, model, small_sweep(), &engine);
+  const std::uint64_t misses_after_first = engine.cache_misses();
+  const auto b = compare_latency(ft, model, small_sweep(), &engine);
+  EXPECT_EQ(engine.cache_misses(), misses_after_first);
+  EXPECT_GE(engine.cache_hits(), 3u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].model_latency, b[i].model_latency);
+    EXPECT_EQ(a[i].sim_latency, b[i].sim_latency);
+  }
+}
+
 TEST(Harness, ComparisonTableShape) {
   topo::ButterflyFatTree ft(2);
-  const auto rows = compare_latency(ft, fattree_model_fn(2, 16.0), small_sweep());
+  const core::FatTreeModel model = fattree_model(2, 16.0);
+  const auto rows = compare_latency(ft, model, small_sweep());
   const util::Table t = comparison_table(rows);
   EXPECT_EQ(t.rows(), 3);
   EXPECT_EQ(t.col_index("load(flits/cyc)"), 0);
@@ -70,7 +80,8 @@ TEST(Harness, ComparisonTableShape) {
 }
 
 TEST(Harness, ModelOnlySweepHasNoSimData) {
-  const auto rows = model_only_sweep(fattree_model_fn(3, 16.0), small_sweep());
+  const core::FatTreeModel model = fattree_model(3, 16.0);
+  const auto rows = model_only_sweep(model, small_sweep());
   ASSERT_EQ(rows.size(), 3u);
   for (const auto& r : rows) {
     EXPECT_TRUE(std::isnan(r.sim_latency));
@@ -105,14 +116,25 @@ TEST(Harness, ThroughputComparisonRatioNearOne) {
 TEST(Harness, SeedVariationPropagatesToPoints) {
   // Different base seeds must give different simulated latencies.
   topo::ButterflyFatTree ft(2);
+  const core::FatTreeModel model = fattree_model(2, 16.0);
   SweepConfig a = small_sweep();
   SweepConfig b = small_sweep();
   b.seed = 4242;
-  const auto ra = compare_latency(ft, fattree_model_fn(2, 16.0), a);
-  const auto rb = compare_latency(ft, fattree_model_fn(2, 16.0), b);
+  const auto ra = compare_latency(ft, model, a);
+  const auto rb = compare_latency(ft, model, b);
   EXPECT_NE(ra[0].sim_latency, rb[0].sim_latency);
   // Model side is deterministic and identical.
   EXPECT_DOUBLE_EQ(ra[0].model_latency, rb[0].model_latency);
+}
+
+TEST(Harness, FractionLoadsCoverKneeAndPastSaturation) {
+  const auto loads = fraction_loads(1.0);
+  ASSERT_EQ(loads.size(), 12u);
+  EXPECT_DOUBLE_EQ(loads.front(), 0.1);
+  EXPECT_GT(loads.back(), 1.0);
+  const auto stable_only = fraction_loads(1.0, /*include_past_saturation=*/false);
+  ASSERT_EQ(stable_only.size(), 10u);
+  EXPECT_LT(stable_only.back(), 1.0);
 }
 
 }  // namespace

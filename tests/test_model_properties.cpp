@@ -40,7 +40,7 @@ class ModelProperties
 
 TEST_P(ModelProperties, LatencyBoundedBelowByZeroLoad) {
   const FatTreeModel m = model();
-  const FatTreeEvaluation ev = m.evaluate_load(load());
+  const FatTreeEvaluation ev = m.evaluate_load_detail(load());
   ASSERT_TRUE(ev.stable);
   EXPECT_GE(ev.latency + 1e-9,
             m.options().worm_flits + m.mean_distance() - 1.0);
@@ -48,13 +48,15 @@ TEST_P(ModelProperties, LatencyBoundedBelowByZeroLoad) {
 
 TEST_P(ModelProperties, LatencyIncreasesWithLoad) {
   const FatTreeModel m = model();
-  const double l1 = m.evaluate_load(load()).latency;
-  const double l2 = m.evaluate_load(load() * 1.02).latency;
-  if (std::isfinite(l2)) EXPECT_GE(l2, l1);
+  const double l1 = m.evaluate_load_detail(load()).latency;
+  const double l2 = m.evaluate_load_detail(load() * 1.02).latency;
+  if (std::isfinite(l2)) {
+    EXPECT_GE(l2, l1);
+  }
 }
 
 TEST_P(ModelProperties, WaitsAreNonNegativeEverywhere) {
-  const FatTreeEvaluation ev = model().evaluate_load(load());
+  const FatTreeEvaluation ev = model().evaluate_load_detail(load());
   ASSERT_TRUE(ev.stable);
   for (double w : ev.w_up) EXPECT_GE(w, 0.0);
   for (double w : ev.w_down) EXPECT_GE(w, 0.0);
@@ -62,7 +64,7 @@ TEST_P(ModelProperties, WaitsAreNonNegativeEverywhere) {
 }
 
 TEST_P(ModelProperties, UtilizationsWithinUnitInterval) {
-  const FatTreeEvaluation ev = model().evaluate_load(load());
+  const FatTreeEvaluation ev = model().evaluate_load_detail(load());
   ASSERT_TRUE(ev.stable);
   for (double rho : ev.rho_up) {
     EXPECT_GE(rho, 0.0);
@@ -82,7 +84,7 @@ TEST_P(ModelProperties, TopUpBundleIsTheBusiestUpChannel) {
   if (levels < 2) return;
   (void)sf;
   (void)frac;
-  const FatTreeEvaluation ev = model().evaluate_load(load());
+  const FatTreeEvaluation ev = model().evaluate_load_detail(load());
   ASSERT_TRUE(ev.stable);
   const double top = ev.rho_up[static_cast<std::size_t>(levels - 1)];
   for (int l = 1; l < levels; ++l)
@@ -92,15 +94,16 @@ TEST_P(ModelProperties, TopUpBundleIsTheBusiestUpChannel) {
 TEST_P(ModelProperties, ServiceTimeChainsMonotone) {
   const auto [levels, sf, frac] = GetParam();
   (void)frac;
-  const FatTreeEvaluation ev = model().evaluate_load(load());
+  const FatTreeEvaluation ev = model().evaluate_load_detail(load());
   ASSERT_TRUE(ev.stable);
   // Down-chain non-decreasing with level; every x̄ at least s_f.
   for (int l = 0; l < levels; ++l) {
     EXPECT_GE(ev.x_down[static_cast<std::size_t>(l)], sf - 1e-9);
     EXPECT_GE(ev.x_up[static_cast<std::size_t>(l)], sf - 1e-9);
-    if (l > 0)
+    if (l > 0) {
       EXPECT_GE(ev.x_down[static_cast<std::size_t>(l)],
                 ev.x_down[static_cast<std::size_t>(l - 1)] - 1e-9);
+    }
   }
 }
 
@@ -111,8 +114,8 @@ TEST_P(ModelProperties, ScaleInvarianceInWormLength) {
   FatTreeModel m1({.levels = levels, .worm_flits = sf});
   FatTreeModel m2({.levels = levels, .worm_flits = 2.0 * sf});
   const double lambda0 = m1.saturation_rate() * 0.6;
-  const FatTreeEvaluation a = m1.evaluate(lambda0);
-  const FatTreeEvaluation b = m2.evaluate(lambda0 / 2.0);
+  const FatTreeEvaluation a = m1.evaluate_detail(lambda0);
+  const FatTreeEvaluation b = m2.evaluate_detail(lambda0 / 2.0);
   ASSERT_TRUE(a.stable && b.stable);
   EXPECT_NEAR(b.inj_service, 2.0 * a.inj_service, 1e-6 * a.inj_service);
   EXPECT_NEAR(b.inj_wait, 2.0 * a.inj_wait, 1e-6 * std::max(1.0, a.inj_wait));
@@ -133,7 +136,7 @@ TEST(GraphProperties, CollapsedFatTreeFlowConservation) {
   // as Eq. 14 consistency: links(l)·λ(l)·P↑(l+1-ish)... verified directly:
   // N·λ₀·P↑_l equals rate_per_link times the link count at every level.
   for (int levels : {2, 3, 5}) {
-    const NetworkModel net = build_fattree_collapsed(levels);
+    const GeneralModel net = build_fattree_collapsed(levels);
     FatTreeModel m({.levels = levels, .worm_flits = 16.0});
     const double big_n = static_cast<double>(m.num_processors());
     for (int l = 0; l < levels; ++l) {
@@ -151,7 +154,7 @@ TEST(GraphProperties, HypercubeTransitionsMatchMonteCarloRouting) {
   // combinatorics) must match empirical e-cube routing statistics.
   const int dims = 6;
   topo::Hypercube hc(dims);
-  const NetworkModel net = build_hypercube_collapsed(dims);
+  const GeneralModel net = build_hypercube_collapsed(dims);
   util::Rng rng(123);
   std::vector<long> dim_visits(static_cast<std::size_t>(dims), 0);
   std::vector<std::vector<long>> dim_to_dim(
@@ -201,7 +204,7 @@ TEST(GraphProperties, HypercubeTransitionsMatchMonteCarloRouting) {
 TEST(GraphProperties, MeshRatesMatchMonteCarloRouting) {
   // Exact flow propagation vs empirical DOR walks on a 4x4 mesh.
   topo::Mesh mesh(4, 2);
-  const NetworkModel net = build_full_channel_graph(mesh);
+  const GeneralModel net = build_full_channel_graph(mesh);
   const topo::ChannelTable ct(mesh);
   util::Rng rng(321);
   std::vector<double> counts(static_cast<std::size_t>(ct.size()), 0.0);
@@ -234,9 +237,9 @@ TEST(GraphProperties, SolverResultIndependentOfClassInsertionOrder) {
   // Build the same 2-level fat-tree graph with classes inserted in reverse
   // and confirm identical solutions (the reverse-topological sweep must not
   // depend on id order).
-  NetworkModel fwd = build_fattree_collapsed(2);
+  GeneralModel fwd = build_fattree_collapsed(2);
   // Reversed construction:
-  NetworkModel rev;
+  GeneralModel rev;
   ChannelClass down0;
   down0.label = "down0";
   down0.rate_per_link = fwd.graph.at(fwd.class_id("down0")).rate_per_link;
@@ -274,7 +277,7 @@ TEST(GraphProperties, SolverResultIndependentOfClassInsertionOrder) {
 }
 
 TEST(GraphProperties, SolveIsDeterministic) {
-  const NetworkModel net = build_fattree_collapsed(4);
+  const GeneralModel net = build_fattree_collapsed(4);
   SolveOptions opts;
   opts.worm_flits = 32.0;
   const SolveResult a = model_solve(net, 0.0007, opts);

@@ -49,7 +49,7 @@ TEST(Saturation, GrowsBracketWhenUpperBoundTooSmall) {
 TEST(Saturation, FatTreeModelAndGraphAgree) {
   for (int levels : {2, 3, 5}) {
     FatTreeModel closed({.levels = levels, .worm_flits = 16.0});
-    const NetworkModel net = build_fattree_collapsed(levels);
+    const GeneralModel net = build_fattree_collapsed(levels);
     SolveOptions opts;
     opts.worm_flits = 16.0;
     EXPECT_NEAR(model_saturation_rate(net, opts), closed.saturation_rate(),

@@ -60,7 +60,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(HypercubeAgreement, ModelTracksSimulation) {
   topo::Hypercube hc(4);
-  const core::NetworkModel net = core::build_hypercube_collapsed(4);
+  const core::GeneralModel net = core::build_hypercube_collapsed(4);
   core::SolveOptions opts;
   opts.worm_flits = 16.0;
   const double sat = core::model_saturation_rate(net, opts) * 16.0;
@@ -76,7 +76,7 @@ TEST(HypercubeAgreement, ModelTracksSimulation) {
 
 TEST(MeshAgreement, ModelTracksSimulation) {
   topo::Mesh m(4, 2);
-  const core::NetworkModel net = core::build_full_channel_graph(m);
+  const core::GeneralModel net = core::build_full_channel_graph(m);
   core::SolveOptions opts;
   opts.worm_flits = 16.0;
   const double sat = core::model_saturation_rate(net, opts) * 16.0;
@@ -120,7 +120,7 @@ TEST(ComponentAgreement, InjectionWaitAndServiceTrackModel) {
   cfg.max_cycles = 600'000;
   const sim::SimResult r = sim::simulate(ft, cfg);
   ASSERT_TRUE(r.completed);
-  const core::FatTreeEvaluation ev = model.evaluate_load(load);
+  const core::LatencyEstimate ev = model.evaluate_load(load);
   EXPECT_NEAR(r.inj_service.mean(), ev.inj_service, ev.inj_service * 0.08);
   // Queue waits are small absolute numbers at half load; compare loosely.
   EXPECT_NEAR(r.queue_wait.mean(), ev.inj_wait, std::max(0.5, ev.inj_wait * 0.6));
