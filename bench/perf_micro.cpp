@@ -85,6 +85,30 @@ void BM_FullGraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_FullGraphBuild)->Arg(2)->Arg(3);
 
+void BM_TrafficModelBuildFatTree(benchmark::State& state) {
+  // Route enumeration under a DENSE pattern (hotspot: every pair weight is
+  // non-zero) on the N = 4^levels fat-tree.  The per-destination flow DP
+  // must stay O(N² · hops): sub-second at N = 1024 (levels = 5).
+  topo::ButterflyFatTree ft(static_cast<int>(state.range(0)));
+  const traffic::TrafficSpec spec = traffic::TrafficSpec::hotspot(0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_traffic_model(ft, spec).graph.size());
+  }
+  state.SetLabel("N=" + std::to_string(ft.num_processors()));
+}
+BENCHMARK(BM_TrafficModelBuildFatTree)->Arg(3)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_TrafficModelBuild10Cube(benchmark::State& state) {
+  // The same enumeration on the 1024-node e-cube hypercube (long paths,
+  // deterministic routing).
+  topo::Hypercube hc(10);
+  const traffic::TrafficSpec spec = traffic::TrafficSpec::hotspot(0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_traffic_model(hc, spec).graph.size());
+  }
+}
+BENCHMARK(BM_TrafficModelBuild10Cube)->Unit(benchmark::kMillisecond);
+
 void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
   topo::ButterflyFatTree ft(static_cast<int>(state.range(0)));
   sim::SimNetwork net(ft);

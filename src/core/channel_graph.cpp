@@ -40,6 +40,10 @@ std::string ChannelGraph::validate() const {
         problems << "class " << i << " (" << c.label << ") is terminal but has transitions; ";
       continue;
     }
+    // A non-terminal class with no traffic and no continuations is legal:
+    // pattern-aware builders enumerate every physical channel, and skewed
+    // patterns (permutations, hotspots) leave some of them unused.
+    if (c.next.empty() && c.rate_per_link == 0.0) continue;
     double sum = 0.0;
     for (const Transition& t : c.next) {
       if (t.target < 0 || t.target >= size()) {

@@ -1,117 +1,12 @@
 #include "core/full_graph.hpp"
 
-#include <map>
-#include <string>
-#include <vector>
-
-#include "topo/channels.hpp"
+#include "core/traffic_model.hpp"
 
 namespace wormnet::core {
 
-namespace {
-
-/// Per-channel accumulation state during flow propagation.
-struct FlowState {
-  std::vector<double> rate;                    // total flow through channel
-  std::vector<std::map<int, double>> onward;   // channel -> next channel flow
-};
-
-/// Recursive probability-splitting walk of all minimal routes s -> d.
-/// `prob` is the probability mass carried on this branch; `prev` is the
-/// channel just traversed (kNoChannel at the source).
-void walk(const topo::Topology& topo, const topo::ChannelTable& ct, int node, int dest,
-          double prob, int prev, FlowState& fs) {
-  if (topo.is_processor(node) && node == dest) return;  // consumed
-  const topo::RouteOptions opts = topo.route(node, dest);
-  WORMNET_ENSURES(opts.size() > 0);
-  const double split = prob / opts.size();
-  for (int i = 0; i < opts.size(); ++i) {
-    const int ch = ct.from(node, opts[i]);
-    WORMNET_ENSURES(ch != topo::kNoChannel);
-    fs.rate[static_cast<std::size_t>(ch)] += split;
-    if (prev != topo::kNoChannel) fs.onward[static_cast<std::size_t>(prev)][ch] += split;
-    walk(topo, ct, topo.neighbor(node, opts[i]), dest, split, ch, fs);
-  }
-}
-
-}  // namespace
-
 GeneralModel build_full_channel_graph(const topo::Topology& topo) {
-  const topo::ChannelTable ct(topo);
-  const int num_channels = ct.size();
-  const int procs = topo.num_processors();
-  WORMNET_EXPECTS(procs >= 2);
-
-  FlowState fs;
-  fs.rate.assign(static_cast<std::size_t>(num_channels), 0.0);
-  fs.onward.assign(static_cast<std::size_t>(num_channels), {});
-
-  // Unit injection rate per processor, uniform destinations.
-  const double pair_weight = 1.0 / (procs - 1);
-  for (int s = 0; s < procs; ++s) {
-    for (int d = 0; d < procs; ++d) {
-      if (d == s) continue;
-      walk(topo, ct, s, d, pair_weight, topo::kNoChannel, fs);
-    }
-  }
-
-  // Output-bundle membership: bundle_of[channel] is a dense id unique per
-  // (node, bundle); bundle_size[channel] is its m.
-  std::vector<int> bundle_of(static_cast<std::size_t>(num_channels), -1);
-  std::vector<int> bundle_size(static_cast<std::size_t>(num_channels), 1);
-  int next_bundle = 0;
-  for (int node = 0; node < topo.num_nodes(); ++node) {
-    for (const topo::PortBundle& pb : topo.output_bundles(node)) {
-      for (int i = 0; i < pb.count; ++i) {
-        const int ch = ct.from(node, pb[i]);
-        if (ch == topo::kNoChannel) continue;
-        bundle_of[static_cast<std::size_t>(ch)] = next_bundle;
-        bundle_size[static_cast<std::size_t>(ch)] = pb.count;
-      }
-      ++next_bundle;
-    }
-  }
-
-  GeneralModel net;
-  for (int ch = 0; ch < num_channels; ++ch) {
-    const topo::DirectedChannel& dc = ct.at(ch);
-    ChannelClass c;
-    c.label = "ch" + std::to_string(dc.src_node) + ":" + std::to_string(dc.src_port);
-    c.servers = bundle_size[static_cast<std::size_t>(ch)];
-    c.rate_per_link = fs.rate[static_cast<std::size_t>(ch)];
-    c.terminal = topo.is_processor(dc.dst_node);
-    const int id = net.graph.add_channel(c);
-    WORMNET_ENSURES(id == ch);  // 1:1 channel table <-> class ids
-    net.labels[c.label] = id;
-  }
-
-  for (int ch = 0; ch < num_channels; ++ch) {
-    const double total = fs.rate[static_cast<std::size_t>(ch)];
-    if (total <= 0.0) continue;
-    const auto& onward = fs.onward[static_cast<std::size_t>(ch)];
-    // Aggregate per-bundle flow for R(i|j) (route_prob targets the bundle,
-    // not the specific link inside it).
-    std::map<int, double> bundle_flow;
-    for (const auto& [next_ch, flow] : onward)
-      bundle_flow[bundle_of[static_cast<std::size_t>(next_ch)]] += flow;
-    for (const auto& [next_ch, flow] : onward) {
-      const double weight = flow / total;
-      const double route_prob =
-          bundle_flow[bundle_of[static_cast<std::size_t>(next_ch)]] / total;
-      net.graph.add_transition(ch, next_ch, weight, route_prob);
-    }
-  }
-
-  for (int p = 0; p < procs; ++p) {
-    const int inj = ct.from(p, 0);
-    WORMNET_ENSURES(inj != topo::kNoChannel);
-    net.injection_classes.push_back(inj);
-  }
-  net.mean_distance = topo.mean_distance();
+  GeneralModel net = build_traffic_model(topo, traffic::TrafficSpec::uniform());
   net.model_name = "full-channel(" + topo.name() + ")";
-
-  const std::string problems = net.graph.validate();
-  WORMNET_ENSURES(problems.empty());
   return net;
 }
 

@@ -1,10 +1,12 @@
 // wormnet/core/full_graph.hpp
 //
-// Generic per-physical-channel model builder: one ChannelClass per directed
-// channel of an arbitrary Topology, with rates and routing probabilities
-// obtained by exact flow propagation over the topology's minimal routing
-// function (adaptive candidates split evenly, matching the fat-tree's
-// "select an up-link randomly" policy at the rate level).
+// Generic per-physical-channel model builder for UNIFORM traffic: one
+// ChannelClass per directed channel of an arbitrary Topology.  Since PR 2
+// this is a thin wrapper over core::build_traffic_model (traffic_model.hpp)
+// at TrafficSpec::uniform() — kept because "the uniform per-channel model of
+// this topology" is the most common request and because it pins the
+// traffic-aware builder to the paper's assumption-1 baseline (the parity
+// tests against the hand-derived collapsed builders run through here).
 //
 // This serves two roles:
 //  * it IS the analytical model for asymmetric networks — the k-ary n-mesh
@@ -13,9 +15,6 @@
 //  * for symmetric networks (fat-tree, hypercube) it cross-validates the
 //    collapsed builders: the general solver must produce identical results
 //    on both representations (tested).
-//
-// Cost is O(N² · path-length · path-multiplicity); fine for the network
-// sizes where a per-channel model is interesting (N <= ~1k).
 #pragma once
 
 #include "core/general_model.hpp"

@@ -1,0 +1,207 @@
+#include "core/traffic_model.hpp"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topo/channels.hpp"
+
+namespace wormnet::core {
+
+namespace {
+
+/// Scratch state for one destination's flow-propagation pass, reused across
+/// destinations so the builder allocates O(nodes + channels) once.
+struct DestinationPass {
+  /// Per node: (incoming channel, flow) pairs accumulated this pass;
+  /// kNoChannel marks source injections.
+  std::vector<std::vector<std::pair<int, double>>> in_flows;
+  std::vector<char> visited;
+  std::vector<int> order;  ///< DFS postorder of the route DAG toward dst
+
+  explicit DestinationPass(int num_nodes)
+      : in_flows(static_cast<std::size_t>(num_nodes)),
+        visited(static_cast<std::size_t>(num_nodes), 0) {}
+
+  void reset() {
+    for (int node : order) {
+      in_flows[static_cast<std::size_t>(node)].clear();
+      visited[static_cast<std::size_t>(node)] = 0;
+    }
+    order.clear();
+  }
+};
+
+/// Iterative DFS from `start` following route(node, dst) edges, appending the
+/// postorder to `pass.order`.  Reverse postorder is a topological order of
+/// the route DAG (candidates strictly decrease the distance to dst, so the
+/// graph is acyclic).
+void dfs_route_dag(const topo::Topology& topo, int start, int dst,
+                   DestinationPass& pass) {
+  struct Frame {
+    int node;
+    int next_candidate;
+    topo::RouteOptions opts;
+  };
+  if (pass.visited[static_cast<std::size_t>(start)]) return;
+  std::vector<Frame> stack;
+  stack.push_back({start, 0, topo.route(start, dst)});
+  pass.visited[static_cast<std::size_t>(start)] = 1;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_candidate >= top.opts.size()) {
+      pass.order.push_back(top.node);
+      stack.pop_back();
+      continue;
+    }
+    const int port = top.opts[top.next_candidate++];
+    const int nbr = topo.neighbor(top.node, port);
+    WORMNET_ENSURES(nbr != topo::kNoNode);
+    if (pass.visited[static_cast<std::size_t>(nbr)]) continue;
+    pass.visited[static_cast<std::size_t>(nbr)] = 1;
+    stack.push_back({nbr, 0, topo.route(nbr, dst)});
+  }
+}
+
+}  // namespace
+
+GeneralModel build_traffic_model(const topo::Topology& topo,
+                                 const traffic::TrafficSpec& spec,
+                                 const SolveOptions& opts) {
+  const int procs = topo.num_processors();
+  WORMNET_EXPECTS(procs >= 2);
+  WORMNET_EXPECTS(spec.check(procs).empty());
+
+  const topo::ChannelTable ct(topo);
+  const int num_channels = ct.size();
+
+  // Accumulators: total flow per channel, and per (channel, continuation
+  // port) flow — the continuation port is on the channel's dst node, so a
+  // small dense array per channel makes every update O(1).
+  std::vector<double> rate(static_cast<std::size_t>(num_channels), 0.0);
+  std::vector<std::vector<double>> onward(static_cast<std::size_t>(num_channels));
+  for (int ch = 0; ch < num_channels; ++ch) {
+    const int dst_node = ct.at(ch).dst_node;
+    onward[static_cast<std::size_t>(ch)].assign(
+        static_cast<std::size_t>(topo.num_ports(dst_node)), 0.0);
+  }
+
+  DestinationPass pass(topo.num_nodes());
+  double weighted_distance = 0.0;
+
+  for (int d = 0; d < procs; ++d) {
+    // Seed the pass: every source with weight toward d injects its flow.
+    for (int s = 0; s < procs; ++s) {
+      if (s == d) continue;
+      const double w = spec.pair_weight(s, d, procs);
+      if (w <= 0.0) continue;
+      weighted_distance += w * topo.distance(s, d);
+      pass.in_flows[static_cast<std::size_t>(s)].push_back({topo::kNoChannel, w});
+      dfs_route_dag(topo, s, d, pass);
+    }
+    // Propagate in topological order (reverse postorder): a node's in-flows
+    // are complete before it splits them across its route candidates.
+    for (auto it = pass.order.rbegin(); it != pass.order.rend(); ++it) {
+      const int node = *it;
+      const auto& inputs = pass.in_flows[static_cast<std::size_t>(node)];
+      if (inputs.empty()) continue;  // d itself, or an unfed DFS visit
+      WORMNET_ENSURES(node != d);    // flows into d are consumed, never split
+      const topo::RouteOptions routes = topo.route(node, d);
+      const std::array<double, 4> split = topo.route_split(node, d, routes);
+      double total = 0.0;
+      for (const auto& [in_ch, flow] : inputs) total += flow;
+      for (int i = 0; i < routes.size(); ++i) {
+        const double p = split[static_cast<std::size_t>(i)];
+        if (p <= 0.0) continue;
+        const int port = routes[i];
+        const int ch = ct.from(node, port);
+        WORMNET_ENSURES(ch != topo::kNoChannel);
+        rate[static_cast<std::size_t>(ch)] += total * p;
+        for (const auto& [in_ch, flow] : inputs) {
+          if (in_ch == topo::kNoChannel) continue;
+          onward[static_cast<std::size_t>(in_ch)][static_cast<std::size_t>(port)] +=
+              flow * p;
+        }
+        const int nbr = topo.neighbor(node, port);
+        if (nbr == d) continue;  // ejection channel: consumed at the destination
+        pass.in_flows[static_cast<std::size_t>(nbr)].push_back({ch, total * p});
+      }
+    }
+    pass.reset();
+  }
+
+  // Output-bundle membership: bundle_of[channel] is a dense id unique per
+  // (node, bundle); bundle_size[channel] is its m.
+  std::vector<int> bundle_of(static_cast<std::size_t>(num_channels), -1);
+  std::vector<int> bundle_size(static_cast<std::size_t>(num_channels), 1);
+  int next_bundle = 0;
+  for (int node = 0; node < topo.num_nodes(); ++node) {
+    for (const topo::PortBundle& pb : topo.output_bundles(node)) {
+      for (int i = 0; i < pb.count; ++i) {
+        const int ch = ct.from(node, pb[i]);
+        if (ch == topo::kNoChannel) continue;
+        bundle_of[static_cast<std::size_t>(ch)] = next_bundle;
+        bundle_size[static_cast<std::size_t>(ch)] = pb.count;
+      }
+      ++next_bundle;
+    }
+  }
+
+  GeneralModel net;
+  for (int ch = 0; ch < num_channels; ++ch) {
+    const topo::DirectedChannel& dc = ct.at(ch);
+    ChannelClass c;
+    c.label = "ch" + std::to_string(dc.src_node) + ":" + std::to_string(dc.src_port);
+    c.servers = bundle_size[static_cast<std::size_t>(ch)];
+    c.rate_per_link = rate[static_cast<std::size_t>(ch)];
+    c.terminal = topo.is_processor(dc.dst_node);
+    const int id = net.graph.add_channel(c);
+    WORMNET_ENSURES(id == ch);  // 1:1 channel table <-> class ids
+    net.labels[c.label] = id;
+  }
+
+  for (int ch = 0; ch < num_channels; ++ch) {
+    const double total = rate[static_cast<std::size_t>(ch)];
+    if (total <= 0.0) continue;
+    const auto& out_flows = onward[static_cast<std::size_t>(ch)];
+    const int node = ct.at(ch).dst_node;
+    // Aggregate per-bundle flow for R(i|j) (route_prob targets the bundle,
+    // not the specific link inside it).
+    std::map<int, double> bundle_flow;
+    for (int port = 0; port < static_cast<int>(out_flows.size()); ++port) {
+      const double flow = out_flows[static_cast<std::size_t>(port)];
+      if (flow <= 0.0) continue;
+      const int next_ch = ct.from(node, port);
+      bundle_flow[bundle_of[static_cast<std::size_t>(next_ch)]] += flow;
+    }
+    for (int port = 0; port < static_cast<int>(out_flows.size()); ++port) {
+      const double flow = out_flows[static_cast<std::size_t>(port)];
+      if (flow <= 0.0) continue;
+      const int next_ch = ct.from(node, port);
+      const double weight = flow / total;
+      const double route_prob =
+          bundle_flow[bundle_of[static_cast<std::size_t>(next_ch)]] / total;
+      net.graph.add_transition(ch, next_ch, weight, route_prob);
+    }
+  }
+
+  int injecting = 0;
+  for (int p = 0; p < procs; ++p) {
+    if (spec.injection_weight(p, procs) <= 0.0) continue;
+    const int inj = ct.from(p, 0);
+    WORMNET_ENSURES(inj != topo::kNoChannel);
+    net.injection_classes.push_back(inj);
+    ++injecting;
+  }
+  WORMNET_EXPECTS(injecting > 0);
+  net.mean_distance = weighted_distance / injecting;
+  net.model_name = "traffic(" + topo.name() + ", " + spec.name() + ")";
+  net.opts = opts;
+
+  const std::string problems = net.graph.validate();
+  WORMNET_ENSURES(problems.empty());
+  return net;
+}
+
+}  // namespace wormnet::core

@@ -1,0 +1,45 @@
+// wormnet/core/traffic_model.hpp
+//
+// The traffic-aware instantiation of the paper's §2 general model: route
+// every (src, dst) pair weight of a traffic::TrafficSpec through a
+// topo::Topology and accumulate exact per-physical-channel rates and
+// continuation probabilities into a ChannelGraph.  This replaces the
+// uniform-only hand-derived rate formulas as the way load enters the model —
+// any topology x any destination distribution becomes solvable.
+//
+// Algorithm: one flow-propagation pass per DESTINATION.  For a fixed dst the
+// routing function node -> candidate ports (with topo.route_split()
+// probabilities — the fat-tree's randomized up-phase becomes an equal split)
+// defines an acyclic "route DAG": candidates strictly decrease the distance
+// to dst, so flows from all sources superpose on it and merge at nodes.
+// Processing nodes in topological order costs O(channels) per destination —
+// O(N² · hops) overall — where enumerating individual paths would blow up
+// exponentially in the fat-tree's redundant up-phase (2^(l-1) minimal paths
+// per pair at LCA level l).
+//
+// The resulting GeneralModel matches the uniform builders under
+// TrafficSpec::uniform() (tested to machine precision) and plugs into the
+// sweep engine like any other NetworkModel.
+#pragma once
+
+#include "core/general_model.hpp"
+#include "topo/topology.hpp"
+#include "traffic/traffic_spec.hpp"
+
+namespace wormnet::core {
+
+/// Build the per-physical-channel general model of `topo` loaded with `spec`.
+///
+/// Channel class ids coincide with topo::ChannelTable ids.  Rates are per
+/// unit injection rate: a processor with injection_weight w injects w · λ₀.
+/// Processors with zero injection weight (silent rows of a custom matrix)
+/// are excluded from the latency average; `mean_distance` is the
+/// traffic-weighted D̄.  `opts` seeds the model's worm length, ablation
+/// switches and solver knobs.
+/// Preconditions: topo.num_processors() >= 2, spec.check(P) passes, and at
+/// least one pair weight is positive.
+GeneralModel build_traffic_model(const topo::Topology& topo,
+                                 const traffic::TrafficSpec& spec,
+                                 const SolveOptions& opts = {});
+
+}  // namespace wormnet::core

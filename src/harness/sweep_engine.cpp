@@ -157,6 +157,32 @@ std::vector<SweepPoint> SweepEngine::sweep_saturation_fractions(
   return sweep_lambda(model, lambdas);
 }
 
+std::vector<FamilyMember> SweepEngine::sweep_family(
+    const ModelFactory& make, const std::vector<double>& parameters,
+    const std::vector<double>& saturation_fractions) {
+  std::vector<FamilyMember> family;
+  family.reserve(parameters.size());
+  // Members are built and swept one at a time: the per-member sweeps already
+  // fan out across the pool, and building serially keeps every model's
+  // lifetime unambiguous (allocated before any engine evaluation, owned by
+  // the returned member for as long as the cache may reference it).
+  for (double parameter : parameters) {
+    FamilyMember member;
+    member.parameter = parameter;
+    member.model = make(parameter);
+    WORMNET_EXPECTS(member.model != nullptr);
+    // One bisection per member; the fraction points reuse it directly
+    // (sweep_saturation_fractions would re-run the search).
+    member.saturation_rate = saturation_rate(*member.model);
+    std::vector<double> lambdas;
+    lambdas.reserve(saturation_fractions.size());
+    for (double f : saturation_fractions) lambdas.push_back(member.saturation_rate * f);
+    member.points = sweep_lambda(*member.model, lambdas);
+    family.push_back(std::move(member));
+  }
+  return family;
+}
+
 double SweepEngine::saturation_rate(const core::NetworkModel& model) {
   const double sf = model.worm_flits();
   WORMNET_EXPECTS(sf > 0.0);

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -42,6 +43,22 @@ struct SweepPoint {
   double load_flits = 0.0;  ///< λ₀ · s_f, flits/cycle/PE
   core::LatencyEstimate est;
 };
+
+/// One member of a model-family sweep (sweep_family): the model built at one
+/// parameter value, its saturation, and its latency curve.  The member owns
+/// the model, keeping its cache-key address alive for the engine's lifetime.
+struct FamilyMember {
+  double parameter = 0.0;  ///< the family axis value (e.g. hotspot fraction)
+  std::unique_ptr<core::NetworkModel> model;
+  double saturation_rate = 0.0;  ///< λ₀* of this member (Eq. 26)
+  std::vector<SweepPoint> points;
+};
+
+/// Builds the family member model at one parameter value — e.g.
+/// `[&](double f) { return build_traffic_model(ft, TrafficSpec::hotspot(f)); }`
+/// wrapped in a unique_ptr.
+using ModelFactory =
+    std::function<std::unique_ptr<core::NetworkModel>(double parameter)>;
 
 /// Parallel, memoizing sweep executor.
 class SweepEngine {
@@ -76,6 +93,20 @@ class SweepEngine {
   double saturation_rate(const core::NetworkModel& model);
   /// Saturation throughput λ₀* · s_f in flits/cycle/PE.
   double saturation_load(const core::NetworkModel& model);
+
+  /// Pattern/parameter sweep over a FAMILY of models: build one model per
+  /// parameter value (e.g. a hotspot-fraction axis of traffic-aware models),
+  /// find each member's saturation rate, and evaluate it at the given
+  /// fractions of ITS OWN saturation.  Members are returned in parameter
+  /// order and own their models; each member's sweep runs through the same
+  /// memoizing parallel machinery as the single-model entry points.
+  /// Lifetime: the usual address-keyed cache contract applies to the owned
+  /// models — keep the returned members alive for the engine's lifetime, or
+  /// clear_cache() after dropping them (a later model allocated at a reused
+  /// address with identical worm/ablation config would hit stale entries).
+  std::vector<FamilyMember> sweep_family(const ModelFactory& make,
+                                         const std::vector<double>& parameters,
+                                         const std::vector<double>& saturation_fractions);
 
   /// Number of worker threads backing parallel sweeps (1 when serial).
   unsigned threads() const;

@@ -4,9 +4,15 @@
 // Poisson message generation, uniformly random destinations, fixed worm
 // length, FCFS channel arbitration, destinations that drain one flit per
 // cycle.
+//
+// Destination selection is a traffic::TrafficSpec — the same pattern object
+// the analytical builder (core::build_traffic_model) consumes, so simulator
+// and model are driven by one description of the workload by construction.
 #pragma once
 
 #include <cstdint>
+
+#include "traffic/traffic_spec.hpp"
 
 namespace wormnet::sim {
 
@@ -15,18 +21,6 @@ enum class ArrivalProcess {
   Poisson,    ///< exponential inter-arrival times (the paper's assumption 1)
   Bernoulli,  ///< geometric inter-arrival times (one trial per cycle)
   Overload,   ///< source always backlogged: measures saturation throughput
-};
-
-/// Destination selection.  The paper (and its model) assume Uniform; the
-/// other patterns probe where the uniform-traffic assumption stops holding
-/// (see bench/ext_traffic_patterns).
-enum class TrafficPattern {
-  Uniform,        ///< uniform over the other processors (the paper's assumption 1)
-  BitComplement,  ///< fixed permutation dest = N-1-src (crosses the root in a fat-tree)
-  Transpose,      ///< dest = transpose of src in the sqrt(N) x sqrt(N) grid;
-                  ///< diagonal sources fall back to dest = (src+1) mod N
-  Hotspot,        ///< with probability hotspot_fraction target processor 0,
-                  ///< otherwise uniform
 };
 
 /// One simulation run's configuration.
@@ -41,11 +35,10 @@ struct SimConfig {
   /// Arrival process.
   ArrivalProcess arrivals = ArrivalProcess::Poisson;
 
-  /// Destination pattern.
-  TrafficPattern pattern = TrafficPattern::Uniform;
-
-  /// Probability a Hotspot-pattern message targets the hotspot node.
-  double hotspot_fraction = 0.1;
+  /// Destination distribution (the paper's assumption 1 by default).  Every
+  /// source must carry full injection weight: the simulator generates
+  /// arrivals at rate λ₀ at every PE.
+  traffic::TrafficSpec traffic = traffic::TrafficSpec::uniform();
 
   /// RNG seed; two runs with equal config are bit-identical.
   std::uint64_t seed = 1;

@@ -13,7 +13,7 @@ Simulator::Simulator(const SimNetwork& net, SimConfig cfg)
       cfg_(cfg),
       traffic_(net.topology().num_processors(),
                cfg.load_flits / static_cast<double>(cfg.worm_flits),
-               cfg.arrivals, cfg.seed, cfg.pattern, cfg.hotspot_fraction),
+               cfg.arrivals, cfg.seed, cfg.traffic),
       route_rng_(util::Rng::stream(cfg.seed, 0xADA9711CULL)) {
   WORMNET_EXPECTS(cfg.worm_flits >= 1);
   WORMNET_EXPECTS(cfg.load_flits >= 0.0);

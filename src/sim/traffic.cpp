@@ -1,6 +1,7 @@
 #include "sim/traffic.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -8,18 +9,17 @@ namespace wormnet::sim {
 
 TrafficSource::TrafficSource(int num_processors, double lambda0,
                              ArrivalProcess process, std::uint64_t seed,
-                             TrafficPattern pattern, double hotspot_fraction)
+                             traffic::TrafficSpec spec)
     : num_procs_(num_processors),
       lambda0_(lambda0),
       process_(process),
-      pattern_(pattern),
-      hotspot_fraction_(hotspot_fraction) {
+      spec_(std::move(spec)) {
   WORMNET_EXPECTS(num_processors >= 2);
   WORMNET_EXPECTS(lambda0 >= 0.0);
-  WORMNET_EXPECTS(hotspot_fraction >= 0.0 && hotspot_fraction <= 1.0);
-  while ((grid_side_ + 1) * (grid_side_ + 1) <= num_processors) ++grid_side_;
-  if (pattern_ == TrafficPattern::Transpose) {
-    WORMNET_EXPECTS(grid_side_ * grid_side_ == num_processors);
+  WORMNET_EXPECTS(spec_.check(num_processors).empty());
+  for (int p = 0; p < num_processors; ++p) {
+    // Arrivals fire at every PE, so silent matrix rows cannot be simulated.
+    WORMNET_EXPECTS(spec_.injection_weight(p, num_processors) > 0.0);
   }
   rng_.reserve(static_cast<std::size_t>(num_processors));
   next_time_.assign(static_cast<std::size_t>(num_processors), 0.0);
@@ -68,30 +68,8 @@ Arrival TrafficSource::pop_arrival(long cycle) {
 }
 
 int TrafficSource::make_destination(int src) {
-  WORMNET_EXPECTS(num_procs_ >= 2);
-  util::Rng& rng = rng_[static_cast<std::size_t>(src)];
-  auto uniform_other = [&] {
-    const auto draw =
-        static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(num_procs_ - 1)));
-    return draw >= src ? draw + 1 : draw;
-  };
-  switch (pattern_) {
-    case TrafficPattern::Uniform:
-      return uniform_other();
-    case TrafficPattern::BitComplement:
-      return num_procs_ - 1 - src;  // != src because N is even
-    case TrafficPattern::Transpose: {
-      const int row = src / grid_side_;
-      const int col = src % grid_side_;
-      const int dest = col * grid_side_ + row;
-      return dest == src ? (src + 1) % num_procs_ : dest;
-    }
-    case TrafficPattern::Hotspot: {
-      if (rng.bernoulli(hotspot_fraction_) && src != 0) return 0;
-      return uniform_other();
-    }
-  }
-  return uniform_other();
+  WORMNET_EXPECTS(src >= 0 && src < num_procs_);
+  return spec_.sample_destination(src, num_procs_, rng_[static_cast<std::size_t>(src)]);
 }
 
 }  // namespace wormnet::sim

@@ -10,7 +10,9 @@
 //  * Overload  — a fresh message the moment the source drains (closed-loop
 //                saturation probe).
 //
-// Destinations are uniform over the other processors.
+// Destinations are drawn from a traffic::TrafficSpec — the same object the
+// analytical model builder routes, so "what the simulator does" and "what
+// the model assumes" cannot drift apart.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "traffic/traffic_spec.hpp"
 #include "util/rng.hpp"
 
 namespace wormnet::sim {
@@ -33,11 +36,12 @@ class TrafficSource {
  public:
   /// `lambda0` is messages/cycle/processor.  For Overload the rate is
   /// ignored; next_arrival() never fires and callers use make_destination()
-  /// plus their own replenish logic.
+  /// plus their own replenish logic.  `spec` must pass check() for
+  /// `num_processors` and give every source full injection weight (the
+  /// stochastic arrival processes drive every PE at λ₀).
   TrafficSource(int num_processors, double lambda0, ArrivalProcess process,
                 std::uint64_t seed,
-                TrafficPattern pattern = TrafficPattern::Uniform,
-                double hotspot_fraction = 0.1);
+                traffic::TrafficSpec spec = traffic::TrafficSpec::uniform());
 
   /// True if an arrival is due at or before `cycle`.
   bool has_arrival(long cycle) const;
@@ -45,9 +49,12 @@ class TrafficSource {
   /// Pop the earliest due arrival (precondition: has_arrival(cycle)).
   Arrival pop_arrival(long cycle);
 
-  /// Destination != src for a message from `src`, per the configured
-  /// pattern, drawn from the source's stream.
+  /// Destination != src for a message from `src`, drawn from the spec's
+  /// distribution using the source's stream.
   int make_destination(int src);
+
+  /// The destination distribution in force.
+  const traffic::TrafficSpec& spec() const { return spec_; }
 
  private:
   void schedule_next(int proc, double from_time);
@@ -55,9 +62,7 @@ class TrafficSource {
   int num_procs_;
   double lambda0_;
   ArrivalProcess process_;
-  TrafficPattern pattern_;
-  double hotspot_fraction_;
-  int grid_side_ = 0;  // sqrt(N) when N is a perfect square (Transpose)
+  traffic::TrafficSpec spec_;
   std::vector<util::Rng> rng_;          // per processor
   std::vector<double> next_time_;       // per processor, continuous
   // Min-heap of (time, proc) so only due processors are touched per cycle.

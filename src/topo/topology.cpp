@@ -2,6 +2,17 @@
 
 namespace wormnet::topo {
 
+std::array<double, 4> Topology::route_split(int node, int dest,
+                                            const RouteOptions& opts) const {
+  static_cast<void>(node);
+  static_cast<void>(dest);
+  WORMNET_EXPECTS(opts.size() >= 1);
+  std::array<double, 4> probs{};
+  const double split = 1.0 / opts.size();
+  for (int i = 0; i < opts.size(); ++i) probs[static_cast<std::size_t>(i)] = split;
+  return probs;
+}
+
 std::vector<PortBundle> Topology::output_bundles(int node) const {
   std::vector<PortBundle> bundles;
   bundles.reserve(static_cast<std::size_t>(num_ports(node)));

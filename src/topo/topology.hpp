@@ -131,6 +131,16 @@ class Topology {
   /// puts every connected port in its own singleton bundle.
   virtual std::vector<PortBundle> output_bundles(int node) const;
 
+  /// Deterministic split probabilities over the route(node, dest) candidates
+  /// `opts`, used by the analytical flow enumeration (core::build_traffic_model):
+  /// entry i is the probability a worm standing at `node` takes candidate i.
+  /// The default mirrors the simulator's adaptive rule — uniform over the
+  /// candidates (the fat-tree's randomized up-phase maps to an equal split);
+  /// topologies with a biased selection policy override this.
+  /// Precondition: opts.size() >= 1.  Entries sum to 1.
+  virtual std::array<double, 4> route_split(int node, int dest,
+                                            const RouteOptions& opts) const;
+
   /// Convenience: true for processor nodes.
   bool is_processor(int node) const { return kind(node) == NodeKind::Processor; }
 };

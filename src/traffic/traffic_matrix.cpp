@@ -1,0 +1,78 @@
+#include "traffic/traffic_matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace wormnet::traffic {
+
+TrafficMatrix::TrafficMatrix(int n) : n_(n) {
+  WORMNET_EXPECTS(n >= 2);
+  w_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+}
+
+void TrafficMatrix::set(int s, int d, double weight) {
+  WORMNET_EXPECTS(s >= 0 && s < n_ && d >= 0 && d < n_);
+  WORMNET_EXPECTS(s != d);
+  WORMNET_EXPECTS(weight >= 0.0);
+  w_[static_cast<std::size_t>(s) * static_cast<std::size_t>(n_) +
+     static_cast<std::size_t>(d)] = weight;
+}
+
+void TrafficMatrix::add(int s, int d, double weight) {
+  WORMNET_EXPECTS(s >= 0 && s < n_ && d >= 0 && d < n_);
+  WORMNET_EXPECTS(s != d);
+  WORMNET_EXPECTS(weight >= 0.0);
+  w_[static_cast<std::size_t>(s) * static_cast<std::size_t>(n_) +
+     static_cast<std::size_t>(d)] += weight;
+}
+
+double TrafficMatrix::row_sum(int s) const {
+  WORMNET_EXPECTS(s >= 0 && s < n_);
+  double sum = 0.0;
+  for (int d = 0; d < n_; ++d) sum += at(s, d);
+  return sum;
+}
+
+double TrafficMatrix::col_sum(int d) const {
+  WORMNET_EXPECTS(d >= 0 && d < n_);
+  double sum = 0.0;
+  for (int s = 0; s < n_; ++s) sum += at(s, d);
+  return sum;
+}
+
+void TrafficMatrix::normalize_rows() {
+  for (int s = 0; s < n_; ++s) {
+    const double sum = row_sum(s);
+    if (sum <= 0.0) continue;
+    for (int d = 0; d < n_; ++d) {
+      const std::size_t idx = static_cast<std::size_t>(s) * static_cast<std::size_t>(n_) +
+                              static_cast<std::size_t>(d);
+      w_[idx] /= sum;
+    }
+  }
+}
+
+std::string TrafficMatrix::validate() const {
+  std::ostringstream problems;
+  if (n_ < 2) {
+    problems << "matrix has fewer than 2 processors; ";
+    return problems.str();
+  }
+  for (int s = 0; s < n_; ++s) {
+    if (at(s, s) != 0.0) problems << "row " << s << " has a non-zero diagonal; ";
+    double sum = 0.0;
+    for (int d = 0; d < n_; ++d) {
+      const double w = at(s, d);
+      if (!(w >= 0.0) || !std::isfinite(w)) {
+        problems << "entry (" << s << ", " << d << ") is negative or non-finite; ";
+        return problems.str();
+      }
+      sum += w;
+    }
+    if (sum != 0.0 && std::abs(sum - 1.0) > 1e-9)
+      problems << "row " << s << " sums to " << sum << " (want 0 or 1); ";
+  }
+  return problems.str();
+}
+
+}  // namespace wormnet::traffic

@@ -1,0 +1,64 @@
+// wormnet/traffic/traffic_matrix.hpp
+//
+// A dense destination-distribution matrix: entry (s, d) is the probability
+// that a message generated at processor s is addressed to processor d.  This
+// is the fully general way load enters the analytical model — every built-in
+// TrafficSpec pattern materializes to one, and users can hand a custom
+// matrix straight to core::build_traffic_model or the simulator.
+//
+// Invariants (enforced by validate()):
+//  * entries are non-negative and finite;
+//  * the diagonal is zero (a processor never addresses itself);
+//  * every row sums to 1 (the processor injects at the full rate λ₀) or to 0
+//    (a silent processor — allowed in the analytical model, rejected by the
+//    simulator's TrafficSource, which generates arrivals at every PE).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wormnet::traffic {
+
+/// Row-stochastic destination matrix over `size()` processors.
+class TrafficMatrix {
+ public:
+  TrafficMatrix() = default;
+  /// An all-zero n x n matrix; fill with set()/add() then normalize or
+  /// validate.
+  explicit TrafficMatrix(int n);
+
+  /// Number of processors (rows == columns).
+  int size() const { return n_; }
+
+  /// P(dest = d | src = s).
+  double at(int s, int d) const {
+    WORMNET_EXPECTS(s >= 0 && s < n_ && d >= 0 && d < n_);
+    return w_[static_cast<std::size_t>(s) * static_cast<std::size_t>(n_) +
+              static_cast<std::size_t>(d)];
+  }
+
+  /// Set one entry (s != d, weight >= 0).
+  void set(int s, int d, double weight);
+  /// Accumulate into one entry (s != d, weight >= 0).
+  void add(int s, int d, double weight);
+
+  /// Sum of row `s` — the injection weight of processor s.
+  double row_sum(int s) const;
+
+  /// Sum of column `d` — the ejection weight of processor d at unit λ₀.
+  double col_sum(int d) const;
+
+  /// Scale every non-empty row to sum to exactly 1.
+  void normalize_rows();
+
+  /// Empty string when the invariants hold, else an explanation.
+  std::string validate() const;
+
+ private:
+  int n_ = 0;
+  std::vector<double> w_;  // row-major n_ x n_
+};
+
+}  // namespace wormnet::traffic

@@ -1,0 +1,250 @@
+#include "traffic/traffic_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace wormnet::traffic {
+
+TrafficSpec TrafficSpec::uniform() { return TrafficSpec{}; }
+
+TrafficSpec TrafficSpec::hotspot(double fraction, int hotspot_node) {
+  WORMNET_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  WORMNET_EXPECTS(hotspot_node >= 0);
+  TrafficSpec spec;
+  spec.pattern_ = Pattern::Hotspot;
+  spec.fraction_ = fraction;
+  spec.hotspot_node_ = hotspot_node;
+  return spec;
+}
+
+TrafficSpec TrafficSpec::bit_complement() {
+  TrafficSpec spec;
+  spec.pattern_ = Pattern::BitComplement;
+  return spec;
+}
+
+TrafficSpec TrafficSpec::transpose() {
+  TrafficSpec spec;
+  spec.pattern_ = Pattern::Transpose;
+  return spec;
+}
+
+TrafficSpec TrafficSpec::permutation(std::vector<int> dest_of) {
+  TrafficSpec spec;
+  spec.pattern_ = Pattern::Permutation;
+  spec.perm_ = std::move(dest_of);
+  return spec;
+}
+
+TrafficSpec TrafficSpec::nearest_neighbor(double locality) {
+  WORMNET_EXPECTS(locality >= 0.0 && locality <= 1.0);
+  TrafficSpec spec;
+  spec.pattern_ = Pattern::NearestNeighbor;
+  spec.fraction_ = locality;
+  return spec;
+}
+
+TrafficSpec TrafficSpec::matrix(TrafficMatrix m) {
+  WORMNET_EXPECTS(m.validate().empty());
+  auto holder = std::make_shared<MatrixHolder>();
+  const int n = m.size();
+  holder->row_cdf.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+  for (int s = 0; s < n; ++s) {
+    double cum = 0.0;
+    for (int d = 0; d < n; ++d) {
+      cum += m.at(s, d);
+      holder->row_cdf[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+                      static_cast<std::size_t>(d)] = cum;
+    }
+  }
+  holder->m = std::move(m);
+  TrafficSpec spec;
+  spec.pattern_ = Pattern::Matrix;
+  spec.matrix_ = std::move(holder);
+  return spec;
+}
+
+std::string TrafficSpec::name() const {
+  char buf[64];
+  switch (pattern_) {
+    case Pattern::Uniform:
+      return "uniform";
+    case Pattern::Hotspot:
+      std::snprintf(buf, sizeof buf, "hotspot(f=%.2f,node=%d)", fraction_,
+                    hotspot_node_);
+      return buf;
+    case Pattern::BitComplement:
+      return "bit-complement";
+    case Pattern::Transpose:
+      return "transpose";
+    case Pattern::Permutation:
+      return "permutation";
+    case Pattern::NearestNeighbor:
+      std::snprintf(buf, sizeof buf, "nearest-neighbor(p=%.2f)", fraction_);
+      return buf;
+    case Pattern::Matrix:
+      return "matrix";
+  }
+  return "unknown";
+}
+
+int TrafficSpec::grid_side(int num_processors) const {
+  // Round-and-correct integer sqrt: O(1) — this sits on the simulator's
+  // per-message sampling path and the builder's O(N²) pair_weight path.
+  int side = static_cast<int>(std::lround(std::sqrt(static_cast<double>(num_processors))));
+  while (side > 0 && side * side > num_processors) --side;
+  while ((side + 1) * (side + 1) <= num_processors) ++side;
+  return side;
+}
+
+std::string TrafficSpec::check(int num_processors) const {
+  if (num_processors < 2) return "need at least 2 processors";
+  switch (pattern_) {
+    case Pattern::Uniform:
+    case Pattern::NearestNeighbor:
+      return "";
+    case Pattern::Hotspot:
+      if (hotspot_node_ >= num_processors) return "hotspot node out of range";
+      return "";
+    case Pattern::BitComplement:
+      if (num_processors % 2 != 0) return "bit-complement needs an even processor count";
+      return "";
+    case Pattern::Transpose: {
+      const int side = grid_side(num_processors);
+      if (side * side != num_processors)
+        return "transpose needs a square processor count";
+      return "";
+    }
+    case Pattern::Permutation: {
+      if (static_cast<int>(perm_.size()) != num_processors)
+        return "permutation size does not match the processor count";
+      std::vector<char> hit(static_cast<std::size_t>(num_processors), 0);
+      for (int s = 0; s < num_processors; ++s) {
+        const int d = perm_[static_cast<std::size_t>(s)];
+        if (d < 0 || d >= num_processors) return "permutation entry out of range";
+        if (d == s) return "permutation has a fixed point (src == dest)";
+        if (hit[static_cast<std::size_t>(d)]) return "permutation repeats a destination";
+        hit[static_cast<std::size_t>(d)] = 1;
+      }
+      return "";
+    }
+    case Pattern::Matrix:
+      if (!matrix_ || matrix_->m.size() != num_processors)
+        return "matrix size does not match the processor count";
+      return "";
+  }
+  return "unknown pattern";
+}
+
+double TrafficSpec::pair_weight(int src, int dst, int num_processors) const {
+  WORMNET_EXPECTS(src >= 0 && src < num_processors);
+  WORMNET_EXPECTS(dst >= 0 && dst < num_processors);
+  if (src == dst) return 0.0;
+  const double uniform_w = 1.0 / (num_processors - 1);
+  switch (pattern_) {
+    case Pattern::Uniform:
+      return uniform_w;
+    case Pattern::Hotspot: {
+      if (src == hotspot_node_) return uniform_w;
+      const double spread = (1.0 - fraction_) * uniform_w;
+      return dst == hotspot_node_ ? fraction_ + spread : spread;
+    }
+    case Pattern::BitComplement:
+      return dst == num_processors - 1 - src ? 1.0 : 0.0;
+    case Pattern::Transpose: {
+      const int side = grid_side(num_processors);
+      int want = (src % side) * side + src / side;
+      if (want == src) want = (src + 1) % num_processors;
+      return dst == want ? 1.0 : 0.0;
+    }
+    case Pattern::Permutation:
+      return dst == perm_[static_cast<std::size_t>(src)] ? 1.0 : 0.0;
+    case Pattern::NearestNeighbor: {
+      const int up = (src + 1) % num_processors;
+      const int down = (src + num_processors - 1) % num_processors;
+      double w = (1.0 - fraction_) * uniform_w;
+      if (up == down) {
+        if (dst == up) w += fraction_;
+      } else {
+        if (dst == up || dst == down) w += fraction_ / 2.0;
+      }
+      return w;
+    }
+    case Pattern::Matrix:
+      return matrix_->m.at(src, dst);
+  }
+  return 0.0;
+}
+
+double TrafficSpec::injection_weight(int src, int num_processors) const {
+  if (pattern_ == Pattern::Matrix) return matrix_->m.row_sum(src);
+  WORMNET_EXPECTS(src >= 0 && src < num_processors);
+  return 1.0;
+}
+
+TrafficMatrix TrafficSpec::materialize(int num_processors) const {
+  WORMNET_EXPECTS(check(num_processors).empty());
+  TrafficMatrix m(num_processors);
+  for (int s = 0; s < num_processors; ++s) {
+    for (int d = 0; d < num_processors; ++d) {
+      if (d == s) continue;
+      const double w = pair_weight(s, d, num_processors);
+      if (w > 0.0) m.set(s, d, w);
+    }
+  }
+  return m;
+}
+
+int TrafficSpec::sample_destination(int src, int num_processors, util::Rng& rng) const {
+  WORMNET_EXPECTS(num_processors >= 2);
+  WORMNET_EXPECTS(src >= 0 && src < num_processors);
+  // Uniform over the other processors; the same draw sequence the simulator
+  // has always used, so seeded runs stay bit-identical across the refactor.
+  auto uniform_other = [&] {
+    const auto draw = static_cast<int>(
+        rng.uniform_int(static_cast<std::uint64_t>(num_processors - 1)));
+    return draw >= src ? draw + 1 : draw;
+  };
+  switch (pattern_) {
+    case Pattern::Uniform:
+      return uniform_other();
+    case Pattern::Hotspot: {
+      if (rng.bernoulli(fraction_) && src != hotspot_node_) return hotspot_node_;
+      return uniform_other();
+    }
+    case Pattern::BitComplement:
+      return num_processors - 1 - src;  // != src because N is even
+    case Pattern::Transpose: {
+      const int side = grid_side(num_processors);
+      const int dest = (src % side) * side + src / side;
+      return dest == src ? (src + 1) % num_processors : dest;
+    }
+    case Pattern::Permutation:
+      return perm_[static_cast<std::size_t>(src)];
+    case Pattern::NearestNeighbor: {
+      if (rng.bernoulli(fraction_)) {
+        const int up = (src + 1) % num_processors;
+        const int down = (src + num_processors - 1) % num_processors;
+        if (up == down) return up;
+        return rng.pick_of_two() ? down : up;
+      }
+      return uniform_other();
+    }
+    case Pattern::Matrix: {
+      const auto n = static_cast<std::size_t>(num_processors);
+      const auto* row = matrix_->row_cdf.data() + static_cast<std::size_t>(src) * n;
+      const double total = row[n - 1];
+      WORMNET_EXPECTS(total > 0.0);  // sampling a silent source is a caller bug
+      const double u = rng.uniform() * total;
+      const auto* it = std::upper_bound(row, row + n, u);
+      const int dst = static_cast<int>(std::min(it - row, static_cast<std::ptrdiff_t>(n - 1)));
+      WORMNET_ENSURES(dst != src);
+      return dst;
+    }
+  }
+  return uniform_other();
+}
+
+}  // namespace wormnet::traffic

@@ -1,0 +1,119 @@
+// wormnet/traffic/traffic_spec.hpp
+//
+// The single source of truth for destination distributions, shared by the
+// analytical model and the flit-level simulator.  The paper's assumption 1
+// (uniform destinations) is just one point in this catalog; the others probe
+// — and, through core::build_traffic_model, *model* — the workloads where
+// the uniform closed forms stop holding.
+//
+// A TrafficSpec answers the same question two ways, guaranteed consistent:
+//  * pair_weight(s, d, N) — the exact probability P(dest = d | src = s),
+//    consumed by the route-enumeration model builder;
+//  * sample_destination(s, N, rng) — a draw from that same distribution,
+//    consumed by the simulator's TrafficSource.
+//
+// Catalog:
+//  * Uniform          — uniform over the other processors (assumption 1);
+//  * Hotspot(f, h)    — with probability f target processor h, otherwise
+//                       uniform over the others (h's own messages are always
+//                       uniform); the classic ejection-skew stress;
+//  * BitComplement    — fixed permutation d = N-1-s (crosses the root of a
+//                       fat-tree); requires even N;
+//  * Transpose        — d = transpose of s in the sqrt(N) x sqrt(N) grid,
+//                       diagonal sources fall back to d = s+1 mod N;
+//                       requires square N;
+//  * Permutation      — an arbitrary fixed fixpoint-free permutation;
+//  * NearestNeighbor(p) — with probability p target s±1 mod N (locality),
+//                       otherwise uniform over the others;
+//  * Matrix           — an arbitrary dense row-stochastic TrafficMatrix.
+//
+// Specs are small value types (the Matrix payload is shared), cheap to copy
+// into SimConfig and model builders.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "traffic/traffic_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace wormnet::traffic {
+
+/// Which destination distribution a TrafficSpec denotes.
+enum class Pattern {
+  Uniform,
+  Hotspot,
+  BitComplement,
+  Transpose,
+  Permutation,
+  NearestNeighbor,
+  Matrix,
+};
+
+/// A destination distribution, independent of any concrete network size
+/// (except Permutation/Matrix, which carry their own N and are checked
+/// against the topology at use).
+class TrafficSpec {
+ public:
+  /// Defaults to the paper's assumption 1.
+  TrafficSpec() = default;
+
+  static TrafficSpec uniform();
+  /// With probability `fraction` target `hotspot_node`, else uniform.
+  static TrafficSpec hotspot(double fraction, int hotspot_node = 0);
+  static TrafficSpec bit_complement();
+  static TrafficSpec transpose();
+  /// Fixed permutation: messages from s always go to dest_of[s] != s.
+  static TrafficSpec permutation(std::vector<int> dest_of);
+  /// With probability `locality` target s±1 mod N, else uniform.
+  static TrafficSpec nearest_neighbor(double locality);
+  /// Arbitrary dense destination matrix (validated: rows sum to 0 or 1).
+  static TrafficSpec matrix(TrafficMatrix m);
+
+  Pattern pattern() const { return pattern_; }
+  /// Human-readable tag, e.g. "hotspot(f=0.10,node=0)".
+  std::string name() const;
+
+  /// Hotspot parameters (meaningful for Pattern::Hotspot only).
+  double hotspot_fraction() const { return fraction_; }
+  int hotspot_node() const { return hotspot_node_; }
+
+  /// Empty string when the spec is usable on `num_processors` PEs, else the
+  /// problem (odd N for bit-complement, non-square N for transpose, size
+  /// mismatch for permutation/matrix, ...).
+  std::string check(int num_processors) const;
+
+  /// P(dest = dst | src).  Rows are stochastic: summing over dst gives
+  /// injection_weight(src).  pair_weight(s, s, N) == 0 always.
+  double pair_weight(int src, int dst, int num_processors) const;
+
+  /// Row sum of `src` — 1 for every built-in pattern; 0 for a silent row of
+  /// a custom matrix.
+  double injection_weight(int src, int num_processors) const;
+
+  /// Materialize the dense matrix at N (tests, reports, custom rescaling).
+  TrafficMatrix materialize(int num_processors) const;
+
+  /// Draw a destination != src from this spec's distribution for `src`.
+  /// Deterministic function of the rng state; the empirical law is exactly
+  /// pair_weight(src, ., N).
+  int sample_destination(int src, int num_processors, util::Rng& rng) const;
+
+ private:
+  /// Matrix payload plus the per-row cumulative sums sampling binary-searches.
+  struct MatrixHolder {
+    TrafficMatrix m;
+    std::vector<double> row_cdf;  // row-major inclusive prefix sums
+  };
+
+  int grid_side(int num_processors) const;
+
+  Pattern pattern_ = Pattern::Uniform;
+  double fraction_ = 0.0;  ///< Hotspot fraction / NearestNeighbor locality
+  int hotspot_node_ = 0;
+  std::vector<int> perm_;
+  std::shared_ptr<const MatrixHolder> matrix_;
+};
+
+}  // namespace wormnet::traffic

@@ -7,9 +7,12 @@
 //  * wormnet::queueing — M/G/1, Hokstad M/G/2, generalized M/G/m waits with
 //    the wormhole variance and blocking-probability corrections (Eq. 4-10);
 //  * wormnet::topo     — butterfly fat-tree, hypercube and mesh topologies;
+//  * wormnet::traffic  — destination distributions (TrafficSpec pattern
+//    catalog + arbitrary TrafficMatrix), shared by model and simulator;
 //  * wormnet::core     — the paper's analytical model: the general
-//    channel-graph solver (§2), the closed-form fat-tree model (§3), and
-//    saturation throughput (Eq. 26);
+//    channel-graph solver (§2), the closed-form fat-tree model (§3),
+//    saturation throughput (Eq. 26), and the traffic-aware route-enumeration
+//    builder (any topology x any TrafficSpec);
 //  * wormnet::sim      — a flit-level wormhole simulator (the validation
 //    substrate for every experiment);
 //  * wormnet::harness  — load sweeps and model-vs-simulation comparisons;
@@ -26,6 +29,7 @@
 #include "core/hypercube_graph.hpp"    // IWYU pragma: export
 #include "core/network_model.hpp"      // IWYU pragma: export
 #include "core/saturation.hpp"         // IWYU pragma: export
+#include "core/traffic_model.hpp"      // IWYU pragma: export
 #include "harness/experiment.hpp"      // IWYU pragma: export
 #include "harness/sweep_engine.hpp"    // IWYU pragma: export
 #include "queueing/channel_solver.hpp" // IWYU pragma: export
@@ -41,6 +45,8 @@
 #include "topo/hypercube.hpp"          // IWYU pragma: export
 #include "topo/mesh.hpp"               // IWYU pragma: export
 #include "topo/topology.hpp"           // IWYU pragma: export
+#include "traffic/traffic_matrix.hpp"  // IWYU pragma: export
+#include "traffic/traffic_spec.hpp"    // IWYU pragma: export
 #include "util/cli.hpp"                // IWYU pragma: export
 #include "util/histogram.hpp"          // IWYU pragma: export
 #include "util/math.hpp"               // IWYU pragma: export

@@ -142,8 +142,7 @@ TEST(SimStress, HotspotLongRunStaysWedgeFree) {
   SimConfig cfg;
   cfg.load_flits = 0.3;
   cfg.worm_flits = 16;
-  cfg.pattern = TrafficPattern::Hotspot;
-  cfg.hotspot_fraction = 0.5;
+  cfg.traffic = traffic::TrafficSpec::hotspot(0.5);
   cfg.seed = 17;
   cfg.warmup_cycles = 1'000;
   cfg.measure_cycles = 10'000;

@@ -9,6 +9,8 @@
 #include "core/fattree_graph.hpp"
 #include "core/fattree_model.hpp"
 #include "core/hypercube_graph.hpp"
+#include "core/traffic_model.hpp"
+#include "topo/butterfly_fattree.hpp"
 
 namespace wormnet::harness {
 namespace {
@@ -167,6 +169,42 @@ TEST(SweepEngine, ClearCacheForgetsEverything) {
   EXPECT_EQ(engine.cache_size(), 1u);
   engine.clear_cache();
   EXPECT_EQ(engine.cache_size(), 0u);
+}
+
+TEST(SweepEngine, FamilySweepWalksTheHotspotAxis) {
+  // The pattern-sweep entry point: a hotspot-fraction axis of traffic-aware
+  // fat-tree models.  Saturation must fall monotonically as the fraction
+  // grows (the hotspot ejection channel binds harder and harder), each
+  // member carries its own curve, and the uniform member (f=0) agrees with
+  // the plain uniform builder.
+  topo::ButterflyFatTree ft(2);
+  core::SolveOptions opts;
+  opts.worm_flits = 16.0;
+  SweepEngine engine;
+  const std::vector<double> fractions{0.25, 0.5, 0.75};
+  const std::vector<FamilyMember> family = engine.sweep_family(
+      [&](double f) {
+        return std::make_unique<core::GeneralModel>(
+            core::build_traffic_model(ft, traffic::TrafficSpec::hotspot(f), opts));
+      },
+      {0.0, 0.05, 0.15, 0.3}, fractions);
+  ASSERT_EQ(family.size(), 4u);
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    const FamilyMember& member = family[i];
+    EXPECT_GT(member.saturation_rate, 0.0);
+    ASSERT_EQ(member.points.size(), fractions.size());
+    for (std::size_t j = 0; j < fractions.size(); ++j) {
+      EXPECT_TRUE(member.points[j].est.stable);
+      EXPECT_NEAR(member.points[j].lambda0,
+                  member.saturation_rate * fractions[j], 1e-12);
+    }
+    if (i > 0) {
+      EXPECT_LT(member.saturation_rate, family[i - 1].saturation_rate);
+    }
+  }
+  const core::GeneralModel uniform = core::build_traffic_model(
+      ft, traffic::TrafficSpec::uniform(), opts);
+  EXPECT_NEAR(family[0].saturation_rate, engine.saturation_rate(uniform), 1e-12);
 }
 
 TEST(SweepEngine, MemoizeOffAlwaysReevaluates) {

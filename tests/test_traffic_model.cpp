@@ -1,0 +1,253 @@
+// Tests for core::build_traffic_model — the traffic-aware route-enumeration
+// builder.  Three layers of checks:
+//  * conservation: for every topology x pattern, the enumerated per-channel
+//    rates satisfy Kirchhoff flow conservation (switch in-rate == out-rate,
+//    processor injection == row weight, ejection == column weight);
+//  * parity: under TrafficSpec::uniform() the builder reproduces the
+//    hand-derived fat-tree and hypercube channel rates and latencies;
+//  * pattern physics: hotspot ejection follows the closed form and drags the
+//    saturation point below the uniform model's; permutations unload the
+//    network the way the simulator measures.
+#include "core/traffic_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/fattree_graph.hpp"
+#include "core/fattree_model.hpp"
+#include "core/hypercube_graph.hpp"
+#include "topo/butterfly_fattree.hpp"
+#include "topo/channels.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormnet::core {
+namespace {
+
+std::vector<traffic::TrafficSpec> patterns_for(int n) {
+  std::vector<traffic::TrafficSpec> all{
+      traffic::TrafficSpec::uniform(),
+      traffic::TrafficSpec::hotspot(0.2),
+      traffic::TrafficSpec::bit_complement(),
+      traffic::TrafficSpec::transpose(),
+      traffic::TrafficSpec::nearest_neighbor(0.5),
+  };
+  std::vector<int> shift(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) shift[static_cast<std::size_t>(s)] = (s + 1) % n;
+  all.push_back(traffic::TrafficSpec::permutation(shift));
+  std::vector<traffic::TrafficSpec> usable;
+  for (traffic::TrafficSpec& spec : all) {
+    if (spec.check(n).empty()) usable.push_back(spec);
+  }
+  return usable;
+}
+
+/// Kirchhoff conservation of the enumerated unit-rate flows:
+///  * every switch forwards exactly what it receives;
+///  * every processor injects its row weight and absorbs its column weight;
+///  * network-wide, injected == ejected.
+void expect_flow_conservation(const topo::Topology& topo,
+                              const traffic::TrafficSpec& spec) {
+  const GeneralModel net = build_traffic_model(topo, spec);
+  const topo::ChannelTable ct(topo);
+  const int procs = topo.num_processors();
+  const traffic::TrafficMatrix m = spec.materialize(procs);
+  const std::string tag = net.model_name;
+
+  std::vector<double> in_rate(static_cast<std::size_t>(topo.num_nodes()), 0.0);
+  std::vector<double> out_rate(static_cast<std::size_t>(topo.num_nodes()), 0.0);
+  for (int ch = 0; ch < ct.size(); ++ch) {
+    const topo::DirectedChannel& dc = ct.at(ch);
+    const double rate = net.graph.at(ch).rate_per_link;
+    out_rate[static_cast<std::size_t>(dc.src_node)] += rate;
+    in_rate[static_cast<std::size_t>(dc.dst_node)] += rate;
+  }
+  double injected = 0.0;
+  double ejected = 0.0;
+  for (int node = 0; node < topo.num_nodes(); ++node) {
+    if (topo.is_processor(node)) {
+      EXPECT_NEAR(out_rate[static_cast<std::size_t>(node)], m.row_sum(node), 1e-9)
+          << tag << " injection at PE " << node;
+      EXPECT_NEAR(in_rate[static_cast<std::size_t>(node)], m.col_sum(node), 1e-9)
+          << tag << " ejection at PE " << node;
+      injected += out_rate[static_cast<std::size_t>(node)];
+      ejected += in_rate[static_cast<std::size_t>(node)];
+    } else {
+      EXPECT_NEAR(in_rate[static_cast<std::size_t>(node)],
+                  out_rate[static_cast<std::size_t>(node)], 1e-9)
+          << tag << " switch " << node << " does not conserve flow";
+    }
+  }
+  EXPECT_NEAR(injected, ejected, 1e-9) << tag;
+}
+
+TEST(TrafficModel, FlowConservationAcrossTopologiesAndPatterns) {
+  const topo::ButterflyFatTree ft(2);
+  const topo::Hypercube hc(3);
+  const topo::Mesh mesh(3, 2);
+  for (const topo::Topology* topo :
+       std::initializer_list<const topo::Topology*>{&ft, &hc, &mesh}) {
+    for (const traffic::TrafficSpec& spec : patterns_for(topo->num_processors())) {
+      expect_flow_conservation(*topo, spec);
+    }
+  }
+}
+
+TEST(TrafficModel, UniformReproducesHandDerivedFatTreeRates) {
+  topo::ButterflyFatTree ft(3);
+  const GeneralModel net =
+      build_traffic_model(ft, traffic::TrafficSpec::uniform());
+  const topo::ChannelTable ct(ft);
+  FatTreeModel model({.levels = 3, .worm_flits = 16.0});
+  for (int ch = 0; ch < ct.size(); ++ch) {
+    const topo::DirectedChannel& dc = ct.at(ch);
+    const int from_level = ft.node_level(dc.src_node);
+    const int to_level = ft.node_level(dc.dst_node);
+    const double rate = net.graph.at(ch).rate_per_link;
+    const int level = to_level > from_level ? from_level : to_level;
+    EXPECT_NEAR(rate, model.rate_up(level, 1.0), 1e-12)
+        << "channel at level " << level;
+  }
+}
+
+TEST(TrafficModel, UniformMatchesCollapsedBuildersToMachinePrecision) {
+  // Exact-conditional collapsed fat-tree and the route-enumerated uniform
+  // model are two encodings of the same flows; latencies must agree to
+  // near machine precision.
+  topo::ButterflyFatTree ft(3);
+  const GeneralModel enumerated =
+      build_traffic_model(ft, traffic::TrafficSpec::uniform());
+  const GeneralModel collapsed =
+      build_fattree_collapsed(3, 2, /*exact_conditionals=*/true);
+  SolveOptions opts;
+  opts.worm_flits = 16.0;
+  for (double lambda0 : {0.0005, 0.002}) {
+    const LatencyEstimate a = model_latency(enumerated, lambda0, opts);
+    const LatencyEstimate b = model_latency(collapsed, lambda0, opts);
+    ASSERT_TRUE(a.stable && b.stable);
+    EXPECT_NEAR(a.latency, b.latency, 1e-9 * b.latency) << "lambda0=" << lambda0;
+  }
+  topo::Hypercube hc(4);
+  const GeneralModel cube =
+      build_traffic_model(hc, traffic::TrafficSpec::uniform());
+  const GeneralModel cube_collapsed = build_hypercube_collapsed(4);
+  for (double lambda0 : {0.001, 0.004}) {
+    const LatencyEstimate a = model_latency(cube, lambda0, opts);
+    const LatencyEstimate b = model_latency(cube_collapsed, lambda0, opts);
+    ASSERT_TRUE(a.stable && b.stable);
+    EXPECT_NEAR(a.latency, b.latency, 1e-6 * b.latency) << "lambda0=" << lambda0;
+  }
+}
+
+TEST(TrafficModel, HotspotEjectionRateMatchesClosedForm) {
+  // Column sum at the hotspot: (P-1)·f + (1-f) at unit injection rate.
+  topo::ButterflyFatTree ft(2);
+  const topo::ChannelTable ct(ft);
+  const int procs = ft.num_processors();
+  for (double f : {0.1, 0.3}) {
+    const GeneralModel net =
+        build_traffic_model(ft, traffic::TrafficSpec::hotspot(f));
+    const int ej = ct.into(0, 0);
+    EXPECT_NEAR(net.graph.at(ej).rate_per_link, (procs - 1) * f + (1.0 - f), 1e-9)
+        << "f=" << f;
+    EXPECT_TRUE(net.graph.at(ej).terminal);
+  }
+}
+
+TEST(TrafficModel, HotspotSaturatesBelowUniform) {
+  topo::ButterflyFatTree ft(2);
+  SolveOptions opts;
+  opts.worm_flits = 16.0;
+  const GeneralModel uniform =
+      build_traffic_model(ft, traffic::TrafficSpec::uniform(), opts);
+  const GeneralModel hotspot =
+      build_traffic_model(ft, traffic::TrafficSpec::hotspot(0.1), opts);
+  const double sat_u = model_saturation_rate(uniform, opts);
+  const double sat_h = model_saturation_rate(hotspot, opts);
+  EXPECT_GT(sat_h, 0.0);
+  EXPECT_LT(sat_h, sat_u);
+  // The skewed ejection channel is the binding constraint: at unit λ₀ it
+  // carries (P-1)f + (1-f), so it saturates near 1/(rate·s_f) — far below
+  // the uniform saturation.  Check the order of magnitude.
+  const int procs = ft.num_processors();
+  const double ej_rate = (procs - 1) * 0.1 + 0.9;
+  EXPECT_LT(sat_h, 1.05 / (ej_rate * opts.worm_flits));
+}
+
+TEST(TrafficModel, BitComplementCrossesTheRoot) {
+  // Every bit-complement pair straddles the root: the traffic-weighted mean
+  // distance is exactly the diameter, and level-1 sibling turns never occur.
+  for (int levels : {2, 3}) {
+    topo::ButterflyFatTree ft(levels);
+    const GeneralModel net =
+        build_traffic_model(ft, traffic::TrafficSpec::bit_complement());
+    EXPECT_NEAR(net.mean_distance, 2.0 * levels, 1e-12);
+  }
+}
+
+TEST(TrafficModel, PermutationLeavesChannelsUnusedButValid) {
+  // The shift permutation loads only a sliver of the hypercube; unused
+  // channels carry zero rate and the graph still validates/solves.
+  topo::Hypercube hc(3);
+  const int procs = hc.num_processors();
+  std::vector<int> shift(static_cast<std::size_t>(procs));
+  for (int s = 0; s < procs; ++s) shift[static_cast<std::size_t>(s)] = (s + 1) % procs;
+  const GeneralModel net =
+      build_traffic_model(hc, traffic::TrafficSpec::permutation(shift));
+  EXPECT_TRUE(net.graph.validate().empty());
+  int unused = 0;
+  for (int ch = 0; ch < net.graph.size(); ++ch) {
+    if (net.graph.at(ch).rate_per_link == 0.0) ++unused;
+  }
+  EXPECT_GT(unused, 0);
+  SolveOptions opts;
+  opts.worm_flits = 16.0;
+  const LatencyEstimate est = model_latency(net, 0.001, opts);
+  EXPECT_TRUE(est.stable);
+  EXPECT_GT(est.latency, 0.0);
+}
+
+TEST(TrafficModel, SilentMatrixRowsAreExcludedFromInjection) {
+  topo::Hypercube hc(2);
+  const int procs = hc.num_processors();
+  traffic::TrafficMatrix m(procs);
+  // PE 0 is a pure sink: every other PE sends to it only.
+  for (int s = 1; s < procs; ++s) m.set(s, 0, 1.0);
+  const GeneralModel net = build_traffic_model(hc, traffic::TrafficSpec::matrix(m));
+  EXPECT_EQ(static_cast<int>(net.injection_classes.size()), procs - 1);
+  const topo::ChannelTable ct(hc);
+  EXPECT_NEAR(net.graph.at(ct.into(0, 0)).rate_per_link,
+              static_cast<double>(procs - 1), 1e-12);
+  EXPECT_DOUBLE_EQ(net.graph.at(ct.from(0, 0)).rate_per_link, 0.0);
+  SolveOptions opts;
+  opts.worm_flits = 8.0;
+  EXPECT_TRUE(model_latency(net, 0.002, opts).stable);
+}
+
+TEST(TrafficModel, LocalityShortensTheWeightedMeanDistance) {
+  topo::ButterflyFatTree ft(3);
+  const GeneralModel uniform =
+      build_traffic_model(ft, traffic::TrafficSpec::uniform());
+  const GeneralModel local =
+      build_traffic_model(ft, traffic::TrafficSpec::nearest_neighbor(0.8));
+  EXPECT_LT(local.mean_distance, uniform.mean_distance);
+  EXPECT_NEAR(uniform.mean_distance, ft.mean_distance(), 1e-12);
+}
+
+TEST(TrafficModel, OptionsAndNamingPropagate) {
+  topo::Hypercube hc(2);
+  SolveOptions opts;
+  opts.worm_flits = 32.0;
+  opts.multi_server = false;
+  const GeneralModel net =
+      build_traffic_model(hc, traffic::TrafficSpec::hotspot(0.2), opts);
+  EXPECT_DOUBLE_EQ(net.opts.worm_flits, 32.0);
+  EXPECT_FALSE(net.opts.multi_server);
+  EXPECT_NE(net.model_name.find("hotspot"), std::string::npos);
+  EXPECT_NE(net.model_name.find(hc.name()), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wormnet::core

@@ -11,7 +11,7 @@ namespace {
 
 TEST(TrafficPatterns, BitComplementIsTheComplementPermutation) {
   TrafficSource src(64, 0.0, ArrivalProcess::Overload, 1,
-                    TrafficPattern::BitComplement);
+                    traffic::TrafficSpec::bit_complement());
   for (int s = 0; s < 64; ++s) {
     EXPECT_EQ(src.make_destination(s), 63 - s);
   }
@@ -19,7 +19,7 @@ TEST(TrafficPatterns, BitComplementIsTheComplementPermutation) {
 
 TEST(TrafficPatterns, TransposeSwapsGridCoordinates) {
   TrafficSource src(16, 0.0, ArrivalProcess::Overload, 1,
-                    TrafficPattern::Transpose);
+                    traffic::TrafficSpec::transpose());
   // 4x4 grid: src (r, c) -> dest (c, r).
   EXPECT_EQ(src.make_destination(1), 4);   // (0,1) -> (1,0)
   EXPECT_EQ(src.make_destination(7), 13);  // (1,3) -> (3,1)
@@ -30,13 +30,13 @@ TEST(TrafficPatterns, TransposeSwapsGridCoordinates) {
 
 TEST(TrafficPatterns, TransposeRequiresSquareCount) {
   EXPECT_DEATH(TrafficSource(12, 0.0, ArrivalProcess::Overload, 1,
-                             TrafficPattern::Transpose),
+                             traffic::TrafficSpec::transpose()),
                "precondition");
 }
 
 TEST(TrafficPatterns, HotspotSkewsTowardNodeZero) {
   TrafficSource src(64, 0.0, ArrivalProcess::Overload, 3,
-                    TrafficPattern::Hotspot, 0.25);
+                    traffic::TrafficSpec::hotspot(0.25));
   int to_zero = 0;
   const int n = 20'000;
   for (int i = 0; i < n; ++i) {
@@ -50,7 +50,7 @@ TEST(TrafficPatterns, HotspotSkewsTowardNodeZero) {
 
 TEST(TrafficPatterns, HotspotNodeNeverTargetsItself) {
   TrafficSource src(16, 0.0, ArrivalProcess::Overload, 4,
-                    TrafficPattern::Hotspot, 0.5);
+                    traffic::TrafficSpec::hotspot(0.5));
   for (int i = 0; i < 1'000; ++i) EXPECT_NE(src.make_destination(0), 0);
 }
 
@@ -64,7 +64,7 @@ TEST(TrafficPatterns, BitComplementLoadsTheRootOnly) {
   SimConfig cfg;
   cfg.load_flits = 0.02;
   cfg.worm_flits = 16;
-  cfg.pattern = TrafficPattern::BitComplement;
+  cfg.traffic = traffic::TrafficSpec::bit_complement();
   cfg.seed = 5;
   cfg.warmup_cycles = 2'000;
   cfg.measure_cycles = 15'000;
@@ -98,8 +98,7 @@ TEST(TrafficPatterns, HotspotSaturatesEarlierThanUniform) {
   Simulator uniform(net, base);
   const SimResult ru = uniform.run();
   SimConfig hs = base;
-  hs.pattern = TrafficPattern::Hotspot;
-  hs.hotspot_fraction = 0.25;
+  hs.traffic = traffic::TrafficSpec::hotspot(0.25);
   Simulator hotspot(net, hs);
   const SimResult rh = hotspot.run();
   ASSERT_TRUE(ru.completed);

@@ -1,0 +1,189 @@
+// Tests for the traffic::TrafficSpec layer: the pattern catalog's exact
+// pair weights, the materialized matrices, and the consistency between the
+// two faces of a spec — pair_weight() (what the model routes) and
+// sample_destination() (what the simulator draws).
+#include "traffic/traffic_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "traffic/traffic_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace wormnet::traffic {
+namespace {
+
+std::vector<TrafficSpec> catalog_for(int n) {
+  std::vector<TrafficSpec> all{
+      TrafficSpec::uniform(),
+      TrafficSpec::hotspot(0.2),
+      TrafficSpec::hotspot(0.5, n - 1),
+      TrafficSpec::bit_complement(),
+      TrafficSpec::transpose(),
+      TrafficSpec::nearest_neighbor(0.6),
+  };
+  std::vector<int> shift(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) shift[static_cast<std::size_t>(s)] = (s + 1) % n;
+  all.push_back(TrafficSpec::permutation(shift));
+  std::vector<TrafficSpec> usable;
+  for (TrafficSpec& spec : all) {
+    if (spec.check(n).empty()) usable.push_back(spec);
+  }
+  return usable;
+}
+
+TEST(TrafficSpec, RowsAreStochasticAndDiagonalFree) {
+  for (int n : {4, 16, 64}) {
+    for (const TrafficSpec& spec : catalog_for(n)) {
+      const TrafficMatrix m = spec.materialize(n);
+      EXPECT_TRUE(m.validate().empty()) << spec.name() << " N=" << n;
+      for (int s = 0; s < n; ++s) {
+        EXPECT_NEAR(m.row_sum(s), 1.0, 1e-12) << spec.name() << " row " << s;
+        EXPECT_EQ(m.at(s, s), 0.0) << spec.name();
+        EXPECT_NEAR(spec.injection_weight(s, n), 1.0, 1e-12) << spec.name();
+      }
+    }
+  }
+}
+
+TEST(TrafficSpec, MaterializeAgreesWithPairWeight) {
+  const int n = 16;
+  for (const TrafficSpec& spec : catalog_for(n)) {
+    const TrafficMatrix m = spec.materialize(n);
+    for (int s = 0; s < n; ++s) {
+      for (int d = 0; d < n; ++d) {
+        EXPECT_DOUBLE_EQ(m.at(s, d), spec.pair_weight(s, d, n)) << spec.name();
+      }
+    }
+  }
+}
+
+TEST(TrafficSpec, HotspotPairWeightClosedForm) {
+  const int n = 64;
+  const double f = 0.25;
+  const TrafficSpec spec = TrafficSpec::hotspot(f);
+  const double spread = (1.0 - f) / (n - 1);
+  EXPECT_DOUBLE_EQ(spec.pair_weight(17, 0, n), f + spread);
+  EXPECT_DOUBLE_EQ(spec.pair_weight(17, 5, n), spread);
+  // The hotspot's own messages are plain uniform.
+  EXPECT_DOUBLE_EQ(spec.pair_weight(0, 5, n), 1.0 / (n - 1));
+}
+
+TEST(TrafficSpec, FixedPatternsAreThePaperPermutations) {
+  const int n = 16;
+  const TrafficSpec bc = TrafficSpec::bit_complement();
+  const TrafficSpec tp = TrafficSpec::transpose();
+  util::Rng rng(1);
+  for (int s = 0; s < n; ++s) {
+    EXPECT_EQ(bc.sample_destination(s, n, rng), n - 1 - s);
+    EXPECT_DOUBLE_EQ(bc.pair_weight(s, n - 1 - s, n), 1.0);
+  }
+  // 4x4 grid: (r, c) -> (c, r); diagonal falls back to s+1.
+  EXPECT_EQ(tp.sample_destination(1, n, rng), 4);
+  EXPECT_EQ(tp.sample_destination(7, n, rng), 13);
+  EXPECT_EQ(tp.sample_destination(5, n, rng), 6);
+  EXPECT_DOUBLE_EQ(tp.pair_weight(7, 13, n), 1.0);
+  EXPECT_DOUBLE_EQ(tp.pair_weight(5, 6, n), 1.0);
+}
+
+TEST(TrafficSpec, ChecksRejectIncompatibleSizes) {
+  EXPECT_FALSE(TrafficSpec::bit_complement().check(15).empty());
+  EXPECT_TRUE(TrafficSpec::bit_complement().check(16).empty());
+  EXPECT_FALSE(TrafficSpec::transpose().check(12).empty());
+  EXPECT_TRUE(TrafficSpec::transpose().check(16).empty());
+  EXPECT_FALSE(TrafficSpec::hotspot(0.1, 9).check(8).empty());
+  EXPECT_FALSE(TrafficSpec::permutation({1, 0}).check(3).empty());
+  EXPECT_FALSE(TrafficSpec::permutation({0, 1}).check(2).empty());  // fixed points
+  EXPECT_FALSE(TrafficSpec::permutation({1, 1, 0}).check(3).empty());  // repeat
+  EXPECT_TRUE(TrafficSpec::permutation({1, 2, 0}).check(3).empty());
+}
+
+TEST(TrafficSpec, SampleNeverReturnsSourceAndMatchesLaw) {
+  const int n = 16;
+  const int draws = 40'000;
+  for (const TrafficSpec& spec : catalog_for(n)) {
+    util::Rng rng(7);
+    std::vector<int> count(static_cast<std::size_t>(n), 0);
+    const int src = 3;
+    for (int i = 0; i < draws; ++i) {
+      const int d = spec.sample_destination(src, n, rng);
+      ASSERT_NE(d, src) << spec.name();
+      ASSERT_GE(d, 0);
+      ASSERT_LT(d, n);
+      ++count[static_cast<std::size_t>(d)];
+    }
+    // Empirical frequency within 4-sigma-ish of the declared law.
+    for (int d = 0; d < n; ++d) {
+      const double w = spec.pair_weight(src, d, n);
+      const double freq = count[static_cast<std::size_t>(d)] / static_cast<double>(draws);
+      EXPECT_NEAR(freq, w, 0.015) << spec.name() << " dest " << d;
+    }
+  }
+}
+
+TEST(TrafficSpec, MatrixSamplingFollowsCustomWeights) {
+  TrafficMatrix m(4);
+  m.set(0, 1, 0.5);
+  m.set(0, 2, 0.25);
+  m.set(0, 3, 0.25);
+  m.set(1, 0, 1.0);
+  m.set(2, 3, 1.0);
+  m.set(3, 0, 1.0);
+  const TrafficSpec spec = TrafficSpec::matrix(m);
+  ASSERT_TRUE(spec.check(4).empty());
+  util::Rng rng(11);
+  int to1 = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const int d = spec.sample_destination(0, 4, rng);
+    ASSERT_NE(d, 0);
+    if (d == 1) ++to1;
+  }
+  EXPECT_NEAR(to1 / 20'000.0, 0.5, 0.02);
+  // Deterministic rows sample deterministically.
+  EXPECT_EQ(spec.sample_destination(2, 4, rng), 3);
+  EXPECT_EQ(spec.sample_destination(3, 4, rng), 0);
+}
+
+TEST(TrafficSpec, MatrixAllowsSilentRowsAndNormalization) {
+  TrafficMatrix m(3);
+  m.set(0, 1, 2.0);
+  m.set(0, 2, 6.0);
+  m.set(1, 0, 1.0);
+  // Row 2 silent; rows 0 un-normalized.
+  EXPECT_FALSE(m.validate().empty());
+  m.normalize_rows();
+  EXPECT_TRUE(m.validate().empty()) << m.validate();
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 0.75);
+  const TrafficSpec spec = TrafficSpec::matrix(m);
+  EXPECT_DOUBLE_EQ(spec.injection_weight(2, 3), 0.0);
+  EXPECT_DOUBLE_EQ(spec.injection_weight(0, 3), 1.0);
+}
+
+TEST(TrafficMatrix, ValidateCatchesBadEntries) {
+  TrafficMatrix bad(3);
+  bad.set(0, 1, 0.5);
+  EXPECT_FALSE(bad.validate().empty());  // row sums to 0.5
+  TrafficMatrix ok(3);
+  ok.set(0, 1, 0.5);
+  ok.set(0, 2, 0.5);
+  ok.set(1, 0, 1.0);
+  ok.set(2, 0, 1.0);
+  EXPECT_TRUE(ok.validate().empty());
+  EXPECT_DOUBLE_EQ(ok.col_sum(0), 2.0);
+  EXPECT_DOUBLE_EQ(ok.row_sum(2), 1.0);
+}
+
+TEST(TrafficSpec, NearestNeighborConcentratesOnRingNeighbors) {
+  const int n = 8;
+  const TrafficSpec spec = TrafficSpec::nearest_neighbor(0.5);
+  const double uniform_part = 0.5 / (n - 1);
+  EXPECT_DOUBLE_EQ(spec.pair_weight(3, 4, n), 0.25 + uniform_part);
+  EXPECT_DOUBLE_EQ(spec.pair_weight(3, 2, n), 0.25 + uniform_part);
+  EXPECT_DOUBLE_EQ(spec.pair_weight(3, 6, n), uniform_part);
+  // N=2: both ring neighbors coincide on the single other node.
+  EXPECT_DOUBLE_EQ(spec.pair_weight(0, 1, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace wormnet::traffic
