@@ -7,6 +7,7 @@ namespace wormnet::core {
 
 int ChannelGraph::add_channel(ChannelClass c) {
   WORMNET_EXPECTS(c.servers >= 1);
+  WORMNET_EXPECTS(c.lanes >= 1);
   WORMNET_EXPECTS(c.rate_per_link >= 0.0);
   classes_.push_back(std::move(c));
   return static_cast<int>(classes_.size()) - 1;

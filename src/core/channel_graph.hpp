@@ -49,6 +49,7 @@ struct Transition {
 struct ChannelClass {
   std::string label;          ///< human-readable tag for reports/tests
   int servers = 1;            ///< m of the output bundle this class is served by
+  int lanes = 1;              ///< L, virtual channels multiplexed per physical link
   double rate_per_link = 0.0; ///< λ per physical link at unit injection rate
   bool terminal = false;      ///< true for ejection channels (x̄ = s_f)
   std::vector<Transition> next;

@@ -27,7 +27,11 @@ namespace wormnet::core {
 /// ignores.  With it, the collapsed graph agrees with the exact-flow
 /// per-channel graph (full_graph.hpp) to machine precision; without it, the
 /// two differ by the (sub-0.1%) approximation error the paper accepts.
+/// `lanes` sets a uniform virtual-channel multiplicity on every class (the
+/// closed-form FatTreeModel's `lanes` option is its counterpart); 1 is the
+/// paper's single-lane network.
 GeneralModel build_fattree_collapsed(int levels, int parents = 2,
-                                     bool exact_conditionals = false);
+                                     bool exact_conditionals = false,
+                                     int lanes = 1);
 
 }  // namespace wormnet::core

@@ -15,11 +15,14 @@ FatTreeModel::FatTreeModel(FatTreeModelOptions opts) : opts_(opts) {
   WORMNET_EXPECTS(opts_.levels >= 1 && opts_.levels <= 8);
   WORMNET_EXPECTS(opts_.worm_flits > 0.0);
   WORMNET_EXPECTS(opts_.parents >= 1 && opts_.parents <= 4);
+  WORMNET_EXPECTS(opts_.lanes >= 1);
 }
 
 std::string FatTreeModel::name() const {
-  return "butterfly-fattree(n=" + std::to_string(opts_.levels) +
-         ",m=" + std::to_string(opts_.parents) + ")";
+  std::string n = "butterfly-fattree(n=" + std::to_string(opts_.levels) +
+                  ",m=" + std::to_string(opts_.parents);
+  if (opts_.lanes > 1) n += ",L=" + std::to_string(opts_.lanes);
+  return n + ")";
 }
 
 long FatTreeModel::num_processors() const { return ipow(4, opts_.levels); }
@@ -83,20 +86,24 @@ FatTreeEvaluation FatTreeModel::evaluate_detail(double lambda0) const {
   auto lam = [&](int l) { return ev.lambda_up[static_cast<std::size_t>(l)]; };
 
   const int m = opts_.parents;
+  const int lanes = opts_.lanes;
+  // Lane-multiplexing excess of the level-l channel (zero at lanes == 1).
+  auto ex = [&](int l) { return solver.lane_excess(lanes, lam(l)); };
 
   // --- Down chain, Eq. 16–19, resolved from the ejection channel upward.
   // Down channels are single-server; their waits come from the kernel's
-  // M/G/1 path (Eq. 17/19).
-  ev.x_down[0] = solver.terminal_service();  // Eq. 16
-  ev.w_down[0] = solver.bundle_wait(1, lam(0), ev.x_down[0]);  // Eq. 17
+  // M/G/1 path (Eq. 17/19), lane-extended to M/G/L when lanes > 1.
+  ev.x_down[0] = solver.terminal_service() + ex(0);  // Eq. 16
+  ev.w_down[0] = solver.bundle_wait(1, lanes, lam(0), ev.x_down[0]);  // Eq. 17
   for (int l = 1; l < n; ++l) {
     // Eq. 18: continue down one of 4 children, R = 1/4.
-    const double p = solver.blocking_factor(1, lam(l), lam(l - 1), 0.25);
+    const double p = solver.blocking_factor(1, lanes, lam(l), lam(l - 1), 0.25);
     ev.x_down[static_cast<std::size_t>(l)] =
         ev.x_down[static_cast<std::size_t>(l - 1)] +
-        ChannelSolver::wait_term(p, ev.w_down[static_cast<std::size_t>(l - 1)]);
-    ev.w_down[static_cast<std::size_t>(l)] =
-        solver.bundle_wait(1, lam(l), ev.x_down[static_cast<std::size_t>(l)]);  // Eq. 19
+        ChannelSolver::wait_term(p, ev.w_down[static_cast<std::size_t>(l - 1)]) +
+        ex(l);
+    ev.w_down[static_cast<std::size_t>(l)] = solver.bundle_wait(
+        1, lanes, lam(l), ev.x_down[static_cast<std::size_t>(l)]);  // Eq. 19
   }
 
   // --- Up chain, Eq. 20–24, resolved from the top downward.  Up bundles at
@@ -106,44 +113,48 @@ FatTreeEvaluation FatTreeModel::evaluate_detail(double lambda0) const {
     // Eq. 20: after the top-most up channel ⟨n-1, n⟩ a message descends to
     // one of 3 siblings; λ⟨n-1,n⟩ = λ⟨n,n-1⟩ makes the factor exactly 2/3.
     const int l = n - 1;
-    const double p = solver.blocking_factor(1, lam(l), lam(l), 1.0 / 3.0);
+    const double p = solver.blocking_factor(1, lanes, lam(l), lam(l), 1.0 / 3.0);
     ev.x_up[static_cast<std::size_t>(l)] =
         ev.x_down[static_cast<std::size_t>(l)] +
-        ChannelSolver::wait_term(p, ev.w_down[static_cast<std::size_t>(l)]);
+        ChannelSolver::wait_term(p, ev.w_down[static_cast<std::size_t>(l)]) + ex(l);
   }
   if (n >= 2) {
     const int top = n - 1;
-    ev.w_up[static_cast<std::size_t>(top)] =
-        solver.bundle_wait(m, lam(top), ev.x_up[static_cast<std::size_t>(top)]);  // Eq. 21
+    ev.w_up[static_cast<std::size_t>(top)] = solver.bundle_wait(
+        m, lanes, lam(top), ev.x_up[static_cast<std::size_t>(top)]);  // Eq. 21
   }
   for (int l = n - 1; l >= 1; --l) {
     // Eq. 22 for channel ⟨l-1, l⟩.
     const double pu = up_probability(l);
     const double pd = 1.0 - pu;  // Eq. 13
-    const double block_up = solver.blocking_factor(m, lam(l - 1), lam(l), pu);
+    const double block_up = solver.blocking_factor(m, lanes, lam(l - 1), lam(l), pu);
     const double up_term =
         ev.x_up[static_cast<std::size_t>(l)] +
         ChannelSolver::wait_term(block_up, ev.w_up[static_cast<std::size_t>(l)]);
-    const double block_down = solver.blocking_factor(1, lam(l - 1), lam(l - 1), pd / 3.0);
+    const double block_down =
+        solver.blocking_factor(1, lanes, lam(l - 1), lam(l - 1), pd / 3.0);
     const double down_term =
         ev.x_down[static_cast<std::size_t>(l - 1)] +
         ChannelSolver::wait_term(block_down, ev.w_down[static_cast<std::size_t>(l - 1)]);
-    ev.x_up[static_cast<std::size_t>(l - 1)] = pu * up_term + pd * down_term;
+    ev.x_up[static_cast<std::size_t>(l - 1)] =
+        pu * up_term + pd * down_term + ex(l - 1);
     if (l - 1 >= 1) {
-      ev.w_up[static_cast<std::size_t>(l - 1)] =
-          solver.bundle_wait(m, lam(l - 1), ev.x_up[static_cast<std::size_t>(l - 1)]);  // Eq. 23
+      ev.w_up[static_cast<std::size_t>(l - 1)] = solver.bundle_wait(
+          m, lanes, lam(l - 1), ev.x_up[static_cast<std::size_t>(l - 1)]);  // Eq. 23
     }
   }
-  // Eq. 24: the injection channel has no redundant twin — M/G/1.
-  ev.w_up[0] = solver.bundle_wait(1, lam(0), ev.x_up[0]);
+  // Eq. 24: the injection channel has no redundant twin — M/G/1 (M/G/L with
+  // lane latches).
+  ev.w_up[0] = solver.bundle_wait(1, lanes, lam(0), ev.x_up[0]);
 
-  // Utilizations (diagnostics; also the stability verdict).
+  // Utilizations (diagnostics; also the stability verdict): lane occupancy
+  // of the m·L latches when lanes > 1.
   for (int l = 0; l < n; ++l) {
     const int servers = (l >= 1) ? m : 1;
     ev.rho_up[static_cast<std::size_t>(l)] = solver.bundle_utilization(
-        servers, lam(l), ev.x_up[static_cast<std::size_t>(l)]);
+        servers, lanes, lam(l), ev.x_up[static_cast<std::size_t>(l)]);
     ev.rho_down[static_cast<std::size_t>(l)] = solver.bundle_utilization(
-        1, lam(l), ev.x_down[static_cast<std::size_t>(l)]);
+        1, lanes, lam(l), ev.x_down[static_cast<std::size_t>(l)]);
   }
 
   ev.inj_wait = ev.w_up[0];

@@ -49,9 +49,18 @@ struct FatTreeModelOptions {
   /// rate m·λ.
   int parents = 2;
 
+  /// Virtual channels (lanes) per physical link, uniform across the tree.
+  /// Every blocking factor of Eq. 18/20/22 is discounted L-fold (an L-lane
+  /// channel blocks only when all L lanes are held); 1 reproduces the paper.
+  int lanes = 1;
+
+  /// Honor `lanes` in the blocking recurrence (the ablation switch for the
+  /// virtual-channel extension; no effect when lanes == 1).
+  bool virtual_channels = true;
+
   /// The switches the ChannelSolver kernel consumes.
   queueing::AblationOptions ablation() const {
-    return {multi_server, blocking_correction, erratum_2lambda};
+    return {multi_server, blocking_correction, erratum_2lambda, virtual_channels};
   }
 };
 

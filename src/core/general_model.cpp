@@ -16,23 +16,31 @@ using queueing::ChannelSolver;
 /// W̄ of the bundle serving class `j` at the solve's injection scale.
 double bundle_wait(const ChannelSolver& solver, const ChannelClass& cls,
                    double xbar, double injection_scale) {
-  return solver.bundle_wait(cls.servers, cls.rate_per_link * injection_scale, xbar);
+  return solver.bundle_wait(cls.servers, cls.lanes,
+                            cls.rate_per_link * injection_scale, xbar);
 }
 
-/// Eq. 9/10 factor for a transition from class `from` into class `to`.
-/// Rates at unit injection scale: the λ_in/λ_out ratio is scale-invariant.
+/// Eq. 9/10 factor for a transition from class `from` into class `to`,
+/// discounted by the target's lane multiplicity (an L-lane channel blocks
+/// only when all L lanes are held).  Rates at unit injection scale: the
+/// λ_in/λ_out ratio is scale-invariant.
 double blocking_factor(const ChannelSolver& solver, const ChannelClass& from,
                        const ChannelClass& to, const Transition& t) {
-  return solver.blocking_factor(to.servers, from.rate_per_link, to.rate_per_link,
-                                t.route_prob);
+  return solver.blocking_factor(to.servers, to.lanes, from.rate_per_link,
+                                to.rate_per_link, t.route_prob);
 }
 
-/// One evaluation of Eq. 11 for class `i` given current service times.
+/// One evaluation of Eq. 11 for class `i` given current service times, plus
+/// the lane-multiplexing excess of channel i itself (zero in single-lane
+/// networks — the paper's exact recurrence).
 double compose_service_time(const ChannelSolver& solver, const ChannelGraph& graph,
                             int i, const std::vector<double>& x,
-                            const std::vector<double>& waits) {
+                            const std::vector<double>& waits,
+                            double injection_scale) {
   const ChannelClass& cls = graph.at(i);
-  if (cls.terminal) return solver.terminal_service();
+  const double excess =
+      solver.lane_excess(cls.lanes, cls.rate_per_link * injection_scale);
+  if (cls.terminal) return solver.terminal_service() + excess;
   double xi = 0.0;
   for (const Transition& t : cls.next) {
     const ChannelClass& target = graph.at(t.target);
@@ -41,7 +49,7 @@ double compose_service_time(const ChannelSolver& solver, const ChannelGraph& gra
         ChannelSolver::wait_term(p, waits[static_cast<std::size_t>(t.target)]);
     xi += t.weight * (x[static_cast<std::size_t>(t.target)] + wait_term);
   }
-  return xi;
+  return xi + excess;
 }
 
 }  // namespace
@@ -69,7 +77,7 @@ SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& o
       // Successors are already final; compose this class's x̄ from them,
       // then evaluate the wait of this class's bundle at that final x̄.
       x[static_cast<std::size_t>(id)] =
-          compose_service_time(solver, graph, id, x, waits);
+          compose_service_time(solver, graph, id, x, waits, scale);
       waits[static_cast<std::size_t>(id)] =
           bundle_wait(solver, graph.at(id), x[static_cast<std::size_t>(id)], scale);
     }
@@ -85,7 +93,7 @@ SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& o
             bundle_wait(solver, graph.at(id), x[static_cast<std::size_t>(id)], scale);
       }
       for (int id = 0; id < n; ++id) {
-        const double next = compose_service_time(solver, graph, id, x, waits);
+        const double next = compose_service_time(solver, graph, id, x, waits, scale);
         const double cur = x[static_cast<std::size_t>(id)];
         double blended = cur + opts.damping * (next - cur);
         if (std::isinf(next)) blended = next;  // saturation dominates damping
@@ -109,7 +117,8 @@ SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& o
     sol.service_time = x[static_cast<std::size_t>(id)];
     sol.wait = waits[static_cast<std::size_t>(id)];
     sol.utilization = solver.bundle_utilization(
-        graph.at(id).servers, graph.at(id).rate_per_link * scale, sol.service_time);
+        graph.at(id).servers, graph.at(id).lanes,
+        graph.at(id).rate_per_link * scale, sol.service_time);
     sol.cb2 = solver.cb2(sol.service_time);
     if (!std::isfinite(sol.service_time) || !std::isfinite(sol.wait) ||
         sol.utilization >= 1.0) {

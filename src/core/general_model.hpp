@@ -40,13 +40,14 @@ struct SolveOptions {
   bool multi_server = true;        ///< paper novelty (1)
   bool blocking_correction = true; ///< paper novelty (2)
   bool erratum_2lambda = true;     ///< corrected Eq. 21/23 (total bundle rate)
+  bool virtual_channels = true;    ///< honor per-channel lane counts (extension)
   int max_iterations = 500;        ///< fixed-point cap for cyclic graphs
   double tolerance = 1e-12;        ///< fixed-point convergence threshold
   double damping = 0.5;            ///< fixed-point damping factor in (0, 1]
 
   /// The switches the ChannelSolver kernel consumes.
   queueing::AblationOptions ablation() const {
-    return {multi_server, blocking_correction, erratum_2lambda};
+    return {multi_server, blocking_correction, erratum_2lambda, virtual_channels};
   }
 };
 

@@ -6,8 +6,9 @@
 
 namespace wormnet::core {
 
-GeneralModel build_hypercube_collapsed(int dims) {
+GeneralModel build_hypercube_collapsed(int dims, int lanes) {
   WORMNET_EXPECTS(dims >= 1 && dims <= 16);
+  WORMNET_EXPECTS(lanes >= 1);
   const int n = dims;
   const double big_n = static_cast<double>(1L << n);
 
@@ -16,6 +17,7 @@ GeneralModel build_hypercube_collapsed(int dims) {
   ChannelClass inj;
   inj.label = "inj";
   inj.servers = 1;
+  inj.lanes = lanes;
   inj.rate_per_link = 1.0;  // λ₀ per processor
   const int inj_id = net.graph.add_channel(inj);
   net.labels[inj.label] = inj_id;
@@ -25,6 +27,7 @@ GeneralModel build_hypercube_collapsed(int dims) {
     ChannelClass c;
     c.label = "dim" + std::to_string(d);
     c.servers = 1;  // e-cube is deterministic: no redundant links
+    c.lanes = lanes;
     c.rate_per_link = big_n / (2.0 * (big_n - 1.0));
     dim_id[static_cast<std::size_t>(d)] = net.graph.add_channel(c);
     net.labels[c.label] = dim_id[static_cast<std::size_t>(d)];
@@ -33,6 +36,7 @@ GeneralModel build_hypercube_collapsed(int dims) {
   ChannelClass ej;
   ej.label = "eject";
   ej.servers = 1;
+  ej.lanes = lanes;
   ej.rate_per_link = 1.0;  // each PE absorbs λ₀ in steady state
   ej.terminal = true;
   const int ej_id = net.graph.add_channel(ej);

@@ -22,6 +22,8 @@
 namespace wormnet::core {
 
 /// Build the collapsed hypercube model for `dims` dimensions (N = 2^dims).
-GeneralModel build_hypercube_collapsed(int dims);
+/// `lanes` sets a uniform virtual-channel multiplicity on every class; 1 is
+/// the single-lane network of Draper & Ghosh.
+GeneralModel build_hypercube_collapsed(int dims, int lanes = 1);
 
 }  // namespace wormnet::core

@@ -154,6 +154,7 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
     ChannelClass c;
     c.label = "ch" + std::to_string(dc.src_node) + ":" + std::to_string(dc.src_port);
     c.servers = bundle_size[static_cast<std::size_t>(ch)];
+    c.lanes = ct.lanes(ch);
     c.rate_per_link = rate[static_cast<std::size_t>(ch)];
     c.terminal = topo.is_processor(dc.dst_node);
     const int id = net.graph.add_channel(c);

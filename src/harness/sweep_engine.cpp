@@ -22,17 +22,18 @@ std::uint64_t double_bits(double v) {
 SweepEngine::Key SweepEngine::make_key(const core::NetworkModel& model,
                                        double lambda0) {
   // Mix every interface-visible configuration axis into the key — worm
-  // length and the three ablation switches — so mutating those on a cached
+  // length and the four ablation switches — so mutating those on a cached
   // model (or rebuilding one at a reused address with different options)
   // misses instead of returning a stale estimate.  Configuration the
-  // interface cannot see (solver tolerances, a rewired graph) still
-  // requires clear_cache(), as documented in the header.
+  // interface cannot see (solver tolerances, a rewired graph, per-channel
+  // lane counts) still requires clear_cache(), as documented in the header.
   const queueing::AblationOptions abl = model.ablation();
   const std::uint64_t config_bits =
       (static_cast<std::uint64_t>(abl.multi_server) << 62) |
       (static_cast<std::uint64_t>(abl.blocking_correction) << 61) |
       (static_cast<std::uint64_t>(abl.erratum_2lambda) << 60) |
-      (double_bits(model.worm_flits()) >> 3);
+      (static_cast<std::uint64_t>(abl.virtual_channels) << 59) |
+      (double_bits(model.worm_flits()) >> 4);
   return Key{&model, double_bits(lambda0) ^ (config_bits << 1)};
 }
 
@@ -181,6 +182,20 @@ std::vector<FamilyMember> SweepEngine::sweep_family(
     family.push_back(std::move(member));
   }
   return family;
+}
+
+std::vector<FamilyMember> SweepEngine::sweep_lanes(
+    const LaneModelFactory& make, const std::vector<int>& lane_counts,
+    const std::vector<double>& saturation_fractions) {
+  std::vector<double> parameters;
+  parameters.reserve(lane_counts.size());
+  for (int lanes : lane_counts) {
+    WORMNET_EXPECTS(lanes >= 1);
+    parameters.push_back(static_cast<double>(lanes));
+  }
+  return sweep_family(
+      [&make](double parameter) { return make(static_cast<int>(parameter)); },
+      parameters, saturation_fractions);
 }
 
 double SweepEngine::saturation_rate(const core::NetworkModel& model) {

@@ -1,5 +1,7 @@
 #include "queueing/channel_solver.hpp"
 
+#include <limits>
+
 #include "queueing/queueing.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
@@ -29,10 +31,45 @@ double ChannelSolver::bundle_wait(int servers, double lambda_link, double xbar) 
   return wormhole_wait(servers, lambda_arg, xbar, worm_flits_);
 }
 
+double ChannelSolver::bundle_wait(int servers, int lanes, double lambda_link,
+                                  double xbar) const {
+  WORMNET_EXPECTS(servers >= 1);
+  WORMNET_EXPECTS(lanes >= 1);
+  if (!ablation_.virtual_channels || lanes == 1)
+    return bundle_wait(servers, lambda_link, xbar);
+  if (!ablation_.multi_server) {
+    // Each physical link an independent queue, but its L lane latches are L
+    // servers of that queue.
+    return wormhole_wait(lanes, lambda_link, xbar, worm_flits_);
+  }
+  const double lambda_arg =
+      ablation_.erratum_2lambda ? lambda_link * servers : lambda_link;
+  return wormhole_wait(servers * lanes, lambda_arg, xbar, worm_flits_);
+}
+
 double ChannelSolver::bundle_utilization(int servers, double lambda_link,
                                          double xbar) const {
   WORMNET_EXPECTS(servers >= 1);
   return utilization(lambda_link * servers, xbar, servers);
+}
+
+double ChannelSolver::bundle_utilization(int servers, int lanes,
+                                         double lambda_link, double xbar) const {
+  WORMNET_EXPECTS(servers >= 1);
+  WORMNET_EXPECTS(lanes >= 1);
+  if (!ablation_.virtual_channels || lanes == 1)
+    return bundle_utilization(servers, lambda_link, xbar);
+  return utilization(lambda_link * servers, xbar, servers * lanes);
+}
+
+double ChannelSolver::lane_excess(int lanes, double lambda_link) const {
+  WORMNET_EXPECTS(lanes >= 1);
+  WORMNET_EXPECTS(lambda_link >= 0.0);
+  if (!ablation_.virtual_channels || lanes == 1) return 0.0;
+  const double u = lambda_link * worm_flits_;
+  if (u >= 1.0) return std::numeric_limits<double>::infinity();
+  const double share = u * (1.0 - 1.0 / static_cast<double>(lanes));
+  return (1.0 / (1.0 - share) - 1.0) * worm_flits_;
 }
 
 double ChannelSolver::blocking_factor(int servers, double lambda_in_link,
@@ -44,6 +81,17 @@ double ChannelSolver::blocking_factor(int servers, double lambda_in_link,
   double r = route_prob;
   if (!ablation_.multi_server && servers > 1) r /= servers;
   return util::clamp01(1.0 - (lambda_in_link / lambda_out_link) * r);
+}
+
+double ChannelSolver::blocking_factor(int servers, int lanes,
+                                      double lambda_in_link,
+                                      double lambda_out_link,
+                                      double route_prob) const {
+  WORMNET_EXPECTS(lanes >= 1);
+  const double p =
+      blocking_factor(servers, lambda_in_link, lambda_out_link, route_prob);
+  if (!ablation_.virtual_channels || lanes == 1) return p;
+  return p / static_cast<double>(lanes);
 }
 
 double ChannelSolver::wait_term(double blocking, double wait) {

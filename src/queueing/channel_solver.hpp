@@ -38,6 +38,13 @@ struct AblationOptions {
   /// The erratum at Eq. 21/23: evaluate the M/G/m wait at the bundle's
   /// TOTAL rate m·λ.  Off: the per-link rate as originally typeset.
   bool erratum_2lambda = true;
+  /// Extension: honor virtual-channel (lane) multiplicities.  An L-lane
+  /// channel blocks an incoming worm only when all L lanes are held, which
+  /// the model approximates as an L-fold reduction of the Eq. 9/10 blocking
+  /// probability.  Off: lane counts are ignored (every channel treated as
+  /// the paper's single lane).  With L = 1 everywhere the switch has no
+  /// effect, so the paper's published numbers are reproduced bit-for-bit.
+  bool virtual_channels = true;
 };
 
 /// Stateless-per-evaluation solver for one channel class; holds the worm
@@ -65,9 +72,34 @@ class ChannelSolver {
   ///   m >= 2, erratum off         → M/G/m at the per-link rate (as typeset).
   double bundle_wait(int servers, double lambda_link, double xbar) const;
 
+  /// Lane-aware wait: an m-link bundle whose links carry L lanes each holds
+  /// up to m·L worms at once, so the lane-acquisition queue is M/G/(m·L) at
+  /// the bundle's physical message rate (the wait diverges at lane
+  /// occupancy λ·x̄ = m·L, not at m).  Degenerates to the single-lane form
+  /// when L == 1 or the virtual_channels switch is off.
+  double bundle_wait(int servers, int lanes, double lambda_link, double xbar) const;
+
   /// Utilization ρ of the bundle, always at the true total rate m·λ (the
   /// ablations change the wait formula, not the physics of utilization).
   double bundle_utilization(int servers, double lambda_link, double xbar) const;
+
+  /// Lane-aware occupancy: the fraction of the bundle's m·L lane latches
+  /// held, λ·m·x̄ / (m·L).  This is the stability metric for a lane
+  /// channel — an L-lane link legitimately holds several stretched worms at
+  /// once.  Degenerates to bundle_utilization when L == 1 or the
+  /// virtual_channels switch is off.
+  double bundle_utilization(int servers, int lanes, double lambda_link,
+                            double xbar) const;
+
+  /// Multiplexing stretch of an L-lane channel: lanes share the link's one
+  /// flit/cycle, so a worm's s_f flits cross it in V·s_f cycles with
+  ///     V = 1 / (1 − U·(1 − 1/L)),   U = λ_link·s_f
+  /// (round-robin sharing against the other lanes' bandwidth demand;
+  /// V ≤ L, the physical L-way interleave bound).  Returns the EXCESS
+  /// holding time (V − 1)·s_f to add to the channel's composed service
+  /// time; 0 when L == 1 or the switch is off; +inf when U ≥ 1 (the link's
+  /// physical bandwidth is exceeded — infeasible regardless of lanes).
+  double lane_excess(int lanes, double lambda_link) const;
 
   /// Blocking-probability correction P(i|j) of Eq. 9/10 in per-link form:
   ///     P = 1 − (λ_in / λ_out) · R(i|j),   clamped into [0, 1],
@@ -76,6 +108,15 @@ class ChannelSolver {
   /// commits to one specific link out of m uniformly, so R divides by m.
   /// Returns 1 when the correction is ablated or the target carries no load.
   double blocking_factor(int servers, double lambda_in_link,
+                         double lambda_out_link, double route_prob) const;
+
+  /// Lane-aware form: `lanes` is L of the TARGET channel.  A worm entering
+  /// an L-lane channel waits only when every lane is held, modeled as the
+  /// single-lane blocking probability divided by L (the lanes are
+  /// statistically identical, so each additional lane is an independent
+  /// escape from the head-of-line wait).  Degenerates to the single-lane
+  /// form when L == 1 or the virtual_channels switch is off.
+  double blocking_factor(int servers, int lanes, double lambda_in_link,
                          double lambda_out_link, double route_prob) const;
 
   /// The guarded product p·W̄ used when composing service times (Eq. 11/18/

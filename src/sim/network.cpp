@@ -1,5 +1,7 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+
 namespace wormnet::sim {
 
 SimNetwork::SimNetwork(const topo::Topology& topo) : topo_(&topo), table_(topo) {
@@ -41,6 +43,22 @@ SimNetwork::SimNetwork(const topo::Topology& topo) : topo_(&topo), table_(topo) 
   for (int p = 0; p < topo.num_processors(); ++p) {
     injection_[static_cast<std::size_t>(p)] = table_.from(p, 0);
     WORMNET_ENSURES(injection_[static_cast<std::size_t>(p)] != topo::kNoChannel);
+  }
+
+  // Lane index: dense ids, contiguous per channel (identity when the whole
+  // network is single-lane).
+  lane_begin_.assign(static_cast<std::size_t>(table_.size()) + 1, 0);
+  for (int ch = 0; ch < table_.size(); ++ch) {
+    const int lanes = table_.lanes(ch);
+    WORMNET_EXPECTS(lanes >= 1);
+    max_lanes_ = std::max(max_lanes_, lanes);
+    lane_begin_[static_cast<std::size_t>(ch) + 1] =
+        lane_begin_[static_cast<std::size_t>(ch)] + lanes;
+  }
+  lane_channel_.assign(static_cast<std::size_t>(lane_begin_.back()), -1);
+  for (int ch = 0; ch < table_.size(); ++ch) {
+    for (int l = lane_begin(ch); l < lane_begin(ch + 1); ++l)
+      lane_channel_[static_cast<std::size_t>(l)] = ch;
   }
 }
 

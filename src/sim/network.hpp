@@ -1,9 +1,15 @@
 // wormnet/sim/network.hpp
 //
 // Immutable, flattened view of a Topology prepared for fast simulation:
-// directed channels with dense ids, output bundles with dense ids, and the
-// port → bundle mapping.  One SimNetwork can back any number of concurrent
-// Simulator instances (it holds no mutable state).
+// directed channels with dense ids, per-channel virtual-channel LANES with
+// dense ids, output bundles with dense ids, and the port → bundle mapping.
+// One SimNetwork can back any number of concurrent Simulator instances (it
+// holds no mutable state).
+//
+// Lanes: each directed channel c multiplexes lanes(c) one-flit latches over
+// one physical link (topo::Topology::lanes).  Lane ids are dense across the
+// network: channel c owns the contiguous range [lane_begin(c),
+// lane_begin(c+1)).  The lane counts are snapshotted at construction.
 #pragma once
 
 #include <vector>
@@ -59,6 +65,35 @@ class SimNetwork {
     return injection_[static_cast<std::size_t>(proc)];
   }
 
+  /// Total lane latches in the network (== num_channels() when every
+  /// channel is single-lane).
+  int num_lanes() const { return static_cast<int>(lane_channel_.size()); }
+  /// First lane id of channel `ch`; its lanes are [lane_begin(ch),
+  /// lane_begin(ch+1)).
+  int lane_begin(int ch) const {
+    return lane_begin_[static_cast<std::size_t>(ch)];
+  }
+  /// Lane count L of channel `ch`.
+  int channel_lanes(int ch) const {
+    return lane_begin_[static_cast<std::size_t>(ch) + 1] -
+           lane_begin_[static_cast<std::size_t>(ch)];
+  }
+  /// Channel owning lane id `lane`.
+  int lane_channel(int lane) const {
+    return lane_channel_[static_cast<std::size_t>(lane)];
+  }
+  /// Total lanes across a bundle's member channels (its grant capacity).
+  int bundle_lanes(int bundle_id) const {
+    const BundleInfo& bi = bundle(bundle_id);
+    int lanes = 0;
+    for (int i = 0; i < bi.num_channels; ++i)
+      lanes += channel_lanes(bi.channel_ids[static_cast<std::size_t>(i)]);
+    return lanes;
+  }
+  /// Largest per-channel lane count; 1 means the network is single-lane and
+  /// the simulator can take its exact paper-semantics fast path.
+  int max_lanes() const { return max_lanes_; }
+
  private:
   const topo::Topology* topo_;
   topo::ChannelTable table_;
@@ -67,6 +102,9 @@ class SimNetwork {
   std::vector<int> port_bundle_;        // flattened [node][port]
   std::vector<int> port_bundle_offset_; // per node offset into port_bundle_
   std::vector<int> injection_;          // per processor
+  std::vector<int> lane_begin_;         // per channel; size num_channels()+1
+  std::vector<int> lane_channel_;       // per lane: owning channel
+  int max_lanes_ = 1;
 };
 
 }  // namespace wormnet::sim

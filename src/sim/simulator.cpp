@@ -21,11 +21,13 @@ Simulator::Simulator(const SimNetwork& net, SimConfig cfg)
   if (cfg.latency_histogram) {
     result_.latency_hist.emplace(0.0, cfg.histogram_max, cfg.histogram_bins);
   }
-  channel_state_.assign(static_cast<std::size_t>(net.num_channels()), {});
+  lane_state_.assign(static_cast<std::size_t>(net.num_lanes()), {});
   bundle_state_.assign(static_cast<std::size_t>(net.num_bundles()), {});
   for (int b = 0; b < net.num_bundles(); ++b)
-    bundle_state_[static_cast<std::size_t>(b)].free_count = net.bundle(b).num_channels;
+    bundle_state_[static_cast<std::size_t>(b)].free_count = net.bundle_lanes(b);
   sources_.assign(static_cast<std::size_t>(net.topology().num_processors()), {});
+  if (net.max_lanes() > 1)
+    channel_claim_.assign(static_cast<std::size_t>(net.num_channels()), -1);
   if (cfg.channel_stats)
     result_.channels.assign(static_cast<std::size_t>(net.num_channels()), {});
 }
@@ -112,31 +114,34 @@ void Simulator::register_next_hop(int worm_id, int node, long cycle) {
   mark_dirty(bundle);
 }
 
+int Simulator::find_free_lane(int channel_id) const {
+  const int end = net_.lane_begin(channel_id + 1);
+  for (int lane = net_.lane_begin(channel_id); lane < end; ++lane) {
+    if (lane_state_[static_cast<std::size_t>(lane)].owner == -1) return lane;
+  }
+  return -1;
+}
+
 void Simulator::grant(int bundle_id, long cycle) {
   BundleState& bs = bundle_state_[static_cast<std::size_t>(bundle_id)];
   const BundleInfo& bi = net_.bundle(bundle_id);
   while (bs.free_count > 0 && !bs.requests.empty()) {
     const Request req = bs.requests.front();
     bs.requests.pop_front();
-    int ch = -1;
-    if (channel_state_[static_cast<std::size_t>(req.preferred_channel)].owner == -1) {
-      ch = req.preferred_channel;
-    } else {
-      for (int i = 0; i < bi.num_channels; ++i) {
-        const int cand = bi.channel_ids[static_cast<std::size_t>(i)];
-        if (channel_state_[static_cast<std::size_t>(cand)].owner == -1) {
-          ch = cand;
-          break;
-        }
-      }
+    // A free lane on the preferred link, else the first free lane anywhere
+    // in the bundle (the paper's adaptive fallback to the redundant link).
+    int lane = find_free_lane(req.preferred_channel);
+    if (lane == -1) {
+      for (int i = 0; i < bi.num_channels && lane == -1; ++i)
+        lane = find_free_lane(bi.channel_ids[static_cast<std::size_t>(i)]);
     }
-    WORMNET_ENSURES(ch != -1);  // free_count > 0 guarantees a free member
-    ChannelState& cs = channel_state_[static_cast<std::size_t>(ch)];
+    WORMNET_ENSURES(lane != -1);  // free_count > 0 guarantees a free lane
+    LaneState& ls = lane_state_[static_cast<std::size_t>(lane)];
     Worm& w = worms_[static_cast<std::size_t>(req.worm)];
-    cs.owner = req.worm;
-    cs.grant_time = cycle;
+    ls.owner = req.worm;
+    ls.grant_time = cycle;
     --bs.free_count;
-    w.path.push_back(ch);
+    w.path.push_back(lane);
     w.waiting_alloc = false;
     if (w.path.size() == 1) {
       w.inject_start = cycle;
@@ -146,22 +151,25 @@ void Simulator::grant(int bundle_id, long cycle) {
   }
 }
 
-void Simulator::release_channel(Worm& w, int channel_id, long cycle) {
-  ChannelState& cs = channel_state_[static_cast<std::size_t>(channel_id)];
-  WORMNET_ENSURES(cs.owner != -1);
+void Simulator::release_lane(Worm& w, int lane_id, long cycle) {
+  LaneState& ls = lane_state_[static_cast<std::size_t>(lane_id)];
+  WORMNET_ENSURES(ls.owner != -1);
+  const int channel_id = net_.lane_channel(lane_id);
   if (!result_.channels.empty()) {
+    // Per-PHYSICAL-channel counters; with L > 1 lanes busy_cycles counts
+    // lane-held cycles, so overlapping holds can sum past the window length.
     ChannelStat& st = result_.channels[static_cast<std::size_t>(channel_id)];
     const long w_lo = cfg_.warmup_cycles;
     const long w_hi = cfg_.warmup_cycles + cfg_.measure_cycles;
-    const long lo = std::max(cs.grant_time, w_lo);
+    const long lo = std::max(ls.grant_time, w_lo);
     const long hi = std::min(cycle, w_hi);
     if (hi > lo) st.busy_cycles += hi - lo;
-    if (cs.grant_time >= w_lo && cs.grant_time < w_hi) {
+    if (ls.grant_time >= w_lo && ls.grant_time < w_hi) {
       ++st.worms;
       st.flits += w.length;
     }
   }
-  cs.owner = -1;
+  ls.owner = -1;
   const int bundle = net_.channel(channel_id).bundle;
   ++bundle_state_[static_cast<std::size_t>(bundle)].free_count;
   mark_dirty(bundle);
@@ -211,8 +219,8 @@ void Simulator::advance_worm(int worm_id, long cycle) {
     ++w.ejected;
   } else if (w.head_pos + 1 < static_cast<int>(w.path.size())) {
     ++w.head_pos;
-    const ChannelInfo& ci =
-        net_.channel(w.path[static_cast<std::size_t>(w.head_pos)]);
+    const ChannelInfo& ci = net_.channel(
+        net_.lane_channel(w.path[static_cast<std::size_t>(w.head_pos)]));
     if (ci.dst_is_processor) {
       // Routing delivered the head to its destination PE; draining begins
       // next cycle (assumption 4: one flit per cycle, never blocked).
@@ -225,10 +233,10 @@ void Simulator::advance_worm(int worm_id, long cycle) {
     WORMNET_ENSURES(false);  // unblocked worm must be able to move
   }
   if (w.injected < w.length) ++w.injected;
-  // Release every channel the tail has passed.
+  // Release every lane the tail has passed.
   const int tail_idx = w.head_pos - (w.injected - w.ejected) + 1;
   while (w.freed_upto < tail_idx) {
-    release_channel(w, w.path[static_cast<std::size_t>(w.freed_upto)], cycle);
+    release_lane(w, w.path[static_cast<std::size_t>(w.freed_upto)], cycle);
     ++w.freed_upto;
   }
   last_progress_ = cycle;
@@ -289,6 +297,12 @@ void Simulator::phase_allocate(long cycle) {
 }
 
 void Simulator::phase_advance(long cycle) {
+  if (net_.max_lanes() > 1) {
+    phase_advance_lanes(cycle);
+    return;
+  }
+  // Single-lane network: every lane latch is exclusively owned, so every
+  // unblocked worm advances unconditionally — the paper's exact semantics.
   for (std::size_t i = 0; i < active_.size();) {
     const int id = active_[i];
     Worm& w = worms_[static_cast<std::size_t>(id)];
@@ -298,6 +312,57 @@ void Simulator::phase_advance(long cycle) {
     }
     advance_worm(id, cycle);
     if (w.ejected == w.length) {
+      active_[i] = active_.back();
+      active_.pop_back();
+      free_worms_.push_back(id);
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool Simulator::claim_bandwidth(const Worm& w, long cycle) {
+  // The physical links crossed by a rigid one-flit advance: each in-flight
+  // flit at path[i] moves into path[i + 1]; a consuming head leaves the
+  // network (no link); a still-injecting source feeds a new flit into
+  // path[0] (and while injecting the tail index is always 0).
+  const int hi = w.consuming ? w.head_pos : w.head_pos + 1;
+  const int tail_idx = w.head_pos - (w.injected - w.ejected) + 1;
+  const int lo = (w.injected < w.length) ? 0 : tail_idx + 1;
+  for (int i = lo; i <= hi; ++i) {
+    const int ch = net_.lane_channel(w.path[static_cast<std::size_t>(i)]);
+    if (channel_claim_[static_cast<std::size_t>(ch)] == cycle) return false;
+  }
+  for (int i = lo; i <= hi; ++i) {
+    const int ch = net_.lane_channel(w.path[static_cast<std::size_t>(i)]);
+    channel_claim_[static_cast<std::size_t>(ch)] = cycle;
+  }
+  return true;
+}
+
+void Simulator::phase_advance_lanes(long cycle) {
+  // Round-robin bandwidth arbitration: visit the active worms starting at a
+  // cursor that rotates every cycle; each worm either claims one flit/cycle
+  // on every link its flits would cross and advances rigidly, or stalls in
+  // place for this cycle.  The first movable worm visited always succeeds,
+  // so the watchdog's progress guarantee is preserved.
+  const std::size_t n = active_.size();
+  if (n == 0) return;
+  advance_order_.assign(active_.begin(), active_.end());
+  const std::size_t start = static_cast<std::size_t>(rr_cursor_++ % n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int id = advance_order_[(start + i) % n];
+    Worm& w = worms_[static_cast<std::size_t>(id)];
+    if (w.waiting_alloc) continue;
+    if (!claim_bandwidth(w, cycle)) continue;
+    advance_worm(id, cycle);
+  }
+  // Retire completed worms after the pass (the snapshot visits each id once,
+  // so a worm completing mid-pass is never re-advanced).
+  for (std::size_t i = 0; i < active_.size();) {
+    const int id = active_[i];
+    const Worm& w = worms_[static_cast<std::size_t>(id)];
+    if (w.ejected == w.length && !w.waiting_alloc) {
       active_[i] = active_.back();
       active_.pop_back();
       free_worms_.push_back(id);
@@ -379,16 +444,21 @@ std::string Simulator::debug_state() const {
   }
   for (int b = 0; b < net_.num_bundles(); ++b) {
     const BundleState& bs = bundle_state_[static_cast<std::size_t>(b)];
-    if (bs.requests.empty() && bs.free_count == net_.bundle(b).num_channels) continue;
+    const BundleInfo& bi = net_.bundle(b);
+    if (bs.requests.empty() && bs.free_count == net_.bundle_lanes(b)) continue;
     out << "  bundle " << b << " free=" << bs.free_count
         << (bs.dirty ? " dirty" : "") << " requests=[";
     for (const Request& r : bs.requests)
       out << "{w" << r.worm << " pref=" << r.preferred_channel << "} ";
     out << "] channels=[";
-    const BundleInfo& bi = net_.bundle(b);
     for (int i = 0; i < bi.num_channels; ++i) {
       const int ch = bi.channel_ids[static_cast<std::size_t>(i)];
-      out << ch << ":owner=" << channel_state_[static_cast<std::size_t>(ch)].owner << " ";
+      out << ch << ":owners=";
+      for (int lane = net_.lane_begin(ch); lane < net_.lane_begin(ch + 1); ++lane) {
+        if (lane > net_.lane_begin(ch)) out << "/";
+        out << lane_state_[static_cast<std::size_t>(lane)].owner;
+      }
+      out << " ";
     }
     out << "]\n";
   }

@@ -37,6 +37,25 @@
 // next cycle), which is the switch-arbitration latency of a real router;
 // the analytical model idealizes this away, and EXPERIMENTS.md quantifies
 // the resulting model-optimism at high load.
+//
+// Virtual channels (lanes)
+// ------------------------
+// When the topology declares lane multiplicities > 1 (SimNetwork::max_lanes()
+// > 1), each physical channel carries L independent one-flit lane latches:
+// the allocation unit becomes a LANE (a worm holds one lane per channel of
+// its path; a bundle's FCFS queue grants any free lane of any member link),
+// while the physical link still transfers at most ONE flit per cycle shared
+// across its lanes.  Bandwidth is arbitrated per cycle in round-robin order
+// over the active worms (the starting worm rotates every cycle): a worm
+// advances its whole pipeline one flit — claiming every physical link its
+// flits would cross this cycle — or, if any of those links was already
+// claimed by an earlier worm in this cycle's rotation, stalls in place for
+// the cycle.  Lanes therefore do exactly what they do in hardware: a worm
+// blocked further downstream no longer seals the only latch of each link it
+// holds, so other worms slip past on the remaining lanes at the cost of
+// sharing link bandwidth.  With every lane count at 1 the arbitration
+// degenerates to exclusive ownership and the simulator runs the exact
+// single-lane semantics above, bit-for-bit (tested against golden traces).
 #pragma once
 
 #include <deque>
@@ -83,7 +102,8 @@ class Simulator {
     long gen_time = 0;
     long inject_start = -1;
     long src_release = -1;
-    std::vector<int> path;   // allocated channel ids, source to head
+    std::vector<int> path;   // allocated LANE ids, source to head (lane id ==
+                             // channel id when the network is single-lane)
     int head_pos = -1;       // index into path of the latch holding the head
     int injected = 0;        // flits that have left the source
     int ejected = 0;         // flits consumed at the destination
@@ -98,13 +118,13 @@ class Simulator {
     int preferred_channel = -1;
   };
 
-  struct ChannelState {
+  struct LaneState {
     int owner = -1;       // worm id or -1
     long grant_time = 0;  // cycle of the last grant (for busy accounting)
   };
 
   struct BundleState {
-    int free_count = 0;
+    int free_count = 0;  // free LANES across the bundle's member channels
     bool dirty = false;
     std::deque<Request> requests;
   };
@@ -131,17 +151,24 @@ class Simulator {
   void register_injection(int worm_id, long cycle);
   void register_next_hop(int worm_id, int node, long cycle);
   void mark_dirty(int bundle_id);
+  int find_free_lane(int channel_id) const;
   void grant(int bundle_id, long cycle);
-  void release_channel(Worm& w, int channel_id, long cycle);
+  void release_lane(Worm& w, int lane_id, long cycle);
   void advance_worm(int worm_id, long cycle);
   void complete_worm(Worm& w, long cycle);
   void on_source_released(int proc, long cycle);
   bool in_window(long cycle) const;
 
+  /// Atomically claim one flit/cycle of bandwidth on every physical link the
+  /// worm's flits would cross this cycle (lane mode only).  Returns false —
+  /// claiming nothing — when any of those links was already claimed.
+  bool claim_bandwidth(const Worm& w, long cycle);
+
   // -- per-cycle phases ---------------------------------------------------
   void step_arrivals(long cycle);
   void phase_allocate(long cycle);
-  void phase_advance(long cycle);
+  void phase_advance(long cycle);        // dispatches on SimNetwork::max_lanes
+  void phase_advance_lanes(long cycle);  // round-robin bandwidth arbitration
 
   const SimNetwork& net_;
   SimConfig cfg_;
@@ -155,10 +182,17 @@ class Simulator {
   std::vector<int> free_worms_;
   std::vector<int> active_;  // worm ids with at least one allocated channel
 
-  std::vector<ChannelState> channel_state_;
+  std::vector<LaneState> lane_state_;   // per lane (per channel when L == 1)
   std::vector<BundleState> bundle_state_;
   std::vector<int> dirty_bundles_;
   std::vector<SourceState> sources_;
+
+  // Lane mode (max_lanes > 1) only: per-physical-channel cycle stamp of the
+  // last bandwidth claim, the rotating arbitration cursor, and the scratch
+  // iteration order (kept allocated across cycles).
+  std::vector<long> channel_claim_;
+  std::uint64_t rr_cursor_ = 0;
+  std::vector<int> advance_order_;
 
   std::vector<ScriptedMsg> scripted_;
   std::size_t scripted_next_ = 0;

@@ -53,6 +53,13 @@ class ChannelTable {
   /// Id of the channel opposite to `id` (same link, reverse direction).
   int reverse(int id) const;
 
+  /// Virtual-channel (lane) multiplicity of channel `id`, as declared by the
+  /// topology for the channel's upstream (node, port).
+  int lanes(int id) const {
+    const DirectedChannel& c = at(id);
+    return topo_->lanes(c.src_node, c.src_port);
+  }
+
   /// The topology this table indexes.
   const Topology& topology() const { return *topo_; }
 

@@ -141,8 +141,39 @@ class Topology {
   virtual std::array<double, 4> route_split(int node, int dest,
                                             const RouteOptions& opts) const;
 
+  /// Virtual-channel (lane) multiplicity of the directed channel leaving
+  /// `node` through `port`: the number of independent one-flit latches
+  /// multiplexed over that physical link.  Lanes share the link's one
+  /// flit/cycle of bandwidth; a worm holds exactly one lane per channel of
+  /// its path.  The default returns the uniform multiplicity set by
+  /// set_uniform_lanes() (1 unless changed — the paper's single-lane
+  /// network); topologies or experiments with heterogeneous per-channel
+  /// buffering override this.
+  virtual int lanes(int node, int port) const {
+    static_cast<void>(node);
+    static_cast<void>(port);
+    return uniform_lanes_;
+  }
+
+  /// Set the lane multiplicity returned by the default lanes() for every
+  /// channel.  Both the simulator (sim::SimNetwork) and the analytical
+  /// builder (core::build_traffic_model) read lanes through the topology,
+  /// so one call configures model and simulation consistently.  Call before
+  /// constructing a SimNetwork or building a model — those snapshot the
+  /// lane counts.
+  void set_uniform_lanes(int lanes) {
+    WORMNET_EXPECTS(lanes >= 1);
+    uniform_lanes_ = lanes;
+  }
+
+  /// The uniform lane multiplicity (what the default lanes() returns).
+  int uniform_lanes() const { return uniform_lanes_; }
+
   /// Convenience: true for processor nodes.
   bool is_processor(int node) const { return kind(node) == NodeKind::Processor; }
+
+ private:
+  int uniform_lanes_ = 1;
 };
 
 }  // namespace wormnet::topo

@@ -1,0 +1,195 @@
+// Model-vs-simulator conformance harness.
+//
+// The paper's central claim is that the analytical model tracks the
+// flit-level simulation "very closely over a wide range of load rate".
+// Before this suite, that claim was enforced only by ad-hoc checks for the
+// fat-tree under uniform traffic (test_sim_vs_model.cpp); here it becomes a
+// TABLE: every covered topology x pattern x lane-count cell is evaluated at
+// 20% / 50% / 80% of the cell's own model saturation and the relative
+// latency error |model - sim| / sim must stay inside the row's bound.
+//
+// Bound structure (the acceptance contract of the virtual-channel PR):
+//  * below 80% load (the 20% and 50% points) every covered cell holds
+//    within 15% — most hold far tighter, and the tier bounds encode that
+//    (10% at 20% load, 15% at 50%);
+//  * at 80% load the model's idealizations (no per-hop arbitration cycle,
+//    additive multiplexing stretch) compound near the knee, so each row
+//    carries its own measured-and-margined bound; the raw errors are
+//    recorded in EXPERIMENTS.md.
+//
+// Every cell uses a fixed seed, so the suite is deterministic: a bound
+// violation is a code regression, not noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "core/traffic_model.hpp"
+#include "sim/simulator.hpp"
+#include "topo/butterfly_fattree.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormnet {
+namespace {
+
+enum class Topo { FatTree3, Mesh3ary3d, Hypercube4 };
+enum class Pattern { Uniform, Hotspot10 };
+
+struct Cell {
+  Topo topo;
+  Pattern pattern;
+  int lanes;
+  // Relative latency error bounds at 20% / 50% / 80% of model saturation.
+  double bound20;
+  double bound50;
+  double bound80;
+};
+
+// Measured errors (recorded in EXPERIMENTS.md) plus regression margin.
+// The below-80%-load contract: bound20 <= 0.10, bound50 <= 0.15 everywhere.
+const Cell kCells[] = {
+    // topo              pattern             L   20%   50%   80%
+    {Topo::FatTree3,   Pattern::Uniform,    1, 0.10, 0.15, 0.20},
+    {Topo::FatTree3,   Pattern::Uniform,    2, 0.10, 0.15, 0.50},
+    {Topo::FatTree3,   Pattern::Uniform,    4, 0.10, 0.15, 0.50},
+    {Topo::FatTree3,   Pattern::Hotspot10,  1, 0.10, 0.15, 0.15},
+    {Topo::FatTree3,   Pattern::Hotspot10,  2, 0.10, 0.15, 0.42},
+    {Topo::FatTree3,   Pattern::Hotspot10,  4, 0.10, 0.15, 0.30},
+    {Topo::Mesh3ary3d,    Pattern::Uniform,    1, 0.10, 0.15, 0.30},
+    {Topo::Mesh3ary3d,    Pattern::Uniform,    2, 0.10, 0.15, 0.45},
+    {Topo::Mesh3ary3d,    Pattern::Uniform,    4, 0.10, 0.15, 0.25},
+    {Topo::Mesh3ary3d,    Pattern::Hotspot10,  1, 0.10, 0.15, 0.15},
+    {Topo::Mesh3ary3d,    Pattern::Hotspot10,  2, 0.10, 0.15, 0.35},
+    {Topo::Mesh3ary3d,    Pattern::Hotspot10,  4, 0.10, 0.15, 0.35},
+    {Topo::Hypercube4, Pattern::Uniform,    1, 0.10, 0.15, 0.33},
+    {Topo::Hypercube4, Pattern::Uniform,    2, 0.10, 0.15, 0.45},
+    {Topo::Hypercube4, Pattern::Uniform,    4, 0.10, 0.15, 0.28},
+    {Topo::Hypercube4, Pattern::Hotspot10,  1, 0.10, 0.15, 0.20},
+    {Topo::Hypercube4, Pattern::Hotspot10,  2, 0.10, 0.15, 0.42},
+    {Topo::Hypercube4, Pattern::Hotspot10,  4, 0.10, 0.15, 0.37},
+};
+
+std::unique_ptr<topo::Topology> make_topology(Topo t) {
+  switch (t) {
+    case Topo::FatTree3:
+      return std::make_unique<topo::ButterflyFatTree>(3);
+    case Topo::Mesh3ary3d:
+      return std::make_unique<topo::Mesh>(3, 3);
+    case Topo::Hypercube4:
+      return std::make_unique<topo::Hypercube>(4);
+  }
+  return nullptr;
+}
+
+traffic::TrafficSpec make_pattern(Pattern p) {
+  switch (p) {
+    case Pattern::Uniform:
+      return traffic::TrafficSpec::uniform();
+    case Pattern::Hotspot10:
+      return traffic::TrafficSpec::hotspot(0.1);
+  }
+  return traffic::TrafficSpec::uniform();
+}
+
+void check_cell(const Cell& cell) {
+  std::unique_ptr<topo::Topology> topo = make_topology(cell.topo);
+  topo->set_uniform_lanes(cell.lanes);
+  const traffic::TrafficSpec spec = make_pattern(cell.pattern);
+
+  core::SolveOptions opts;
+  opts.worm_flits = 16.0;
+  const core::GeneralModel model = core::build_traffic_model(*topo, spec, opts);
+  const double sat = core::model_saturation_rate(model, opts);
+  ASSERT_GT(sat, 0.0);
+
+  const double fracs[] = {0.2, 0.5, 0.8};
+  const double bounds[] = {cell.bound20, cell.bound50, cell.bound80};
+  for (int i = 0; i < 3; ++i) {
+    const double lambda0 = sat * fracs[i];
+    const core::LatencyEstimate est = core::model_latency(model, lambda0, opts);
+    ASSERT_TRUE(est.stable)
+        << model.name() << " lanes=" << cell.lanes << " frac=" << fracs[i];
+
+    sim::SimConfig cfg;
+    cfg.load_flits = lambda0 * 16.0;
+    cfg.worm_flits = 16;
+    cfg.seed = 1000 + static_cast<std::uint64_t>(cell.lanes);
+    cfg.traffic = spec;
+    cfg.warmup_cycles = 8000;
+    cfg.measure_cycles = 40000;
+    cfg.max_cycles = 600000;
+    cfg.channel_stats = false;
+    const sim::SimResult r = sim::simulate(*topo, cfg);
+    ASSERT_TRUE(r.completed)
+        << model.name() << " lanes=" << cell.lanes << " frac=" << fracs[i];
+    ASSERT_FALSE(r.saturated)
+        << model.name() << " lanes=" << cell.lanes << " frac=" << fracs[i];
+    ASSERT_GT(r.latency.count(), 0);
+
+    const double sim_latency = r.latency.mean();
+    const double rel_err = std::abs(est.latency - sim_latency) / sim_latency;
+    EXPECT_LE(rel_err, bounds[i])
+        << model.name() << " lanes=" << cell.lanes << " frac=" << fracs[i]
+        << ": model=" << est.latency << " sim=" << sim_latency;
+  }
+}
+
+class Conformance : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Conformance, LatencyWithinCellBounds) { check_cell(kCells[GetParam()]); }
+
+std::string cell_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  const Cell& c = kCells[info.param];
+  std::string name;
+  switch (c.topo) {
+    case Topo::FatTree3: name = "FatTree3"; break;
+    case Topo::Mesh3ary3d: name = "Mesh3ary3d"; break;
+    case Topo::Hypercube4: name = "Hypercube4"; break;
+  }
+  name += c.pattern == Pattern::Uniform ? "Uniform" : "Hotspot10";
+  name += "L";
+  name += std::to_string(c.lanes);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, Conformance,
+                         ::testing::Range<std::size_t>(0, std::size(kCells)),
+                         cell_name);
+
+// The saturation points themselves must agree: the model's Eq. 26 rate vs
+// the simulator's overload throughput, per lane count.  Looser than the
+// latency bounds (one is an asymptote, the other a closed-loop measurement)
+// but tight enough to catch a broken lane model.
+TEST(ConformanceSaturation, ModelSaturationTracksOverloadThroughputPerLane) {
+  for (Topo t : {Topo::FatTree3, Topo::Mesh3ary3d, Topo::Hypercube4}) {
+    for (Pattern p : {Pattern::Uniform, Pattern::Hotspot10}) {
+      for (int lanes : {1, 2, 4}) {
+        std::unique_ptr<topo::Topology> topo = make_topology(t);
+        topo->set_uniform_lanes(lanes);
+        const traffic::TrafficSpec spec = make_pattern(p);
+        core::SolveOptions opts;
+        opts.worm_flits = 16.0;
+        const core::GeneralModel model =
+            core::build_traffic_model(*topo, spec, opts);
+        const double model_sat = core::model_saturation_rate(model, opts) * 16.0;
+
+        sim::SimConfig cfg;
+        cfg.arrivals = sim::ArrivalProcess::Overload;
+        cfg.worm_flits = 16;
+        cfg.seed = 7;
+        cfg.traffic = spec;
+        cfg.warmup_cycles = 5000;
+        cfg.measure_cycles = 20000;
+        cfg.channel_stats = false;
+        const double sim_sat = sim::simulate(*topo, cfg).throughput_flits_per_pe;
+        EXPECT_NEAR(model_sat, sim_sat, 0.30 * sim_sat)
+            << model.name() << " lanes=" << lanes;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wormnet

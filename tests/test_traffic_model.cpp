@@ -95,6 +95,51 @@ TEST(TrafficModel, FlowConservationAcrossTopologiesAndPatterns) {
   }
 }
 
+TEST(TrafficModel, MeshKirchhoffUnderNonUniformPatterns) {
+  // The generic sweep above relies on spec.check() filtering, which silently
+  // drops transpose whenever the mesh's processor count isn't square — a
+  // skipped cell nobody notices.  Pin the mesh's genuinely heterogeneous DOR
+  // channel rates under the skewed patterns explicitly, on the 3x3 grid
+  // (radix 3, 2 dimensions) where transpose is defined.
+  const topo::Mesh mesh(3, 2);
+  const std::vector<traffic::TrafficSpec> specs{
+      traffic::TrafficSpec::transpose(),
+      traffic::TrafficSpec::nearest_neighbor(0.7),
+  };
+  for (const traffic::TrafficSpec& spec : specs) {
+    ASSERT_TRUE(spec.check(mesh.num_processors()).empty()) << spec.name();
+    expect_flow_conservation(mesh, spec);
+    // The enumerated graph must also validate and solve at a light load.
+    const GeneralModel net = build_traffic_model(mesh, spec);
+    EXPECT_TRUE(net.graph.validate().empty()) << spec.name();
+    SolveOptions opts;
+    opts.worm_flits = 16.0;
+    const LatencyEstimate est = model_latency(net, 0.002, opts);
+    EXPECT_TRUE(est.stable) << spec.name();
+    EXPECT_GT(est.latency, 0.0) << spec.name();
+  }
+}
+
+TEST(TrafficModel, MeshTransposeUnloadsTheDiagonal) {
+  // Physics of the covered pattern, not just conservation: under transpose
+  // on a square mesh every diagonal PE falls back to d = s+1 (spec rule), so
+  // off-diagonal PEs exchange with their mirror and the row/column channel
+  // rates stay symmetric under the transpose map.
+  const topo::Mesh mesh(3, 2);
+  const GeneralModel net =
+      build_traffic_model(mesh, traffic::TrafficSpec::transpose());
+  const topo::ChannelTable ct(mesh);
+  const int procs = mesh.num_processors();
+  const traffic::TrafficMatrix m =
+      traffic::TrafficSpec::transpose().materialize(procs);
+  // Each PE sends exactly one message stream and receives exactly one.
+  for (int p = 0; p < procs; ++p) {
+    EXPECT_NEAR(m.row_sum(p), 1.0, 1e-12);
+    EXPECT_NEAR(net.graph.at(ct.from(p, 0)).rate_per_link, 1.0, 1e-9);
+    EXPECT_NEAR(net.graph.at(ct.into(p, 0)).rate_per_link, m.col_sum(p), 1e-9);
+  }
+}
+
 TEST(TrafficModel, UniformReproducesHandDerivedFatTreeRates) {
   topo::ButterflyFatTree ft(3);
   const GeneralModel net =
