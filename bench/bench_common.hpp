@@ -1,11 +1,22 @@
 // bench/bench_common.hpp
 //
 // Thin bench-side veneer over the harness library.  The shared plumbing
-// (load grids, sweep defaults, flag validation, the sweep engine itself)
-// lives in wormnet::harness so every bench links against ONE copy; this
-// header only re-exports it under the bench namespace and pulls in the
-// umbrella header.
+// (load grids, sweep defaults, flag validation, the sweep/sim engines
+// themselves) lives in wormnet::harness so every bench links against ONE
+// copy; this header re-exports it under the bench namespace, pulls in the
+// umbrella header, and adds the machine-readable results plumbing shared by
+// the bench binaries:
+//
+//   --json <path> / --json=<path>   write results as JSON (the perf
+//                                   trajectory file BENCH_perf.json at the
+//                                   repo root is regenerated this way; see
+//                                   README "Performance").
 #pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "wormnet.hpp"
 
@@ -14,5 +25,82 @@ namespace wormnet::bench {
 using harness::fraction_loads;
 using harness::reject_unknown_flags;
 using harness::sweep_defaults;
+
+/// Extract a `--json <path>` or `--json=<path>` flag from a raw argv,
+/// compacting argv in place so downstream parsers (google-benchmark's
+/// Initialize, util::Args) never see it.  Returns the path, or "" if the
+/// flag is absent.  A valueless `--json` aborts loudly (exit 2) rather
+/// than leaking a confusing flag downstream.
+inline std::string take_json_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      continue;
+    }
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json requires a path\n", argv[0]);
+        std::exit(2);
+      }
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return path;
+}
+
+/// Minimal machine-readable benchmark-results writer: a flat list of
+/// {name, ns_per_op, counters} records.  Deliberately tiny — the point is a
+/// stable, diffable perf-trajectory format, not a general JSON library.
+class JsonResultWriter {
+ public:
+  /// Record one result.  `counters` are (name, value) pairs.
+  void add(std::string name, double ns_per_op,
+           std::vector<std::pair<std::string, double>> counters = {}) {
+    results_.push_back({std::move(name), ns_per_op, std::move(counters)});
+  }
+
+  /// Write all recorded results to `path`; returns false on I/O failure.
+  /// Layout: {"results": [{"name": ..., "ns_per_op": ..., "counters": {...}}]}
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"results\": [\n");
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const Result& r = results_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"ns_per_op\": %.6g",
+                   r.name.c_str(), r.ns_per_op);
+      if (!r.counters.empty()) {
+        std::fprintf(f, ", \"counters\": {");
+        for (std::size_t c = 0; c < r.counters.size(); ++c) {
+          std::fprintf(f, "%s\"%s\": %.6g", c ? ", " : "",
+                       r.counters[c].first.c_str(), r.counters[c].second);
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "}%s\n", i + 1 < results_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    return std::fclose(f) == 0;
+  }
+
+  std::size_t size() const { return results_.size(); }
+
+ private:
+  struct Result {
+    std::string name;
+    double ns_per_op = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::vector<Result> results_;
+};
 
 }  // namespace wormnet::bench

@@ -77,30 +77,44 @@ int main(int argc, char** argv) {
   util::Table t(headers);
   t.set_precision(0, 4);
 
-  for (double frac : {0.2, 0.4, 0.6, 0.8}) {
-    const double load = sat * frac;
+  // All (load, pattern) simulation points as ONE SimEngine campaign over a
+  // single shared SimNetwork of the fat-tree.
+  const double fracs[] = {0.2, 0.4, 0.6, 0.8};
+  std::vector<harness::SimCell> cells;
+  for (double frac : fracs) {
+    for (const PatternCase& pc : cases) {
+      harness::SimCell cell;
+      cell.topology = &ft;
+      cell.cfg.load_flits = sat * frac;
+      cell.cfg.worm_flits = worm;
+      cell.cfg.traffic = pc.spec;
+      cell.cfg.seed = seed;
+      cell.cfg.warmup_cycles = warmup;
+      cell.cfg.measure_cycles = measure;
+      cell.cfg.max_cycles = 15 * measure;
+      cell.cfg.channel_stats = false;
+      cells.push_back(std::move(cell));
+    }
+  }
+  harness::SimEngine sims;
+  const std::vector<harness::SimCellResult> outs = sims.run_cells(cells);
+
+  const util::Cell sat_cell{std::string("sat")};
+  for (std::size_t f = 0; f < std::size(fracs); ++f) {
+    const double load = sat * fracs[f];
     std::vector<util::Cell> row{load, uniform_model.evaluate_load(load).latency};
     for (std::size_t i = 0; i < models.size(); ++i) {
       const core::LatencyEstimate est = engine.evaluate_load(*models[i], load);
       if (est.stable) {
-        row.push_back(est.latency);
+        row.push_back(util::Cell{est.latency});
       } else {
-        row.push_back(std::string("sat"));
+        row.push_back(sat_cell);
       }
-      sim::SimConfig cfg;
-      cfg.load_flits = load;
-      cfg.worm_flits = worm;
-      cfg.traffic = cases[i].spec;
-      cfg.seed = seed;
-      cfg.warmup_cycles = warmup;
-      cfg.measure_cycles = measure;
-      cfg.max_cycles = 15 * measure;
-      cfg.channel_stats = false;
-      const sim::SimResult r = sim::simulate(ft, cfg);
+      const sim::SimResult& r = outs[f * models.size() + i].runs.front();
       if (r.saturated) {
-        row.push_back(std::string("sat"));
+        row.push_back(sat_cell);
       } else {
-        row.push_back(r.latency.mean());
+        row.push_back(util::Cell{r.latency.mean()});
       }
     }
     t.add_row(std::move(row));

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   };
 
   harness::SweepEngine engine;
+  harness::SimEngine sims;
   core::SolveOptions opts;
   opts.worm_flits = static_cast<double>(worm);
 
@@ -73,34 +74,51 @@ int main(int argc, char** argv) {
           },
           lanes, {0.2, 0.5, 0.8});
 
+      // Simulation side of the family as ONE SimEngine campaign: per lane
+      // count an overload probe and a 50%-of-saturation latency run.  A
+      // SimNetwork snapshots lane counts at construction, so each L gets
+      // its own live topology object for the campaign.
+      std::vector<std::unique_ptr<topo::ButterflyFatTree>> lane_topos;
+      std::vector<harness::SimCell> cells;
+      for (const harness::FamilyMember& fm : family) {
+        const int L = static_cast<int>(fm.parameter);
+        lane_topos.push_back(
+            std::make_unique<topo::ButterflyFatTree>(static_cast<int>(levels)));
+        lane_topos.back()->set_uniform_lanes(L);
+        const topo::Topology* topo = lane_topos.back().get();
+
+        harness::SimCell ovl;
+        ovl.topology = topo;
+        ovl.cfg.arrivals = sim::ArrivalProcess::Overload;
+        ovl.cfg.worm_flits = worm;
+        ovl.cfg.seed = seed;
+        ovl.cfg.traffic = pc.spec;
+        ovl.cfg.warmup_cycles = warmup;
+        ovl.cfg.measure_cycles = measure;
+        ovl.cfg.channel_stats = false;
+        cells.push_back(std::move(ovl));
+
+        harness::SimCell mid;
+        mid.topology = topo;
+        mid.cfg.load_flits = fm.points[1].load_flits;
+        mid.cfg.worm_flits = worm;
+        mid.cfg.seed = seed + 17 * static_cast<std::uint64_t>(L);
+        mid.cfg.traffic = pc.spec;
+        mid.cfg.warmup_cycles = warmup;
+        mid.cfg.measure_cycles = 4 * measure;
+        mid.cfg.max_cycles = 60 * measure;
+        mid.cfg.channel_stats = false;
+        cells.push_back(std::move(mid));
+      }
+      const std::vector<harness::SimCellResult> outs = sims.run_cells(cells);
+
       util::Table t({"lanes", "model sat", "sim overload", "model/sim",
                      "model L@50%", "sim L@50%", "err@50%"});
       for (std::size_t i = 0; i < family.size(); ++i) {
         const harness::FamilyMember& fm = family[i];
         const int L = static_cast<int>(fm.parameter);
-        ft.set_uniform_lanes(L);
-        sim::SimConfig oc;
-        oc.arrivals = sim::ArrivalProcess::Overload;
-        oc.worm_flits = worm;
-        oc.seed = seed;
-        oc.traffic = pc.spec;
-        oc.warmup_cycles = warmup;
-        oc.measure_cycles = measure;
-        oc.channel_stats = false;
-        const sim::SimResult ovl = sim::simulate(ft, oc);
-
-        // Latency agreement at 50% of the member's own saturation.
-        const double load50 = fm.points[1].load_flits;
-        sim::SimConfig cfg;
-        cfg.load_flits = load50;
-        cfg.worm_flits = worm;
-        cfg.seed = seed + 17 * static_cast<std::uint64_t>(L);
-        cfg.traffic = pc.spec;
-        cfg.warmup_cycles = warmup;
-        cfg.measure_cycles = 4 * measure;
-        cfg.max_cycles = 60 * measure;
-        cfg.channel_stats = false;
-        const sim::SimResult mid = sim::simulate(ft, cfg);
+        const sim::SimResult& ovl = outs[2 * i].runs.front();
+        const sim::SimResult& mid = outs[2 * i + 1].runs.front();
 
         const double model_sat = fm.saturation_rate * worm;
         const double model50 = fm.points[1].est.latency;

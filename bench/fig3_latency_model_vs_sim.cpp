@@ -28,7 +28,11 @@ int main(int argc, char** argv) {
   std::printf("FIG3: %s, Poisson arrivals, uniform destinations\n",
               ft.name().c_str());
 
+  // One SweepEngine for the model curves, one SimEngine campaign runner for
+  // the simulation points: each worm length's load sweep fans out across
+  // the pool instead of simulating point by point.
   harness::SweepEngine engine;
+  harness::SimEngine sims;
   for (long worm : worms) {
     core::FatTreeModel model({.levels = levels,
                               .worm_flits = static_cast<double>(worm)});
@@ -37,7 +41,7 @@ int main(int argc, char** argv) {
     sweep.worm_flits = static_cast<int>(worm);
     sweep.loads = bench::fraction_loads(sat);
 
-    const auto rows = harness::compare_latency(ft, model, sweep, &engine);
+    const auto rows = harness::compare_latency(ft, model, sweep, &engine, &sims);
     harness::print_experiment(
         "FIG3 series: " + std::to_string(worm) + "-flit worms (model saturation " +
             std::to_string(sat) + " flits/cyc/PE)",

@@ -2,10 +2,17 @@
 //  * the analytical solver (closed form and general graph) — the payoff of
 //    the paper is that these run in microseconds where simulation takes
 //    seconds;
-//  * the flit-level simulator's cycle throughput at small and Fig. 3 scale.
+//  * the flit-level simulator's cycle throughput at small and Fig. 3 scale,
+//    plus the three layers of the simulation-side perf overhaul: idle-cycle
+//    fast-forward (vs the forced slow path), SimEngine campaign fan-out
+//    (parallel vs serial), and the sharded traffic-model builder (parallel
+//    vs serial);
+//  * `--json <path>` additionally writes {name, ns/op, counters} records —
+//    `./perf_micro --json ../BENCH_perf.json` regenerates the repo-root
+//    perf-trajectory file (see README "Performance").
 #include <benchmark/benchmark.h>
 
-#include "wormnet.hpp"
+#include "bench_common.hpp"
 
 namespace {
 
@@ -88,7 +95,10 @@ BENCHMARK(BM_FullGraphBuild)->Arg(2)->Arg(3);
 void BM_TrafficModelBuildFatTree(benchmark::State& state) {
   // Route enumeration under a DENSE pattern (hotspot: every pair weight is
   // non-zero) on the N = 4^levels fat-tree.  The per-destination flow DP
-  // must stay O(N² · hops): sub-second at N = 1024 (levels = 5).
+  // must stay O(N² · hops): sub-second at N = 1024 (levels = 5).  Since the
+  // perf overhaul the destinations run as fixed shards on the shared pool
+  // (bitwise-identical to serial); this is the default-path (parallel)
+  // number — compare BM_TrafficModelBuildFatTreeSerial for the fan-out gain.
   topo::ButterflyFatTree ft(static_cast<int>(state.range(0)));
   const traffic::TrafficSpec spec = traffic::TrafficSpec::hotspot(0.1);
   for (auto _ : state) {
@@ -97,6 +107,21 @@ void BM_TrafficModelBuildFatTree(benchmark::State& state) {
   state.SetLabel("N=" + std::to_string(ft.num_processors()));
 }
 BENCHMARK(BM_TrafficModelBuildFatTree)->Arg(3)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_TrafficModelBuildFatTreeSerial(benchmark::State& state) {
+  // The same build forced serial (threads = 1): the denominator of the
+  // builder-parallelization speedup.
+  topo::ButterflyFatTree ft(static_cast<int>(state.range(0)));
+  const traffic::TrafficSpec spec = traffic::TrafficSpec::hotspot(0.1);
+  core::TrafficBuildOptions build;
+  build.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_traffic_model(ft, spec, {}, build).graph.size());
+  }
+  state.SetLabel("N=" + std::to_string(ft.num_processors()));
+}
+BENCHMARK(BM_TrafficModelBuildFatTreeSerial)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
 
 void BM_TrafficModelBuild10Cube(benchmark::State& state) {
   // The same enumeration on the 1024-node e-cube hypercube (long paths,
@@ -134,6 +159,79 @@ void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorCyclesPerSecond)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
 
+void BM_SimulatorIdleFastForward(benchmark::State& state) {
+  // Layer-2 proof: the same low-load seeded run with idle-cycle
+  // fast-forward active (arg 0) and forced off (arg 1).  At 20% of
+  // saturation on the N=16 fat-tree the network is empty most of the time,
+  // so the active run covers the same simulated window in a fraction of
+  // the wall time — the cycles/s counter measures SIMULATED cycles per
+  // wall second (results are bit-identical either way; the sim label
+  // carries the proof).
+  topo::ButterflyFatTree ft(2);
+  sim::SimNetwork net(ft);
+  core::FatTreeModel model({.levels = 2, .worm_flits = 16.0});
+  sim::SimConfig cfg;
+  cfg.load_flits = model.saturation_load() * 0.05;
+  cfg.worm_flits = 16;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 200'000;
+  cfg.max_cycles = 2'000'000;
+  cfg.channel_stats = false;
+  cfg.disable_fast_forward = state.range(0) != 0;
+  long cycles = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    sim::Simulator s(net, cfg);
+    const sim::SimResult r = s.run();
+    cycles += r.cycles_run;
+    benchmark::DoNotOptimize(r.latency.mean());
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.SetLabel(state.range(0) == 0 ? "fast-forward" : "slow-path");
+}
+BENCHMARK(BM_SimulatorIdleFastForward)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SimEngineCampaign(benchmark::State& state) {
+  // Layer-1 proof: a 12-cell campaign (4 loads x 3 seed-replications, one
+  // shared SimNetwork) through SimEngine — parallel (arg 0) vs serial
+  // (arg 1).  On a multi-core host the parallel campaign's wall time
+  // divides by the core count; results are bitwise-identical either way
+  // (tests/test_perf_guards.cpp).
+  topo::ButterflyFatTree ft(2);
+  core::FatTreeModel model({.levels = 2, .worm_flits = 16.0});
+  std::vector<harness::SimCell> cells;
+  for (double frac : {0.2, 0.4, 0.6, 0.8}) {
+    harness::SimCell cell;
+    cell.topology = &ft;
+    cell.cfg.load_flits = model.saturation_load() * frac;
+    cell.cfg.worm_flits = 16;
+    cell.cfg.seed = 1;
+    cell.cfg.warmup_cycles = 500;
+    cell.cfg.measure_cycles = 4'000;
+    cell.cfg.max_cycles = 100'000;
+    cell.cfg.channel_stats = false;
+    cell.replications = 3;
+    cells.push_back(std::move(cell));
+  }
+  harness::SimEngine engine({/*threads=*/0, /*parallel=*/state.range(0) == 0});
+  std::int64_t sims = 0;
+  for (auto _ : state) {
+    const auto results = engine.run_cells(cells);
+    sims += 12;
+    benchmark::DoNotOptimize(results.front().latency.mean);
+  }
+  state.counters["sims/s"] = benchmark::Counter(
+      static_cast<double>(sims), benchmark::Counter::kIsRate);
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(engine.threads()));
+  state.SetLabel(state.range(0) == 0 ? "parallel" : "serial");
+}
+// UseRealTime: the campaign's work runs on the pool's threads, so the
+// benchmark (and its rate counters) must clock wall time, not the calling
+// thread's CPU time.
+BENCHMARK(BM_SimEngineCampaign)->Arg(0)->Arg(1)->UseRealTime()->Unit(benchmark::kMillisecond);
+
 void BM_RngUniform(benchmark::State& state) {
   util::Rng rng(1);
   for (auto _ : state) {
@@ -150,6 +248,59 @@ void BM_QueueingKernels(benchmark::State& state) {
 }
 BENCHMARK(BM_QueueingKernels);
 
+/// Console reporter that additionally feeds bench::JsonResultWriter: one
+/// {name, ns/op, counters} record per run, written when the run set
+/// finishes.  Implemented as a display-reporter wrapper (not a file
+/// reporter) so it needs no --benchmark_out plumbing, and only uses API
+/// that is stable across the google-benchmark versions in the dev image
+/// (1.7) and CI (1.8).
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      std::vector<std::pair<std::string, double>> counters;
+      counters.reserve(run.counters.size());
+      for (const auto& [name, counter] : run.counters) {
+        counters.push_back({name, static_cast<double>(counter)});
+      }
+      // Always nanoseconds per iteration, regardless of the benchmark's
+      // display unit (GetAdjustedRealTime would be unit-scaled).
+      const double ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations) * 1e9
+              : 0.0;
+      writer_.add(run.benchmark_name(), ns_per_op, std::move(counters));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    if (writer_.write(path_)) {
+      std::fprintf(stderr, "perf_micro: wrote %zu results to %s\n",
+                   writer_.size(), path_.c_str());
+    }
+  }
+
+ private:
+  std::string path_;
+  wormnet::bench::JsonResultWriter writer_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = wormnet::bench::take_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    JsonTeeReporter reporter(json_path);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

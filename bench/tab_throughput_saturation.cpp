@@ -43,15 +43,40 @@ int main(int argc, char** argv) {
           .levels = static_cast<int>(levels),
           .worm_flits = static_cast<double>(worm)});
 
+  // One topology per N; the three worm lengths of each N share its
+  // SimNetwork inside the campaign.
+  std::vector<topo::ButterflyFatTree> topos;
+  topos.reserve(levels_list.size());
+  for (long levels : levels_list) topos.emplace_back(static_cast<int>(levels));
+
+  // The whole table is ONE SimEngine campaign: every (N, worm) overload run
+  // is an independent cell fanned across the pool.
   harness::SweepEngine engine;
+  std::vector<harness::SimCell> cells;
+  cells.reserve(models.size());
   for (const core::FatTreeModel& model : models) {
-    topo::ButterflyFatTree ft(model.options().levels);
-    const int worm = static_cast<int>(model.worm_flits());
-    const harness::ThroughputRow row = harness::compare_throughput(
-        ft, engine.saturation_load(model), worm, seed, warmup, measure);
-    t.add_row({static_cast<double>(ft.num_processors()),
-               static_cast<double>(worm), row.model_saturation_load,
-               row.sim_overload_throughput, row.ratio});
+    harness::SimCell cell;
+    for (std::size_t i = 0; i < levels_list.size(); ++i)
+      if (levels_list[i] == model.options().levels) cell.topology = &topos[i];
+    cell.cfg.arrivals = sim::ArrivalProcess::Overload;
+    cell.cfg.worm_flits = static_cast<int>(model.worm_flits());
+    cell.cfg.seed = seed;
+    cell.cfg.warmup_cycles = warmup;
+    cell.cfg.measure_cycles = measure;
+    cell.cfg.channel_stats = false;
+    cells.push_back(std::move(cell));
+  }
+  harness::SimEngine sims;
+  const std::vector<harness::SimCellResult> results = sims.run_cells(cells);
+
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const core::FatTreeModel& model = models[i];
+    const double model_sat = engine.saturation_load(model);
+    const double sim_sat = results[i].runs.front().throughput_flits_per_pe;
+    const double procs =
+        static_cast<double>(cells[i].topology->num_processors());
+    const double ratio = sim_sat > 0.0 ? model_sat / sim_sat : util::kNaN;
+    t.add_row({procs, model.worm_flits(), model_sat, sim_sat, ratio});
   }
   harness::print_experiment(
       "TAB-THR: saturation throughput, model (Eq. 26) vs simulator overload", t);

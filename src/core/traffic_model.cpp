@@ -1,28 +1,57 @@
 #include "core/traffic_model.hpp"
 
-#include <map>
+#include <algorithm>
+#include <array>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "topo/channels.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wormnet::core {
 
 namespace {
 
+/// Shared worker pool for the default (threads = 0) builder.  Function-local
+/// static: created on the first parallel build, sized to the hardware, and
+/// reused by every subsequent build so small topologies don't pay a pool
+/// spin-up per call.  Builds never run on this pool's own workers (the
+/// builder is only ever called from user threads), so parallel_for's global
+/// wait cannot deadlock.
+util::ThreadPool& builder_pool() {
+  static util::ThreadPool pool;
+  return pool;
+}
+
+/// Cached routing of one node toward the pass destination: candidate ports,
+/// their outgoing channel ids and far-end nodes, and the route_split
+/// probabilities.  Filled once per visited node during the DFS and reused by
+/// the propagation sweep, halving the virtual route()/route_split() calls —
+/// the builder's hottest non-arithmetic cost.
+struct NodeRoutes {
+  int count = 0;
+  std::array<int, 4> port{};
+  std::array<int, 4> channel{};
+  std::array<int, 4> neighbor{};
+  std::array<double, 4> split{};
+};
+
 /// Scratch state for one destination's flow-propagation pass, reused across
-/// destinations so the builder allocates O(nodes + channels) once.
+/// the destinations of one shard so each worker allocates O(nodes +
+/// channels) once.
 struct DestinationPass {
   /// Per node: (incoming channel, flow) pairs accumulated this pass;
   /// kNoChannel marks source injections.
   std::vector<std::vector<std::pair<int, double>>> in_flows;
   std::vector<char> visited;
-  std::vector<int> order;  ///< DFS postorder of the route DAG toward dst
+  std::vector<int> order;           ///< DFS postorder of the route DAG toward dst
+  std::vector<NodeRoutes> routes;   ///< valid for visited nodes only
 
   explicit DestinationPass(int num_nodes)
       : in_flows(static_cast<std::size_t>(num_nodes)),
-        visited(static_cast<std::size_t>(num_nodes), 0) {}
+        visited(static_cast<std::size_t>(num_nodes), 0),
+        routes(static_cast<std::size_t>(num_nodes)) {}
 
   void reset() {
     for (int node : order) {
@@ -33,72 +62,82 @@ struct DestinationPass {
   }
 };
 
-/// Iterative DFS from `start` following route(node, dst) edges, appending the
-/// postorder to `pass.order`.  Reverse postorder is a topological order of
-/// the route DAG (candidates strictly decrease the distance to dst, so the
-/// graph is acyclic).
-void dfs_route_dag(const topo::Topology& topo, int start, int dst,
-                   DestinationPass& pass) {
+/// Private accumulators of one destination shard.  Each shard owns a full
+/// copy of the per-channel totals; the reduction adds them back together in
+/// fixed shard order so the result cannot depend on scheduling.
+struct ShardAccum {
+  std::vector<double> rate;    ///< per channel
+  std::vector<double> onward;  ///< flat (channel, continuation port) flows
+  double weighted_distance = 0.0;
+};
+
+/// Iterative DFS from `start` following route(node, dst) edges, appending
+/// the postorder to `pass.order` and caching each visited node's routing in
+/// `pass.routes`.  Reverse postorder is a topological order of the route
+/// DAG (candidates strictly decrease the distance to dst, so the graph is
+/// acyclic).
+void dfs_route_dag(const topo::Topology& topo, const topo::ChannelTable& ct,
+                   int start, int dst, DestinationPass& pass) {
   struct Frame {
     int node;
     int next_candidate;
-    topo::RouteOptions opts;
   };
   if (pass.visited[static_cast<std::size_t>(start)]) return;
+  const auto visit = [&](int node) {
+    pass.visited[static_cast<std::size_t>(node)] = 1;
+    NodeRoutes& nr = pass.routes[static_cast<std::size_t>(node)];
+    const topo::RouteOptions opts = topo.route(node, dst);
+    nr.count = opts.size();
+    if (nr.count == 0) return;  // dst itself: consume, nothing to cache
+    const std::array<double, 4> split = topo.route_split(node, dst, opts);
+    for (int i = 0; i < nr.count; ++i) {
+      const int port = opts[i];
+      nr.port[static_cast<std::size_t>(i)] = port;
+      nr.channel[static_cast<std::size_t>(i)] = ct.from(node, port);
+      nr.neighbor[static_cast<std::size_t>(i)] = topo.neighbor(node, port);
+      nr.split[static_cast<std::size_t>(i)] = split[static_cast<std::size_t>(i)];
+      WORMNET_ENSURES(nr.neighbor[static_cast<std::size_t>(i)] != topo::kNoNode);
+    }
+  };
   std::vector<Frame> stack;
-  stack.push_back({start, 0, topo.route(start, dst)});
-  pass.visited[static_cast<std::size_t>(start)] = 1;
+  stack.push_back({start, 0});
+  visit(start);
   while (!stack.empty()) {
     Frame& top = stack.back();
-    if (top.next_candidate >= top.opts.size()) {
+    const NodeRoutes& nr = pass.routes[static_cast<std::size_t>(top.node)];
+    if (top.next_candidate >= nr.count) {
       pass.order.push_back(top.node);
       stack.pop_back();
       continue;
     }
-    const int port = top.opts[top.next_candidate++];
-    const int nbr = topo.neighbor(top.node, port);
-    WORMNET_ENSURES(nbr != topo::kNoNode);
+    const int nbr = nr.neighbor[static_cast<std::size_t>(top.next_candidate++)];
     if (pass.visited[static_cast<std::size_t>(nbr)]) continue;
-    pass.visited[static_cast<std::size_t>(nbr)] = 1;
-    stack.push_back({nbr, 0, topo.route(nbr, dst)});
+    visit(nbr);
+    stack.push_back({nbr, 0});
   }
 }
 
-}  // namespace
-
-GeneralModel build_traffic_model(const topo::Topology& topo,
-                                 const traffic::TrafficSpec& spec,
-                                 const SolveOptions& opts) {
+/// One shard's work: run the flow-propagation pass for every destination in
+/// [dst_lo, dst_hi), accumulating into the shard's private buffers.
+void run_shard(const topo::Topology& topo, const topo::ChannelTable& ct,
+               const traffic::TrafficSpec& spec,
+               const std::vector<int>& onward_off, int dst_lo, int dst_hi,
+               ShardAccum& acc) {
   const int procs = topo.num_processors();
-  WORMNET_EXPECTS(procs >= 2);
-  WORMNET_EXPECTS(spec.check(procs).empty());
-
-  const topo::ChannelTable ct(topo);
-  const int num_channels = ct.size();
-
-  // Accumulators: total flow per channel, and per (channel, continuation
-  // port) flow — the continuation port is on the channel's dst node, so a
-  // small dense array per channel makes every update O(1).
-  std::vector<double> rate(static_cast<std::size_t>(num_channels), 0.0);
-  std::vector<std::vector<double>> onward(static_cast<std::size_t>(num_channels));
-  for (int ch = 0; ch < num_channels; ++ch) {
-    const int dst_node = ct.at(ch).dst_node;
-    onward[static_cast<std::size_t>(ch)].assign(
-        static_cast<std::size_t>(topo.num_ports(dst_node)), 0.0);
-  }
+  acc.rate.assign(static_cast<std::size_t>(ct.size()), 0.0);
+  acc.onward.assign(static_cast<std::size_t>(onward_off.back()), 0.0);
+  acc.weighted_distance = 0.0;
 
   DestinationPass pass(topo.num_nodes());
-  double weighted_distance = 0.0;
-
-  for (int d = 0; d < procs; ++d) {
+  for (int d = dst_lo; d < dst_hi; ++d) {
     // Seed the pass: every source with weight toward d injects its flow.
     for (int s = 0; s < procs; ++s) {
       if (s == d) continue;
       const double w = spec.pair_weight(s, d, procs);
       if (w <= 0.0) continue;
-      weighted_distance += w * topo.distance(s, d);
+      acc.weighted_distance += w * topo.distance(s, d);
       pass.in_flows[static_cast<std::size_t>(s)].push_back({topo::kNoChannel, w});
-      dfs_route_dag(topo, s, d, pass);
+      dfs_route_dag(topo, ct, s, d, pass);
     }
     // Propagate in topological order (reverse postorder): a node's in-flows
     // are complete before it splits them across its route candidates.
@@ -107,28 +146,85 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
       const auto& inputs = pass.in_flows[static_cast<std::size_t>(node)];
       if (inputs.empty()) continue;  // d itself, or an unfed DFS visit
       WORMNET_ENSURES(node != d);    // flows into d are consumed, never split
-      const topo::RouteOptions routes = topo.route(node, d);
-      const std::array<double, 4> split = topo.route_split(node, d, routes);
+      const NodeRoutes& nr = pass.routes[static_cast<std::size_t>(node)];
       double total = 0.0;
       for (const auto& [in_ch, flow] : inputs) total += flow;
-      for (int i = 0; i < routes.size(); ++i) {
-        const double p = split[static_cast<std::size_t>(i)];
+      for (int i = 0; i < nr.count; ++i) {
+        const double p = nr.split[static_cast<std::size_t>(i)];
         if (p <= 0.0) continue;
-        const int port = routes[i];
-        const int ch = ct.from(node, port);
+        const int port = nr.port[static_cast<std::size_t>(i)];
+        const int ch = nr.channel[static_cast<std::size_t>(i)];
         WORMNET_ENSURES(ch != topo::kNoChannel);
-        rate[static_cast<std::size_t>(ch)] += total * p;
+        acc.rate[static_cast<std::size_t>(ch)] += total * p;
         for (const auto& [in_ch, flow] : inputs) {
           if (in_ch == topo::kNoChannel) continue;
-          onward[static_cast<std::size_t>(in_ch)][static_cast<std::size_t>(port)] +=
+          acc.onward[static_cast<std::size_t>(onward_off[static_cast<std::size_t>(in_ch)] + port)] +=
               flow * p;
         }
-        const int nbr = topo.neighbor(node, port);
+        const int nbr = nr.neighbor[static_cast<std::size_t>(i)];
         if (nbr == d) continue;  // ejection channel: consumed at the destination
         pass.in_flows[static_cast<std::size_t>(nbr)].push_back({ch, total * p});
       }
     }
     pass.reset();
+  }
+}
+
+}  // namespace
+
+GeneralModel build_traffic_model(const topo::Topology& topo,
+                                 const traffic::TrafficSpec& spec,
+                                 const SolveOptions& opts,
+                                 const TrafficBuildOptions& build) {
+  const int procs = topo.num_processors();
+  WORMNET_EXPECTS(procs >= 2);
+  WORMNET_EXPECTS(spec.check(procs).empty());
+
+  const topo::ChannelTable ct(topo);
+  const int num_channels = ct.size();
+
+  // Flat offsets for the per-(channel, continuation port) flows — the
+  // continuation port is on the channel's dst node, so one dense slab with
+  // per-channel offsets makes every update O(1) and cache-friendly.
+  std::vector<int> onward_off(static_cast<std::size_t>(num_channels) + 1, 0);
+  for (int ch = 0; ch < num_channels; ++ch) {
+    onward_off[static_cast<std::size_t>(ch) + 1] =
+        onward_off[static_cast<std::size_t>(ch)] +
+        topo.num_ports(ct.at(ch).dst_node);
+  }
+
+  // Destination shards.  The shard count and boundaries depend on the
+  // processor count ONLY — never on the worker count — and the reduction
+  // below runs in shard order, so the built model is bitwise-identical for
+  // every TrafficBuildOptions::threads value (tested).  16 shards caps the
+  // parallel speedup at 16× while keeping the private-accumulator memory
+  // (one rate+onward copy per shard) and the reduction cost negligible.
+  const int num_shards = std::min(procs, 16);
+  std::vector<ShardAccum> accs(static_cast<std::size_t>(num_shards));
+  const auto shard_job = [&](std::int64_t j) {
+    const int lo = static_cast<int>(j) * procs / num_shards;
+    const int hi = (static_cast<int>(j) + 1) * procs / num_shards;
+    run_shard(topo, ct, spec, onward_off, lo, hi,
+              accs[static_cast<std::size_t>(j)]);
+  };
+  if (build.threads == 1 || num_shards == 1) {
+    for (int j = 0; j < num_shards; ++j) shard_job(j);
+  } else if (build.threads == 0) {
+    util::parallel_for(builder_pool(), num_shards, shard_job);
+  } else {
+    util::ThreadPool pool(build.threads);
+    util::parallel_for(pool, num_shards, shard_job);
+  }
+
+  // Deterministic reduction: shard partials added back in shard (i.e.
+  // ascending destination-range) order.
+  std::vector<double> rate(static_cast<std::size_t>(num_channels), 0.0);
+  std::vector<double> onward(static_cast<std::size_t>(onward_off.back()), 0.0);
+  double weighted_distance = 0.0;
+  for (const ShardAccum& acc : accs) {
+    for (std::size_t i = 0; i < rate.size(); ++i) rate[i] += acc.rate[i];
+    for (std::size_t i = 0; i < onward.size(); ++i) onward[i] += acc.onward[i];
+    weighted_distance += acc.weighted_distance;
   }
 
   // Output-bundle membership: bundle_of[channel] is a dense id unique per
@@ -162,27 +258,46 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
     net.labels[c.label] = id;
   }
 
+  // Small fixed-capacity (bundle → flow) map: a node's continuation ports
+  // target a handful of output bundles (≤ ports, ≤ 11 on the 10-cube), so a
+  // linear scan over a stack array beats the std::map this loop used to
+  // allocate per channel.
+  struct BundleFlow {
+    int bundle = -1;
+    double flow = 0.0;
+  };
   for (int ch = 0; ch < num_channels; ++ch) {
     const double total = rate[static_cast<std::size_t>(ch)];
     if (total <= 0.0) continue;
-    const auto& out_flows = onward[static_cast<std::size_t>(ch)];
     const int node = ct.at(ch).dst_node;
+    const int base = onward_off[static_cast<std::size_t>(ch)];
+    const int num_ports = onward_off[static_cast<std::size_t>(ch) + 1] - base;
     // Aggregate per-bundle flow for R(i|j) (route_prob targets the bundle,
     // not the specific link inside it).
-    std::map<int, double> bundle_flow;
-    for (int port = 0; port < static_cast<int>(out_flows.size()); ++port) {
-      const double flow = out_flows[static_cast<std::size_t>(port)];
+    std::array<BundleFlow, 16> bundle_flow{};
+    int bundles_used = 0;
+    const auto bundle_total = [&](int bundle) -> double& {
+      for (int i = 0; i < bundles_used; ++i) {
+        if (bundle_flow[static_cast<std::size_t>(i)].bundle == bundle)
+          return bundle_flow[static_cast<std::size_t>(i)].flow;
+      }
+      WORMNET_ENSURES(bundles_used < static_cast<int>(bundle_flow.size()));
+      bundle_flow[static_cast<std::size_t>(bundles_used)].bundle = bundle;
+      return bundle_flow[static_cast<std::size_t>(bundles_used++)].flow;
+    };
+    for (int port = 0; port < num_ports; ++port) {
+      const double flow = onward[static_cast<std::size_t>(base + port)];
       if (flow <= 0.0) continue;
       const int next_ch = ct.from(node, port);
-      bundle_flow[bundle_of[static_cast<std::size_t>(next_ch)]] += flow;
+      bundle_total(bundle_of[static_cast<std::size_t>(next_ch)]) += flow;
     }
-    for (int port = 0; port < static_cast<int>(out_flows.size()); ++port) {
-      const double flow = out_flows[static_cast<std::size_t>(port)];
+    for (int port = 0; port < num_ports; ++port) {
+      const double flow = onward[static_cast<std::size_t>(base + port)];
       if (flow <= 0.0) continue;
       const int next_ch = ct.from(node, port);
       const double weight = flow / total;
       const double route_prob =
-          bundle_flow[bundle_of[static_cast<std::size_t>(next_ch)]] / total;
+          bundle_total(bundle_of[static_cast<std::size_t>(next_ch)]) / total;
       net.graph.add_transition(ch, next_ch, weight, route_prob);
     }
   }

@@ -28,6 +28,21 @@
 
 namespace wormnet::core {
 
+/// Concurrency knobs for build_traffic_model.
+///
+/// Determinism contract: the per-destination passes are partitioned into a
+/// FIXED set of shards (a function of the topology's processor count only,
+/// never of the worker count), every shard accumulates into private
+/// buffers, and the reduction runs in shard order — so the built model is
+/// BITWISE-identical for every thread count, including threads = 1
+/// (tested in test_traffic_model.cpp / test_perf_guards.cpp).
+struct TrafficBuildOptions {
+  /// Worker threads for the destination shards: 0 = a shared pool sized to
+  /// the hardware (the default), 1 = run serially on the calling thread,
+  /// n = a private pool of n workers (tests use this to pin a width).
+  unsigned threads = 0;
+};
+
 /// Build the per-physical-channel general model of `topo` loaded with `spec`.
 ///
 /// Channel class ids coincide with topo::ChannelTable ids.  Rates are per
@@ -35,11 +50,13 @@ namespace wormnet::core {
 /// Processors with zero injection weight (silent rows of a custom matrix)
 /// are excluded from the latency average; `mean_distance` is the
 /// traffic-weighted D̄.  `opts` seeds the model's worm length, ablation
-/// switches and solver knobs.
+/// switches and solver knobs; `build` controls the builder's own
+/// parallelism (the result does not depend on it — see TrafficBuildOptions).
 /// Preconditions: topo.num_processors() >= 2, spec.check(P) passes, and at
 /// least one pair weight is positive.
 GeneralModel build_traffic_model(const topo::Topology& topo,
                                  const traffic::TrafficSpec& spec,
-                                 const SolveOptions& opts = {});
+                                 const SolveOptions& opts = {},
+                                 const TrafficBuildOptions& build = {});
 
 }  // namespace wormnet::core

@@ -28,14 +28,14 @@ void fill_model_side(ComparisonRow& row, const SweepPoint& pt) {
 std::vector<ComparisonRow> compare_latency(const topo::Topology& topo,
                                            const core::NetworkModel& model,
                                            const SweepConfig& cfg,
-                                           SweepEngine* engine) {
+                                           SweepEngine* engine,
+                                           SimEngine* sims) {
   WORMNET_EXPECTS(!cfg.loads.empty());
-  const sim::SimNetwork net(topo);
   std::vector<ComparisonRow> rows(cfg.loads.size());
 
   // Model side: one batched engine sweep (memoized across calls).  A
   // private engine lives only for this block so its worker pool is gone
-  // before the simulation pool below spins up.
+  // before the simulation campaign below spins up.
   {
     std::unique_ptr<SweepEngine> local;
     if (!engine)
@@ -48,28 +48,34 @@ std::vector<ComparisonRow> compare_latency(const topo::Topology& topo,
     }
   }
 
-  // Simulation side: independent deterministic points across the pool.
-  util::ThreadPool pool(cfg.threads);
-  util::parallel_for(
-      pool, static_cast<std::int64_t>(cfg.loads.size()), [&](std::int64_t i) {
-        ComparisonRow& row = rows[static_cast<std::size_t>(i)];
-        sim::SimConfig sc;
-        sc.load_flits = row.load;
-        sc.worm_flits = cfg.worm_flits;
-        sc.seed = cfg.seed + static_cast<std::uint64_t>(i);
-        sc.warmup_cycles = cfg.warmup_cycles;
-        sc.measure_cycles = cfg.measure_cycles;
-        sc.max_cycles = cfg.max_cycles;
-        sc.channel_stats = false;
-        sim::Simulator simulator(net, sc);
-        const sim::SimResult r = simulator.run();
-        row.sim_latency = r.latency.mean();
-        row.sim_sem = r.latency.sem();
-        row.sim_inj_wait = r.queue_wait.mean();
-        row.sim_inj_service = r.inj_service.mean();
-        row.sim_messages = r.latency.count();
-        row.sim_saturated = r.saturated;
-      });
+  // Simulation side: one SimEngine campaign — every load point an
+  // independent deterministic cell over ONE shared SimNetwork.
+  std::vector<SimCell> cells(cfg.loads.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    SimCell& cell = cells[i];
+    cell.topology = &topo;
+    cell.cfg.load_flits = cfg.loads[i];
+    cell.cfg.worm_flits = cfg.worm_flits;
+    cell.cfg.seed = cfg.seed + static_cast<std::uint64_t>(i);
+    cell.cfg.warmup_cycles = cfg.warmup_cycles;
+    cell.cfg.measure_cycles = cfg.measure_cycles;
+    cell.cfg.max_cycles = cfg.max_cycles;
+    cell.cfg.channel_stats = false;
+  }
+  std::unique_ptr<SimEngine> local_sims;
+  if (!sims) local_sims = std::make_unique<SimEngine>(SimEngine::Options{cfg.threads});
+  const std::vector<SimCellResult> outs =
+      (sims ? *sims : *local_sims).run_cells(cells);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const sim::SimResult& r = outs[i].runs.front();
+    ComparisonRow& row = rows[i];
+    row.sim_latency = r.latency.mean();
+    row.sim_sem = r.latency.sem();
+    row.sim_inj_wait = r.queue_wait.mean();
+    row.sim_inj_service = r.inj_service.mean();
+    row.sim_messages = r.latency.count();
+    row.sim_saturated = r.saturated;
+  }
   return rows;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/network_model.hpp"
+#include "harness/sim_engine.hpp"
 #include "harness/sweep_engine.hpp"
 #include "sim/config.hpp"
 #include "sim/metrics.hpp"
@@ -48,13 +49,16 @@ struct ComparisonRow {
   bool sim_saturated = false;
 };
 
-/// Run the sweep: simulate every load point (in parallel when the host has
-/// cores to spare) and evaluate `model` at the same points through
-/// `engine`.  A null engine uses a private one for the call.
+/// Run the sweep: the simulation points run as one SimEngine campaign (one
+/// shared SimNetwork, points fanned across the pool) and `model` is
+/// evaluated at the same points through `engine`.  Null engines use private
+/// ones for the call.  Point i simulates with seed cfg.seed + i, exactly as
+/// a serial loop would.
 std::vector<ComparisonRow> compare_latency(const topo::Topology& topo,
                                            const core::NetworkModel& model,
                                            const SweepConfig& cfg,
-                                           SweepEngine* engine = nullptr);
+                                           SweepEngine* engine = nullptr,
+                                           SimEngine* sims = nullptr);
 
 /// Model-only sweep (for ablation benches where simulation is reused).
 std::vector<ComparisonRow> model_only_sweep(const core::NetworkModel& model,

@@ -62,6 +62,13 @@ struct SimConfig {
   /// protocol deadlock.
   long watchdog_cycles = 100'000;
 
+  /// Debug switch: force the simulator to execute every idle cycle
+  /// explicitly instead of fast-forwarding to the next arrival when the
+  /// network is empty.  Fast-forward is semantically invisible — results are
+  /// bit-identical either way (tested in test_sim_semantics.cpp) — so this
+  /// exists only to prove that claim and to time the optimization.
+  bool disable_fast_forward = false;
+
   /// Collect per-channel grant/busy counters (cheap; a few MB at N=1024).
   bool channel_stats = true;
 

@@ -3,8 +3,15 @@
 // Immutable, flattened view of a Topology prepared for fast simulation:
 // directed channels with dense ids, per-channel virtual-channel LANES with
 // dense ids, output bundles with dense ids, and the port → bundle mapping.
-// One SimNetwork can back any number of concurrent Simulator instances (it
-// holds no mutable state).
+//
+// IMMUTABILITY CONTRACT: a SimNetwork is frozen at construction — every
+// member function is const and no method mutates state, so one SimNetwork
+// can back any number of CONCURRENT Simulator instances without
+// synchronization.  harness::SimEngine relies on this to build each
+// campaign topology's network exactly once and share it across all worker
+// threads.  The topology's lane counts are snapshotted at construction;
+// mutating the Topology afterwards (set_uniform_lanes) does not affect an
+// existing SimNetwork.
 //
 // Lanes: each directed channel c multiplexes lanes(c) one-flit latches over
 // one physical link (topo::Topology::lanes).  Lane ids are dense across the
@@ -64,6 +71,9 @@ class SimNetwork {
   int injection_channel(int proc) const {
     return injection_[static_cast<std::size_t>(proc)];
   }
+  /// The whole per-processor injection-channel table (the simulator's run
+  /// loop caches a raw pointer to it instead of re-resolving per event).
+  const std::vector<int>& injection_channels() const { return injection_; }
 
   /// Total lane latches in the network (== num_channels() when every
   /// channel is single-lane).

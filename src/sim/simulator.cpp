@@ -1,6 +1,8 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -14,7 +16,14 @@ Simulator::Simulator(const SimNetwork& net, SimConfig cfg)
       traffic_(net.topology().num_processors(),
                cfg.load_flits / static_cast<double>(cfg.worm_flits),
                cfg.arrivals, cfg.seed, cfg.traffic),
-      route_rng_(util::Rng::stream(cfg.seed, 0xADA9711CULL)) {
+      route_rng_(util::Rng::stream(cfg.seed, 0xADA9711CULL)),
+      num_procs_(net.topology().num_processors()),
+      inj_channel_(net.injection_channels().data()),
+      single_lane_(net.max_lanes() == 1),
+      // Overload sources are never idle after cycle 0, so fast-forward has
+      // nothing to skip there; gate it off entirely for clarity.
+      fast_forward_(!cfg.disable_fast_forward &&
+                    cfg.arrivals != ArrivalProcess::Overload) {
   WORMNET_EXPECTS(cfg.worm_flits >= 1);
   WORMNET_EXPECTS(cfg.load_flits >= 0.0);
   WORMNET_EXPECTS(cfg.warmup_cycles >= 0 && cfg.measure_cycles > 0);
@@ -85,7 +94,7 @@ void Simulator::mark_dirty(int bundle_id) {
 void Simulator::register_injection(int worm_id, long cycle) {
   (void)cycle;
   Worm& w = worms_[static_cast<std::size_t>(worm_id)];
-  const int inj = net_.injection_channel(w.src);
+  const int inj = inj_channel_[w.src];
   const int bundle = net_.channel(inj).bundle;
   bundle_state_[static_cast<std::size_t>(bundle)].requests.push_back({worm_id, inj});
   w.waiting_alloc = true;
@@ -115,6 +124,13 @@ void Simulator::register_next_hop(int worm_id, int node, long cycle) {
 }
 
 int Simulator::find_free_lane(int channel_id) const {
+  if (single_lane_) {
+    // Lane id == channel id: one latch per channel, no range scan — the
+    // common case of grant()'s preferred-link probe stays O(1).
+    return lane_state_[static_cast<std::size_t>(channel_id)].owner == -1
+               ? channel_id
+               : -1;
+  }
   const int end = net_.lane_begin(channel_id + 1);
   for (int lane = net_.lane_begin(channel_id); lane < end; ++lane) {
     if (lane_state_[static_cast<std::size_t>(lane)].owner == -1) return lane;
@@ -173,7 +189,7 @@ void Simulator::release_lane(Worm& w, int lane_id, long cycle) {
   const int bundle = net_.channel(channel_id).bundle;
   ++bundle_state_[static_cast<std::size_t>(bundle)].free_count;
   mark_dirty(bundle);
-  if (channel_id == net_.injection_channel(w.src)) {
+  if (channel_id == inj_channel_[w.src]) {
     w.src_release = cycle;
     on_source_released(w.src, cycle);
   }
@@ -262,7 +278,7 @@ void Simulator::step_arrivals(long cycle) {
 
   if (cfg_.arrivals == ArrivalProcess::Overload) {
     if (cycle == 0) {
-      for (int p = 0; p < net_.topology().num_processors(); ++p) {
+      for (int p = 0; p < num_procs_; ++p) {
         const int id = alloc_worm(p, traffic_.make_destination(p), 0, false);
         register_injection(id, cycle);
       }
@@ -274,8 +290,10 @@ void Simulator::step_arrivals(long cycle) {
     const Arrival a = traffic_.pop_arrival(cycle);
     const int dst = traffic_.make_destination(a.proc);
     const bool tagged = in_window(a.cycle);
-    if (tagged) ++tagged_total_;
-    if (in_window(a.cycle)) ++result_.generated_messages;
+    if (tagged) {
+      ++tagged_total_;
+      ++result_.generated_messages;
+    }
     SourceState& s = sources_[static_cast<std::size_t>(a.proc)];
     if (!s.head_registered) {
       s.head_registered = true;
@@ -288,12 +306,14 @@ void Simulator::step_arrivals(long cycle) {
 }
 
 void Simulator::phase_allocate(long cycle) {
+  if (dirty_bundles_.empty()) return;
   // Swap out the dirty list: grants may re-mark bundles (releases happen in
-  // phase_advance, registrations in both earlier phases).
-  std::vector<int> todo;
-  todo.swap(dirty_bundles_);
-  for (int b : todo) bundle_state_[static_cast<std::size_t>(b)].dirty = false;
-  for (int b : todo) grant(b, cycle);
+  // phase_advance, registrations in both earlier phases).  The two buffers
+  // ping-pong across cycles so neither ever re-allocates in steady state.
+  alloc_scratch_.swap(dirty_bundles_);
+  for (int b : alloc_scratch_) bundle_state_[static_cast<std::size_t>(b)].dirty = false;
+  for (int b : alloc_scratch_) grant(b, cycle);
+  alloc_scratch_.clear();
 }
 
 void Simulator::phase_advance(long cycle) {
@@ -372,10 +392,40 @@ void Simulator::phase_advance_lanes(long cycle) {
   }
 }
 
-SimResult Simulator::run() {
+long Simulator::idle_jump_target(long cycle) const {
+  long target;
+  if (scripted_mode_) {
+    // This cycle's termination check declined, so at least one scripted
+    // message is pending, and step_arrivals drained everything due: the
+    // next one is strictly in the future.
+    WORMNET_ENSURES(scripted_next_ < scripted_.size());
+    target = scripted_[scripted_next_].cycle;
+  } else {
+    // The first break opportunity of an idle open-loop run is the last
+    // window cycle (all tagged messages are delivered — an idle network has
+    // no backlog anywhere); never jump past it.
+    const long window_last = cfg_.warmup_cycles + cfg_.measure_cycles - 1;
+    target = window_last;
+    const double t = traffic_.next_arrival_time();
+    if (t < static_cast<double>(window_last)) {
+      // An arrival at continuous time t is usable at the first cycle >= t.
+      target = static_cast<long>(std::ceil(t));
+    }
+  }
+  // The max_cycles check fires AT max_cycles; land there, never beyond.
+  target = std::min(target, cfg_.max_cycles);
+  return std::max(target, cycle + 1);
+}
+
+bool Simulator::advance(long cycles) {
+  WORMNET_EXPECTS(cycles > 0);
+  if (done_) return true;
   const long window_end = cfg_.warmup_cycles + cfg_.measure_cycles;
-  long cycle = 0;
-  for (;; ++cycle) {
+  const long stop = (cycles > std::numeric_limits<long>::max() - cycle_)
+                        ? std::numeric_limits<long>::max()
+                        : cycle_ + cycles;
+  while (cycle_ < stop) {
+    const long cycle = cycle_;
     step_arrivals(cycle);
     phase_allocate(cycle);
     phase_advance(cycle);
@@ -385,21 +435,25 @@ SimResult Simulator::run() {
       // they don't wait out the measurement window.
       if (scripted_next_ == scripted_.size() && tagged_done_ == tagged_total_) {
         result_.completed = true;
-        break;
+        finalize_result(cycle);
+        return true;
       }
     } else if (cfg_.arrivals == ArrivalProcess::Overload) {
       if (cycle + 1 >= window_end) {
         result_.completed = true;
-        break;
+        finalize_result(cycle);
+        return true;
       }
     } else if (cycle + 1 >= window_end && tagged_done_ == tagged_total_) {
       result_.completed = true;
-      break;
+      finalize_result(cycle);
+      return true;
     }
     if (cycle >= cfg_.max_cycles) {
       result_.completed = false;
       result_.saturated = true;
-      break;
+      finalize_result(cycle);
+      return true;
     }
     if (!active_.empty() && cycle - last_progress_ > cfg_.watchdog_cycles) {
       throw std::runtime_error(
@@ -407,14 +461,34 @@ SimResult Simulator::run() {
           std::to_string(cycle - last_progress_) +
           " cycles with active worms — simulator invariant broken");
     }
-  }
 
-  result_.cycles_run = cycle;
+    // Idle-cycle fast-forward: with no active worm and no pending grant the
+    // network holds nothing anywhere (no queued message, no waiting worm —
+    // a waiting worm's bundle would be dirty), so every cycle until the
+    // next arrival is a no-op; jump straight to it.  idle_jump_target is
+    // clamped so no skipped cycle could have terminated the run, which
+    // keeps every result field — including cycles_run — bit-identical to
+    // the cycle-by-cycle path (tested with disable_fast_forward).
+    long next = cycle + 1;
+    if (fast_forward_ && active_.empty() && dirty_bundles_.empty()) {
+      // Also clamp to the caller's budget: skipped cycles are no-ops, so
+      // stopping a jump short is bit-invisible, and advance(n) honors its
+      // "at most n cycles" contract even across a long idle gap.
+      next = std::min(idle_jump_target(cycle), stop);
+    }
+    cycle_ = next;
+  }
+  return false;
+}
+
+void Simulator::finalize_result(long final_cycle) {
+  done_ = true;
+  cycle_ = final_cycle;
+  result_.cycles_run = final_cycle;
   result_.window_cycles = cfg_.measure_cycles;
-  const double procs = static_cast<double>(net_.topology().num_processors());
   result_.throughput_flits_per_pe =
       static_cast<double>(result_.delivered_flits) /
-      (static_cast<double>(cfg_.measure_cycles) * procs);
+      (static_cast<double>(cfg_.measure_cycles) * static_cast<double>(num_procs_));
   // Saturation verdict for open-loop runs: in steady state the window's
   // deliveries match its generations; a persistent shortfall means the
   // offered load exceeded capacity even if the backlog eventually drained
@@ -424,6 +498,11 @@ SimResult Simulator::run() {
       result_.delivered_messages <
           static_cast<std::int64_t>(0.9 * static_cast<double>(result_.generated_messages))) {
     result_.saturated = true;
+  }
+}
+
+SimResult Simulator::run() {
+  while (!advance(std::numeric_limits<long>::max())) {
   }
   return result_;
 }
@@ -448,8 +527,10 @@ std::string Simulator::debug_state() const {
     if (bs.requests.empty() && bs.free_count == net_.bundle_lanes(b)) continue;
     out << "  bundle " << b << " free=" << bs.free_count
         << (bs.dirty ? " dirty" : "") << " requests=[";
-    for (const Request& r : bs.requests)
+    for (std::size_t i = 0; i < bs.requests.size(); ++i) {
+      const Request& r = bs.requests[i];
       out << "{w" << r.worm << " pref=" << r.preferred_channel << "} ";
+    }
     out << "] channels=[";
     for (int i = 0; i < bi.num_channels; ++i) {
       const int ch = bi.channel_ids[static_cast<std::size_t>(i)];

@@ -56,6 +56,22 @@
 // sharing link bandwidth.  With every lane count at 1 the arbitration
 // degenerates to exclusive ownership and the simulator runs the exact
 // single-lane semantics above, bit-for-bit (tested against golden traces).
+//
+// Performance notes (the cycle kernel's contract)
+// -----------------------------------------------
+//  * Idle-cycle fast-forward: when the network is completely empty (no
+//    active worm, no pending allocation) the run loop jumps straight to the
+//    next arrival's cycle instead of spinning through no-op cycles.  The
+//    jump is clamped so no termination check is skipped, making it
+//    bit-invisible: every result field, including cycles_run, is identical
+//    to the cycle-by-cycle run (SimConfig::disable_fast_forward exists to
+//    prove exactly that, see test_sim_semantics.cpp).
+//  * Zero-allocation steady state: all per-cycle containers (bundle request
+//    queues, source queues, the dirty-bundle scratch list, worm paths, the
+//    worm pool itself) retain their capacity across cycles, so once the run
+//    reaches its concurrency high-water mark the cycle loop performs no
+//    heap allocations at all (guarded by an operator-new counter in
+//    tests/test_perf_guards.cpp).
 #pragma once
 
 #include <deque>
@@ -66,6 +82,7 @@
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/traffic.hpp"
+#include "util/ring_queue.hpp"
 #include "util/rng.hpp"
 
 namespace wormnet::sim {
@@ -88,7 +105,18 @@ class Simulator {
   void add_message(long cycle, int src, int dst);
 
   /// Execute the run to completion and return the collected metrics.
+  /// Resumable: after advance() has consumed part (or all) of the run,
+  /// run() finishes the remainder and returns the same result a single
+  /// uninterrupted call would have produced, bit for bit.
   SimResult run();
+
+  /// Instrumentation hook: advance the simulation by at most `cycles`
+  /// further cycles (a fast-forward jump counts as the cycles it skips) or
+  /// until the run terminates.  Returns true once terminated.  Exists so
+  /// the allocation-guard test can warm the run up to steady state, sample
+  /// the global allocation counter, and assert the remaining cycles
+  /// allocate nothing; normal callers just use run().
+  bool advance(long cycles);
 
   /// Multi-line dump of live state (active worms, held channels, pending
   /// requests) for debugging wedged runs and for the semantics tests.
@@ -126,7 +154,8 @@ class Simulator {
   struct BundleState {
     int free_count = 0;  // free LANES across the bundle's member channels
     bool dirty = false;
-    std::deque<Request> requests;
+    // Ring, not deque: steady-state push/pop must not touch the heap.
+    util::RingQueue<Request> requests;
   };
 
   struct PendingMsg {
@@ -136,7 +165,7 @@ class Simulator {
   };
 
   struct SourceState {
-    std::deque<PendingMsg> queue;
+    util::RingQueue<PendingMsg> queue;
     bool head_registered = false;  // a message of this PE owns/awaits injection
   };
 
@@ -170,10 +199,27 @@ class Simulator {
   void phase_advance(long cycle);        // dispatches on SimNetwork::max_lanes
   void phase_advance_lanes(long cycle);  // round-robin bandwidth arbitration
 
+  /// Idle-cycle fast-forward target: the first future cycle at which
+  /// anything can happen (next arrival or scripted message), clamped so no
+  /// skipped cycle could have satisfied a termination check.  Precondition:
+  /// the network is empty (active_ and dirty_bundles_ both empty) and this
+  /// cycle's termination checks all declined.
+  long idle_jump_target(long cycle) const;
+
+  /// Post-loop result finalization (throughput, saturation verdict).
+  void finalize_result(long final_cycle);
+
   const SimNetwork& net_;
   SimConfig cfg_;
   TrafficSource traffic_;
   util::Rng route_rng_;  // adaptive up-link preference draws
+
+  // Hoisted run-loop constants (satellite of the perf overhaul: resolving
+  // these through net_/topology() per event showed up in profiles).
+  const int num_procs_;
+  const int* inj_channel_;     // per-processor injection channel ids
+  const bool single_lane_;     // max_lanes() == 1: exact paper semantics
+  const bool fast_forward_;    // idle-cycle fast-forward enabled
 
   // Deque, not vector: alloc_worm() can run while advance_worm() holds a
   // reference into the container (source release triggers the next worm's
@@ -185,11 +231,16 @@ class Simulator {
   std::vector<LaneState> lane_state_;   // per lane (per channel when L == 1)
   std::vector<BundleState> bundle_state_;
   std::vector<int> dirty_bundles_;
+  std::vector<int> alloc_scratch_;  // phase_allocate's swap buffer, reused
   std::vector<SourceState> sources_;
 
   // Lane mode (max_lanes > 1) only: per-physical-channel cycle stamp of the
   // last bandwidth claim, the rotating arbitration cursor, and the scratch
-  // iteration order (kept allocated across cycles).
+  // iteration order (kept allocated across cycles).  The claim table is
+  // epoch-free: a slot is "claimed" iff it equals the CURRENT cycle, so it
+  // is never cleared between cycles — advancing the clock (including a
+  // fast-forward jump, which only moves it further) invalidates every stale
+  // stamp for free.
   std::vector<long> channel_claim_;
   std::uint64_t rr_cursor_ = 0;
   std::vector<int> advance_order_;
@@ -202,6 +253,8 @@ class Simulator {
   std::int64_t tagged_total_ = 0;
   std::int64_t tagged_done_ = 0;
   long last_progress_ = 0;
+  long cycle_ = 0;     // next cycle to execute (advance() resumes here)
+  bool done_ = false;  // the run has terminated; result_ is final
 };
 
 /// Convenience: simulate `topo` under `cfg` (builds a SimNetwork internally).

@@ -1,6 +1,7 @@
 #include "sim/traffic.hpp"
 
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -65,6 +66,11 @@ Arrival TrafficSource::pop_arrival(long cycle) {
   // ceil(time) as a long; time <= cycle keeps this within range.
   const long at = static_cast<long>(std::ceil(time));
   return {at, proc};
+}
+
+double TrafficSource::next_arrival_time() const {
+  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+  return heap_.top().first;
 }
 
 int TrafficSource::make_destination(int src) {

@@ -53,6 +53,11 @@ class TrafficSource {
   /// distribution using the source's stream.
   int make_destination(int src);
 
+  /// Continuous time of the earliest scheduled arrival, +infinity when no
+  /// arrival is scheduled (Overload sources, or λ₀ = 0).  Pure peek: the
+  /// simulator's idle-cycle fast-forward jumps to ceil() of this value.
+  double next_arrival_time() const;
+
   /// The destination distribution in force.
   const traffic::TrafficSpec& spec() const { return spec_; }
 

@@ -1,0 +1,83 @@
+// wormnet/util/ring_queue.hpp
+//
+// A growable single-ended FIFO backed by one contiguous power-of-two buffer.
+//
+// Why not std::deque: the simulator's per-bundle request queues and
+// per-source message queues push and pop every cycle in steady state, and
+// libstdc++'s deque allocates/frees a block each time the cursor crosses a
+// block boundary — which breaks the simulator's zero-allocation steady-state
+// contract (tests/test_perf_guards.cpp counts operator new calls).  A ring
+// buffer grows geometrically while filling up and then NEVER allocates
+// again: capacity is retained across clear() and across any push/pop
+// sequence that fits the high-water mark.
+//
+// Semantics are the std::deque subset the simulator uses: FIFO push_back /
+// front / pop_front, indexed read-only iteration for debug dumps.  Elements
+// must be trivially copyable (they are POD request/message records).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wormnet::util {
+
+/// Growable FIFO over a circular power-of-two buffer.  Push/pop are O(1)
+/// and allocation-free once the buffer has reached its high-water size.
+template <typename T>
+class RingQueue {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "RingQueue is meant for small POD records");
+
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push_back(const T& v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = v;
+    ++size_;
+  }
+
+  const T& front() const {
+    WORMNET_EXPECTS(size_ > 0);
+    return buf_[head_];
+  }
+
+  void pop_front() {
+    WORMNET_EXPECTS(size_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  /// i-th element from the front (read-only; debug dumps and tests).
+  const T& operator[](std::size_t i) const {
+    WORMNET_EXPECTS(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+  /// Drop all elements; capacity is retained.
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) next[i] = buf_[(head_ + i) & mask_];
+    buf_.swap(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;  // buf_.size() - 1 once allocated (power of two)
+};
+
+}  // namespace wormnet::util

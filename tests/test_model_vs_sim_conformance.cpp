@@ -19,13 +19,24 @@
 //
 // Every cell uses a fixed seed, so the suite is deterministic: a bound
 // violation is a code regression, not noise.
+//
+// Execution: the whole table — 54 latency runs and 18 overload runs — is
+// ONE harness::SimEngine campaign, computed lazily on first use and shared
+// by every test.  The engine builds one SimNetwork per (topology, lanes)
+// configuration (9, not 72) and fans the runs across the thread pool, so
+// the suite's wall time scales with the core count; per-cell seeds and
+// configs are unchanged from the serial version, so the measured numbers
+// are bit-identical to running each cell by hand.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/traffic_model.hpp"
+#include "harness/sim_engine.hpp"
 #include "sim/simulator.hpp"
 #include "topo/butterfly_fattree.hpp"
 #include "topo/hypercube.hpp"
@@ -70,6 +81,8 @@ const Cell kCells[] = {
     {Topo::Hypercube4, Pattern::Hotspot10,  2, 0.10, 0.15, 0.42},
     {Topo::Hypercube4, Pattern::Hotspot10,  4, 0.10, 0.15, 0.37},
 };
+constexpr std::size_t kNumCells = std::size(kCells);
+constexpr double kFracs[3] = {0.2, 0.5, 0.8};
 
 std::unique_ptr<topo::Topology> make_topology(Topo t) {
   switch (t) {
@@ -93,52 +106,138 @@ traffic::TrafficSpec make_pattern(Pattern p) {
   return traffic::TrafficSpec::uniform();
 }
 
-void check_cell(const Cell& cell) {
-  std::unique_ptr<topo::Topology> topo = make_topology(cell.topo);
-  topo->set_uniform_lanes(cell.lanes);
-  const traffic::TrafficSpec spec = make_pattern(cell.pattern);
+/// Everything the tests assert on, computed once for the whole table.
+class Campaign {
+ public:
+  struct CellData {
+    std::string model_name;
+    double model_sat = 0.0;  ///< λ₀* (messages/cycle/PE)
+    std::array<core::LatencyEstimate, 3> model{};
+    std::array<sim::SimResult, 3> sim{};  ///< latency runs at kFracs
+    sim::SimResult overload;              ///< closed-loop saturation probe
+  };
 
-  core::SolveOptions opts;
-  opts.worm_flits = 16.0;
-  const core::GeneralModel model = core::build_traffic_model(*topo, spec, opts);
-  const double sat = core::model_saturation_rate(model, opts);
-  ASSERT_GT(sat, 0.0);
+  static const Campaign& get() {
+    static Campaign instance;
+    return instance;
+  }
 
-  const double fracs[] = {0.2, 0.5, 0.8};
+  const CellData& cell(std::size_t i) const { return cells_[i]; }
+
+ private:
+  Campaign() {
+    // One topology object per (kind, lanes) — a SimNetwork snapshots the
+    // lane count at construction, so each lane configuration needs its own
+    // live topology for the shared-network campaign.
+    auto topo_of = [this](Topo t, int lanes) -> const topo::Topology* {
+      const std::size_t key =
+          static_cast<std::size_t>(t) * 8 + static_cast<std::size_t>(lanes);
+      auto it = topos_.find(key);
+      if (it == topos_.end()) {
+        std::unique_ptr<topo::Topology> topo = make_topology(t);
+        topo->set_uniform_lanes(lanes);
+        it = topos_.emplace(key, std::move(topo)).first;
+      }
+      return it->second.get();
+    };
+
+    // Model side: build + saturation + the three latency points per cell.
+    cells_.resize(kNumCells);
+    for (std::size_t i = 0; i < kNumCells; ++i) {
+      const Cell& cell = kCells[i];
+      const topo::Topology* topo = topo_of(cell.topo, cell.lanes);
+      const traffic::TrafficSpec spec = make_pattern(cell.pattern);
+      core::SolveOptions opts;
+      opts.worm_flits = 16.0;
+      const core::GeneralModel model = core::build_traffic_model(*topo, spec, opts);
+      CellData& out = cells_[i];
+      out.model_name = model.name();
+      out.model_sat = core::model_saturation_rate(model, opts);
+      for (int j = 0; j < 3; ++j) {
+        out.model[static_cast<std::size_t>(j)] =
+            core::model_latency(model, out.model_sat * kFracs[j], opts);
+      }
+    }
+
+    // Simulation side: one campaign of 54 latency cells + 18 overload
+    // cells.  Seeds and configs are exactly the pre-SimEngine per-cell
+    // values, so every SimResult is bit-identical to the serial suite.
+    std::vector<harness::SimCell> sim_cells;
+    for (std::size_t i = 0; i < kNumCells; ++i) {
+      const Cell& cell = kCells[i];
+      const topo::Topology* topo = topo_of(cell.topo, cell.lanes);
+      for (int j = 0; j < 3; ++j) {
+        harness::SimCell sc;
+        sc.topology = topo;
+        sc.cfg.load_flits = cells_[i].model_sat * kFracs[j] * 16.0;
+        sc.cfg.worm_flits = 16;
+        sc.cfg.seed = 1000 + static_cast<std::uint64_t>(cell.lanes);
+        sc.cfg.traffic = make_pattern(cell.pattern);
+        sc.cfg.warmup_cycles = 8000;
+        sc.cfg.measure_cycles = 40000;
+        sc.cfg.max_cycles = 600000;
+        sc.cfg.channel_stats = false;
+        sim_cells.push_back(std::move(sc));
+      }
+    }
+    for (std::size_t i = 0; i < kNumCells; ++i) {
+      const Cell& cell = kCells[i];
+      harness::SimCell sc;
+      sc.topology = topo_of(cell.topo, cell.lanes);
+      sc.cfg.arrivals = sim::ArrivalProcess::Overload;
+      sc.cfg.worm_flits = 16;
+      sc.cfg.seed = 7;
+      sc.cfg.traffic = make_pattern(cell.pattern);
+      sc.cfg.warmup_cycles = 5000;
+      sc.cfg.measure_cycles = 20000;
+      sc.cfg.channel_stats = false;
+      sim_cells.push_back(std::move(sc));
+    }
+
+    harness::SimEngine engine;
+    const std::vector<harness::SimCellResult> results = engine.run_cells(sim_cells);
+    for (std::size_t i = 0; i < kNumCells; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        cells_[i].sim[static_cast<std::size_t>(j)] =
+            results[i * 3 + static_cast<std::size_t>(j)].runs.front();
+      }
+      cells_[i].overload = results[kNumCells * 3 + i].runs.front();
+    }
+  }
+
+  std::map<std::size_t, std::unique_ptr<topo::Topology>> topos_;
+  std::vector<CellData> cells_;
+};
+
+void check_cell(std::size_t index) {
+  const Cell& cell = kCells[index];
+  const Campaign::CellData& data = Campaign::get().cell(index);
+  ASSERT_GT(data.model_sat, 0.0);
+
   const double bounds[] = {cell.bound20, cell.bound50, cell.bound80};
   for (int i = 0; i < 3; ++i) {
-    const double lambda0 = sat * fracs[i];
-    const core::LatencyEstimate est = core::model_latency(model, lambda0, opts);
+    const core::LatencyEstimate& est = data.model[static_cast<std::size_t>(i)];
     ASSERT_TRUE(est.stable)
-        << model.name() << " lanes=" << cell.lanes << " frac=" << fracs[i];
+        << data.model_name << " lanes=" << cell.lanes << " frac=" << kFracs[i];
 
-    sim::SimConfig cfg;
-    cfg.load_flits = lambda0 * 16.0;
-    cfg.worm_flits = 16;
-    cfg.seed = 1000 + static_cast<std::uint64_t>(cell.lanes);
-    cfg.traffic = spec;
-    cfg.warmup_cycles = 8000;
-    cfg.measure_cycles = 40000;
-    cfg.max_cycles = 600000;
-    cfg.channel_stats = false;
-    const sim::SimResult r = sim::simulate(*topo, cfg);
+    const sim::SimResult& r = data.sim[static_cast<std::size_t>(i)];
     ASSERT_TRUE(r.completed)
-        << model.name() << " lanes=" << cell.lanes << " frac=" << fracs[i];
+        << data.model_name << " lanes=" << cell.lanes << " frac=" << kFracs[i];
     ASSERT_FALSE(r.saturated)
-        << model.name() << " lanes=" << cell.lanes << " frac=" << fracs[i];
+        << data.model_name << " lanes=" << cell.lanes << " frac=" << kFracs[i];
     ASSERT_GT(r.latency.count(), 0);
 
     const double sim_latency = r.latency.mean();
     const double rel_err = std::abs(est.latency - sim_latency) / sim_latency;
     EXPECT_LE(rel_err, bounds[i])
-        << model.name() << " lanes=" << cell.lanes << " frac=" << fracs[i]
+        << data.model_name << " lanes=" << cell.lanes << " frac=" << kFracs[i]
         << ": model=" << est.latency << " sim=" << sim_latency;
   }
 }
 
 class Conformance : public ::testing::TestWithParam<std::size_t> {};
 
-TEST_P(Conformance, LatencyWithinCellBounds) { check_cell(kCells[GetParam()]); }
+TEST_P(Conformance, LatencyWithinCellBounds) { check_cell(GetParam()); }
 
 std::string cell_name(const ::testing::TestParamInfo<std::size_t>& info) {
   const Cell& c = kCells[info.param];
@@ -155,7 +254,7 @@ std::string cell_name(const ::testing::TestParamInfo<std::size_t>& info) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Cells, Conformance,
-                         ::testing::Range<std::size_t>(0, std::size(kCells)),
+                         ::testing::Range<std::size_t>(0, kNumCells),
                          cell_name);
 
 // The saturation points themselves must agree: the model's Eq. 26 rate vs
@@ -163,31 +262,12 @@ INSTANTIATE_TEST_SUITE_P(Cells, Conformance,
 // latency bounds (one is an asymptote, the other a closed-loop measurement)
 // but tight enough to catch a broken lane model.
 TEST(ConformanceSaturation, ModelSaturationTracksOverloadThroughputPerLane) {
-  for (Topo t : {Topo::FatTree3, Topo::Mesh3ary3d, Topo::Hypercube4}) {
-    for (Pattern p : {Pattern::Uniform, Pattern::Hotspot10}) {
-      for (int lanes : {1, 2, 4}) {
-        std::unique_ptr<topo::Topology> topo = make_topology(t);
-        topo->set_uniform_lanes(lanes);
-        const traffic::TrafficSpec spec = make_pattern(p);
-        core::SolveOptions opts;
-        opts.worm_flits = 16.0;
-        const core::GeneralModel model =
-            core::build_traffic_model(*topo, spec, opts);
-        const double model_sat = core::model_saturation_rate(model, opts) * 16.0;
-
-        sim::SimConfig cfg;
-        cfg.arrivals = sim::ArrivalProcess::Overload;
-        cfg.worm_flits = 16;
-        cfg.seed = 7;
-        cfg.traffic = spec;
-        cfg.warmup_cycles = 5000;
-        cfg.measure_cycles = 20000;
-        cfg.channel_stats = false;
-        const double sim_sat = sim::simulate(*topo, cfg).throughput_flits_per_pe;
-        EXPECT_NEAR(model_sat, sim_sat, 0.30 * sim_sat)
-            << model.name() << " lanes=" << lanes;
-      }
-    }
+  for (std::size_t i = 0; i < kNumCells; ++i) {
+    const Campaign::CellData& data = Campaign::get().cell(i);
+    const double model_sat = data.model_sat * 16.0;
+    const double sim_sat = data.overload.throughput_flits_per_pe;
+    EXPECT_NEAR(model_sat, sim_sat, 0.30 * sim_sat)
+        << data.model_name << " lanes=" << kCells[i].lanes;
   }
 }
 

@@ -1,0 +1,136 @@
+// Tests for harness::SimEngine — the simulation-campaign twin of
+// SweepEngine: cell/replication fan-out, per-cell aggregation, the
+// shared-SimNetwork guarantee, and equivalence with directly-run
+// Simulators.  (The parallel-vs-serial bitwise-determinism contract is
+// asserted in tests/test_perf_guards.cpp, label `perf`.)
+#include "harness/sim_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulator.hpp"
+#include "topo/butterfly_fattree.hpp"
+#include "topo/hypercube.hpp"
+
+namespace wormnet::harness {
+namespace {
+
+sim::SimConfig small_open_loop(double load, std::uint64_t seed) {
+  sim::SimConfig cfg;
+  cfg.load_flits = load;
+  cfg.worm_flits = 16;
+  cfg.seed = seed;
+  cfg.warmup_cycles = 1000;
+  cfg.measure_cycles = 6000;
+  cfg.max_cycles = 100000;
+  cfg.channel_stats = false;
+  return cfg;
+}
+
+TEST(SimEngine, CellRunsMatchDirectSimulatorsExactly) {
+  // A campaign is sugar, not semantics: every replication must equal the
+  // Simulator run a caller would have made by hand with seed + rep.
+  topo::ButterflyFatTree ft(2);
+  SimCell cell;
+  cell.topology = &ft;
+  cell.cfg = small_open_loop(0.15, 42);
+  cell.replications = 3;
+
+  SimEngine engine;
+  const SimCellResult out = engine.run_cell(cell);
+  ASSERT_EQ(out.runs.size(), 3u);
+
+  const sim::SimNetwork net(ft);
+  for (int rep = 0; rep < 3; ++rep) {
+    sim::SimConfig cfg = cell.cfg;
+    cfg.seed += static_cast<std::uint64_t>(rep);
+    sim::Simulator s(net, cfg);
+    const sim::SimResult direct = s.run();
+    const sim::SimResult& run = out.runs[static_cast<std::size_t>(rep)];
+    EXPECT_EQ(run.cycles_run, direct.cycles_run) << "rep=" << rep;
+    EXPECT_EQ(run.latency.count(), direct.latency.count()) << "rep=" << rep;
+    EXPECT_EQ(run.latency.mean(), direct.latency.mean()) << "rep=" << rep;
+    EXPECT_EQ(run.delivered_flits, direct.delivered_flits) << "rep=" << rep;
+    EXPECT_EQ(run.throughput_flits_per_pe, direct.throughput_flits_per_pe);
+  }
+}
+
+TEST(SimEngine, AggregatesMeanAndConfidenceAcrossReplications) {
+  topo::ButterflyFatTree ft(2);
+  SimCell cell;
+  cell.topology = &ft;
+  cell.cfg = small_open_loop(0.15, 7);
+  cell.replications = 5;
+
+  SimEngine engine;
+  const SimCellResult out = engine.run_cell(cell);
+  ASSERT_EQ(out.runs.size(), 5u);
+  EXPECT_TRUE(out.all_completed);
+  EXPECT_FALSE(out.any_saturated);
+
+  // Distinct seeds produce distinct samples; the aggregate is their mean.
+  double sum = 0.0;
+  for (const sim::SimResult& r : out.runs) sum += r.latency.mean();
+  EXPECT_EQ(out.latency.n, 5);
+  EXPECT_NEAR(out.latency.mean, sum / 5.0, 1e-12);
+  EXPECT_GT(out.latency.stddev, 0.0);
+  EXPECT_TRUE(std::isfinite(out.latency.ci95));
+  EXPECT_NEAR(out.latency.ci95, 1.96 * out.latency.stddev / std::sqrt(5.0), 1e-12);
+  EXPECT_GT(out.throughput.mean, 0.0);
+  // Single replication: a mean but no spread.
+  cell.replications = 1;
+  const SimCellResult one = engine.run_cell(cell);
+  EXPECT_EQ(one.latency.n, 1);
+  EXPECT_EQ(one.latency.mean, one.runs.front().latency.mean());
+  EXPECT_TRUE(std::isnan(one.latency.ci95));
+}
+
+TEST(SimEngine, SharesOneNetworkPerTopology) {
+  // Cells over the same Topology pointer must share one SimNetwork build;
+  // distinct topologies get their own.
+  topo::ButterflyFatTree ft(2);
+  topo::Hypercube hc(3);
+  std::vector<SimCell> cells(4);
+  cells[0] = {&ft, small_open_loop(0.10, 1), 2, "ft-low"};
+  cells[1] = {&ft, small_open_loop(0.20, 2), 1, "ft-high"};
+  cells[2] = {&hc, small_open_loop(0.10, 3), 1, "hc-low"};
+  cells[3] = {&ft, small_open_loop(0.15, 4), 1, "ft-mid"};
+
+  SimEngine engine;
+  const std::vector<SimCellResult> outs = engine.run_cells(cells);
+  EXPECT_EQ(engine.networks_built(), 2u);  // one for ft, one for hc
+  ASSERT_EQ(outs.size(), 4u);
+  EXPECT_EQ(outs[0].label, "ft-low");
+  EXPECT_EQ(outs[0].runs.size(), 2u);
+  EXPECT_EQ(outs[2].label, "hc-low");
+  for (const SimCellResult& out : outs) EXPECT_TRUE(out.all_completed);
+}
+
+TEST(SimEngine, ThreadsReportTheBackingPool) {
+  SimEngine parallel({/*threads=*/3, /*parallel=*/true});
+  SimEngine serial({/*threads=*/0, /*parallel=*/false});
+  EXPECT_EQ(parallel.threads(), 3u);
+  EXPECT_EQ(serial.threads(), 1u);
+}
+
+TEST(SimEngine, OverloadCampaignMeasuresSaturationThroughput) {
+  topo::ButterflyFatTree ft(2);
+  SimCell cell;
+  cell.topology = &ft;
+  cell.cfg.arrivals = sim::ArrivalProcess::Overload;
+  cell.cfg.worm_flits = 16;
+  cell.cfg.seed = 11;
+  cell.cfg.warmup_cycles = 1000;
+  cell.cfg.measure_cycles = 5000;
+  cell.cfg.channel_stats = false;
+  cell.replications = 2;
+  SimEngine engine;
+  const SimCellResult out = engine.run_cell(cell);
+  EXPECT_TRUE(out.all_completed);
+  EXPECT_GT(out.throughput.mean, 0.0);
+  EXPECT_LT(out.throughput.mean, 1.0);  // can't beat one flit/cycle/PE
+}
+
+}  // namespace
+}  // namespace wormnet::harness

@@ -179,6 +179,78 @@ TEST(SimSemantics, DifferentSeedsDiffer) {
   EXPECT_NE(a.latency.mean(), b.latency.mean());
 }
 
+TEST(SimSemantics, IdleFastForwardBitIdenticalToForcedSlowPath) {
+  // Golden-trace-grade determinism for the idle-cycle fast-forward: a
+  // low-load run (lots of empty-network cycles to skip) must produce a
+  // bit-identical SimResult — latency stats, delivered counts, cycles_run,
+  // every per-channel counter — whether the optimization is active or
+  // forced off via SimConfig::disable_fast_forward.
+  topo::ButterflyFatTree ft(2);
+  SimNetwork net(ft);
+  SimConfig cfg;
+  cfg.load_flits = 0.02;  // deep idle: mean inter-arrival >> worm service
+  cfg.worm_flits = 16;
+  cfg.seed = 77;
+  cfg.warmup_cycles = 2'000;
+  cfg.measure_cycles = 30'000;
+  cfg.max_cycles = 200'000;
+  cfg.channel_stats = true;
+
+  cfg.disable_fast_forward = false;
+  Simulator fast(net, cfg);
+  const SimResult a = fast.run();
+  cfg.disable_fast_forward = true;
+  Simulator slow(net, cfg);
+  const SimResult b = slow.run();
+
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.saturated, b.saturated);
+  EXPECT_EQ(a.latency.count(), b.latency.count());
+  EXPECT_EQ(a.latency.mean(), b.latency.mean());
+  EXPECT_EQ(a.latency.min(), b.latency.min());
+  EXPECT_EQ(a.latency.max(), b.latency.max());
+  EXPECT_EQ(a.queue_wait.mean(), b.queue_wait.mean());
+  EXPECT_EQ(a.inj_service.mean(), b.inj_service.mean());
+  EXPECT_EQ(a.distance.mean(), b.distance.mean());
+  EXPECT_EQ(a.delivered_messages, b.delivered_messages);
+  EXPECT_EQ(a.delivered_flits, b.delivered_flits);
+  EXPECT_EQ(a.generated_messages, b.generated_messages);
+  EXPECT_EQ(a.throughput_flits_per_pe, b.throughput_flits_per_pe);
+  ASSERT_EQ(a.channels.size(), b.channels.size());
+  for (std::size_t ch = 0; ch < a.channels.size(); ++ch) {
+    EXPECT_EQ(a.channels[ch].worms, b.channels[ch].worms) << "channel " << ch;
+    EXPECT_EQ(a.channels[ch].busy_cycles, b.channels[ch].busy_cycles);
+    EXPECT_EQ(a.channels[ch].flits, b.channels[ch].flits);
+  }
+  // The point of the optimization: at this load most cycles ARE idle, so a
+  // sanity floor on what there was to skip (the run still spans the full
+  // window — fast-forward changes execution, not simulated time).
+  EXPECT_GE(a.cycles_run, cfg.warmup_cycles + cfg.measure_cycles - 1);
+}
+
+TEST(SimSemantics, ScriptedRunsFastForwardAcrossIdleGaps) {
+  // Two scripted messages separated by a huge idle gap: the run must cover
+  // the gap (cycles_run past the second message) and both deliveries must
+  // be exact — with and without fast-forward.
+  for (bool disable : {false, true}) {
+    topo::ButterflyFatTree ft(2);
+    SimNetwork net(ft);
+    SimConfig cfg = scripted_config(16);
+    cfg.disable_fast_forward = disable;
+    cfg.max_cycles = 10'000'000;
+    Simulator s(net, cfg);
+    s.add_message(0, 0, 1);
+    s.add_message(5'000'000, 0, 2);
+    const SimResult r = s.run();
+    ASSERT_TRUE(r.completed) << "disable_fast_forward=" << disable;
+    EXPECT_EQ(r.latency.count(), 2);
+    EXPECT_DOUBLE_EQ(r.latency.min(), 17.0);  // both uncontended, D = 2
+    EXPECT_DOUBLE_EQ(r.latency.max(), 17.0);
+    EXPECT_GT(r.cycles_run, 5'000'000L);
+  }
+}
+
 TEST(SimSemantics, DebugStateListsActiveWorms) {
   topo::ButterflyFatTree ft(2);
   SimNetwork net(ft);

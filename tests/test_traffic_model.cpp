@@ -95,6 +95,49 @@ TEST(TrafficModel, FlowConservationAcrossTopologiesAndPatterns) {
   }
 }
 
+TEST(TrafficModel, ParallelBuildBitwiseIdenticalToSerialEverywhere) {
+  // The sharded parallel builder must reproduce the serial builder's result
+  // BIT FOR BIT for every topology x pattern cell this suite covers: shard
+  // boundaries depend only on the processor count and the reduction runs in
+  // shard order, so worker count cannot move a single ulp.
+  const topo::ButterflyFatTree ft(2);
+  const topo::Hypercube hc(3);
+  const topo::Mesh mesh(3, 2);
+  TrafficBuildOptions serial;
+  serial.threads = 1;
+  TrafficBuildOptions parallel;
+  parallel.threads = 4;
+  TrafficBuildOptions shared_pool;  // threads = 0: the default shared pool
+  for (const topo::Topology* topo :
+       std::initializer_list<const topo::Topology*>{&ft, &hc, &mesh}) {
+    for (const traffic::TrafficSpec& spec : patterns_for(topo->num_processors())) {
+      const GeneralModel a = build_traffic_model(*topo, spec, {}, serial);
+      const GeneralModel b = build_traffic_model(*topo, spec, {}, parallel);
+      const GeneralModel c = build_traffic_model(*topo, spec, {}, shared_pool);
+      const std::string tag = a.model_name;
+      EXPECT_EQ(c.mean_distance, a.mean_distance) << tag;
+      for (int ch = 0; ch < a.graph.size(); ++ch) {
+        EXPECT_EQ(c.graph.at(ch).rate_per_link, a.graph.at(ch).rate_per_link)
+            << tag << " (shared pool) ch " << ch;
+      }
+      ASSERT_EQ(a.graph.size(), b.graph.size()) << tag;
+      for (int ch = 0; ch < a.graph.size(); ++ch) {
+        const ChannelClass& ca = a.graph.at(ch);
+        const ChannelClass& cb = b.graph.at(ch);
+        EXPECT_EQ(ca.rate_per_link, cb.rate_per_link) << tag << " ch " << ch;
+        ASSERT_EQ(ca.next.size(), cb.next.size()) << tag << " ch " << ch;
+        for (std::size_t t = 0; t < ca.next.size(); ++t) {
+          EXPECT_EQ(ca.next[t].target, cb.next[t].target) << tag;
+          EXPECT_EQ(ca.next[t].weight, cb.next[t].weight) << tag;
+          EXPECT_EQ(ca.next[t].route_prob, cb.next[t].route_prob) << tag;
+        }
+      }
+      EXPECT_EQ(a.mean_distance, b.mean_distance) << tag;
+      EXPECT_EQ(a.injection_classes, b.injection_classes) << tag;
+    }
+  }
+}
+
 TEST(TrafficModel, MeshKirchhoffUnderNonUniformPatterns) {
   // The generic sweep above relies on spec.check() filtering, which silently
   // drops transpose whenever the mesh's processor count isn't square — a
