@@ -142,7 +142,7 @@ void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
   sim::SimConfig cfg;
   cfg.load_flits = model.saturation_load() * 0.7;
   cfg.worm_flits = 16;
-  cfg.warmup_cycles = 0;
+  cfg.warmup_cycles = 500;  // open-loop runs require a warmup (validated)
   cfg.measure_cycles = 5'000;
   cfg.max_cycles = 100'000;
   cfg.channel_stats = false;
@@ -173,7 +173,7 @@ void BM_SimulatorIdleFastForward(benchmark::State& state) {
   sim::SimConfig cfg;
   cfg.load_flits = model.saturation_load() * 0.05;
   cfg.worm_flits = 16;
-  cfg.warmup_cycles = 0;
+  cfg.warmup_cycles = 500;  // open-loop runs require a warmup (validated)
   cfg.measure_cycles = 200'000;
   cfg.max_cycles = 2'000'000;
   cfg.channel_stats = false;
@@ -247,6 +247,46 @@ void BM_QueueingKernels(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueueingKernels);
+
+void BM_TrafficModelRetuneCa2(benchmark::State& state) {
+  // The bursty-arrivals retune path: one O(channels) set_injection_process
+  // sweep over the built graph.  This is what makes a burstiness axis cheap
+  // — compare BM_TrafficModelBuildFatTree/4, the O(N²·hops) rebuild it
+  // replaces (the builder rows above already INCLUDE the one-time SCV
+  // self_frac propagation, which rides the same DP as the rates).
+  core::GeneralModel net = [] {
+    topo::ButterflyFatTree ft(4);
+    return core::build_traffic_model(ft, traffic::TrafficSpec::uniform());
+  }();
+  const arrivals::ArrivalSpec processes[2] = {
+      arrivals::ArrivalSpec::batch(4.0),
+      arrivals::ArrivalSpec::mmpp2(0.3, 0.1, 8.0)};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    net.set_injection_process(processes[i ^= 1]);
+    benchmark::DoNotOptimize(net.injection_ca2);
+  }
+  state.SetLabel(std::to_string(net.graph.size()) + " channel classes");
+}
+BENCHMARK(BM_TrafficModelRetuneCa2);
+
+void BM_ArrivalGapSampling(benchmark::State& state) {
+  // ns per sampled inter-arrival gap, per process — the incremental cost a
+  // bursty TrafficSource pays over the Poisson baseline (arg 0).
+  const arrivals::ArrivalSpec specs[] = {
+      arrivals::ArrivalSpec::poisson(),
+      arrivals::ArrivalSpec::batch(4.0),
+      arrivals::ArrivalSpec::mmpp2(0.3, 0.1, 8.0),
+  };
+  const arrivals::ArrivalSpec& spec = specs[state.range(0)];
+  util::Rng rng = util::Rng::stream(1, 0);
+  arrivals::ArrivalState st = spec.init_state(0.05, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.next_gap(st, 0.05, rng));
+  }
+  state.SetLabel(spec.name());
+}
+BENCHMARK(BM_ArrivalGapSampling)->Arg(0)->Arg(1)->Arg(2);
 
 /// Console reporter that additionally feeds bench::JsonResultWriter: one
 /// {name, ns/op, counters} record per run, written when the run set

@@ -1,0 +1,307 @@
+#include "arrivals/arrival_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace wormnet::arrivals {
+
+namespace {
+
+/// Geometric(success p) draw on {1, 2, ...} via inversion — the same
+/// closed form the legacy Bernoulli gap sampler used, kept verbatim so the
+/// Bernoulli path stays bit-identical to the pre-subsystem simulator.
+double geometric_trials(double p, util::Rng& rng) {
+  const double u = rng.uniform_pos();
+  return 1.0 + std::floor(std::log(u) / std::log1p(-p));
+}
+
+}  // namespace
+
+ArrivalSpec ArrivalSpec::poisson() { return {}; }
+
+ArrivalSpec ArrivalSpec::bernoulli() {
+  ArrivalSpec s;
+  s.kind_ = Kind::Bernoulli;
+  return s;
+}
+
+ArrivalSpec ArrivalSpec::deterministic() {
+  ArrivalSpec s;
+  s.kind_ = Kind::Deterministic;
+  return s;
+}
+
+ArrivalSpec ArrivalSpec::batch(double mean_batch) {
+  ArrivalSpec s;
+  s.kind_ = Kind::Batch;
+  s.batch_mean_ = mean_batch;
+  return s;
+}
+
+ArrivalSpec ArrivalSpec::mmpp2(double on_fraction, double rate_ratio,
+                               double burst_messages) {
+  ArrivalSpec s;
+  s.kind_ = Kind::Mmpp2;
+  s.on_fraction_ = on_fraction;
+  s.rate_ratio_ = rate_ratio;
+  s.burst_ = burst_messages;
+  if (s.check().empty()) {
+    // Derive the unit-rate tuple once (the sampler reads it per event).
+    // Solve f·λ_ON + (1−f)·σ·λ_ON = 1 so the long-run rate is exactly
+    // λ₀ = 1; sampling scales every rate by the caller's λ₀ (time
+    // dilation), which leaves the SCV untouched.  Mean ON sojourn carries
+    // `burst` arrivals; OFF is sized for P(ON) = f.
+    s.mmpp_.lam_on = 1.0 / (on_fraction + (1.0 - on_fraction) * rate_ratio);
+    s.mmpp_.lam_off = rate_ratio * s.mmpp_.lam_on;
+    s.mmpp_.r_on = s.mmpp_.lam_on / burst_messages;
+    s.mmpp_.r_off = s.mmpp_.r_on * on_fraction / (1.0 - on_fraction);
+  }
+  return s;
+}
+
+ArrivalSpec ArrivalSpec::on_off(double on_fraction, double burst_messages) {
+  return mmpp2(on_fraction, 0.0, burst_messages);
+}
+
+ArrivalSpec ArrivalSpec::trace(std::vector<double> gaps) {
+  ArrivalSpec s;
+  s.kind_ = Kind::Trace;
+  double sum = 0.0;
+  bool nonneg = true;
+  for (double g : gaps) {
+    sum += g;
+    nonneg = nonneg && g >= 0.0;
+  }
+  if (!gaps.empty() && nonneg && sum > 0.0) {
+    const double mean = sum / static_cast<double>(gaps.size());
+    double var = 0.0;
+    for (double& g : gaps) {
+      g /= mean;  // normalize to mean 1: λ₀ alone sets the rate
+      var += (g - 1.0) * (g - 1.0);
+    }
+    s.trace_ca2_ = var / static_cast<double>(gaps.size());
+  }
+  s.trace_ = std::make_shared<const std::vector<double>>(std::move(gaps));
+  return s;
+}
+
+std::string ArrivalSpec::name() const {
+  char buf[64];
+  switch (kind_) {
+    case Kind::Poisson:
+      return "poisson";
+    case Kind::Bernoulli:
+      return "bernoulli";
+    case Kind::Deterministic:
+      return "deterministic";
+    case Kind::Batch:
+      std::snprintf(buf, sizeof(buf), "batch(b=%g)", batch_mean_);
+      return buf;
+    case Kind::Mmpp2:
+      if (rate_ratio_ == 0.0) {
+        std::snprintf(buf, sizeof(buf), "onoff(f=%.2f,k=%g)", on_fraction_, burst_);
+      } else {
+        std::snprintf(buf, sizeof(buf), "mmpp2(f=%.2f,s=%.2f,k=%g)",
+                      on_fraction_, rate_ratio_, burst_);
+      }
+      return buf;
+    case Kind::Trace:
+      std::snprintf(buf, sizeof(buf), "trace(n=%zu)",
+                    trace_ ? trace_->size() : std::size_t{0});
+      return buf;
+  }
+  return "arrivals?";
+}
+
+std::string ArrivalSpec::check() const {
+  switch (kind_) {
+    case Kind::Poisson:
+    case Kind::Bernoulli:
+    case Kind::Deterministic:
+      return "";
+    case Kind::Batch:
+      // The upper bound keeps the sampler's batch-size draw far inside int
+      // range (P(B > 2^30) < e^-1000 at b = 1e6) and the C_a² = 2b − 1
+      // regime physically meaningful.
+      if (!(batch_mean_ >= 1.0) || !(batch_mean_ <= 1e6))
+        return "batch: mean batch size must lie in [1, 1e6]";
+      return "";
+    case Kind::Mmpp2:
+      if (!(on_fraction_ > 0.0) || !(on_fraction_ < 1.0))
+        return "mmpp2: on_fraction must lie in (0, 1)";
+      if (!(rate_ratio_ >= 0.0) || !(rate_ratio_ < 1.0))
+        return "mmpp2: rate_ratio must lie in [0, 1)";
+      if (!(burst_ > 0.0) || !std::isfinite(burst_))
+        return "mmpp2: burst_messages must be finite and > 0";
+      return "";
+    case Kind::Trace: {
+      if (!trace_ || trace_->empty()) return "trace: gap sequence is empty";
+      double sum = 0.0;
+      for (double g : *trace_) {
+        if (!(g >= 0.0) || !std::isfinite(g))
+          return "trace: gaps must be finite and non-negative";
+        sum += g;
+      }
+      if (!(sum > 0.0)) return "trace: at least one gap must be positive";
+      return "";
+    }
+  }
+  return "unknown arrival kind";
+}
+
+double ArrivalSpec::ca2(double lambda0) const {
+  WORMNET_EXPECTS(check().empty());
+  switch (kind_) {
+    case Kind::Poisson:
+      return 1.0;  // exponential gaps
+    case Kind::Bernoulli:
+      // Geometric({1,2,...}, p = λ₀): Var/E² = (1−p)/p² · p² = 1 − p.  The
+      // cycle quantization is what keeps this below Poisson.
+      return lambda0 > 0.0 && lambda0 <= 1.0 ? 1.0 - lambda0 : 1.0;
+    case Kind::Deterministic:
+      return 0.0;
+    case Kind::Batch: {
+      // Gaps: Exp(λ₀/b) between epochs, 0 inside a Geometric(mean b) batch.
+      // E[T] = 1/λ₀, E[T²] = 2b/λ₀² → C_a² = 2b − 1 (both fixed-size and
+      // geometric batches give the same value; derived in test_arrivals).
+      return 2.0 * batch_mean_ - 1.0;
+    }
+    case Kind::Mmpp2: {
+      // Exact stationary inter-arrival SCV of the 2-phase MAP (D0, D1):
+      // D0 = Q − Λ, D1 = Λ.  With the arrival-embedded phase vector
+      // p = πΛ/(πΛ·1), T ~ PH(p, D0) gives E[T] = p·M·1, E[T²] = 2·p·M²·1
+      // for M = (−D0)⁻¹ — a 2×2 inverse, evaluated here in closed form.
+      // Rate-invariant, so evaluate at unit mean rate.
+      const Mmpp2Rates& r = mmpp_;
+      const double a = r.lam_on + r.r_on, b = -r.r_on;
+      const double c = -r.r_off, d = r.lam_off + r.r_off;
+      const double det = a * d - b * c;  // > 0: diagonally dominant M-matrix
+      // M = (−D0)⁻¹ rows.
+      const double m00 = d / det, m01 = -b / det;
+      const double m10 = -c / det, m11 = a / det;
+      // Arrival-embedded initial vector (πΛ normalized); π = (f, 1−f).
+      const double w_on = on_fraction_ * r.lam_on;
+      const double w_off = (1.0 - on_fraction_) * r.lam_off;
+      const double p_on = w_on / (w_on + w_off), p_off = 1.0 - p_on;
+      // First moment: p · M · 1.
+      const double row0 = m00 + m01, row1 = m10 + m11;
+      const double m1 = p_on * row0 + p_off * row1;
+      // Second moment: 2 · p · M · (M · 1).
+      const double mm0 = m00 * row0 + m01 * row1;
+      const double mm1 = m10 * row0 + m11 * row1;
+      const double m2 = 2.0 * (p_on * mm0 + p_off * mm1);
+      return m2 / (m1 * m1) - 1.0;
+    }
+    case Kind::Trace:
+      return trace_ca2_;
+  }
+  return 1.0;
+}
+
+double ArrivalSpec::batch_residual() const {
+  if (kind_ != Kind::Batch) return 0.0;
+  // Geometric(mean b): E[B²] = 2b² − b, so (E[B²] − E[B])/(2E[B]) = b − 1.
+  return batch_mean_ - 1.0;
+}
+
+double ArrivalSpec::effective_ca2(double lambda0) const {
+  WORMNET_EXPECTS(check().empty());  // unvalidated MMPP-2 would yield NaN
+  if (kind_ != Kind::Mmpp2) return ca2(lambda0);
+  // Limiting index of dispersion of counts at unit mean rate (both the
+  // numerator and denominator scale linearly with λ₀, so I(∞) is
+  // rate-invariant like the interval SCV).
+  const Mmpp2Rates& r = mmpp_;
+  const double pi_on = on_fraction_, pi_off = 1.0 - on_fraction_;
+  const double dl = r.lam_on - r.lam_off;
+  return 1.0 + 2.0 * pi_on * pi_off * dl * dl / (r.r_on + r.r_off);
+}
+
+ArrivalState ArrivalSpec::init_state(double lambda0, util::Rng& rng) const {
+  (void)lambda0;
+  ArrivalState s;
+  switch (kind_) {
+    case Kind::Poisson:
+    case Kind::Bernoulli:
+    case Kind::Deterministic:
+    case Kind::Batch:
+      // No draws: the Poisson/Bernoulli legacy draw sequences stay intact
+      // (golden-trace contract); Deterministic draws its phase lazily on
+      // the first gap; Batch starts between epochs.
+      break;
+    case Kind::Mmpp2:
+      // Stationary initial phase: P(ON) = f by construction.
+      s.phase = rng.uniform() < on_fraction_ ? 0 : 1;
+      break;
+    case Kind::Trace:
+      // Random replay offset de-phases the per-processor streams.
+      s.pos = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(trace_->size())));
+      break;
+  }
+  return s;
+}
+
+double ArrivalSpec::next_gap(ArrivalState& state, double lambda0,
+                             util::Rng& rng) const {
+  WORMNET_EXPECTS(lambda0 > 0.0);
+  switch (kind_) {
+    case Kind::Poisson:
+      return rng.exponential(lambda0);
+    case Kind::Bernoulli:
+      // One coin flip per cycle at probability λ₀; λ₀ >= 1 saturates to an
+      // arrival every cycle (log1p(-1) would be -inf).
+      if (lambda0 >= 1.0) return 1.0;
+      return geometric_trials(lambda0, rng);
+    case Kind::Deterministic:
+      if (state.phase == 0) {
+        state.phase = 1;
+        // Uniform random phase: stationary, and the per-processor combs
+        // don't fire in lockstep.
+        return rng.uniform() / lambda0;
+      }
+      return 1.0 / lambda0;
+    case Kind::Batch: {
+      if (state.pending > 0) {
+        --state.pending;
+        return 0.0;  // back-to-back inside the batch
+      }
+      const double gap = rng.exponential(lambda0 / batch_mean_);
+      const double size = batch_mean_ == 1.0
+                              ? 1.0
+                              : geometric_trials(1.0 / batch_mean_, rng);
+      // Clamp before the int cast: an astronomically unlucky geometric
+      // draw past int range would otherwise be UB (check() bounds b so the
+      // clamp is never reached in practice).
+      state.pending = static_cast<int>(std::min(size, 1.0e9)) - 1;
+      return gap;
+    }
+    case Kind::Mmpp2: {
+      const Mmpp2Rates& r = mmpp_;
+      double t = 0.0;
+      // Competing exponentials per phase: the next event is an arrival with
+      // probability λ_phase / (λ_phase + r_phase), else a phase flip.
+      while (true) {
+        const double lam = state.phase == 0 ? r.lam_on : r.lam_off;
+        const double leave = state.phase == 0 ? r.r_on : r.r_off;
+        const double total = (lam + leave) * lambda0;  // time-scaled to λ₀
+        t += rng.exponential(total);
+        if (rng.uniform() < lam / (lam + leave)) return t;
+        state.phase ^= 1;
+      }
+    }
+    case Kind::Trace: {
+      const std::vector<double>& gaps = *trace_;
+      const double gap = gaps[state.pos] / lambda0;
+      state.pos = (state.pos + 1) % gaps.size();
+      return gap;
+    }
+  }
+  WORMNET_ENSURES(false);
+  return 0.0;
+}
+
+}  // namespace wormnet::arrivals

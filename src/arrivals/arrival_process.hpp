@@ -1,0 +1,169 @@
+// wormnet/arrivals/arrival_process.hpp
+//
+// The single source of truth for message ARRIVAL processes, shared by the
+// analytical model and the flit-level simulator — the temporal twin of
+// traffic::TrafficSpec (which owns the spatial destination distribution).
+// The paper's assumption 1 (Poisson injection) is one point in this catalog;
+// the others probe — and, through the QNA-style C_a² propagation in
+// core::build_traffic_model plus the Allen–Cunneen G/G/m correction in
+// queueing::ChannelSolver, *model* — the bursty workloads where Poisson
+// analysis turns optimistic (Giroudot & Mifdaoui; Farhi & Gaujal).
+//
+// An ArrivalSpec answers the same question two ways, guaranteed consistent:
+//  * ca2(lambda0)  — the squared coefficient of variation (SCV) of the
+//    stationary inter-arrival time, Var[T]/E[T]², in closed form; this is
+//    the C_a² the analytical model propagates (tested against the empirical
+//    SCV of 10⁶ sampled gaps);
+//  * next_gap(...) — a seeded draw of the next inter-arrival gap from that
+//    same process, consumed by sim::TrafficSource.
+//
+// All processes are parameterized so that the MEAN rate is exactly the λ₀
+// passed at sampling time — burstiness reshapes the gaps, never the offered
+// load — and (except Bernoulli, whose cycle quantization ties its SCV to λ₀)
+// their C_a² is rate-invariant.
+//
+// Catalog:
+//  * Poisson        — exponential gaps, C_a² = 1 (the paper's assumption 1).
+//                     Sampling is BIT-IDENTICAL to the pre-subsystem
+//                     simulator: one Rng::exponential(λ₀) per gap.
+//  * Bernoulli      — geometric whole-cycle gaps (one trial per cycle),
+//                     C_a² = 1 − λ₀.
+//  * Deterministic  — fixed gaps 1/λ₀ with a uniformly random initial
+//                     phase, C_a² = 0 (the smoother-than-Poisson floor).
+//  * Batch(b)       — compound Poisson: epochs at rate λ₀/b, each releasing
+//                     a Geometric(mean b) batch back-to-back (zero gaps
+//                     inside a batch); C_a² = 2b − 1.
+//  * Mmpp2(f,σ,k)   — 2-state Markov-modulated Poisson process: ON fraction
+//                     f, OFF/ON rate ratio σ, mean k arrivals per ON burst;
+//                     σ = 0 is the classic ON-OFF / interrupted Poisson
+//                     process (IPP).  C_a² from the exact 2-phase
+//                     Markovian-arrival-process moment formulas.
+//  * Trace          — an arbitrary gap sequence (normalized to mean 1 and
+//                     replayed cyclically from a random per-stream offset);
+//                     C_a² is the trace's own empirical SCV.
+//
+// Specs are small value types (the Trace payload is shared), cheap to copy
+// into sim::SimConfig and harness cells.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wormnet::arrivals {
+
+/// Which inter-arrival law an ArrivalSpec denotes.
+enum class Kind {
+  Poisson,
+  Bernoulli,
+  Deterministic,
+  Batch,
+  Mmpp2,
+  Trace,
+};
+
+/// Per-stream sampler state.  One per (processor) stream; the spec itself
+/// stays immutable and shared.  Plain data so traffic sources can keep a
+/// dense vector of them.
+struct ArrivalState {
+  int phase = 0;        ///< Mmpp2: 0 = ON, 1 = OFF; Deterministic: 0 = unphased
+  int pending = 0;      ///< Batch: messages left in the batch being drained
+  std::size_t pos = 0;  ///< Trace: next trace index
+};
+
+/// A message arrival process, independent of the concrete rate: the rate λ₀
+/// (messages/cycle) is supplied at sampling/evaluation time, so one spec
+/// serves every load point of a sweep.
+class ArrivalSpec {
+ public:
+  /// Defaults to the paper's assumption 1.
+  ArrivalSpec() = default;
+
+  static ArrivalSpec poisson();
+  static ArrivalSpec bernoulli();
+  static ArrivalSpec deterministic();
+  /// Compound Poisson with Geometric(mean `mean_batch` >= 1) batch sizes.
+  static ArrivalSpec batch(double mean_batch);
+  /// MMPP-2: `on_fraction` f in (0,1) of time spent ON, `rate_ratio`
+  /// σ = λ_OFF/λ_ON in [0,1), and `burst_messages` k > 0 mean arrivals per
+  /// ON sojourn.  Rates solve f·λ_ON + (1−f)·λ_OFF = λ₀ so the mean rate is
+  /// exact.
+  static ArrivalSpec mmpp2(double on_fraction, double rate_ratio,
+                           double burst_messages);
+  /// ON-OFF (interrupted Poisson): MMPP-2 with a silent OFF state.
+  static ArrivalSpec on_off(double on_fraction, double burst_messages);
+  /// Replay `gaps` (arbitrary positive scale; normalized to mean 1 so λ₀
+  /// still sets the rate) cyclically from a random per-stream offset.
+  static ArrivalSpec trace(std::vector<double> gaps);
+
+  Kind kind() const { return kind_; }
+  bool is_poisson() const { return kind_ == Kind::Poisson; }
+  /// Human-readable tag, e.g. "batch(b=4)".
+  std::string name() const;
+
+  /// Empty string when the parameters are usable, else the problem.
+  std::string check() const;
+
+  /// Squared coefficient of variation of the stationary inter-arrival time.
+  /// `lambda0` only matters for Bernoulli (C_a² = 1 − λ₀); every other
+  /// process is rate-invariant, so the default argument is fine there.
+  double ca2(double lambda0 = 0.0) const;
+
+  /// Mean number of batch-mates served AHEAD of a random arrival,
+  /// (E[B²] − E[B]) / (2·E[B]) — the load-INDEPENDENT intra-batch
+  /// serialization term of the exact M^[X]/G/1 decomposition
+  ///     W = W_epoch-queue + batch_residual() · x̄.
+  /// The SCV alone cannot carry it: C_a² = 2b − 1 reproduces exactly the
+  /// epoch-level wait through Allen–Cunneen (it scales with ρ/(1−ρ) and
+  /// vanishes at low load), while simultaneous batch arrivals still
+  /// serialize behind each other at any load.  b − 1 for Geometric(mean b)
+  /// batches; 0 for every non-batch process.
+  double batch_residual() const;
+
+  /// The variability parameter the ANALYTICAL MODEL should consume — QNA's
+  /// asymptotic method: the limiting index of dispersion of counts, I(∞) =
+  /// lim Var[N(t)]/E[N(t)].  For every renewal process in the catalog it
+  /// equals ca2() (Poisson, Bernoulli, deterministic, batch — where
+  /// I(∞) = E[B²]/E[B] = 2b − 1 — and trace, whose autocorrelation is
+  /// unknown); for MMPP-2 the gaps are CORRELATED and the interval SCV
+  /// understates the queueing impact of long bursts, so this returns
+  ///     I(∞) = 1 + 2·π_ON·π_OFF·(λ_ON − λ_OFF)² / ((r_ON + r_OFF)·λ̄)
+  /// (Fischer & Meier-Hellstern) instead.  ca2() remains the measurable
+  /// stationary-interval SCV the sampler conformance tests pin down.
+  double effective_ca2(double lambda0 = 0.0) const;
+
+  /// Fresh per-stream state; may consume rng draws (Deterministic phase,
+  /// Mmpp2 stationary initial phase, Trace offset).  Poisson and Bernoulli
+  /// draw nothing, preserving the legacy simulator's draw sequence exactly.
+  ArrivalState init_state(double lambda0, util::Rng& rng) const;
+
+  /// Next inter-arrival gap in cycles (continuous; Batch emits exact zeros
+  /// inside a batch).  Deterministic function of (state, rng state); the
+  /// empirical law over many draws is exactly the ca2() closed form.
+  /// Precondition: lambda0 > 0 (callers gate zero-load streams off).
+  double next_gap(ArrivalState& state, double lambda0, util::Rng& rng) const;
+
+ private:
+  /// Mmpp2 rate tuple at unit mean rate, derived once from (f, σ, k) at
+  /// construction — next_gap samples one of these per phase event, so
+  /// re-deriving per gap would be pure repeated work in the simulator's
+  /// source hot path.
+  struct Mmpp2Rates {
+    double lam_on = 0.0, lam_off = 0.0;  ///< arrival rate by phase
+    double r_on = 0.0, r_off = 0.0;      ///< phase-leave rate (ON→OFF, OFF→ON)
+  };
+
+  Kind kind_ = Kind::Poisson;
+  double batch_mean_ = 1.0;    ///< Batch: E[B]
+  double on_fraction_ = 0.0;   ///< Mmpp2: f
+  double rate_ratio_ = 0.0;    ///< Mmpp2: σ = λ_OFF/λ_ON
+  double burst_ = 0.0;         ///< Mmpp2: mean arrivals per ON sojourn
+  Mmpp2Rates mmpp_;            ///< valid iff kind_ == Mmpp2 and check() passes
+  std::shared_ptr<const std::vector<double>> trace_;  ///< normalized, mean 1
+  double trace_ca2_ = 0.0;
+};
+
+}  // namespace wormnet::arrivals

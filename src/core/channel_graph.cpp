@@ -9,6 +9,8 @@ int ChannelGraph::add_channel(ChannelClass c) {
   WORMNET_EXPECTS(c.servers >= 1);
   WORMNET_EXPECTS(c.lanes >= 1);
   WORMNET_EXPECTS(c.rate_per_link >= 0.0);
+  WORMNET_EXPECTS(c.ca2 >= 0.0);
+  WORMNET_EXPECTS(c.self_frac >= 0.0 && c.self_frac <= 1.0 + 1e-9);
   classes_.push_back(std::move(c));
   return static_cast<int>(classes_.size()) - 1;
 }

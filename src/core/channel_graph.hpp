@@ -52,6 +52,20 @@ struct ChannelClass {
   int lanes = 1;              ///< L, virtual channels multiplexed per physical link
   double rate_per_link = 0.0; ///< λ per physical link at unit injection rate
   bool terminal = false;      ///< true for ejection channels (x̄ = s_f)
+  /// C_a², the squared coefficient of variation of this channel's arrival
+  /// stream, consumed by the solver's Allen–Cunneen G/G/m wait.  1 is the
+  /// paper's Poisson assumption; the traffic-model builder propagates
+  /// injection burstiness here via GeneralModel::set_injection_ca2.
+  double ca2 = 1.0;
+  /// Structural burstiness retention in [0, 1]: the rate-weighted mean,
+  /// over the sub-streams merging into this channel, of each sub-stream's
+  /// fraction of its source's original injection process.  QNA merge/split
+  /// algebra makes the channel's SCV affine in the injection SCV,
+  ///     C_a²(ch) = 1 + (C_inj² − 1) · self_frac,
+  /// so retuning a built model to a new arrival process is O(channels)
+  /// (see core::build_traffic_model).  0 — full Poissonification — for
+  /// hand-built graphs, which therefore ignore injection burstiness.
+  double self_frac = 0.0;
   std::vector<Transition> next;
 };
 

@@ -13,11 +13,13 @@ namespace {
 
 using queueing::ChannelSolver;
 
-/// W̄ of the bundle serving class `j` at the solve's injection scale.
+/// W̄ of the bundle serving class `j` at the solve's injection scale, at the
+/// class's arrival SCV (the bursty-arrivals extension; ca2 == 1 reproduces
+/// the paper's Poisson wait bit for bit).
 double bundle_wait(const ChannelSolver& solver, const ChannelClass& cls,
                    double xbar, double injection_scale) {
   return solver.bundle_wait(cls.servers, cls.lanes,
-                            cls.rate_per_link * injection_scale, xbar);
+                            cls.rate_per_link * injection_scale, xbar, cls.ca2);
 }
 
 /// Eq. 9/10 factor for a transition from class `from` into class `to`,
@@ -120,6 +122,10 @@ SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& o
         graph.at(id).servers, graph.at(id).lanes,
         graph.at(id).rate_per_link * scale, sol.service_time);
     sol.cb2 = solver.cb2(sol.service_time);
+    // Report the SCV the wait was actually evaluated at: with the
+    // bursty_arrivals ablation off the kernel used the Poisson value, not
+    // the graph's tuned one.
+    sol.ca2 = opts.ablation().bursty_arrivals ? graph.at(id).ca2 : 1.0;
     if (!std::isfinite(sol.service_time) || !std::isfinite(sol.wait) ||
         sol.utilization >= 1.0) {
       result.stable = false;
@@ -155,6 +161,54 @@ int GeneralModel::class_id(const std::string& label) const {
   return it->second;
 }
 
+void GeneralModel::set_injection_ca2(double ca2) {
+  WORMNET_EXPECTS(ca2 >= 0.0);
+  injection_ca2 = ca2;
+  // An SCV-only tune describes a batchless process: a residual left over
+  // from an earlier set_injection_process(batch) must not keep inflating
+  // evaluate() after the caller retunes to (say) plain Poisson.
+  injection_batch_residual = 0.0;
+  for (int id = 0; id < graph.size(); ++id) {
+    ChannelClass& c = graph.mutable_at(id);
+    // The QNA affine form: a channel retaining fraction self_frac of its
+    // sources' original processes interpolates between full
+    // Poissonification (1) and the injection SCV itself.
+    c.ca2 = 1.0 + (ca2 - 1.0) * c.self_frac;
+  }
+}
+
+void GeneralModel::set_injection_process(const arrivals::ArrivalSpec& spec,
+                                         double lambda0) {
+  WORMNET_EXPECTS(spec.check().empty());
+  // Bernoulli is the one catalog entry whose SCV depends on λ₀ (1 − λ₀);
+  // tuning it at the rate-invariant default would silently collapse to the
+  // Poisson ca2(0) fallback — demand the operating rate instead.
+  WORMNET_EXPECTS(spec.kind() != arrivals::Kind::Bernoulli || lambda0 > 0.0);
+  // The model consumes the effective (asymptotic) variability parameter,
+  // which folds MMPP autocorrelation in; for renewal processes it is the
+  // plain interval SCV.
+  set_injection_ca2(spec.effective_ca2(lambda0));
+  injection_batch_residual = spec.batch_residual();
+}
+
+namespace {
+
+/// Fold the load-independent intra-batch serialization wait into a finished
+/// estimate (the exact M^[X]/G/1 decomposition; see
+/// GeneralModel::injection_batch_residual).  Off when the bursty_arrivals
+/// ablation is off — the term belongs to the same extension.
+LatencyEstimate apply_batch_residual(LatencyEstimate est, double residual,
+                                     bool bursty_arrivals) {
+  if (residual <= 0.0 || !bursty_arrivals || !std::isfinite(est.inj_service))
+    return est;
+  const double extra = residual * est.inj_service;
+  est.inj_wait += extra;
+  est.latency += extra;
+  return est;
+}
+
+}  // namespace
+
 SolveResult GeneralModel::solve(double lambda0) const {
   SolveOptions run = opts;
   run.injection_scale = lambda0;
@@ -162,7 +216,9 @@ SolveResult GeneralModel::solve(double lambda0) const {
 }
 
 LatencyEstimate GeneralModel::evaluate(double lambda0) const {
-  return estimate_latency(solve(lambda0), injection_classes, mean_distance);
+  return apply_batch_residual(
+      estimate_latency(solve(lambda0), injection_classes, mean_distance),
+      injection_batch_residual, opts.bursty_arrivals);
 }
 
 SolveResult model_solve(const GeneralModel& net, double lambda0, SolveOptions base) {
@@ -173,7 +229,9 @@ SolveResult model_solve(const GeneralModel& net, double lambda0, SolveOptions ba
 LatencyEstimate model_latency(const GeneralModel& net, double lambda0,
                               SolveOptions base) {
   const SolveResult res = model_solve(net, lambda0, base);
-  return estimate_latency(res, net.injection_classes, net.mean_distance);
+  return apply_batch_residual(
+      estimate_latency(res, net.injection_classes, net.mean_distance),
+      net.injection_batch_residual, base.bursty_arrivals);
 }
 
 double model_saturation_rate(const GeneralModel& net, SolveOptions base) {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "arrivals/arrival_process.hpp"
 #include "core/channel_graph.hpp"
 #include "core/network_model.hpp"
 
@@ -41,13 +42,15 @@ struct SolveOptions {
   bool blocking_correction = true; ///< paper novelty (2)
   bool erratum_2lambda = true;     ///< corrected Eq. 21/23 (total bundle rate)
   bool virtual_channels = true;    ///< honor per-channel lane counts (extension)
+  bool bursty_arrivals = true;     ///< honor per-channel C_a² (extension)
   int max_iterations = 500;        ///< fixed-point cap for cyclic graphs
   double tolerance = 1e-12;        ///< fixed-point convergence threshold
   double damping = 0.5;            ///< fixed-point damping factor in (0, 1]
 
   /// The switches the ChannelSolver kernel consumes.
   queueing::AblationOptions ablation() const {
-    return {multi_server, blocking_correction, erratum_2lambda, virtual_channels};
+    return {multi_server, blocking_correction, erratum_2lambda, virtual_channels,
+            bursty_arrivals};
   }
 };
 
@@ -56,7 +59,8 @@ struct ChannelSolution {
   double service_time = 0.0;  ///< x̄_i (cycles)
   double wait = 0.0;          ///< W̄ of the bundle serving this class (cycles)
   double utilization = 0.0;   ///< ρ of that bundle
-  double cb2 = 0.0;           ///< squared CV used for the wait
+  double cb2 = 0.0;           ///< squared service CV used for the wait
+  double ca2 = 1.0;           ///< squared arrival CV the wait was evaluated at
 };
 
 /// Outcome of a solve.
@@ -105,9 +109,38 @@ class GeneralModel final : public NetworkModel {
   SolveOptions opts;
   /// Builder-provided identity for reports.
   std::string model_name = "general";
+  /// The injection-process SCV the per-channel ca2 values are tuned to
+  /// (see set_injection_ca2); 1 is the paper's Poisson assumption.
+  double injection_ca2 = 1.0;
+  /// The injection process's intra-batch serialization term (mean
+  /// batch-mates ahead of a random arrival, in injection services) — the
+  /// load-independent half of the exact M^[X]/G/1 wait that the SCV cannot
+  /// carry.  evaluate() adds injection_batch_residual · x̄_inj to the
+  /// source wait; 0 for every batchless process.
+  double injection_batch_residual = 0.0;
 
   /// Look up a labeled class id; aborts if absent.
   int class_id(const std::string& label) const;
+
+  /// Retune every channel's arrival SCV to an injection process with the
+  /// given (effective) C_a² using the structural self_frac each class
+  /// carries:
+  ///     ca2(ch) = 1 + (ca2 − 1) · self_frac(ch),
+  /// and reset the batch residual (an SCV-only tune describes a batchless
+  /// process).  O(channels) — no re-routing — so burstiness sweeps reuse
+  /// one built model.  For hand-built graphs (self_frac ≡ 0 off the
+  /// builder path) this only records the value; channel SCVs stay Poisson.
+  /// When tuning to a cataloged process prefer set_injection_process —
+  /// hand-fed values must be arrivals::ArrivalSpec::effective_ca2(), NOT
+  /// the interval ca2(): for the correlated MMPP-2 the interval SCV
+  /// understates queueing (a measured 31% model optimism, EXPERIMENTS.md).
+  void set_injection_ca2(double ca2);
+
+  /// Tune the model to an arrival process end-to-end: per-channel SCVs from
+  /// spec.ca2(lambda0) via set_injection_ca2, plus the process's intra-batch
+  /// residual.  This is the one call benches and sweeps should use.
+  void set_injection_process(const arrivals::ArrivalSpec& spec,
+                             double lambda0 = 0.0);
 
   /// Full solve at λ₀ (per-channel detail).
   SolveResult solve(double lambda0) const;
@@ -116,6 +149,10 @@ class GeneralModel final : public NetworkModel {
   std::string name() const override { return model_name; }
   double worm_flits() const override { return opts.worm_flits; }
   queueing::AblationOptions ablation() const override { return opts.ablation(); }
+  double arrival_ca2() const override { return injection_ca2; }
+  double arrival_batch_residual() const override {
+    return injection_batch_residual;
+  }
   LatencyEstimate evaluate(double lambda0) const override;
 };
 

@@ -41,6 +41,18 @@ class NetworkModel {
   /// The ablation switches in force (the paper's two novelties + erratum).
   virtual queueing::AblationOptions ablation() const = 0;
 
+  /// The injection-process SCV (C_a²) this model is currently tuned to; 1 —
+  /// the paper's Poisson assumption — unless the implementation supports the
+  /// bursty-arrivals extension (GeneralModel via set_injection_ca2).  Part
+  /// of the interface so sweep caches can key on it.
+  virtual double arrival_ca2() const { return 1.0; }
+
+  /// The injection process's intra-batch serialization residual (mean
+  /// batch-mates ahead, in injection services; see
+  /// arrivals::ArrivalSpec::batch_residual); 0 for batchless processes.
+  /// Interface-visible for the same cache-keying reason as arrival_ca2.
+  virtual double arrival_batch_residual() const { return 0.0; }
+
   /// Evaluate at λ₀ messages/cycle/processor.
   virtual LatencyEstimate evaluate(double lambda0) const = 0;
 

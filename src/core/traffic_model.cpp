@@ -37,13 +37,25 @@ struct NodeRoutes {
   std::array<double, 4> split{};
 };
 
+/// One merged flow fragment entering a node: where it came from, its rate,
+/// and its QNA "self-mass" — the Σ flow_i · frac_i over the source
+/// sub-streams it merges, where frac_i is sub-stream i's cumulative split
+/// fraction of its source's original injection process.  Splitting with
+/// probability p maps (flow, self) → (flow·p, self·p²) — each sub-stream's
+/// flow AND frac both scale by p — and merging adds componentwise, so the
+/// self-mass is exactly as shard-additive as the rate.
+struct FlowFragment {
+  int in_ch = 0;      ///< incoming channel; kNoChannel marks injections
+  double flow = 0.0;  ///< message rate at unit injection
+  double self = 0.0;  ///< Σ flow·frac of the merged source sub-streams
+};
+
 /// Scratch state for one destination's flow-propagation pass, reused across
 /// the destinations of one shard so each worker allocates O(nodes +
 /// channels) once.
 struct DestinationPass {
-  /// Per node: (incoming channel, flow) pairs accumulated this pass;
-  /// kNoChannel marks source injections.
-  std::vector<std::vector<std::pair<int, double>>> in_flows;
+  /// Per node: flow fragments accumulated this pass.
+  std::vector<std::vector<FlowFragment>> in_flows;
   std::vector<char> visited;
   std::vector<int> order;           ///< DFS postorder of the route DAG toward dst
   std::vector<NodeRoutes> routes;   ///< valid for visited nodes only
@@ -67,6 +79,7 @@ struct DestinationPass {
 /// fixed shard order so the result cannot depend on scheduling.
 struct ShardAccum {
   std::vector<double> rate;    ///< per channel
+  std::vector<double> self;    ///< per channel, QNA self-mass (see FlowFragment)
   std::vector<double> onward;  ///< flat (channel, continuation port) flows
   double weighted_distance = 0.0;
 };
@@ -125,18 +138,23 @@ void run_shard(const topo::Topology& topo, const topo::ChannelTable& ct,
                ShardAccum& acc) {
   const int procs = topo.num_processors();
   acc.rate.assign(static_cast<std::size_t>(ct.size()), 0.0);
+  acc.self.assign(static_cast<std::size_t>(ct.size()), 0.0);
   acc.onward.assign(static_cast<std::size_t>(onward_off.back()), 0.0);
   acc.weighted_distance = 0.0;
 
   DestinationPass pass(topo.num_nodes());
   for (int d = dst_lo; d < dst_hi; ++d) {
     // Seed the pass: every source with weight toward d injects its flow.
+    // The (s → d) sub-stream is the destination split of s's injection
+    // process: fraction w / injection_weight of it, hence self = w · frac.
     for (int s = 0; s < procs; ++s) {
       if (s == d) continue;
       const double w = spec.pair_weight(s, d, procs);
       if (w <= 0.0) continue;
       acc.weighted_distance += w * topo.distance(s, d);
-      pass.in_flows[static_cast<std::size_t>(s)].push_back({topo::kNoChannel, w});
+      const double frac = w / spec.injection_weight(s, procs);
+      pass.in_flows[static_cast<std::size_t>(s)].push_back(
+          {topo::kNoChannel, w, w * frac});
       dfs_route_dag(topo, ct, s, d, pass);
     }
     // Propagate in topological order (reverse postorder): a node's in-flows
@@ -148,7 +166,11 @@ void run_shard(const topo::Topology& topo, const topo::ChannelTable& ct,
       WORMNET_ENSURES(node != d);    // flows into d are consumed, never split
       const NodeRoutes& nr = pass.routes[static_cast<std::size_t>(node)];
       double total = 0.0;
-      for (const auto& [in_ch, flow] : inputs) total += flow;
+      double total_self = 0.0;
+      for (const FlowFragment& in : inputs) {
+        total += in.flow;
+        total_self += in.self;
+      }
       for (int i = 0; i < nr.count; ++i) {
         const double p = nr.split[static_cast<std::size_t>(i)];
         if (p <= 0.0) continue;
@@ -156,14 +178,16 @@ void run_shard(const topo::Topology& topo, const topo::ChannelTable& ct,
         const int ch = nr.channel[static_cast<std::size_t>(i)];
         WORMNET_ENSURES(ch != topo::kNoChannel);
         acc.rate[static_cast<std::size_t>(ch)] += total * p;
-        for (const auto& [in_ch, flow] : inputs) {
-          if (in_ch == topo::kNoChannel) continue;
-          acc.onward[static_cast<std::size_t>(onward_off[static_cast<std::size_t>(in_ch)] + port)] +=
-              flow * p;
+        acc.self[static_cast<std::size_t>(ch)] += total_self * p * p;
+        for (const FlowFragment& in : inputs) {
+          if (in.in_ch == topo::kNoChannel) continue;
+          acc.onward[static_cast<std::size_t>(onward_off[static_cast<std::size_t>(in.in_ch)] + port)] +=
+              in.flow * p;
         }
         const int nbr = nr.neighbor[static_cast<std::size_t>(i)];
         if (nbr == d) continue;  // ejection channel: consumed at the destination
-        pass.in_flows[static_cast<std::size_t>(nbr)].push_back({ch, total * p});
+        pass.in_flows[static_cast<std::size_t>(nbr)].push_back(
+            {ch, total * p, total_self * p * p});
       }
     }
     pass.reset();
@@ -219,10 +243,12 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
   // Deterministic reduction: shard partials added back in shard (i.e.
   // ascending destination-range) order.
   std::vector<double> rate(static_cast<std::size_t>(num_channels), 0.0);
+  std::vector<double> self(static_cast<std::size_t>(num_channels), 0.0);
   std::vector<double> onward(static_cast<std::size_t>(onward_off.back()), 0.0);
   double weighted_distance = 0.0;
   for (const ShardAccum& acc : accs) {
     for (std::size_t i = 0; i < rate.size(); ++i) rate[i] += acc.rate[i];
+    for (std::size_t i = 0; i < self.size(); ++i) self[i] += acc.self[i];
     for (std::size_t i = 0; i < onward.size(); ++i) onward[i] += acc.onward[i];
     weighted_distance += acc.weighted_distance;
   }
@@ -253,6 +279,19 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
     c.lanes = ct.lanes(ch);
     c.rate_per_link = rate[static_cast<std::size_t>(ch)];
     c.terminal = topo.is_processor(dc.dst_node);
+    // QNA burstiness retention.  Injection channels carry their source's
+    // UNDIVIDED process — the destination split is logical, not physical,
+    // so the fragment-level merge (which would treat the per-destination
+    // sub-streams as independent and mostly Poissonify them) is overridden
+    // with the exact value 1.  Downstream, the fragment-level sum is the
+    // QNA split/merge approximation; min() guards the ≤ 1 invariant
+    // against last-ulp float drift.
+    if (topo.is_processor(dc.src_node)) {
+      c.self_frac = 1.0;
+    } else if (c.rate_per_link > 0.0) {
+      c.self_frac = std::min(
+          1.0, self[static_cast<std::size_t>(ch)] / c.rate_per_link);
+    }
     const int id = net.graph.add_channel(c);
     WORMNET_ENSURES(id == ch);  // 1:1 channel table <-> class ids
     net.labels[c.label] = id;

@@ -20,6 +20,23 @@
 // The resulting GeneralModel matches the uniform builders under
 // TrafficSpec::uniform() (tested to machine precision) and plugs into the
 // sweep engine like any other NetworkModel.
+//
+// QNA-style SCV propagation (the bursty-arrivals extension)
+// ---------------------------------------------------------
+// Alongside rates, the same DP propagates each channel's structural
+// burstiness retention `self_frac`: sub-streams split from a source's
+// injection process with cumulative fraction p carry SCV p·C_inj² + (1 − p)
+// (the Markovian split rule, composable across splits), and merges weight
+// sub-stream SCVs by rate (the QNA asymptotic-merge rule).  Both operations
+// are affine in C_inj², so only the structural coefficient
+//     self_frac(ch) = Σ_substreams flow·frac / rate(ch)   ∈ [0, 1]
+// is stored — GeneralModel::set_injection_ca2 then retunes every channel to
+//     C_a²(ch) = 1 + (C_inj² − 1) · self_frac(ch)
+// in O(channels) without re-routing.  Injection channels are pinned to
+// self_frac = 1 (they carry the source's undivided process); deep channels
+// merging many thin sub-streams approach 0, the superposition
+// Poissonification limit.  The solver consumes C_a²(ch) through the
+// Allen–Cunneen G/G/m wait in queueing::ChannelSolver.
 #pragma once
 
 #include "core/general_model.hpp"

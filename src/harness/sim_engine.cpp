@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "sim/network.hpp"
@@ -53,6 +55,20 @@ void fill_aggregates(SimCellResult& out) {
 
 }  // namespace
 
+std::vector<SimCell> burstiness_cells(
+    const SimCell& base, const std::vector<arrivals::ArrivalSpec>& processes) {
+  std::vector<SimCell> cells;
+  cells.reserve(processes.size());
+  for (const arrivals::ArrivalSpec& process : processes) {
+    SimCell cell = base;
+    cell.cfg.arrival_process = process;
+    cell.label =
+        base.label.empty() ? process.name() : base.label + "/" + process.name();
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
 SimEngine::SimEngine(Options opts) : opts_(opts) {
   if (opts_.parallel) pool_ = std::make_unique<util::ThreadPool>(opts_.threads);
 }
@@ -70,6 +86,19 @@ std::vector<SimCellResult> SimEngine::run_cells(const std::vector<SimCell>& cell
   for (const SimCell& cell : cells) {
     WORMNET_EXPECTS(cell.topology != nullptr);
     WORMNET_EXPECTS(cell.replications >= 1);
+    // Fail fast HERE, on the calling thread: a config rejected inside a
+    // pool worker would escape ThreadPool::worker_loop and std::terminate
+    // the process instead of surfacing as a catchable error.  Campaign
+    // cells are never scripted, so the zero-warmup open-loop rule the
+    // Simulator defers until run() is also decidable now.
+    if (std::string problem = cell.cfg.validate(); !problem.empty()) {
+      throw std::invalid_argument("wormnet: campaign cell '" + cell.label +
+                                  "': " + problem);
+    }
+    if (std::string problem = cell.cfg.validate_open_loop(); !problem.empty()) {
+      throw std::invalid_argument("wormnet: campaign cell '" + cell.label +
+                                  "': " + problem);
+    }
     auto it = nets.find(cell.topology);
     if (it == nets.end()) {
       nets.emplace(cell.topology,

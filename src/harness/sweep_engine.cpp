@@ -33,8 +33,16 @@ SweepEngine::Key SweepEngine::make_key(const core::NetworkModel& model,
       (static_cast<std::uint64_t>(abl.blocking_correction) << 61) |
       (static_cast<std::uint64_t>(abl.erratum_2lambda) << 60) |
       (static_cast<std::uint64_t>(abl.virtual_channels) << 59) |
-      (double_bits(model.worm_flits()) >> 4);
-  return Key{&model, double_bits(lambda0) ^ (config_bits << 1)};
+      (static_cast<std::uint64_t>(abl.bursty_arrivals) << 58) |
+      (double_bits(model.worm_flits()) >> 5);
+  // The injection process is interface-visible configuration too (a
+  // set_injection_process retune must miss, not serve the stale Poisson
+  // point); multiply-mix the SCV and batch-residual bit patterns so nearby
+  // values spread.
+  const std::uint64_t arrival_bits =
+      double_bits(model.arrival_ca2()) * 0x9e3779b97f4a7c15ULL ^
+      double_bits(model.arrival_batch_residual()) * 0xbf58476d1ce4e5b9ULL;
+  return Key{&model, double_bits(lambda0) ^ (config_bits << 1) ^ arrival_bits};
 }
 
 std::size_t SweepEngine::KeyHash::operator()(const Key& k) const {
@@ -196,6 +204,35 @@ std::vector<FamilyMember> SweepEngine::sweep_lanes(
   return sweep_family(
       [&make](double parameter) { return make(static_cast<int>(parameter)); },
       parameters, saturation_fractions);
+}
+
+std::vector<FamilyMember> SweepEngine::sweep_burstiness(
+    const ArrivalModelFactory& make,
+    const std::vector<arrivals::ArrivalSpec>& processes,
+    const std::vector<double>& saturation_fractions) {
+  // Same structure and lifetime contract as sweep_family; the family axis
+  // is the process's (rate-invariant) C_a².
+  std::vector<FamilyMember> family;
+  family.reserve(processes.size());
+  for (const arrivals::ArrivalSpec& process : processes) {
+    WORMNET_EXPECTS(process.check().empty());
+    // Bernoulli's SCV depends on λ₀, which varies point-by-point inside a
+    // member's own sweep — it has no single position on this axis, and the
+    // rate-invariant default below would silently read as Poisson.
+    WORMNET_EXPECTS(process.kind() != arrivals::Kind::Bernoulli);
+    FamilyMember member;
+    member.parameter = process.effective_ca2();
+    member.model = make(process);
+    WORMNET_EXPECTS(member.model != nullptr);
+    member.saturation_rate = saturation_rate(*member.model);
+    std::vector<double> lambdas;
+    lambdas.reserve(saturation_fractions.size());
+    for (double f : saturation_fractions)
+      lambdas.push_back(member.saturation_rate * f);
+    member.points = sweep_lambda(*member.model, lambdas);
+    family.push_back(std::move(member));
+  }
+  return family;
 }
 
 double SweepEngine::saturation_rate(const core::NetworkModel& model) {

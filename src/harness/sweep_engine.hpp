@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "arrivals/arrival_process.hpp"
 #include "core/network_model.hpp"
 #include "util/thread_pool.hpp"
 
@@ -64,6 +65,14 @@ using ModelFactory =
 /// `[&](int L) { ft.set_uniform_lanes(L); return build_traffic_model(...); }`.
 using LaneModelFactory =
     std::function<std::unique_ptr<core::NetworkModel>(int lanes)>;
+
+/// Builds the family member model tuned to one arrival process — e.g.
+/// `[&](const arrivals::ArrivalSpec& p) {
+///    auto m = std::make_unique<core::GeneralModel>(base);
+///    m->set_injection_process(p);
+///    return m; }`.
+using ArrivalModelFactory = std::function<std::unique_ptr<core::NetworkModel>(
+    const arrivals::ArrivalSpec& process)>;
 
 /// Parallel, memoizing sweep executor.
 class SweepEngine {
@@ -120,6 +129,21 @@ class SweepEngine {
   std::vector<FamilyMember> sweep_lanes(const LaneModelFactory& make,
                                         const std::vector<int>& lane_counts,
                                         const std::vector<double>& saturation_fractions);
+
+  /// Burstiness axis: sweep_family over arrival processes (the bursty-
+  /// arrivals extension's capacity-planning axis).  Each member's model is
+  /// built by the factory tuned to that process (typically one
+  /// build_traffic_model + per-member set_injection_process retunes, which
+  /// are O(channels)); each member's `parameter` is its process's effective
+  /// C_a² (the variability parameter the model consumes).  The cache
+  /// disambiguates members through core::NetworkModel::arrival_ca2() and
+  /// arrival_batch_residual(), which are part of the key.  Bernoulli is
+  /// rejected: its SCV is 1 − λ₀, which varies across a member's own sweep
+  /// points, so it has no single position on this axis.
+  std::vector<FamilyMember> sweep_burstiness(
+      const ArrivalModelFactory& make,
+      const std::vector<arrivals::ArrivalSpec>& processes,
+      const std::vector<double>& saturation_fractions);
 
   /// Number of worker threads backing parallel sweeps (1 when serial).
   unsigned threads() const;

@@ -47,6 +47,15 @@ double ChannelSolver::bundle_wait(int servers, int lanes, double lambda_link,
   return wormhole_wait(servers * lanes, lambda_arg, xbar, worm_flits_);
 }
 
+double ChannelSolver::bundle_wait(int servers, int lanes, double lambda_link,
+                                  double xbar, double ca2) const {
+  const double base = bundle_wait(servers, lanes, lambda_link, xbar);
+  if (!ablation_.bursty_arrivals) return base;
+  // scaled_wait_gg owns the guard rules (ca2 == 1 bit identity, 0/inf
+  // passthrough) shared with the standalone wormhole_wait_gg kernel.
+  return scaled_wait_gg(base, ca2, cb2(xbar));
+}
+
 double ChannelSolver::bundle_utilization(int servers, double lambda_link,
                                          double xbar) const {
   WORMNET_EXPECTS(servers >= 1);

@@ -45,6 +45,13 @@ struct AblationOptions {
   /// the paper's single lane).  With L = 1 everywhere the switch has no
   /// effect, so the paper's published numbers are reproduced bit-for-bit.
   bool virtual_channels = true;
+  /// Extension: honor per-channel arrival-stream SCVs (C_a²) through the
+  /// Allen–Cunneen G/G/m correction (C_a² + C_b²)/2 — the bursty-arrivals
+  /// subsystem's entry into the wait recurrence.  Off: C_a² ≡ 1 (the
+  /// paper's Poisson assumption 1).  With C_a² = 1 everywhere the switch
+  /// has no effect, so Poisson runs reproduce the published numbers
+  /// bit-for-bit.
+  bool bursty_arrivals = true;
 };
 
 /// Stateless-per-evaluation solver for one channel class; holds the worm
@@ -78,6 +85,14 @@ class ChannelSolver {
   /// occupancy λ·x̄ = m·L, not at m).  Degenerates to the single-lane form
   /// when L == 1 or the virtual_channels switch is off.
   double bundle_wait(int servers, int lanes, double lambda_link, double xbar) const;
+
+  /// Bursty-arrivals wait: the lane-aware bundle wait for an arrival stream
+  /// whose inter-arrival SCV is `ca2`, via the Allen–Cunneen correction
+  ///     W_{G/G/m} ≈ W_{M/G/m} · (C_a² + C_b²)/(1 + C_b²).
+  /// Degenerates — bit for bit — to the Poisson form above when ca2 == 1 or
+  /// the bursty_arrivals switch is off.
+  double bundle_wait(int servers, int lanes, double lambda_link, double xbar,
+                     double ca2) const;
 
   /// Utilization ρ of the bundle, always at the true total rate m·λ (the
   /// ablations change the wait formula, not the physics of utilization).

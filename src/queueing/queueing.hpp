@@ -77,6 +77,31 @@ double mgm_wait(int servers, double lambda, double xbar, double cb2);
 /// Generalized M/G/m with the wormhole variance approximation.
 double mgm_wait_wormhole(int servers, double lambda, double xbar, double worm_flits);
 
+/// Allen–Cunneen G/G/m correction relative to the M/G/m kernels above:
+///     W_{G/G/m} ≈ (C_a² + C_s²)/2 · W_{M/M/m}
+///               = W_{M/G/m} · (C_a² + C_s²)/(1 + C_s²),
+/// so a non-Poisson arrival stream with SCV C_a² scales the Poisson wait by
+/// this factor.  Exactly 1 at C_a² = 1 (the Poisson paths stay bit-identical
+/// through it, though callers short-circuit anyway).
+double allen_cunneen_scale(double ca2, double cs2);
+
+/// G/G/1 mean wait (Allen–Cunneen / Kingman form of Pollaczek–Khinchine):
+///     W = rho * x̄ * (C_a² + C_s²) / (2 (1 - rho)).
+/// Reduces to mg1_wait at C_a² = 1.  Returns +inf when unstable.
+double gg1_wait(double lambda, double xbar, double ca2, double cs2);
+
+/// G/G/m mean wait, Allen–Cunneen:  W ≈ (C_a² + C_s²)/2 · W_{M/M/m}.
+/// Reduces to mgm_wait at C_a² = 1.  `lambda` is the total rate.
+double ggm_wait(int servers, double lambda, double xbar, double ca2, double cs2);
+
+/// The one home of the guard-and-scale rule for retrofitting a Poisson wait
+/// to arrival SCV `ca2`: ca2 == 1 returns `poisson_wait` untouched (bit
+/// identity, never a multiply-by-computed-1), a zero or diverged wait stays
+/// as is (saturation dominates variability; 0·inf must not make NaN), and
+/// everything else scales by allen_cunneen_scale(ca2, cs2).  Both
+/// wormhole_wait_gg and ChannelSolver::bundle_wait route through this.
+double scaled_wait_gg(double poisson_wait, double ca2, double cs2);
+
 /// Wormhole blocking-probability correction, Eq. 10:
 ///     P(i|j) = 1 - m * (lambda_in / lambda_out_total) * R_ij
 /// the probability that the messages "in service" at outgoing channel j in
@@ -96,5 +121,12 @@ double blocking_probability(int servers, double lambda_in, double lambda_out_tot
 /// kernels above: dispatches to Eq. 6 (m=1), Eq. 8 (m=2) or the generalized
 /// M/G/m (m>2).  `lambda_total` is the whole bundle's rate.
 double wormhole_wait(int servers, double lambda_total, double xbar, double worm_flits);
+
+/// Bursty-arrivals form: the paper's wormhole wait scaled by the
+/// Allen–Cunneen factor for an arrival stream of SCV `ca2` (the QNA-style
+/// extension the arrivals subsystem threads through the model).  Returns
+/// wormhole_wait unchanged — bit for bit — when ca2 == 1.
+double wormhole_wait_gg(int servers, double lambda_total, double xbar,
+                        double worm_flits, double ca2);
 
 }  // namespace wormnet::queueing

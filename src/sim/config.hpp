@@ -11,14 +11,20 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "arrivals/arrival_process.hpp"
 #include "traffic/traffic_spec.hpp"
 
 namespace wormnet::sim {
 
-/// Message generation process at each processor.
+/// Message generation MODE at each processor.  Poisson (the default) is the
+/// open-loop mode whose inter-arrival law is refined by
+/// SimConfig::arrival_process; Bernoulli is the legacy shorthand for
+/// arrivals::ArrivalSpec::bernoulli(); Overload is the closed-loop
+/// saturation probe (no arrival process at all).
 enum class ArrivalProcess {
-  Poisson,    ///< exponential inter-arrival times (the paper's assumption 1)
+  Poisson,    ///< open loop, gaps drawn from SimConfig::arrival_process
   Bernoulli,  ///< geometric inter-arrival times (one trial per cycle)
   Overload,   ///< source always backlogged: measures saturation throughput
 };
@@ -32,8 +38,17 @@ struct SimConfig {
   /// Worm length s_f in flits.
   int worm_flits = 16;
 
-  /// Arrival process.
+  /// Arrival mode (see the enum above).
   ArrivalProcess arrivals = ArrivalProcess::Poisson;
+
+  /// Inter-arrival law for open-loop runs (arrivals == Poisson): any
+  /// arrivals::ArrivalSpec — Poisson, deterministic, compound-Poisson
+  /// batches, MMPP-2/ON-OFF, or trace-driven.  The SAME spec object feeds
+  /// the analytical model (ArrivalSpec::ca2 →
+  /// core::GeneralModel::set_injection_ca2), so simulator and model agree
+  /// on the workload's burstiness by construction.  The default keeps every
+  /// existing seeded run bit-identical (assumption 1).
+  arrivals::ArrivalSpec arrival_process = arrivals::ArrivalSpec::poisson();
 
   /// Destination distribution (the paper's assumption 1 by default).  Every
   /// source must carry full injection weight: the simulator generates
@@ -78,6 +93,45 @@ struct SimConfig {
   bool latency_histogram = false;
   double histogram_max = 4096.0;
   int histogram_bins = 512;
+
+  /// Empty string when the configuration is usable, else a human-readable
+  /// explanation of the first problem found.  Simulator construction calls
+  /// this and throws std::invalid_argument on failure — a negative load,
+  /// zero-flit worm or bad arrival spec fails fast instead of silently
+  /// producing garbage.  (Zero warmup is additionally rejected at run time
+  /// for open-loop measurement runs — scripted runs legitimately use it.)
+  std::string validate() const {
+    if (load_flits < 0.0) return "sim config: negative load_flits";
+    if (worm_flits < 1) return "sim config: worm_flits must be >= 1 flit";
+    if (warmup_cycles < 0) return "sim config: negative warmup_cycles";
+    if (measure_cycles <= 0) return "sim config: measure_cycles must be > 0";
+    if (max_cycles <= 0) return "sim config: max_cycles must be > 0";
+    if (watchdog_cycles <= 0) return "sim config: watchdog_cycles must be > 0";
+    if (latency_histogram && (histogram_bins < 1 || !(histogram_max > 0.0)))
+      return "sim config: latency_histogram needs bins >= 1 and max > 0";
+    if (const std::string problem = arrival_process.check(); !problem.empty())
+      return "sim config: " + problem;
+    if (arrivals == ArrivalProcess::Bernoulli && !arrival_process.is_poisson())
+      return "sim config: arrivals == Bernoulli conflicts with a non-Poisson "
+             "arrival_process — set one or the other";
+    return "";
+  }
+
+  /// The zero-warmup rule for open-loop MEASUREMENT runs, kept out of
+  /// validate() because scripted runs legitimately use warmup 0 and only
+  /// the Simulator knows (at run time) whether a run is scripted.  Both
+  /// enforcement sites — Simulator::advance for lone runs and
+  /// SimEngine::run_cells for campaigns (eagerly; campaign cells are never
+  /// scripted) — call this ONE rule.  Empty string when fine.
+  std::string validate_open_loop() const {
+    if (arrivals != ArrivalProcess::Overload && load_flits > 0.0 &&
+        warmup_cycles == 0) {
+      return "sim config: zero warmup_cycles on an open-loop measurement "
+             "run biases the latency window — warm the queues up first "
+             "(warmup_cycles >= 1)";
+    }
+    return "";
+  }
 };
 
 }  // namespace wormnet::sim

@@ -10,25 +10,36 @@
 
 namespace wormnet::sim {
 
+namespace {
+
+/// Fail-fast configuration gate: a negative load, zero-flit worm or broken
+/// arrival spec throws a clear std::invalid_argument instead of silently
+/// misbehaving (or aborting through a bare contract macro).
+SimConfig validated(SimConfig cfg) {
+  if (const std::string problem = cfg.validate(); !problem.empty()) {
+    throw std::invalid_argument("wormnet: " + problem);
+  }
+  return cfg;
+}
+
+}  // namespace
+
 Simulator::Simulator(const SimNetwork& net, SimConfig cfg)
     : net_(net),
-      cfg_(cfg),
+      cfg_(validated(std::move(cfg))),
       traffic_(net.topology().num_processors(),
-               cfg.load_flits / static_cast<double>(cfg.worm_flits),
-               cfg.arrivals, cfg.seed, cfg.traffic),
-      route_rng_(util::Rng::stream(cfg.seed, 0xADA9711CULL)),
+               cfg_.load_flits / static_cast<double>(cfg_.worm_flits),
+               cfg_.arrivals, cfg_.seed, cfg_.traffic, cfg_.arrival_process),
+      route_rng_(util::Rng::stream(cfg_.seed, 0xADA9711CULL)),
       num_procs_(net.topology().num_processors()),
       inj_channel_(net.injection_channels().data()),
       single_lane_(net.max_lanes() == 1),
       // Overload sources are never idle after cycle 0, so fast-forward has
       // nothing to skip there; gate it off entirely for clarity.
-      fast_forward_(!cfg.disable_fast_forward &&
-                    cfg.arrivals != ArrivalProcess::Overload) {
-  WORMNET_EXPECTS(cfg.worm_flits >= 1);
-  WORMNET_EXPECTS(cfg.load_flits >= 0.0);
-  WORMNET_EXPECTS(cfg.warmup_cycles >= 0 && cfg.measure_cycles > 0);
-  if (cfg.latency_histogram) {
-    result_.latency_hist.emplace(0.0, cfg.histogram_max, cfg.histogram_bins);
+      fast_forward_(!cfg_.disable_fast_forward &&
+                    cfg_.arrivals != ArrivalProcess::Overload) {
+  if (cfg_.latency_histogram) {
+    result_.latency_hist.emplace(0.0, cfg_.histogram_max, cfg_.histogram_bins);
   }
   lane_state_.assign(static_cast<std::size_t>(net.num_lanes()), {});
   bundle_state_.assign(static_cast<std::size_t>(net.num_bundles()), {});
@@ -37,7 +48,7 @@ Simulator::Simulator(const SimNetwork& net, SimConfig cfg)
   sources_.assign(static_cast<std::size_t>(net.topology().num_processors()), {});
   if (net.max_lanes() > 1)
     channel_claim_.assign(static_cast<std::size_t>(net.num_channels()), -1);
-  if (cfg.channel_stats)
+  if (cfg_.channel_stats)
     result_.channels.assign(static_cast<std::size_t>(net.num_channels()), {});
 }
 
@@ -420,6 +431,21 @@ long Simulator::idle_jump_target(long cycle) const {
 bool Simulator::advance(long cycles) {
   WORMNET_EXPECTS(cycles > 0);
   if (done_) return true;
+  if (!config_checked_) {
+    // Deferred until here because scripted mode is only known after
+    // add_message(): an open-loop measurement run with zero warmup tags
+    // messages into empty queues from cycle 0 and silently biases every
+    // latency statistic, so reject it loudly instead.  The flag is latched
+    // only AFTER the check passes — a caller that catches the throw and
+    // calls run() again must be rejected again, not silently admitted.
+    if (!scripted_mode_) {
+      if (const std::string problem = cfg_.validate_open_loop();
+          !problem.empty()) {
+        throw std::invalid_argument("wormnet: " + problem);
+      }
+    }
+    config_checked_ = true;
+  }
   const long window_end = cfg_.warmup_cycles + cfg_.measure_cycles;
   const long stop = (cycles > std::numeric_limits<long>::max() - cycle_)
                         ? std::numeric_limits<long>::max()

@@ -255,6 +255,7 @@ class Simulator {
   long last_progress_ = 0;
   long cycle_ = 0;     // next cycle to execute (advance() resumes here)
   bool done_ = false;  // the run has terminated; result_ is final
+  bool config_checked_ = false;  // deferred open-loop config checks ran
 };
 
 /// Convenience: simulate `topo` under `cfg` (builds a SimNetwork internally).

@@ -2,23 +2,27 @@
 //
 // Message generation.  Each processor owns an independent RNG stream (keyed
 // by seed and processor id, so results do not depend on event interleaving)
-// and produces arrivals by one of:
-//  * Poisson   — exponential inter-arrival gaps at rate λ₀ (the paper's
-//                assumption); arrivals in continuous time, usable at the
-//                next cycle boundary;
-//  * Bernoulli — geometric gaps (one coin flip per cycle at probability λ₀);
+// and produces arrivals either
+//  * open-loop — inter-arrival gaps drawn from an arrivals::ArrivalSpec at
+//                rate λ₀ (Poisson is the paper's assumption 1 and samples
+//                bit-identically to the pre-subsystem code; Bernoulli,
+//                deterministic, batch, MMPP-2 and trace gaps share the same
+//                machinery), arrivals in continuous time, usable at the
+//                next cycle boundary; or
 //  * Overload  — a fresh message the moment the source drains (closed-loop
-//                saturation probe).
+//                saturation probe; no arrival process at all).
 //
-// Destinations are drawn from a traffic::TrafficSpec — the same object the
-// analytical model builder routes, so "what the simulator does" and "what
-// the model assumes" cannot drift apart.
+// Destinations are drawn from a traffic::TrafficSpec and gaps from an
+// arrivals::ArrivalSpec — the same objects the analytical model consumes
+// (route enumeration and C_a² propagation respectively), so "what the
+// simulator does" and "what the model assumes" cannot drift apart.
 #pragma once
 
 #include <cstdint>
 #include <queue>
 #include <vector>
 
+#include "arrivals/arrival_process.hpp"
 #include "sim/config.hpp"
 #include "traffic/traffic_spec.hpp"
 #include "util/rng.hpp"
@@ -38,10 +42,15 @@ class TrafficSource {
   /// ignored; next_arrival() never fires and callers use make_destination()
   /// plus their own replenish logic.  `spec` must pass check() for
   /// `num_processors` and give every source full injection weight (the
-  /// stochastic arrival processes drive every PE at λ₀).
+  /// stochastic arrival processes drive every PE at λ₀).  `arrival` is the
+  /// inter-arrival law for open-loop modes (the Bernoulli mode is shorthand
+  /// for ArrivalSpec::bernoulli() and must not be combined with a
+  /// non-Poisson `arrival`); its Poisson default draws exactly the legacy
+  /// sequence, keeping all seeded goldens bit-identical.
   TrafficSource(int num_processors, double lambda0, ArrivalProcess process,
                 std::uint64_t seed,
-                traffic::TrafficSpec spec = traffic::TrafficSpec::uniform());
+                traffic::TrafficSpec spec = traffic::TrafficSpec::uniform(),
+                arrivals::ArrivalSpec arrival = arrivals::ArrivalSpec::poisson());
 
   /// True if an arrival is due at or before `cycle`.
   bool has_arrival(long cycle) const;
@@ -61,6 +70,10 @@ class TrafficSource {
   /// The destination distribution in force.
   const traffic::TrafficSpec& spec() const { return spec_; }
 
+  /// The inter-arrival law in force (ArrivalSpec::bernoulli() when the
+  /// legacy Bernoulli mode was requested; meaningless under Overload).
+  const arrivals::ArrivalSpec& arrival_process() const { return arrival_; }
+
  private:
   void schedule_next(int proc, double from_time);
 
@@ -68,7 +81,9 @@ class TrafficSource {
   double lambda0_;
   ArrivalProcess process_;
   traffic::TrafficSpec spec_;
+  arrivals::ArrivalSpec arrival_;
   std::vector<util::Rng> rng_;          // per processor
+  std::vector<arrivals::ArrivalState> arrival_state_;  // per processor
   std::vector<double> next_time_;       // per processor, continuous
   // Min-heap of (time, proc) so only due processors are touched per cycle.
   using HeapEntry = std::pair<double, int>;

@@ -5,7 +5,11 @@
 // (ICPP 1997):
 //
 //  * wormnet::queueing — M/G/1, Hokstad M/G/2, generalized M/G/m waits with
-//    the wormhole variance and blocking-probability corrections (Eq. 4-10);
+//    the wormhole variance and blocking-probability corrections (Eq. 4-10),
+//    plus the Allen–Cunneen G/G/m extension for bursty arrivals;
+//  * wormnet::arrivals — message arrival processes (Poisson, deterministic,
+//    batch, MMPP-2/ON-OFF, trace) with closed-form C_a², shared by model
+//    and simulator;
 //  * wormnet::topo     — butterfly fat-tree, hypercube and mesh topologies;
 //  * wormnet::traffic  — destination distributions (TrafficSpec pattern
 //    catalog + arbitrary TrafficMatrix), shared by model and simulator;
@@ -21,6 +25,7 @@
 // See README.md for a quickstart and DESIGN.md for the architecture.
 #pragma once
 
+#include "arrivals/arrival_process.hpp" // IWYU pragma: export
 #include "core/channel_graph.hpp"      // IWYU pragma: export
 #include "core/fattree_graph.hpp"      // IWYU pragma: export
 #include "core/fattree_model.hpp"      // IWYU pragma: export

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "core/channel_graph.hpp"
 #include "core/fattree_graph.hpp"
@@ -106,12 +107,26 @@ TEST(EdgeCases, SmallestSimulationsComplete) {
   EXPECT_GE(r.latency.min(), 2.0);  // D_min = 2, s_f = 1
 }
 
-TEST(EdgeCases, ZeroWarmupSimulation) {
+TEST(EdgeCases, ZeroWarmupOpenLoopRunRejected) {
+  // An open-loop measurement run with zero warmup tags messages into empty
+  // queues from cycle 0 and biases every latency statistic; the simulator
+  // now fails fast instead of silently misbehaving (scripted runs — which
+  // legitimately use warmup 0 — are exempt and covered by test_sim_basic).
   topo::ButterflyFatTree ft(1);
   sim::SimConfig cfg;
   cfg.load_flits = 0.02;
   cfg.worm_flits = 8;
   cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 5'000;
+  EXPECT_THROW(sim::simulate(ft, cfg), std::invalid_argument);
+}
+
+TEST(EdgeCases, MinimalWarmupSimulation) {
+  topo::ButterflyFatTree ft(1);
+  sim::SimConfig cfg;
+  cfg.load_flits = 0.02;
+  cfg.worm_flits = 8;
+  cfg.warmup_cycles = 1;
   cfg.measure_cycles = 5'000;
   const sim::SimResult r = sim::simulate(ft, cfg);
   EXPECT_TRUE(r.completed);

@@ -69,7 +69,7 @@ TEST(AllocationGuard, SteadyStateCycleLoopAllocatesNothing) {
   cfg.load_flits = 0.08;  // ~half of the N=64 uniform saturation (~0.16)
   cfg.worm_flits = 16;
   cfg.seed = 5;
-  cfg.warmup_cycles = 0;
+  cfg.warmup_cycles = 1000;  // open-loop runs require a warmup (validated)
   cfg.measure_cycles = 200000;
   cfg.max_cycles = 1000000;
   cfg.channel_stats = true;  // per-channel counters are preallocated

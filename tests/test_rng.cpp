@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <vector>
@@ -145,6 +146,60 @@ TEST(Rng, ExponentialVarianceMatches) {
   const double mean = sum / n;
   const double var = sum2 / n - mean * mean;
   EXPECT_NEAR(var, 1.0 / (rate * rate), 0.02);
+}
+
+// --- Inter-arrival sampling edge cases (the arrivals subsystem leans on
+// --- exponential() at extreme rates and on stream independence under the
+// --- SimEngine's seed-replication scheme seed, seed+1, ...).
+
+TEST(Rng, ExponentialTinyRateStaysFiniteAndPositive) {
+  // rate → 0: gaps blow up toward the mean 1/rate but must stay finite
+  // doubles (uniform_pos() never returns 0, so log() never returns -inf).
+  Rng r(14);
+  for (double rate : {1e-6, 1e-12, 1e-300}) {
+    for (int i = 0; i < 1000; ++i) {
+      const double x = r.exponential(rate);
+      ASSERT_TRUE(std::isfinite(x)) << "rate=" << rate;
+      ASSERT_GT(x, 0.0) << "rate=" << rate;
+    }
+  }
+}
+
+TEST(Rng, ExponentialHugeRateCollapsesTowardZero) {
+  // rate → ∞: gaps collapse to 0 without going negative or NaN.  (A gap of
+  // exactly +0.0 is legal — the traffic heap handles coincident arrivals.)
+  Rng r(15);
+  for (double rate : {1e6, 1e300}) {
+    double max_gap = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+      const double x = r.exponential(rate);
+      ASSERT_TRUE(std::isfinite(x)) << "rate=" << rate;
+      ASSERT_GE(x, 0.0) << "rate=" << rate;
+      max_gap = std::max(max_gap, x);
+    }
+    EXPECT_LT(max_gap, 64.0 / rate) << "rate=" << rate;
+  }
+}
+
+TEST(Rng, SeedReplicationStreamsAreIndependent) {
+  // The SimEngine replicates a cell with seeds s, s+1, s+2, ...; each
+  // replication re-derives per-processor streams with Rng::stream(seed, p).
+  // Adjacent seeds must therefore give de-correlated streams for EVERY
+  // processor index, not just stream 0.
+  for (std::uint64_t proc : {0ull, 1ull, 7ull, 63ull}) {
+    Rng a = Rng::stream(1000, proc);
+    Rng b = Rng::stream(1001, proc);
+    int equal = 0;
+    double corr = 0.0;
+    for (int i = 0; i < 256; ++i) {
+      const double ua = a.uniform(), ub = b.uniform();
+      if (ua == ub) ++equal;
+      corr += (ua - 0.5) * (ub - 0.5);
+    }
+    EXPECT_LE(equal, 1) << "proc=" << proc;
+    // Sample covariance of independent U(0,1) pairs: sd ≈ 1/(12·sqrt(n)).
+    EXPECT_LT(std::abs(corr / 256.0), 0.03) << "proc=" << proc;
+  }
 }
 
 TEST(Rng, PickOfTwoBalanced) {
