@@ -134,6 +134,56 @@ void BM_TrafficModelBuild10Cube(benchmark::State& state) {
 }
 BENCHMARK(BM_TrafficModelBuild10Cube)->Unit(benchmark::kMillisecond);
 
+void BM_TrafficModelBuildCollapsed(benchmark::State& state) {
+  // The symmetry-collapsed build of the uniform fat-tree: one route pass per
+  // destination ORBIT (uniform has exactly one) folded to 2·levels classes,
+  // so the cost is O(channels) — the channel-table walk — instead of the
+  // dense path's O(N²·hops).  levels = 10 is the 1,048,576-processor
+  // headline: the dense builder would need ~10⁶ full passes.
+  topo::ButterflyFatTree ft(static_cast<int>(state.range(0)));
+  const traffic::TrafficSpec spec = traffic::TrafficSpec::uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_traffic_model_collapsed(ft, spec).graph.size());
+  }
+  state.SetLabel("N=" + std::to_string(ft.num_processors()));
+}
+BENCHMARK(BM_TrafficModelBuildCollapsed)
+    ->Arg(5)
+    ->Arg(8)
+    ->Arg(9)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrafficModelBuildCollapsedHotspot(benchmark::State& state) {
+  // Hotspot collapse: the pin refines the quotient to levels + 1 destination
+  // orbits (one rep pass each), still orders of magnitude under dense.
+  topo::ButterflyFatTree ft(static_cast<int>(state.range(0)));
+  const traffic::TrafficSpec spec = traffic::TrafficSpec::hotspot(0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_traffic_model_collapsed(ft, spec).graph.size());
+  }
+  state.SetLabel("N=" + std::to_string(ft.num_processors()));
+}
+BENCHMARK(BM_TrafficModelBuildCollapsedHotspot)
+    ->Arg(5)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrafficModelBuildCollapsed10Cube(benchmark::State& state) {
+  // The 10-cube folds to dims + 2 = 12 classes under its XOR-translation
+  // group; compare BM_TrafficModelBuild10Cube, the dense build of the same
+  // network under hotspot (which has no usable hypercube symmetry).
+  topo::Hypercube hc(10);
+  const traffic::TrafficSpec spec = traffic::TrafficSpec::uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_traffic_model_collapsed(hc, spec).graph.size());
+  }
+}
+BENCHMARK(BM_TrafficModelBuildCollapsed10Cube)->Unit(benchmark::kMillisecond);
+
 void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
   topo::ButterflyFatTree ft(static_cast<int>(state.range(0)));
   sim::SimNetwork net(ft);

@@ -10,7 +10,7 @@ using util::ipow;
 
 GeneralModel build_fattree_collapsed(int levels, int parents,
                                      bool exact_conditionals, int lanes) {
-  WORMNET_EXPECTS(levels >= 1 && levels <= 8);
+  WORMNET_EXPECTS(levels >= 1 && levels <= 10);
   WORMNET_EXPECTS(parents >= 1 && parents <= 4);
   WORMNET_EXPECTS(lanes >= 1);
   const int n = levels;

@@ -137,19 +137,31 @@ SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& o
 LatencyEstimate estimate_latency(const SolveResult& solution,
                                  const std::vector<int>& injection_classes,
                                  double mean_distance) {
+  return estimate_latency(solution, injection_classes, {}, mean_distance);
+}
+
+LatencyEstimate estimate_latency(const SolveResult& solution,
+                                 const std::vector<int>& injection_classes,
+                                 const std::vector<double>& weights,
+                                 double mean_distance) {
   WORMNET_EXPECTS(!injection_classes.empty());
+  WORMNET_EXPECTS(weights.empty() || weights.size() == injection_classes.size());
   LatencyEstimate est;
   est.mean_distance = mean_distance;
   est.stable = solution.stable;
   double wait_sum = 0.0;
   double service_sum = 0.0;
-  for (int id : injection_classes) {
-    wait_sum += solution.wait(id);
-    service_sum += solution.service_time(id);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < injection_classes.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    const int id = injection_classes[i];
+    wait_sum += w * solution.wait(id);
+    service_sum += w * solution.service_time(id);
+    weight_sum += w;
   }
-  const double n = static_cast<double>(injection_classes.size());
-  est.inj_wait = wait_sum / n;
-  est.inj_service = service_sum / n;
+  WORMNET_EXPECTS(weight_sum > 0.0);
+  est.inj_wait = wait_sum / weight_sum;
+  est.inj_service = service_sum / weight_sum;
   est.latency = est.inj_wait + est.inj_service + mean_distance - 1.0;
   if (!std::isfinite(est.latency)) est.stable = false;
   return est;
@@ -217,7 +229,8 @@ SolveResult GeneralModel::solve(double lambda0) const {
 
 LatencyEstimate GeneralModel::evaluate(double lambda0) const {
   return apply_batch_residual(
-      estimate_latency(solve(lambda0), injection_classes, mean_distance),
+      estimate_latency(solve(lambda0), injection_classes,
+                       injection_class_weights, mean_distance),
       injection_batch_residual, opts.bursty_arrivals);
 }
 
@@ -230,7 +243,8 @@ LatencyEstimate model_latency(const GeneralModel& net, double lambda0,
                               SolveOptions base) {
   const SolveResult res = model_solve(net, lambda0, base);
   return apply_batch_residual(
-      estimate_latency(res, net.injection_classes, net.mean_distance),
+      estimate_latency(res, net.injection_classes, net.injection_class_weights,
+                       net.mean_distance),
       net.injection_batch_residual, base.bursty_arrivals);
 }
 

@@ -89,6 +89,15 @@ LatencyEstimate estimate_latency(const SolveResult& solution,
                                  const std::vector<int>& injection_classes,
                                  double mean_distance);
 
+/// Weighted variant for collapsed (quotient) models where each injection
+/// class stands for a whole processor orbit: `weights` (parallel to
+/// `injection_classes`, need not be normalized) carry the orbit sizes, so
+/// the weighted average equals the dense per-processor uniform average.
+LatencyEstimate estimate_latency(const SolveResult& solution,
+                                 const std::vector<int>& injection_classes,
+                                 const std::vector<double>& weights,
+                                 double mean_distance);
+
 /// The general model packaged for one concrete network: the channel graph
 /// (with unit-injection rates), the injection channel classes, the mean
 /// path length, and the solve options.  Builders in fattree_graph.hpp,
@@ -100,6 +109,14 @@ class GeneralModel final : public NetworkModel {
   /// Class ids of the processors' injection channels (one per symmetry
   /// group; estimate_latency averages them uniformly).
   std::vector<int> injection_classes;
+  /// Orbit sizes parallel to injection_classes for collapsed models where
+  /// one entry stands for many processors; empty means uniform weights.
+  std::vector<double> injection_class_weights;
+  /// For symmetry-collapsed models: per topo::ChannelTable channel id, the
+  /// quotient class id it was folded into.  Empty for per-channel models
+  /// (where class ids == channel ids).  Parity checks and reports use this
+  /// to line dense channels up against collapsed classes.
+  std::vector<int> channel_class_of;
   /// D̄ of the paper's Eq. 2, counted in channels.
   double mean_distance = 0.0;
   /// Builder-provided label → class id map (used by tests and reports).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -132,10 +134,16 @@ void dfs_route_dag(const topo::Topology& topo, const topo::ChannelTable& ct,
 
 /// One shard's work: run the flow-propagation pass for every destination in
 /// [dst_lo, dst_hi), accumulating into the shard's private buffers.
+/// `dest_sources`, when non-null, lists each destination's positive-weight
+/// sources in ascending order — the seeds land in the same order with the
+/// same values as the full scan (which skips w <= 0 anyway), so the sparse
+/// path is bitwise-identical to the dense one, just without the O(N) scan
+/// per destination that dominates fixed-permutation builds.
 void run_shard(const topo::Topology& topo, const topo::ChannelTable& ct,
                const traffic::TrafficSpec& spec,
-               const std::vector<int>& onward_off, int dst_lo, int dst_hi,
-               ShardAccum& acc) {
+               const std::vector<int>& onward_off,
+               const std::vector<std::vector<int>>* dest_sources, int dst_lo,
+               int dst_hi, ShardAccum& acc) {
   const int procs = topo.num_processors();
   acc.rate.assign(static_cast<std::size_t>(ct.size()), 0.0);
   acc.self.assign(static_cast<std::size_t>(ct.size()), 0.0);
@@ -147,15 +155,21 @@ void run_shard(const topo::Topology& topo, const topo::ChannelTable& ct,
     // Seed the pass: every source with weight toward d injects its flow.
     // The (s → d) sub-stream is the destination split of s's injection
     // process: fraction w / injection_weight of it, hence self = w · frac.
-    for (int s = 0; s < procs; ++s) {
-      if (s == d) continue;
+    const auto seed = [&](int s) {
       const double w = spec.pair_weight(s, d, procs);
-      if (w <= 0.0) continue;
+      if (w <= 0.0) return;
       acc.weighted_distance += w * topo.distance(s, d);
       const double frac = w / spec.injection_weight(s, procs);
       pass.in_flows[static_cast<std::size_t>(s)].push_back(
           {topo::kNoChannel, w, w * frac});
       dfs_route_dag(topo, ct, s, d, pass);
+    };
+    if (dest_sources != nullptr) {
+      for (int s : (*dest_sources)[static_cast<std::size_t>(d)]) seed(s);
+    } else {
+      for (int s = 0; s < procs; ++s) {
+        if (s != d) seed(s);
+      }
     }
     // Propagate in topological order (reverse postorder): a node's in-flows
     // are complete before it splits them across its route candidates.
@@ -194,6 +208,274 @@ void run_shard(const topo::Topology& topo, const topo::ChannelTable& ct,
   }
 }
 
+/// Output-bundle membership: bundle_of[channel] is a dense id unique per
+/// (node, bundle); bundle_size[channel] is its server count m.
+void label_bundles(const topo::Topology& topo, const topo::ChannelTable& ct,
+                   std::vector<int>& bundle_of, std::vector<int>& bundle_size) {
+  bundle_of.assign(static_cast<std::size_t>(ct.size()), -1);
+  bundle_size.assign(static_cast<std::size_t>(ct.size()), 1);
+  int next_bundle = 0;
+  for (int node = 0; node < topo.num_nodes(); ++node) {
+    for (const topo::PortBundle& pb : topo.output_bundles(node)) {
+      for (int i = 0; i < pb.count; ++i) {
+        const int ch = ct.from(node, pb[i]);
+        if (ch == topo::kNoChannel) continue;
+        bundle_of[static_cast<std::size_t>(ch)] = next_bundle;
+        bundle_size[static_cast<std::size_t>(ch)] = pb.count;
+      }
+      ++next_bundle;
+    }
+  }
+}
+
+/// The symmetry-collapsed builder: one flow-propagation pass per destination
+/// ORBIT, scaled by the orbit size, accumulated per channel CLASS.  With
+/// classes that are true orbits of a routing-preserving group fixing the
+/// spec's pins, Σ_{ch∈C} rate_d(ch) is the same for every destination d in
+/// one orbit (the group maps the pass for d to the pass for g·d while
+/// permuting C onto itself), so |orbit| × (representative pass) equals the
+/// dense sum over the class exactly — the identity the parity tests pin
+/// down.  Work and memory are O(orbits · channels) and O(classes²) instead
+/// of the dense path's O(N · channels) passes and O(channels) state.
+GeneralModel build_collapsed(const topo::Topology& topo,
+                             const topo::ChannelTable& ct,
+                             const traffic::TrafficSpec& spec,
+                             const topo::SymmetryClasses& sym,
+                             const SolveOptions& opts) {
+  const int procs = topo.num_processors();
+  const int num_channels = ct.size();
+  const int ncls = sym.num_channel_classes;
+  const int norb = sym.num_proc_orbits;
+  WORMNET_EXPECTS(static_cast<int>(sym.proc_orbit.size()) == procs);
+  WORMNET_EXPECTS(static_cast<int>(sym.channel_class.size()) == num_channels);
+  WORMNET_EXPECTS(ncls > 0 && norb > 0);
+
+  // Destination-orbit representatives (first member) and sizes.
+  std::vector<int> orbit_rep(static_cast<std::size_t>(norb), -1);
+  std::vector<double> orbit_size(static_cast<std::size_t>(norb), 0.0);
+  for (int p = 0; p < procs; ++p) {
+    const int o = sym.proc_orbit[static_cast<std::size_t>(p)];
+    WORMNET_EXPECTS(o >= 0 && o < norb);
+    if (orbit_rep[static_cast<std::size_t>(o)] < 0)
+      orbit_rep[static_cast<std::size_t>(o)] = p;
+    orbit_size[static_cast<std::size_t>(o)] += 1.0;
+  }
+
+  std::vector<int> bundle_of;
+  std::vector<int> bundle_size;
+  label_bundles(topo, ct, bundle_of, bundle_size);
+  // Return-bundle ids: rev_bundle[ch] is the bundle a worm leaving ch would
+  // use to go straight back.  Transitions into the return bundle form a
+  // transition orbit distinct from same-class transitions away from it (a
+  // fat-tree LCA turn never descends into the block it climbed out of), so
+  // the structural fan-out count k below is tagged by return-ness.
+  std::vector<int> rev_bundle(static_cast<std::size_t>(num_channels), -1);
+  for (int ch = 0; ch < num_channels; ++ch) {
+    rev_bundle[static_cast<std::size_t>(ch)] =
+        bundle_of[static_cast<std::size_t>(ct.reverse(ch))];
+  }
+
+  std::vector<double> cls_rate(static_cast<std::size_t>(ncls), 0.0);
+  std::vector<double> cls_self(static_cast<std::size_t>(ncls), 0.0);
+  std::vector<double> trans(
+      static_cast<std::size_t>(ncls) * static_cast<std::size_t>(ncls), 0.0);
+  // Transition orbits observed during the passes, keyed (from-class,
+  // to-class, into-the-return-bundle?).
+  std::vector<unsigned char> seen_trans(
+      static_cast<std::size_t>(ncls) * static_cast<std::size_t>(ncls) * 2, 0);
+  double dist_sum = 0.0;
+
+  DestinationPass pass(topo.num_nodes());
+  for (int o = 0; o < norb; ++o) {
+    const int d = orbit_rep[static_cast<std::size_t>(o)];
+    const double scale = orbit_size[static_cast<std::size_t>(o)];
+    for (int s = 0; s < procs; ++s) {
+      if (s == d) continue;
+      const double w = spec.pair_weight(s, d, procs);
+      if (w <= 0.0) continue;
+      dist_sum += scale * w * topo.distance(s, d);
+      const double frac = w / spec.injection_weight(s, procs);
+      pass.in_flows[static_cast<std::size_t>(s)].push_back(
+          {topo::kNoChannel, w, w * frac});
+      dfs_route_dag(topo, ct, s, d, pass);
+    }
+    // Same propagation as the dense run_shard, accumulating per class.
+    for (auto it = pass.order.rbegin(); it != pass.order.rend(); ++it) {
+      const int node = *it;
+      const auto& inputs = pass.in_flows[static_cast<std::size_t>(node)];
+      if (inputs.empty()) continue;
+      WORMNET_ENSURES(node != d);
+      const NodeRoutes& nr = pass.routes[static_cast<std::size_t>(node)];
+      double total = 0.0;
+      double total_self = 0.0;
+      for (const FlowFragment& in : inputs) {
+        total += in.flow;
+        total_self += in.self;
+      }
+      for (int i = 0; i < nr.count; ++i) {
+        const double p = nr.split[static_cast<std::size_t>(i)];
+        if (p <= 0.0) continue;
+        const int ch = nr.channel[static_cast<std::size_t>(i)];
+        WORMNET_ENSURES(ch != topo::kNoChannel);
+        const int co = sym.channel_class[static_cast<std::size_t>(ch)];
+        cls_rate[static_cast<std::size_t>(co)] += scale * total * p;
+        cls_self[static_cast<std::size_t>(co)] += scale * total_self * p * p;
+        for (const FlowFragment& in : inputs) {
+          if (in.in_ch == topo::kNoChannel) continue;
+          const int ci = sym.channel_class[static_cast<std::size_t>(in.in_ch)];
+          trans[static_cast<std::size_t>(ci) * static_cast<std::size_t>(ncls) +
+                static_cast<std::size_t>(co)] += scale * in.flow * p;
+          const int tag =
+              bundle_of[static_cast<std::size_t>(ch)] ==
+                      rev_bundle[static_cast<std::size_t>(in.in_ch)]
+                  ? 1
+                  : 0;
+          seen_trans[(static_cast<std::size_t>(ci) *
+                          static_cast<std::size_t>(ncls) +
+                      static_cast<std::size_t>(co)) *
+                         2 +
+                     static_cast<std::size_t>(tag)] = 1;
+        }
+        const int nbr = nr.neighbor[static_cast<std::size_t>(i)];
+        if (nbr == d) continue;
+        pass.in_flows[static_cast<std::size_t>(nbr)].push_back(
+            {ch, total * p, total_self * p * p});
+      }
+    }
+    pass.reset();
+  }
+
+  // Class representatives and member counts; a class must be one queueing
+  // station, so structural disagreement inside a class is a hard error even
+  // for user-declared partitions (rate disagreement — a partition that is
+  // no routing symmetry — is what check_collapsed_parity reports).
+  std::vector<int> cls_rep(static_cast<std::size_t>(ncls), -1);
+  std::vector<double> cls_count(static_cast<std::size_t>(ncls), 0.0);
+  for (int ch = 0; ch < num_channels; ++ch) {
+    const int c = sym.channel_class[static_cast<std::size_t>(ch)];
+    WORMNET_EXPECTS(c >= 0 && c < ncls);
+    if (cls_rep[static_cast<std::size_t>(c)] < 0)
+      cls_rep[static_cast<std::size_t>(c)] = ch;
+    cls_count[static_cast<std::size_t>(c)] += 1.0;
+    const int rep = cls_rep[static_cast<std::size_t>(c)];
+    WORMNET_EXPECTS(bundle_size[static_cast<std::size_t>(ch)] ==
+                    bundle_size[static_cast<std::size_t>(rep)]);
+    WORMNET_EXPECTS(ct.lanes(ch) == ct.lanes(rep));
+    WORMNET_EXPECTS(topo.is_processor(ct.at(ch).dst_node) ==
+                    topo.is_processor(ct.at(rep).dst_node));
+    WORMNET_EXPECTS(topo.is_processor(ct.at(ch).src_node) ==
+                    topo.is_processor(ct.at(rep).src_node));
+  }
+
+  GeneralModel net;
+  for (int c = 0; c < ncls; ++c) {
+    const int rep = cls_rep[static_cast<std::size_t>(c)];
+    WORMNET_EXPECTS(rep >= 0);  // every class id must have members
+    const topo::DirectedChannel& dc = ct.at(rep);
+    ChannelClass cls;
+    cls.label = "cls" + std::to_string(c) + "@ch" + std::to_string(dc.src_node) +
+                ":" + std::to_string(dc.src_port);
+    cls.servers = bundle_size[static_cast<std::size_t>(rep)];
+    cls.lanes = ct.lanes(rep);
+    cls.rate_per_link =
+        cls_rate[static_cast<std::size_t>(c)] / cls_count[static_cast<std::size_t>(c)];
+    cls.terminal = topo.is_processor(dc.dst_node);
+    // Same QNA pinning as the dense builder: injection channels carry their
+    // source's undivided process.
+    if (topo.is_processor(dc.src_node)) {
+      cls.self_frac = 1.0;
+    } else if (cls_rate[static_cast<std::size_t>(c)] > 0.0) {
+      cls.self_frac = std::min(1.0, cls_self[static_cast<std::size_t>(c)] /
+                                        cls_rate[static_cast<std::size_t>(c)]);
+    }
+    const int id = net.graph.add_channel(cls);
+    WORMNET_ENSURES(id == c);
+    net.labels[cls.label] = id;
+  }
+
+  // Transitions.  weight(C→C') folds the dense per-channel weights; the
+  // dense route_prob targets ONE output bundle, so divide by the structural
+  // fan-out k = how many distinct bundles of class C' the representative
+  // member feeds.  k is counted at the representative's far-end node against
+  // the transition orbits observed above — e.g. a fat-tree up channel
+  // turning down feeds 3 of the 4 child bundles (never the one it climbed
+  // out of, which is why return-ness tags the orbits), so k = 3 and
+  // route_prob = weight/3, the dense pd/3.  Orbit transitivity spreads the
+  // class flow equally over those k bundles, so weight/k is the dense
+  // per-bundle probability exactly.
+  std::vector<int> fanout(static_cast<std::size_t>(ncls), 0);
+  std::vector<int> touched;
+  std::vector<int> seen_bundles;
+  for (int ci = 0; ci < ncls; ++ci) {
+    if (net.graph.at(ci).terminal) continue;
+    const double total = cls_rate[static_cast<std::size_t>(ci)];
+    if (total <= 0.0) continue;
+    const int rep = cls_rep[static_cast<std::size_t>(ci)];
+    const int node = ct.at(rep).dst_node;
+    const int ret = rev_bundle[static_cast<std::size_t>(rep)];
+    touched.clear();
+    seen_bundles.clear();
+    for (int port = 0; port < topo.num_ports(node); ++port) {
+      const int out_ch = ct.from(node, port);
+      if (out_ch == topo::kNoChannel) continue;
+      const int b = bundle_of[static_cast<std::size_t>(out_ch)];
+      if (std::find(seen_bundles.begin(), seen_bundles.end(), b) !=
+          seen_bundles.end()) {
+        continue;
+      }
+      seen_bundles.push_back(b);
+      const int cj = sym.channel_class[static_cast<std::size_t>(out_ch)];
+      const int tag = b == ret ? 1 : 0;
+      if (seen_trans[(static_cast<std::size_t>(ci) *
+                          static_cast<std::size_t>(ncls) +
+                      static_cast<std::size_t>(cj)) *
+                         2 +
+                     static_cast<std::size_t>(tag)]) {
+        if (fanout[static_cast<std::size_t>(cj)] == 0) touched.push_back(cj);
+        ++fanout[static_cast<std::size_t>(cj)];
+      }
+    }
+    for (int cj = 0; cj < ncls; ++cj) {
+      const double flow = trans[static_cast<std::size_t>(ci) *
+                                    static_cast<std::size_t>(ncls) +
+                                static_cast<std::size_t>(cj)];
+      if (flow <= 0.0) continue;
+      const double weight = std::min(1.0, flow / total);
+      const int k = std::max(1, fanout[static_cast<std::size_t>(cj)]);
+      net.graph.add_transition(ci, cj, weight, weight / static_cast<double>(k));
+    }
+    for (int cj : touched) fanout[static_cast<std::size_t>(cj)] = 0;
+  }
+
+  // One injection entry per injection class, weighted by how many
+  // processors it stands for — the weighted latency average then equals the
+  // dense per-processor uniform average.
+  std::vector<double> inj_weight(static_cast<std::size_t>(ncls), 0.0);
+  int injecting = 0;
+  for (int p = 0; p < procs; ++p) {
+    if (spec.injection_weight(p, procs) <= 0.0) continue;
+    const int inj = ct.from(p, 0);
+    WORMNET_ENSURES(inj != topo::kNoChannel);
+    inj_weight[static_cast<std::size_t>(
+        sym.channel_class[static_cast<std::size_t>(inj)])] += 1.0;
+    ++injecting;
+  }
+  WORMNET_EXPECTS(injecting > 0);
+  for (int c = 0; c < ncls; ++c) {
+    if (inj_weight[static_cast<std::size_t>(c)] <= 0.0) continue;
+    net.injection_classes.push_back(c);
+    net.injection_class_weights.push_back(inj_weight[static_cast<std::size_t>(c)]);
+  }
+  net.mean_distance = dist_sum / injecting;
+  net.channel_class_of = sym.channel_class;
+  net.model_name = "traffic-sym(" + topo.name() + ", " + spec.name() + ")";
+  net.opts = opts;
+
+  const std::string problems = net.graph.validate();
+  WORMNET_ENSURES(problems.empty());
+  return net;
+}
+
 }  // namespace
 
 GeneralModel build_traffic_model(const topo::Topology& topo,
@@ -206,6 +488,42 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
 
   const topo::ChannelTable ct(topo);
   const int num_channels = ct.size();
+
+  // Collapse strategy: symmetric quotient first (a user-declared partition
+  // wins over the topology's own hooks), sparse seeding second, dense last.
+  std::vector<std::vector<int>> dest_sources;
+  bool sparse_seed = false;
+  if (build.collapse != CollapseMode::Dense) {
+    if (build.collapse != CollapseMode::Sparse) {
+      topo::SymmetryClasses sym;
+      bool have = false;
+      if (build.user_classes != nullptr) {
+        sym = *build.user_classes;
+        have = true;
+      } else {
+        std::vector<int> pins;
+        if (spec.symmetric(pins)) {
+          have = topo::topology_symmetry(topo, ct, pins, sym) &&
+                 !sym.trivial(procs);
+          if (build.collapse == CollapseMode::Auto) {
+            have = have && sym.num_channel_classes <= build.max_symmetry_classes;
+          }
+        }
+      }
+      if (have) return build_collapsed(topo, ct, spec, sym, opts);
+      // The quotient was demanded outright but nothing declares one.
+      WORMNET_EXPECTS(build.collapse != CollapseMode::Symmetric);
+    }
+    if (spec.fixed_destination(0, procs) >= 0) {
+      dest_sources.assign(static_cast<std::size_t>(procs), {});
+      for (int s = 0; s < procs; ++s) {
+        const int d = spec.fixed_destination(s, procs);
+        // Ascending s per destination: identical seed order to the scan.
+        dest_sources[static_cast<std::size_t>(d)].push_back(s);
+      }
+      sparse_seed = true;
+    }
+  }
 
   // Flat offsets for the per-(channel, continuation port) flows — the
   // continuation port is on the channel's dst node, so one dense slab with
@@ -228,10 +546,16 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
   const auto shard_job = [&](std::int64_t j) {
     const int lo = static_cast<int>(j) * procs / num_shards;
     const int hi = (static_cast<int>(j) + 1) * procs / num_shards;
-    run_shard(topo, ct, spec, onward_off, lo, hi,
-              accs[static_cast<std::size_t>(j)]);
+    run_shard(topo, ct, spec, onward_off, sparse_seed ? &dest_sources : nullptr,
+              lo, hi, accs[static_cast<std::size_t>(j)]);
   };
-  if (build.threads == 1 || num_shards == 1) {
+  // threads = 0 ("auto") also runs serially below the cutoff: at those sizes
+  // the fork/join overhead exceeds the whole build, and the fixed-shard
+  // contract makes the fallback bitwise-invisible (tested either side of
+  // the boundary).
+  if (build.threads == 1 || num_shards == 1 ||
+      (build.threads == 0 &&
+       procs <= TrafficBuildOptions::kSerialCutoffProcs)) {
     for (int j = 0; j < num_shards; ++j) shard_job(j);
   } else if (build.threads == 0) {
     util::parallel_for(builder_pool(), num_shards, shard_job);
@@ -253,22 +577,9 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
     weighted_distance += acc.weighted_distance;
   }
 
-  // Output-bundle membership: bundle_of[channel] is a dense id unique per
-  // (node, bundle); bundle_size[channel] is its m.
-  std::vector<int> bundle_of(static_cast<std::size_t>(num_channels), -1);
-  std::vector<int> bundle_size(static_cast<std::size_t>(num_channels), 1);
-  int next_bundle = 0;
-  for (int node = 0; node < topo.num_nodes(); ++node) {
-    for (const topo::PortBundle& pb : topo.output_bundles(node)) {
-      for (int i = 0; i < pb.count; ++i) {
-        const int ch = ct.from(node, pb[i]);
-        if (ch == topo::kNoChannel) continue;
-        bundle_of[static_cast<std::size_t>(ch)] = next_bundle;
-        bundle_size[static_cast<std::size_t>(ch)] = pb.count;
-      }
-      ++next_bundle;
-    }
-  }
+  std::vector<int> bundle_of;
+  std::vector<int> bundle_size;
+  label_bundles(topo, ct, bundle_of, bundle_size);
 
   GeneralModel net;
   for (int ch = 0; ch < num_channels; ++ch) {
@@ -357,6 +668,60 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
   const std::string problems = net.graph.validate();
   WORMNET_ENSURES(problems.empty());
   return net;
+}
+
+GeneralModel build_traffic_model_collapsed(const topo::Topology& topo,
+                                           const traffic::TrafficSpec& spec,
+                                           const SolveOptions& opts,
+                                           TrafficBuildOptions build) {
+  build.collapse = CollapseMode::Auto;
+  return build_traffic_model(topo, spec, opts, build);
+}
+
+std::string check_collapsed_parity(const topo::Topology& topo,
+                                   const traffic::TrafficSpec& spec,
+                                   const GeneralModel& collapsed,
+                                   const SolveOptions& opts) {
+  WORMNET_EXPECTS(!collapsed.channel_class_of.empty());
+  const GeneralModel dense = build_traffic_model(topo, spec, opts, {});
+  if (static_cast<int>(collapsed.channel_class_of.size()) !=
+      dense.graph.size()) {
+    std::ostringstream out;
+    out << "channel count mismatch: collapsed maps "
+        << collapsed.channel_class_of.size() << " channels, topology has "
+        << dense.graph.size();
+    return out.str();
+  }
+  const auto disagree = [](double a, double b) {
+    return std::abs(a - b) >
+           1e-9 * std::max(std::abs(a), std::abs(b)) + 1e-12;
+  };
+  for (int ch = 0; ch < dense.graph.size(); ++ch) {
+    const int c = collapsed.channel_class_of[static_cast<std::size_t>(ch)];
+    if (c < 0 || c >= collapsed.graph.size()) {
+      std::ostringstream out;
+      out << "channel " << dense.graph.at(ch).label << " maps to class " << c
+          << ", out of range";
+      return out.str();
+    }
+    const ChannelClass& q = collapsed.graph.at(c);
+    const ChannelClass& d = dense.graph.at(ch);
+    if (disagree(q.rate_per_link, d.rate_per_link)) {
+      std::ostringstream out;
+      out << "class " << q.label << " rate " << q.rate_per_link
+          << " disagrees with member channel " << d.label << " rate "
+          << d.rate_per_link << " — the partition is not a routing symmetry";
+      return out.str();
+    }
+    if (disagree(q.self_frac, d.self_frac)) {
+      std::ostringstream out;
+      out << "class " << q.label << " self_frac " << q.self_frac
+          << " disagrees with member channel " << d.label << " self_frac "
+          << d.self_frac << " — the partition is not a routing symmetry";
+      return out.str();
+    }
+  }
+  return "";
 }
 
 }  // namespace wormnet::core

@@ -37,15 +37,54 @@
 // merging many thin sub-streams approach 0, the superposition
 // Poissonification limit.  The solver consumes C_a²(ch) through the
 // Allen–Cunneen G/G/m wait in queueing::ChannelSolver.
+// Symmetry-collapsed building (the 100k–1M-endpoint scaling path)
+// ---------------------------------------------------------------
+// The dense builder above is exact but O(N) per-channel state and O(N²·hops)
+// work.  When the topology declares a routing-preserving symmetry
+// (topo::topology_symmetry) and the traffic spec is invariant under it
+// (TrafficSpec::symmetric), the whole computation collapses the way the
+// paper's §3 fat-tree closed form does: run ONE flow-propagation pass per
+// destination ORBIT (scaled by the orbit size) and accumulate per channel
+// CLASS, producing a GeneralModel with O(classes) ChannelClass entries that
+// solve_general_model consumes unchanged.  A levels-10 fat-tree (1,048,576
+// processors, ~4.2M channels) folds to 20 classes and builds in well under a
+// second; the dense path would need terabytes of pass work.
+//
+// Exactness: with classes that are true orbits, every dense channel of a
+// class carries the same rate/self_frac/ca2 and the quotient recurrence is
+// the dense recurrence folded — the two models agree to machine precision
+// (tested across topology × pattern × lanes × arrival process).  User-
+// declared partitions are taken on trust; check_collapsed_parity() rebuilds
+// densely at small N and reports the first class whose members disagree.
 #pragma once
 
 #include "core/general_model.hpp"
+#include "topo/symmetry.hpp"
 #include "topo/topology.hpp"
 #include "traffic/traffic_spec.hpp"
 
 namespace wormnet::core {
 
-/// Concurrency knobs for build_traffic_model.
+/// How build_traffic_model turns (topology, spec) into channel classes.
+enum class CollapseMode {
+  /// One class per physical channel — the exact reference path (default;
+  /// class ids coincide with topo::ChannelTable ids).
+  Dense,
+  /// Best available: symmetric quotient when topology and spec both declare
+  /// the symmetry (and the quotient is genuinely smaller), else sparse
+  /// seeding for fixed-destination patterns, else Dense.  Never changes the
+  /// model semantics — only its size or build cost.
+  Auto,
+  /// Demand the symmetric quotient; precondition failure when the topology
+  /// or spec declares none (supply user_classes for irregular topologies).
+  Symmetric,
+  /// Dense classes but per-destination source-list seeding — bitwise
+  /// identical to Dense, skips the O(N) source scan per destination for
+  /// permutation-style patterns.
+  Sparse,
+};
+
+/// Concurrency and collapse knobs for build_traffic_model.
 ///
 /// Determinism contract: the per-destination passes are partitioned into a
 /// FIXED set of shards (a function of the topology's processor count only,
@@ -57,7 +96,24 @@ struct TrafficBuildOptions {
   /// Worker threads for the destination shards: 0 = a shared pool sized to
   /// the hardware (the default), 1 = run serially on the calling thread,
   /// n = a private pool of n workers (tests use this to pin a width).
+  /// At or below kSerialCutoffProcs processors, 0 runs serially: the
+  /// fork/join overhead exceeds the whole build there (BENCH_perf.json,
+  /// BM_TrafficModelBuildFatTree/3), and the shard contract makes the
+  /// fallback bitwise-invisible.
   unsigned threads = 0;
+  /// Channel-class strategy; Dense preserves the historical behavior.
+  CollapseMode collapse = CollapseMode::Dense;
+  /// Hand-declared partition for irregular topologies (used by Auto /
+  /// Symmetric when set, bypassing the topology's own hooks).  Must outlive
+  /// the call; sizes must match (num_processors, ChannelTable channels).
+  /// Taken on trust — validate with check_collapsed_parity at small N.
+  const topo::SymmetryClasses* user_classes = nullptr;
+  /// Auto falls back to the dense/sparse path when the declared quotient
+  /// has more classes than this (the O(classes²) transition accumulator
+  /// stops being "flat memory" long before it stops being correct).
+  int max_symmetry_classes = 2048;
+  /// Processor count at or below which threads = 0 builds serially.
+  static constexpr int kSerialCutoffProcs = 128;
 };
 
 /// Build the per-physical-channel general model of `topo` loaded with `spec`.
@@ -75,5 +131,26 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
                                  const traffic::TrafficSpec& spec,
                                  const SolveOptions& opts = {},
                                  const TrafficBuildOptions& build = {});
+
+/// Convenience: build_traffic_model with CollapseMode::Auto — the entry
+/// point for large fabrics.  Collapsed models carry channel_class_of /
+/// injection_class_weights and report as "traffic-sym(...)"; when no usable
+/// symmetry exists the result is the ordinary dense model.
+GeneralModel build_traffic_model_collapsed(const topo::Topology& topo,
+                                           const traffic::TrafficSpec& spec,
+                                           const SolveOptions& opts = {},
+                                           TrafficBuildOptions build = {});
+
+/// Validate a collapsed model against the dense reference: rebuild densely
+/// and compare every physical channel's rate and self_frac against its
+/// class's values (1e-9 relative / 1e-12 absolute).  Returns the empty
+/// string on agreement, else a message naming the first disagreeing class —
+/// the check that rejects asymmetric user-declared partitions.  Dense
+/// rebuild cost: only call at small N.
+/// Precondition: `collapsed` has channel_class_of (was built collapsed).
+std::string check_collapsed_parity(const topo::Topology& topo,
+                                   const traffic::TrafficSpec& spec,
+                                   const GeneralModel& collapsed,
+                                   const SolveOptions& opts = {});
 
 }  // namespace wormnet::core

@@ -19,8 +19,7 @@ std::uint64_t double_bits(double v) {
 
 }  // namespace
 
-SweepEngine::Key SweepEngine::make_key(const core::NetworkModel& model,
-                                       double lambda0) {
+std::uint64_t SweepEngine::model_bits(const core::NetworkModel& model) {
   // Mix every interface-visible configuration axis into the key — worm
   // length and the four ablation switches — so mutating those on a cached
   // model (or rebuilding one at a reused address with different options)
@@ -42,7 +41,12 @@ SweepEngine::Key SweepEngine::make_key(const core::NetworkModel& model,
   const std::uint64_t arrival_bits =
       double_bits(model.arrival_ca2()) * 0x9e3779b97f4a7c15ULL ^
       double_bits(model.arrival_batch_residual()) * 0xbf58476d1ce4e5b9ULL;
-  return Key{&model, double_bits(lambda0) ^ (config_bits << 1) ^ arrival_bits};
+  return (config_bits << 1) ^ arrival_bits;
+}
+
+SweepEngine::Key SweepEngine::make_key(const core::NetworkModel& model,
+                                       double lambda0) {
+  return Key{&model, double_bits(lambda0) ^ model_bits(model)};
 }
 
 std::size_t SweepEngine::KeyHash::operator()(const Key& k) const {
@@ -108,7 +112,12 @@ std::vector<SweepPoint> SweepEngine::sweep_lambda(const core::NetworkModel& mode
   // Resolve cache hits up front and collect the distinct misses, so each
   // unique λ₀ is looked up and evaluated exactly once no matter how often
   // it appears; duplicates copy from their representative and count as
-  // hits (they are evaluations avoided).
+  // hits (they are evaluations avoided).  The model-configuration salt is
+  // computed ONCE for the whole sweep: it is a pure function of the model's
+  // interface state, which cannot change under this call, and rebuilding it
+  // per point (4 virtual calls + hashing, twice per miss) used to be the
+  // dominant per-point overhead of small cold sweeps.
+  const std::uint64_t salt = model_bits(model);
   std::unordered_map<std::uint64_t, std::size_t> rep;  // λ bits → first index
   std::vector<std::size_t> jobs;                       // uncached unique λ₀
   std::vector<std::size_t> dups;                       // later occurrences
@@ -117,7 +126,9 @@ std::vector<SweepPoint> SweepEngine::sweep_lambda(const core::NetworkModel& mode
       dups.push_back(i);
       continue;
     }
-    if (!lookup(make_key(model, lambdas[i]), points[i].est)) jobs.push_back(i);
+    if (!lookup(Key{&model, double_bits(lambdas[i]) ^ salt}, points[i].est)) {
+      jobs.push_back(i);
+    }
   }
   if (!dups.empty() && opts_.memoize) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -136,7 +147,9 @@ std::vector<SweepPoint> SweepEngine::sweep_lambda(const core::NetworkModel& mode
   } else {
     for (std::size_t i : jobs) points[i].est = model.evaluate(lambdas[i]);
   }
-  for (std::size_t i : jobs) store(make_key(model, lambdas[i]), points[i].est);
+  for (std::size_t i : jobs) {
+    store(Key{&model, double_bits(lambdas[i]) ^ salt}, points[i].est);
+  }
 
   // Fill duplicates from their representative (cached or freshly computed).
   for (std::size_t i : dups) {

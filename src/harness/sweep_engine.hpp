@@ -166,6 +166,11 @@ class SweepEngine {
     std::size_t operator()(const Key& k) const;
   };
 
+  /// The model-configuration salt of the key: worm length, ablation
+  /// switches and arrival-process tuning.  A pure function of the model's
+  /// interface state — batch entry points compute it once per sweep.
+  static std::uint64_t model_bits(const core::NetworkModel& model);
+
   /// Cache key for one (model, λ₀) evaluation.
   static Key make_key(const core::NetworkModel& model, double lambda0);
 

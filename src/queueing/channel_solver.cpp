@@ -104,7 +104,10 @@ double ChannelSolver::blocking_factor(int servers, int lanes,
 }
 
 double ChannelSolver::wait_term(double blocking, double wait) {
-  return blocking > 0.0 ? blocking * wait : 0.0;
+  // p ≤ 1e-12 is summation-order noise around the exact-zero blocking case
+  // (λ_in·R == λ_out) — see the header: past saturation it must read as
+  // "never waits here", not as an infinite wait term.
+  return blocking > 1e-12 ? blocking * wait : 0.0;
 }
 
 }  // namespace wormnet::queueing

@@ -137,7 +137,14 @@ class ChannelSolver {
   /// The guarded product p·W̄ used when composing service times (Eq. 11/18/
   /// 20/22): p == 0 means the correction proves this input never waits
   /// there, which must hold even when W̄ has diverged past saturation
-  /// (0 · ∞ would otherwise poison the whole chain with NaN).
+  /// (0 · ∞ would otherwise poison the whole chain with NaN).  The guard
+  /// extends to p ≤ 1e-12: the exact-zero case λ_in·R == λ_out lands an
+  /// ulp either side of 0 depending on flow summation order, and past
+  /// saturation that ulp times an infinite W̄ would make physically
+  /// identical channels (orbit mates of a symmetric topology) disagree
+  /// between finite and infinite service — breaking the collapsed-vs-dense
+  /// parity contract.  Below the threshold the product is ≤ 1e-12 · W̄
+  /// anyway, far under the solver tolerance whenever W̄ is finite.
   static double wait_term(double blocking, double wait);
 
  private:

@@ -10,7 +10,7 @@ using util::base4_digit;
 using util::ipow;
 
 ButterflyFatTree::ButterflyFatTree(int levels) : levels_(levels) {
-  WORMNET_EXPECTS(levels >= 1 && levels <= 8);
+  WORMNET_EXPECTS(levels >= 1 && levels <= 10);
   num_procs_ = static_cast<int>(ipow(4, levels));
 
   // Node layout: processors [0, N), then switches level by level.
@@ -168,6 +168,68 @@ long ButterflyFatTree::links_between(int level_lo) const {
   WORMNET_EXPECTS(level_lo >= 0 && level_lo < levels_);
   if (level_lo == 0) return num_procs_;
   return static_cast<long>(num_procs_) / (1L << level_lo);
+}
+
+namespace {
+
+// Key encoding for the symmetry hooks: tag in the top byte, level next,
+// relation-to-pin aux in the low bits.  Only equality matters.
+constexpr std::uint64_t kKeyInjection = 1;
+constexpr std::uint64_t kKeyUp = 2;
+constexpr std::uint64_t kKeyDown = 3;
+
+std::uint64_t pack_key(std::uint64_t tag, std::uint64_t level, std::uint64_t aux) {
+  return (tag << 56) | (level << 48) | aux;
+}
+
+}  // namespace
+
+std::uint64_t ButterflyFatTree::proc_symmetry_key(
+    int proc, const std::vector<int>& pinned_procs) const {
+  if (pinned_procs.empty()) return 0;  // one orbit: all leaves equivalent
+  const int h = pinned_procs.front();
+  // Stabilizer orbits of h: h itself, then shells by LCA level (1..n).
+  return static_cast<std::uint64_t>(proc == h ? 0 : lca_level(proc, h));
+}
+
+std::uint64_t ButterflyFatTree::channel_symmetry_key(
+    int node, int port, const std::vector<int>& pinned_procs) const {
+  if (node < num_procs_) {
+    // Injection channel: refined by the source's orbit (its traffic's split
+    // between up-phase and intra-block delivery depends on lca(·, h)).
+    return pack_key(kKeyInjection, 0, proc_symmetry_key(node, pinned_procs));
+  }
+  const int l = node_level(node);
+  const bool up = port >= kParentPort0;
+  if (pinned_procs.empty()) {
+    // The paper's per-level classes: (direction, level).
+    return pack_key(up ? kKeyUp : kKeyDown, static_cast<std::uint64_t>(l), 0);
+  }
+  const int h = pinned_procs.front();
+  const int a = switch_addr(node);
+  const bool covers_h = covers(l, a, h);
+  if (up) {
+    // Up channels out of h-covering switches are one orbit (the redundant-
+    // switch permutations fixing every leaf act transitively on them);
+    // otherwise the block's LCA level with h determines the orbit.
+    const std::uint64_t aux =
+        covers_h ? 0
+                 : static_cast<std::uint64_t>(
+                       1 + lca_level((a >> (l - 1)) << (2 * l), h));
+    return pack_key(kKeyUp, static_cast<std::uint64_t>(l), aux);
+  }
+  // Down channel via child port `port`: distinguish the child block holding
+  // h, the other children of an h-covering switch, and — outside h's cover —
+  // the block's LCA level with h.
+  std::uint64_t aux;
+  if (covers_h && down_port(l, h) == port) {
+    aux = 0;
+  } else if (covers_h) {
+    aux = 1;
+  } else {
+    aux = static_cast<std::uint64_t>(2 + lca_level((a >> (l - 1)) << (2 * l), h));
+  }
+  return pack_key(kKeyDown, static_cast<std::uint64_t>(l), aux);
 }
 
 std::vector<PortBundle> ButterflyFatTree::output_bundles(int node) const {

@@ -38,8 +38,9 @@ class ButterflyFatTree final : public Topology {
   static constexpr int kParentPort1 = 5;
 
   /// Build a fat-tree with `levels` switch levels (N = 4^levels processors).
-  /// levels must be in [1, 8] (8 => 65,536 processors; well past the paper's
-  /// 1024 and enough for any laptop-scale experiment).
+  /// levels must be in [1, 10] (10 => 1,048,576 processors — the scale the
+  /// symmetry-collapsed analytical builder is sized for; the paper's own
+  /// experiments stop at 1024).
   explicit ButterflyFatTree(int levels);
 
   // -- Topology interface -------------------------------------------------
@@ -56,6 +57,22 @@ class ButterflyFatTree final : public Topology {
   int distance(int src_proc, int dst_proc) const override;
   double mean_distance() const override;
   std::vector<PortBundle> output_bundles(int node) const override;
+
+  // Symmetry (collapsed analytical builder).  With no pins the orbits are
+  // the paper's per-level classes — (direction, level), 2n channel classes
+  // and a single processor orbit; pinning one processor h (a hotspot)
+  // refines both by the relation to h: processors by lca_level(·, h),
+  // channels additionally by whether the switch / the targeted child block
+  // covers h.  All keyed classes are orbits of route-preserving
+  // automorphisms fixing the pins (leaf-block permutations below the LCA
+  // with h, and the redundant-parent permutations that fix every leaf).
+  bool has_symmetry(const std::vector<int>& pinned_procs) const override {
+    return pinned_procs.size() <= 1;
+  }
+  std::uint64_t proc_symmetry_key(int proc,
+                                  const std::vector<int>& pinned_procs) const override;
+  std::uint64_t channel_symmetry_key(
+      int node, int port, const std::vector<int>& pinned_procs) const override;
 
   // -- Fat-tree specific structure ----------------------------------------
   /// Number of switch levels n (N = 4^n).

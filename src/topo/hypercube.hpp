@@ -38,6 +38,31 @@ class Hypercube final : public Topology {
   int distance(int src_proc, int dst_proc) const override;
   double mean_distance() const override;
 
+  // Symmetry (collapsed analytical builder).  The XOR translations
+  // x ↦ x ⊕ t are the routing-preserving automorphisms of e-cube (dimension
+  // PERMUTATIONS change the ascending-order route, so they are excluded):
+  // one processor orbit, and channel orbits = injection, ejection, and one
+  // class per dimension crossed (translation by e_d folds the two
+  // directions of a dimension into one orbit) — dims + 2 classes.  The
+  // translation stabilizer of any pinned processor is trivial, so pins
+  // declare no symmetry and the collapsed builder falls back.
+  bool has_symmetry(const std::vector<int>& pinned_procs) const override {
+    return pinned_procs.empty();
+  }
+  std::uint64_t proc_symmetry_key(int proc,
+                                  const std::vector<int>& pinned_procs) const override {
+    static_cast<void>(proc);
+    static_cast<void>(pinned_procs);
+    return 0;
+  }
+  std::uint64_t channel_symmetry_key(
+      int node, int port, const std::vector<int>& pinned_procs) const override {
+    static_cast<void>(pinned_procs);
+    if (node < num_procs_) return 1ull << 56;                       // injection
+    if (port == dims_) return 2ull << 56;                           // ejection
+    return (3ull << 56) | static_cast<std::uint64_t>(port);         // dimension
+  }
+
   /// Dimensionality n.
   int dims() const { return dims_; }
   /// Router node id hosting processor `proc`.

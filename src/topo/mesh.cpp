@@ -1,5 +1,6 @@
 #include "topo/mesh.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
@@ -84,6 +85,90 @@ int Mesh::distance(int src_proc, int dst_proc) const {
   for (int d = 0; d < dims_; ++d)
     manhattan += std::abs(coord(src_proc, d) - coord(dst_proc, d));
   return manhattan + 2;
+}
+
+int Mesh::reflect(int addr, unsigned mask) const {
+  int out = 0;
+  for (int d = 0; d < dims_; ++d) {
+    int c = coord(addr, d);
+    if (mask & (1u << d)) c = radix_ - 1 - c;
+    out += c * stride_[static_cast<std::size_t>(d)];
+  }
+  return out;
+}
+
+bool Mesh::mask_fixes(int addr, unsigned mask) const {
+  // Reflection of axis d fixes a coordinate only at the axis center
+  // (2c == k-1, odd radix).
+  for (int d = 0; d < dims_; ++d) {
+    if ((mask & (1u << d)) && 2 * coord(addr, d) != radix_ - 1) return false;
+  }
+  return true;
+}
+
+bool Mesh::has_symmetry(const std::vector<int>& pinned_procs) const {
+  // Some non-identity reflection must fix every pin, else the orbit
+  // partition is all-singletons and collapsing buys nothing.
+  const unsigned masks = 1u << dims_;
+  for (unsigned g = 1; g < masks; ++g) {
+    bool ok = true;
+    for (int p : pinned_procs) {
+      if (!mask_fixes(p, g)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+std::uint64_t Mesh::proc_symmetry_key(int proc,
+                                      const std::vector<int>& pinned_procs) const {
+  // Canonical minimum image of the address over the pin-fixing subgroup.
+  const unsigned masks = 1u << dims_;
+  int best = proc;
+  for (unsigned g = 1; g < masks; ++g) {
+    bool ok = true;
+    for (int p : pinned_procs) {
+      if (!mask_fixes(p, g)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    best = std::min(best, reflect(proc, g));
+  }
+  return static_cast<std::uint64_t>(best);
+}
+
+std::uint64_t Mesh::channel_symmetry_key(
+    int node, int port, const std::vector<int>& pinned_procs) const {
+  const unsigned masks = 1u << dims_;
+  const bool injection = node < num_procs_;
+  const int addr = injection ? node : address_of(node);
+  // Minimum image of the (address, port) pair; a reflected axis swaps that
+  // dimension's minus/plus ports (2i <-> 2i+1), other ports are unmoved.
+  std::uint64_t best = ~0ull;
+  for (unsigned g = 0; g < masks; ++g) {
+    bool ok = true;
+    for (int p : pinned_procs) {
+      if (!mask_fixes(p, g)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    int rport = port;
+    if (!injection && port != 2 * dims_ && (g & (1u << (port / 2)))) {
+      rport = port ^ 1;
+    }
+    const std::uint64_t img =
+        static_cast<std::uint64_t>(reflect(addr, g)) * 32u +
+        static_cast<std::uint64_t>(rport);
+    best = std::min(best, img);
+  }
+  return ((injection ? 1ull : 2ull) << 56) | best;
 }
 
 double Mesh::mean_distance() const {

@@ -45,6 +45,19 @@ class Mesh final : public Topology {
   int distance(int src_proc, int dst_proc) const override;
   double mean_distance() const override;
 
+  // Symmetry (collapsed analytical builder).  Dimension-order routing is
+  // equivariant only under the per-axis reflections c_i ↦ k-1-c_i (axis
+  // permutations would reorder the DOR dimension sequence), a group of
+  // 2^dims elements.  Keys are canonical minimum images over the subgroup
+  // fixing every pin; a pin is fixed under an axis-i reflection iff it sits
+  // at that axis's center (odd radix only), so hotspots off-center declare
+  // no symmetry and the builder falls back to the dense path.
+  bool has_symmetry(const std::vector<int>& pinned_procs) const override;
+  std::uint64_t proc_symmetry_key(int proc,
+                                  const std::vector<int>& pinned_procs) const override;
+  std::uint64_t channel_symmetry_key(
+      int node, int port, const std::vector<int>& pinned_procs) const override;
+
   /// Nodes per dimension.
   int radix() const { return radix_; }
   /// Number of dimensions.
@@ -57,6 +70,9 @@ class Mesh final : public Topology {
   int coord(int addr, int dim) const;
 
  private:
+  int reflect(int addr, unsigned mask) const;
+  bool mask_fixes(int addr, unsigned mask) const;
+
   int radix_;
   int dims_;
   int num_procs_;

@@ -1,0 +1,41 @@
+#include "topo/symmetry.hpp"
+
+#include <unordered_map>
+
+namespace wormnet::topo {
+
+bool topology_symmetry(const Topology& topo, const ChannelTable& ct,
+                       const std::vector<int>& pinned_procs,
+                       SymmetryClasses& out) {
+  out = SymmetryClasses{};
+  if (!topo.has_symmetry(pinned_procs)) return false;
+  for (int p : pinned_procs) {
+    WORMNET_EXPECTS(p >= 0 && p < topo.num_processors());
+  }
+
+  const int procs = topo.num_processors();
+  out.proc_orbit.assign(static_cast<std::size_t>(procs), -1);
+  std::unordered_map<std::uint64_t, int> proc_ids;
+  proc_ids.reserve(64);
+  for (int p = 0; p < procs; ++p) {
+    const std::uint64_t key = topo.proc_symmetry_key(p, pinned_procs);
+    const auto [it, inserted] = proc_ids.emplace(key, out.num_proc_orbits);
+    if (inserted) ++out.num_proc_orbits;
+    out.proc_orbit[static_cast<std::size_t>(p)] = it->second;
+  }
+
+  out.channel_class.assign(static_cast<std::size_t>(ct.size()), -1);
+  std::unordered_map<std::uint64_t, int> channel_ids;
+  channel_ids.reserve(256);
+  for (int ch = 0; ch < ct.size(); ++ch) {
+    const DirectedChannel& dc = ct.at(ch);
+    const std::uint64_t key =
+        topo.channel_symmetry_key(dc.src_node, dc.src_port, pinned_procs);
+    const auto [it, inserted] = channel_ids.emplace(key, out.num_channel_classes);
+    if (inserted) ++out.num_channel_classes;
+    out.channel_class[static_cast<std::size_t>(ch)] = it->second;
+  }
+  return true;
+}
+
+}  // namespace wormnet::topo

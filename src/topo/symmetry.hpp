@@ -1,0 +1,56 @@
+// wormnet/topo/symmetry.hpp
+//
+// Channel-class partitions for the symmetry-collapsed analytical builder
+// (core::build_traffic_model in collapsed mode).  This is the generalization
+// of the trick behind the paper's fat-tree closed form: §3 collapses the
+// fat-tree's channels into per-level equivalence classes and solves O(levels)
+// recurrences instead of O(N) — here any topology that declares a
+// routing-preserving symmetry (Topology::has_symmetry /
+// proc_symmetry_key / channel_symmetry_key) gets the same collapse, and
+// irregular topologies can supply a hand-declared partition.
+//
+// A SymmetryClasses value is a pair of partitions with dense ids:
+//  * processors into DESTINATION ORBITS — the builder propagates flow for
+//    one representative destination per orbit and scales by the orbit size;
+//  * directed channels (topo::ChannelTable ids) into CHANNEL CLASSES — the
+//    O(classes) ChannelClass entries of the quotient GeneralModel.
+//
+// Exactness requires the classes to be orbits (constant AND group-closed)
+// of a group of automorphisms that commutes with routing and fixes the
+// pinned processors; a user-declared partition is taken on trust and should
+// be checked with core::check_collapsed_parity at small N.
+#pragma once
+
+#include <vector>
+
+#include "topo/channels.hpp"
+#include "topo/topology.hpp"
+
+namespace wormnet::topo {
+
+/// Orbit partitions of one (topology, pinned processors) pair.
+struct SymmetryClasses {
+  /// Per processor: dense destination-orbit id in [0, num_proc_orbits).
+  std::vector<int> proc_orbit;
+  /// Per directed channel (ChannelTable id): dense class id in
+  /// [0, num_channel_classes).
+  std::vector<int> channel_class;
+  int num_proc_orbits = 0;
+  int num_channel_classes = 0;
+
+  /// True when the partition collapses nothing (every orbit a singleton) —
+  /// the collapsed builder falls back to the dense path.
+  bool trivial(int num_processors) const {
+    return num_proc_orbits >= num_processors;
+  }
+};
+
+/// Compute the orbit partitions the topology declares for `pinned_procs`
+/// (densely re-labeling its uint64 keys in first-seen order).  Returns false
+/// — leaving `out` empty — when the topology declares no symmetry for these
+/// pins (Topology::has_symmetry is false).
+bool topology_symmetry(const Topology& topo, const ChannelTable& ct,
+                       const std::vector<int>& pinned_procs,
+                       SymmetryClasses& out);
+
+}  // namespace wormnet::topo

@@ -169,6 +169,52 @@ class Topology {
   /// The uniform lane multiplicity (what the default lanes() returns).
   int uniform_lanes() const { return uniform_lanes_; }
 
+  // -- Symmetry hooks (the channel-class collapse, core::build_traffic_model
+  //    collapsed mode) ------------------------------------------------------
+  //
+  // A topology that knows a routing-preserving symmetry group can declare its
+  // orbits through key functions: two processors (channels) with equal keys
+  // are in one orbit of a group G of automorphisms that (a) commute with
+  // route()/route_split() and (b) fix every processor in `pinned_procs`
+  // pointwise.  The collapsed builder then propagates flow for ONE
+  // destination per processor orbit and scales by the orbit size — exact
+  // whenever the traffic pattern is invariant under every automorphism
+  // fixing the pins (uniform pins nothing; a hotspot pins its target).
+  //
+  // Contract details the builder relies on:
+  //  * keys are arbitrary uint64 values — only equality matters;
+  //  * channel keys must be CONSTANT ON ORBITS AND SEPARATE THEM (a finer-
+  //    than-orbit partition is NOT safe: the representative-destination sums
+  //    are only exact on group-closed classes);
+  //  * every channel of one class shares bundle size, lane count and
+  //    terminal-ness (validated by the builder).
+  // The defaults declare no symmetry (singleton orbits), which makes the
+  // collapsed builder fall back to the dense per-channel path.
+
+  /// True when this topology can supply symmetry keys for the given pinned
+  /// processors.  The default knows no symmetry.
+  virtual bool has_symmetry(const std::vector<int>& pinned_procs) const {
+    static_cast<void>(pinned_procs);
+    return false;
+  }
+
+  /// Orbit key of processor `proc` under the automorphisms fixing the pins.
+  /// Only meaningful when has_symmetry(pinned_procs) is true.
+  virtual std::uint64_t proc_symmetry_key(int proc,
+                                          const std::vector<int>& pinned_procs) const {
+    static_cast<void>(pinned_procs);
+    return static_cast<std::uint64_t>(proc);
+  }
+
+  /// Orbit key of the directed channel leaving `node` through `port` under
+  /// the automorphisms fixing the pins.  Only meaningful when
+  /// has_symmetry(pinned_procs) is true.
+  virtual std::uint64_t channel_symmetry_key(
+      int node, int port, const std::vector<int>& pinned_procs) const {
+    static_cast<void>(pinned_procs);
+    return static_cast<std::uint64_t>(node) * 64u + static_cast<std::uint64_t>(port);
+  }
+
   /// Convenience: true for processor nodes.
   bool is_processor(int node) const { return kind(node) == NodeKind::Processor; }
 

@@ -197,6 +197,39 @@ TrafficMatrix TrafficSpec::materialize(int num_processors) const {
   return m;
 }
 
+bool TrafficSpec::symmetric(std::vector<int>& pinned_procs) const {
+  switch (pattern_) {
+    case Pattern::Uniform:
+      return true;
+    case Pattern::Hotspot:
+      pinned_procs.push_back(hotspot_node_);
+      return true;
+    default:
+      return false;
+  }
+}
+
+int TrafficSpec::fixed_destination(int src, int num_processors) const {
+  WORMNET_EXPECTS(src >= 0 && src < num_processors);
+  switch (pattern_) {
+    case Pattern::BitComplement:
+      return num_processors - 1 - src;
+    case Pattern::Transpose: {
+      const int side = grid_side(num_processors);
+      const int want = (src % side) * side + src / side;
+      return want == src ? (src + 1) % num_processors : want;
+    }
+    case Pattern::Permutation:
+      return perm_[static_cast<std::size_t>(src)];
+    default:
+      return -1;
+  }
+}
+
+const TrafficMatrix* TrafficSpec::matrix_payload() const {
+  return matrix_ ? &matrix_->m : nullptr;
+}
+
 int TrafficSpec::sample_destination(int src, int num_processors, util::Rng& rng) const {
   WORMNET_EXPECTS(num_processors >= 2);
   WORMNET_EXPECTS(src >= 0 && src < num_processors);

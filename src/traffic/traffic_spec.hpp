@@ -95,6 +95,23 @@ class TrafficSpec {
   /// Materialize the dense matrix at N (tests, reports, custom rescaling).
   TrafficMatrix materialize(int num_processors) const;
 
+  /// True when the distribution is invariant under every routing-preserving
+  /// automorphism that fixes the processors appended to `pinned_procs`:
+  /// Uniform pins nothing, Hotspot pins its target node.  Patterns tied to
+  /// processor numbering (permutations, matrices, ring neighbors) return
+  /// false.  The collapsed model builder consults this before attempting a
+  /// symmetric quotient.
+  bool symmetric(std::vector<int>& pinned_procs) const;
+
+  /// For deterministic one-destination-per-source patterns (BitComplement,
+  /// Transpose, Permutation), the fixed destination of `src`; -1 for
+  /// randomized patterns.  Lets builders seed N (src, dst) pairs instead of
+  /// scanning N² pair_weight entries.
+  int fixed_destination(int src, int num_processors) const;
+
+  /// The dense matrix payload (Pattern::Matrix only; nullptr otherwise).
+  const TrafficMatrix* matrix_payload() const;
+
   /// Draw a destination != src from this spec's distribution for `src`.
   /// Deterministic function of the rng state; the empirical law is exactly
   /// pair_weight(src, ., N).

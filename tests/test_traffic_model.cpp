@@ -138,6 +138,33 @@ TEST(TrafficModel, ParallelBuildBitwiseIdenticalToSerialEverywhere) {
   }
 }
 
+TEST(TrafficModel, SerialCutoffBoundaryIsBitwiseInvisible) {
+  // threads = 0 runs serially at or below kSerialCutoffProcs and on the
+  // shared pool above it.  The 7-cube (128 PEs) sits exactly ON the cutoff
+  // and the 8-cube (256 PEs) just past it; both sides must be bitwise the
+  // threads = 1 build, so the fast-path switch can never move a result.
+  ASSERT_EQ(TrafficBuildOptions::kSerialCutoffProcs, 128);
+  TrafficBuildOptions serial;
+  serial.threads = 1;
+  TrafficBuildOptions fallback;  // threads = 0: auto, cutoff applies
+  fallback.threads = 0;
+  for (int dims : {7, 8}) {
+    const topo::Hypercube hc(dims);
+    const traffic::TrafficSpec spec = traffic::TrafficSpec::uniform();
+    const GeneralModel a = build_traffic_model(hc, spec, {}, serial);
+    const GeneralModel b = build_traffic_model(hc, spec, {}, fallback);
+    const std::string tag = a.model_name + " dims=" + std::to_string(dims);
+    ASSERT_EQ(a.graph.size(), b.graph.size()) << tag;
+    EXPECT_EQ(a.mean_distance, b.mean_distance) << tag;
+    for (int ch = 0; ch < a.graph.size(); ++ch) {
+      EXPECT_EQ(a.graph.at(ch).rate_per_link, b.graph.at(ch).rate_per_link)
+          << tag << " ch " << ch;
+      EXPECT_EQ(a.graph.at(ch).self_frac, b.graph.at(ch).self_frac)
+          << tag << " ch " << ch;
+    }
+  }
+}
+
 TEST(TrafficModel, MeshKirchhoffUnderNonUniformPatterns) {
   // The generic sweep above relies on spec.check() filtering, which silently
   // drops transpose whenever the mesh's processor count isn't square — a
