@@ -320,6 +320,139 @@ void BM_TrafficModelRetuneCa2(benchmark::State& state) {
 }
 BENCHMARK(BM_TrafficModelRetuneCa2);
 
+void BM_QueryEngineRetunePattern(benchmark::State& state) {
+  // The pattern delta axis at N = 256: a RESIDENT dense model follows a
+  // moving hotspot via retune_traffic's signed-delta propagation — only the
+  // destinations whose pair weights changed are re-propagated, then the
+  // O(channels) assembly re-runs.  Compare BM_TrafficModelBuildFatTree/4,
+  // the cold rebuild each move would otherwise cost.
+  topo::ButterflyFatTree ft(4);
+  core::RetunableTrafficModel rm(ft, traffic::TrafficSpec::hotspot(0.2, 3));
+  const traffic::TrafficSpec targets[2] = {
+      traffic::TrafficSpec::hotspot(0.2, 7),
+      traffic::TrafficSpec::hotspot(0.2, 3)};
+  std::size_t i = 0;
+  long passes = 0;
+  for (auto _ : state) {
+    const auto report = rm.retune_traffic(targets[i ^= 1]);
+    passes += report.passes;
+    benchmark::DoNotOptimize(rm.model().mean_distance);
+  }
+  state.counters["passes/op"] = benchmark::Counter(
+      static_cast<double>(passes), benchmark::Counter::kAvgIterations);
+  state.SetLabel("N=" + std::to_string(ft.num_processors()) + " dense delta");
+}
+BENCHMARK(BM_QueryEngineRetunePattern)->Unit(benchmark::kMillisecond);
+
+void BM_QueryEngineRetunePatternCollapsed(benchmark::State& state) {
+  // The same moving hotspot against a COLLAPSED resident: the new spec
+  // keeps the fat-tree symmetry, so each retune is one pass per destination
+  // ORBIT (levels + 1 of them) against O(classes) state.
+  topo::ButterflyFatTree ft(4);
+  core::TrafficBuildOptions build;
+  build.collapse = core::CollapseMode::Auto;
+  core::RetunableTrafficModel rm(ft, traffic::TrafficSpec::hotspot(0.2, 0),
+                                 {}, build);
+  const traffic::TrafficSpec targets[2] = {
+      traffic::TrafficSpec::hotspot(0.3, 0),
+      traffic::TrafficSpec::hotspot(0.2, 0)};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rm.retune_traffic(targets[i ^= 1]).collapsed);
+  }
+  state.SetLabel("N=" + std::to_string(ft.num_processors()) + " orbit path");
+}
+BENCHMARK(BM_QueryEngineRetunePatternCollapsed)->Unit(benchmark::kMillisecond);
+
+void BM_QueryEngineRetuneLanes(benchmark::State& state) {
+  // The lane delta axis: set_uniform_lanes is one O(channels) sweep over
+  // ChannelClass::lanes — bitwise-identical to a topology rebuild.
+  topo::ButterflyFatTree ft(4);
+  core::RetunableTrafficModel rm(ft, traffic::TrafficSpec::hotspot(0.2, 3));
+  const int lanes[2] = {4, 2};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    rm.set_uniform_lanes(lanes[i ^= 1]);
+    benchmark::DoNotOptimize(rm.model().graph.at(0).lanes);
+  }
+  state.SetLabel(std::to_string(rm.model().graph.size()) + " channel classes");
+}
+BENCHMARK(BM_QueryEngineRetuneLanes);
+
+void BM_QueryEngineRetuneLoad(benchmark::State& state) {
+  // The load delta axis: scale_injection_rates multiplies every per-link
+  // rate — O(channels), composing across calls.
+  topo::ButterflyFatTree ft(4);
+  core::RetunableTrafficModel rm(ft, traffic::TrafficSpec::hotspot(0.2, 3));
+  const double factors[2] = {1.25, 0.8};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    rm.scale_injection_rates(factors[i ^= 1]);
+    benchmark::DoNotOptimize(rm.model().graph.at(0).rate_per_link);
+  }
+  state.SetLabel(std::to_string(rm.model().graph.size()) + " channel classes");
+}
+BENCHMARK(BM_QueryEngineRetuneLoad);
+
+void BM_QueryEngineThroughput(benchmark::State& state) {
+  // The headline queries/sec number at N = 256: a 256-query operator batch
+  // (16 hotspot fractions × 4 load points × 2 lane counts, all latency
+  // questions) answered two ways:
+  //  * arg 0 — through the QueryEngine with result-memoization OFF (every
+  //    query is solved; only the engine's variant grouping and
+  //    cheapest-path planning — collapsed retunes here, since hotspot
+  //    deltas keep the fat-tree symmetry — do the saving);
+  //  * arg 1 — the pre-engine idiom: one cold build_traffic_model per
+  //    query, then evaluate (BM_TrafficModelBuildFatTree/4 per question).
+  // The acceptance bar is ≥ 100× between the two queries/s counters.
+  topo::ButterflyFatTree ft(4);
+  std::vector<harness::WhatIfQuery> batch;
+  for (int f = 0; f < 16; ++f) {
+    for (int l = 0; l < 4; ++l) {
+      for (int lanes : {1, 2}) {
+        harness::WhatIfQuery q;
+        q.traffic = traffic::TrafficSpec::hotspot(0.05 + 0.04 * f, 0);
+        q.lambda0 = 0.0008 + 0.0004 * l;
+        q.lanes = lanes;
+        batch.push_back(q);
+      }
+    }
+  }
+  std::int64_t served = 0;
+  if (state.range(0) == 0) {
+    harness::QueryEngine::Options opts;
+    opts.memoize = false;  // honest: no result-cache credit across iterations
+    opts.build.collapse = core::CollapseMode::Auto;
+    harness::QueryEngine engine(ft, traffic::TrafficSpec::uniform(), opts);
+    for (auto _ : state) {
+      const auto results = engine.run_batch(batch);
+      served += static_cast<std::int64_t>(results.size());
+      benchmark::DoNotOptimize(results.front().est.latency);
+    }
+  } else {
+    for (auto _ : state) {
+      double sink = 0.0;
+      for (const harness::WhatIfQuery& q : batch) {
+        core::GeneralModel net = core::build_traffic_model(ft, *q.traffic);
+        if (q.lanes != 0) net.set_uniform_lanes(q.lanes);
+        sink += net.evaluate(q.lambda0).latency;
+      }
+      served += static_cast<std::int64_t>(batch.size());
+      benchmark::DoNotOptimize(sink);
+    }
+  }
+  state.counters["queries/s"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+  state.SetLabel(state.range(0) == 0 ? "retune-served batch"
+                                     : "rebuild-per-query");
+}
+// UseRealTime: batch work runs on the engine's pool threads.
+BENCHMARK(BM_QueryEngineThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ArrivalGapSampling(benchmark::State& state) {
   // ns per sampled inter-arrival gap, per process — the incremental cost a
   // bursty TrafficSource pays over the Poisson baseline (arg 0).

@@ -5,6 +5,7 @@
 
 #include "core/saturation.hpp"
 #include "queueing/channel_solver.hpp"
+#include "util/hash.hpp"
 #include "util/math.hpp"
 
 namespace wormnet::core {
@@ -189,6 +190,18 @@ void GeneralModel::set_injection_ca2(double ca2) {
   }
 }
 
+void GeneralModel::set_uniform_lanes(int lanes) {
+  WORMNET_EXPECTS(lanes >= 1);
+  for (int id = 0; id < graph.size(); ++id) graph.mutable_at(id).lanes = lanes;
+}
+
+void GeneralModel::scale_injection_rates(double factor) {
+  WORMNET_EXPECTS(factor > 0.0 && std::isfinite(factor));
+  for (int id = 0; id < graph.size(); ++id) {
+    graph.mutable_at(id).rate_per_link *= factor;
+  }
+}
+
 void GeneralModel::set_injection_process(const arrivals::ArrivalSpec& spec,
                                          double lambda0) {
   WORMNET_EXPECTS(spec.check().empty());
@@ -220,6 +233,39 @@ LatencyEstimate apply_batch_residual(LatencyEstimate est, double residual,
 }
 
 }  // namespace
+
+std::uint64_t GeneralModel::content_digest() const {
+  // Base digest covers name, worm length, ablation switches and the arrival
+  // tuning; fold in everything else evaluate() reads.  Labels and
+  // channel_class_of are reporting metadata only, and opts.injection_scale
+  // is overridden by every evaluation's λ₀ — all three are deliberately
+  // excluded.
+  std::uint64_t h = NetworkModel::content_digest();
+  h = util::hash_mix(h, static_cast<std::uint64_t>(graph.size()));
+  for (int id = 0; id < graph.size(); ++id) {
+    const ChannelClass& c = graph.at(id);
+    h = util::hash_mix(h, (static_cast<std::uint64_t>(c.servers) << 32) |
+                              (static_cast<std::uint64_t>(c.lanes) << 1) |
+                              static_cast<std::uint64_t>(c.terminal));
+    h = util::hash_mix_double(h, c.rate_per_link);
+    h = util::hash_mix_double(h, c.ca2);
+    h = util::hash_mix_double(h, c.self_frac);
+    for (const Transition& t : c.next) {
+      h = util::hash_mix(h, static_cast<std::uint64_t>(t.target));
+      h = util::hash_mix_double(h, t.weight);
+      h = util::hash_mix_double(h, t.route_prob);
+    }
+  }
+  for (int id : injection_classes) {
+    h = util::hash_mix(h, static_cast<std::uint64_t>(id));
+  }
+  for (double w : injection_class_weights) h = util::hash_mix_double(h, w);
+  h = util::hash_mix_double(h, mean_distance);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(opts.max_iterations));
+  h = util::hash_mix_double(h, opts.tolerance);
+  h = util::hash_mix_double(h, opts.damping);
+  return h;
+}
 
 SolveResult GeneralModel::solve(double lambda0) const {
   SolveOptions run = opts;

@@ -159,6 +159,23 @@ class GeneralModel final : public NetworkModel {
   void set_injection_process(const arrivals::ArrivalSpec& spec,
                              double lambda0 = 0.0);
 
+  /// Retune every channel class to `lanes` virtual channels per physical
+  /// link.  Lane counts enter the solve only through ChannelClass::lanes —
+  /// rates, self_frac and transitions are lane-independent — so this is
+  /// O(channels) and BITWISE-identical to rebuilding the model from a
+  /// topology with Topology::set_uniform_lanes(lanes) (tested).  The
+  /// what-if lane axis for resident models.
+  void set_uniform_lanes(int lanes);
+
+  /// Scale every channel's per-link rate by `factor` (> 0): the what-if
+  /// load axis for resident models.  Because the solver only ever consumes
+  /// rate_per_link · injection_scale, a uniformly scaled model evaluated at
+  /// λ₀ agrees with the unscaled model evaluated at λ₀·factor up to one
+  /// ulp per product (the multiplication re-associates) — within the 1e-12
+  /// delta-retune parity contract, not bitwise.  Scales compose; rescale by
+  /// 1/factor to undo.
+  void scale_injection_rates(double factor);
+
   /// Full solve at λ₀ (per-channel detail).
   SolveResult solve(double lambda0) const;
 
@@ -170,6 +187,13 @@ class GeneralModel final : public NetworkModel {
   double arrival_batch_residual() const override {
     return injection_batch_residual;
   }
+  /// Content digest over everything evaluate() consumes: the full channel
+  /// graph (rates, lanes, SCVs, transitions), injection classes/weights,
+  /// mean distance and the solver knobs.  Two GeneralModels with equal
+  /// digests evaluate bitwise-identically at every λ₀, so memo caches can
+  /// share entries across rebuilt or cloned models.  O(channels +
+  /// transitions).
+  std::uint64_t content_digest() const override;
   LatencyEstimate evaluate(double lambda0) const override;
 };
 

@@ -2,8 +2,26 @@
 
 #include "core/saturation.hpp"
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 
 namespace wormnet::core {
+
+std::uint64_t NetworkModel::content_digest() const {
+  // The identity the base interface can observe.  Subclasses whose
+  // evaluate() depends on more (channel graphs, lane knobs) mix that state
+  // on top — see the header contract.
+  const queueing::AblationOptions abl = ablation();
+  std::uint64_t h = util::hash_bytes(name());
+  h = util::hash_mix(h, (static_cast<std::uint64_t>(abl.multi_server) << 4) |
+                           (static_cast<std::uint64_t>(abl.blocking_correction) << 3) |
+                           (static_cast<std::uint64_t>(abl.erratum_2lambda) << 2) |
+                           (static_cast<std::uint64_t>(abl.virtual_channels) << 1) |
+                           static_cast<std::uint64_t>(abl.bursty_arrivals));
+  h = util::hash_mix_double(h, worm_flits());
+  h = util::hash_mix_double(h, arrival_ca2());
+  h = util::hash_mix_double(h, arrival_batch_residual());
+  return h;
+}
 
 LatencyEstimate NetworkModel::evaluate_load(double load_flits) const {
   return evaluate(load_flits / worm_flits());

@@ -11,6 +11,7 @@
 // estimate at an injection rate (Eq. 2/25) and the saturation rate (Eq. 26).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "queueing/channel_solver.hpp"
@@ -52,6 +53,25 @@ class NetworkModel {
   /// arrivals::ArrivalSpec::batch_residual); 0 for batchless processes.
   /// Interface-visible for the same cache-keying reason as arrival_ca2.
   virtual double arrival_batch_residual() const { return 0.0; }
+
+  /// Content digest: a hash over every configuration axis that can change
+  /// evaluate()'s result, such that two models with equal digests produce
+  /// bitwise-identical estimates at every λ₀.  Memo caches
+  /// (harness::SweepEngine, harness::QueryEngine) key evaluations on this
+  /// value instead of the model's address, so entries survive the model
+  /// object itself — a rebuilt or cloned model with identical content hits
+  /// the cache, and a recycled address can never serve stale data.
+  ///
+  /// The default folds the identity the base interface can see: name(),
+  /// worm length, ablation switches and the arrival-process tuning.  That
+  /// is sufficient ONLY when name() pins down everything else (true for
+  /// FatTreeModel, whose name encodes levels/parents/lanes; GeneralModel
+  /// overrides to hash its channel graph).
+  /// Implementations whose evaluate() depends on state beyond these axes
+  /// MUST override and mix that state in, or caches may serve a lookalike's
+  /// estimate.  Called once per cached evaluation (batch sweeps hoist it),
+  /// so overrides should stay O(model size) or better.
+  virtual std::uint64_t content_digest() const;
 
   /// Evaluate at λ₀ messages/cycle/processor.
   virtual LatencyEstimate evaluate(double lambda0) const = 0;

@@ -132,6 +132,50 @@ void dfs_route_dag(const topo::Topology& topo, const topo::ChannelTable& ct,
   }
 }
 
+/// The flow-propagation sweep over one destination's route DAG, shared by
+/// the dense shard pass and the delta-retune pass (which differ only in
+/// where the accumulations land and what seeded the DAG).  Walks
+/// `pass.order` in reverse (topological order: a node's in-flows are
+/// complete before it splits them across its route candidates) and emits
+/// every accumulation through the two policy callbacks, in the exact order
+/// the historical in-line loop performed them — the policies are inlined,
+/// so shard builds stay bitwise-identical to the pre-refactor code:
+///   add_rate(ch, flow, self)       — per-channel rate / QNA self-mass
+///   add_onward(in_ch, port, flow)  — per-(channel, continuation port) flow
+template <typename AddRate, typename AddOnward>
+void propagate_flows(int d, DestinationPass& pass, AddRate&& add_rate,
+                     AddOnward&& add_onward) {
+  for (auto it = pass.order.rbegin(); it != pass.order.rend(); ++it) {
+    const int node = *it;
+    const auto& inputs = pass.in_flows[static_cast<std::size_t>(node)];
+    if (inputs.empty()) continue;  // d itself, or an unfed DFS visit
+    WORMNET_ENSURES(node != d);    // flows into d are consumed, never split
+    const NodeRoutes& nr = pass.routes[static_cast<std::size_t>(node)];
+    double total = 0.0;
+    double total_self = 0.0;
+    for (const FlowFragment& in : inputs) {
+      total += in.flow;
+      total_self += in.self;
+    }
+    for (int i = 0; i < nr.count; ++i) {
+      const double p = nr.split[static_cast<std::size_t>(i)];
+      if (p <= 0.0) continue;
+      const int port = nr.port[static_cast<std::size_t>(i)];
+      const int ch = nr.channel[static_cast<std::size_t>(i)];
+      WORMNET_ENSURES(ch != topo::kNoChannel);
+      add_rate(ch, total * p, total_self * p * p);
+      for (const FlowFragment& in : inputs) {
+        if (in.in_ch == topo::kNoChannel) continue;
+        add_onward(in.in_ch, port, in.flow * p);
+      }
+      const int nbr = nr.neighbor[static_cast<std::size_t>(i)];
+      if (nbr == d) continue;  // ejection channel: consumed at the destination
+      pass.in_flows[static_cast<std::size_t>(nbr)].push_back(
+          {ch, total * p, total_self * p * p});
+    }
+  }
+}
+
 /// One shard's work: run the flow-propagation pass for every destination in
 /// [dst_lo, dst_hi), accumulating into the shard's private buffers.
 /// `dest_sources`, when non-null, lists each destination's positive-weight
@@ -171,39 +215,16 @@ void run_shard(const topo::Topology& topo, const topo::ChannelTable& ct,
         if (s != d) seed(s);
       }
     }
-    // Propagate in topological order (reverse postorder): a node's in-flows
-    // are complete before it splits them across its route candidates.
-    for (auto it = pass.order.rbegin(); it != pass.order.rend(); ++it) {
-      const int node = *it;
-      const auto& inputs = pass.in_flows[static_cast<std::size_t>(node)];
-      if (inputs.empty()) continue;  // d itself, or an unfed DFS visit
-      WORMNET_ENSURES(node != d);    // flows into d are consumed, never split
-      const NodeRoutes& nr = pass.routes[static_cast<std::size_t>(node)];
-      double total = 0.0;
-      double total_self = 0.0;
-      for (const FlowFragment& in : inputs) {
-        total += in.flow;
-        total_self += in.self;
-      }
-      for (int i = 0; i < nr.count; ++i) {
-        const double p = nr.split[static_cast<std::size_t>(i)];
-        if (p <= 0.0) continue;
-        const int port = nr.port[static_cast<std::size_t>(i)];
-        const int ch = nr.channel[static_cast<std::size_t>(i)];
-        WORMNET_ENSURES(ch != topo::kNoChannel);
-        acc.rate[static_cast<std::size_t>(ch)] += total * p;
-        acc.self[static_cast<std::size_t>(ch)] += total_self * p * p;
-        for (const FlowFragment& in : inputs) {
-          if (in.in_ch == topo::kNoChannel) continue;
-          acc.onward[static_cast<std::size_t>(onward_off[static_cast<std::size_t>(in.in_ch)] + port)] +=
-              in.flow * p;
-        }
-        const int nbr = nr.neighbor[static_cast<std::size_t>(i)];
-        if (nbr == d) continue;  // ejection channel: consumed at the destination
-        pass.in_flows[static_cast<std::size_t>(nbr)].push_back(
-            {ch, total * p, total_self * p * p});
-      }
-    }
+    propagate_flows(
+        d, pass,
+        [&](int ch, double flow, double self) {
+          acc.rate[static_cast<std::size_t>(ch)] += flow;
+          acc.self[static_cast<std::size_t>(ch)] += self;
+        },
+        [&](int in_ch, int port, double flow) {
+          acc.onward[static_cast<std::size_t>(
+              onward_off[static_cast<std::size_t>(in_ch)] + port)] += flow;
+        });
     pass.reset();
   }
 }
@@ -476,62 +497,92 @@ GeneralModel build_collapsed(const topo::Topology& topo,
   return net;
 }
 
-}  // namespace
+/// The resolved build strategy of one (spec, build-options) pair — the
+/// ladder build_traffic_model historically ran in-line, extracted so the
+/// delta-retune path can re-plan against a NEW spec with identical rules.
+struct CollapsePlan {
+  bool use_collapsed = false;       ///< symmetric quotient applies
+  topo::SymmetryClasses sym;        ///< valid when use_collapsed
+  bool sparse_seed = false;         ///< fixed-destination source lists apply
+  std::vector<std::vector<int>> dest_sources;  ///< valid when sparse_seed
+};
 
-GeneralModel build_traffic_model(const topo::Topology& topo,
-                                 const traffic::TrafficSpec& spec,
-                                 const SolveOptions& opts,
-                                 const TrafficBuildOptions& build) {
+/// Collapse strategy: symmetric quotient first (a user-declared partition
+/// wins over the topology's own hooks), sparse seeding second, dense last.
+/// Precondition failure when Symmetric was demanded but nothing declares a
+/// quotient.
+CollapsePlan plan_collapse(const topo::Topology& topo,
+                           const topo::ChannelTable& ct,
+                           const traffic::TrafficSpec& spec,
+                           const TrafficBuildOptions& build) {
   const int procs = topo.num_processors();
-  WORMNET_EXPECTS(procs >= 2);
-  WORMNET_EXPECTS(spec.check(procs).empty());
-
-  const topo::ChannelTable ct(topo);
-  const int num_channels = ct.size();
-
-  // Collapse strategy: symmetric quotient first (a user-declared partition
-  // wins over the topology's own hooks), sparse seeding second, dense last.
-  std::vector<std::vector<int>> dest_sources;
-  bool sparse_seed = false;
-  if (build.collapse != CollapseMode::Dense) {
-    if (build.collapse != CollapseMode::Sparse) {
-      topo::SymmetryClasses sym;
-      bool have = false;
-      if (build.user_classes != nullptr) {
-        sym = *build.user_classes;
-        have = true;
-      } else {
-        std::vector<int> pins;
-        if (spec.symmetric(pins)) {
-          have = topo::topology_symmetry(topo, ct, pins, sym) &&
-                 !sym.trivial(procs);
-          if (build.collapse == CollapseMode::Auto) {
-            have = have && sym.num_channel_classes <= build.max_symmetry_classes;
-          }
+  CollapsePlan plan;
+  if (build.collapse == CollapseMode::Dense) return plan;
+  if (build.collapse != CollapseMode::Sparse) {
+    bool have = false;
+    if (build.user_classes != nullptr) {
+      plan.sym = *build.user_classes;
+      have = true;
+    } else {
+      std::vector<int> pins;
+      if (spec.symmetric(pins)) {
+        have = topo::topology_symmetry(topo, ct, pins, plan.sym) &&
+               !plan.sym.trivial(procs);
+        if (build.collapse == CollapseMode::Auto) {
+          have = have && plan.sym.num_channel_classes <= build.max_symmetry_classes;
         }
       }
-      if (have) return build_collapsed(topo, ct, spec, sym, opts);
-      // The quotient was demanded outright but nothing declares one.
-      WORMNET_EXPECTS(build.collapse != CollapseMode::Symmetric);
     }
-    if (spec.fixed_destination(0, procs) >= 0) {
-      dest_sources.assign(static_cast<std::size_t>(procs), {});
-      for (int s = 0; s < procs; ++s) {
-        const int d = spec.fixed_destination(s, procs);
-        // Ascending s per destination: identical seed order to the scan.
-        dest_sources[static_cast<std::size_t>(d)].push_back(s);
-      }
-      sparse_seed = true;
+    if (have) {
+      plan.use_collapsed = true;
+      return plan;
     }
+    // The quotient was demanded outright but nothing declares one.
+    WORMNET_EXPECTS(build.collapse != CollapseMode::Symmetric);
   }
+  if (spec.fixed_destination(0, procs) >= 0) {
+    plan.dest_sources.assign(static_cast<std::size_t>(procs), {});
+    for (int s = 0; s < procs; ++s) {
+      const int d = spec.fixed_destination(s, procs);
+      // Ascending s per destination: identical seed order to the scan.
+      plan.dest_sources[static_cast<std::size_t>(d)].push_back(s);
+    }
+    plan.sparse_seed = true;
+  }
+  return plan;
+}
+
+/// The dense builder's retained intermediate: everything the assembly step
+/// consumes, and — because the flow DP is LINEAR in its (src, dst) seeds —
+/// everything a delta-retune needs to update in place when pair weights
+/// change (RetunableTrafficModel).
+struct DenseFlowState {
+  std::vector<int> onward_off;   ///< flat (channel, continuation port) offsets
+  std::vector<int> bundle_of;    ///< output-bundle id per channel
+  std::vector<int> bundle_size;  ///< m of that bundle
+  std::vector<double> rate;      ///< per channel, unit injection
+  std::vector<double> self;      ///< per channel, QNA self-mass
+  std::vector<double> onward;    ///< flat continuation flows
+  double weighted_distance = 0.0;
+};
+
+/// Run the sharded per-destination passes for the whole spec, filling
+/// `st` (replacing any previous contents).
+void propagate_dense(const topo::Topology& topo, const topo::ChannelTable& ct,
+                     const traffic::TrafficSpec& spec,
+                     const TrafficBuildOptions& build,
+                     const std::vector<std::vector<int>>* dest_sources,
+                     DenseFlowState& st) {
+  const int procs = topo.num_processors();
+  const int num_channels = ct.size();
 
   // Flat offsets for the per-(channel, continuation port) flows — the
   // continuation port is on the channel's dst node, so one dense slab with
   // per-channel offsets makes every update O(1) and cache-friendly.
-  std::vector<int> onward_off(static_cast<std::size_t>(num_channels) + 1, 0);
+  st.onward_off.assign(static_cast<std::size_t>(num_channels) + 1, 0);
   for (int ch = 0; ch < num_channels; ++ch) {
-    onward_off[static_cast<std::size_t>(ch) + 1] =
-        onward_off[static_cast<std::size_t>(ch)] +
+    st.onward_off[static_cast<std::size_t>(ch) + 1] =
+        st.onward_off[static_cast<std::size_t>(ch)] +
         topo.num_ports(ct.at(ch).dst_node);
   }
 
@@ -546,8 +597,8 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
   const auto shard_job = [&](std::int64_t j) {
     const int lo = static_cast<int>(j) * procs / num_shards;
     const int hi = (static_cast<int>(j) + 1) * procs / num_shards;
-    run_shard(topo, ct, spec, onward_off, sparse_seed ? &dest_sources : nullptr,
-              lo, hi, accs[static_cast<std::size_t>(j)]);
+    run_shard(topo, ct, spec, st.onward_off, dest_sources, lo, hi,
+              accs[static_cast<std::size_t>(j)]);
   };
   // threads = 0 ("auto") also runs serially below the cutoff: at those sizes
   // the fork/join overhead exceeds the whole build, and the fixed-shard
@@ -566,20 +617,37 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
 
   // Deterministic reduction: shard partials added back in shard (i.e.
   // ascending destination-range) order.
-  std::vector<double> rate(static_cast<std::size_t>(num_channels), 0.0);
-  std::vector<double> self(static_cast<std::size_t>(num_channels), 0.0);
-  std::vector<double> onward(static_cast<std::size_t>(onward_off.back()), 0.0);
-  double weighted_distance = 0.0;
+  st.rate.assign(static_cast<std::size_t>(num_channels), 0.0);
+  st.self.assign(static_cast<std::size_t>(num_channels), 0.0);
+  st.onward.assign(static_cast<std::size_t>(st.onward_off.back()), 0.0);
+  st.weighted_distance = 0.0;
   for (const ShardAccum& acc : accs) {
-    for (std::size_t i = 0; i < rate.size(); ++i) rate[i] += acc.rate[i];
-    for (std::size_t i = 0; i < self.size(); ++i) self[i] += acc.self[i];
-    for (std::size_t i = 0; i < onward.size(); ++i) onward[i] += acc.onward[i];
-    weighted_distance += acc.weighted_distance;
+    for (std::size_t i = 0; i < st.rate.size(); ++i) st.rate[i] += acc.rate[i];
+    for (std::size_t i = 0; i < st.self.size(); ++i) st.self[i] += acc.self[i];
+    for (std::size_t i = 0; i < st.onward.size(); ++i)
+      st.onward[i] += acc.onward[i];
+    st.weighted_distance += acc.weighted_distance;
   }
 
-  std::vector<int> bundle_of;
-  std::vector<int> bundle_size;
-  label_bundles(topo, ct, bundle_of, bundle_size);
+  label_bundles(topo, ct, st.bundle_of, st.bundle_size);
+}
+
+/// Assemble the per-physical-channel GeneralModel from a propagated flow
+/// state: channel classes, transitions, injection classes, mean distance.
+/// O(channels + transitions) — the cheap tail every delta-retune re-runs.
+GeneralModel assemble_dense(const topo::Topology& topo,
+                            const topo::ChannelTable& ct,
+                            const traffic::TrafficSpec& spec,
+                            const SolveOptions& opts,
+                            const DenseFlowState& st) {
+  const int procs = topo.num_processors();
+  const int num_channels = ct.size();
+  const std::vector<double>& rate = st.rate;
+  const std::vector<double>& self = st.self;
+  const std::vector<double>& onward = st.onward;
+  const std::vector<int>& onward_off = st.onward_off;
+  const std::vector<int>& bundle_of = st.bundle_of;
+  const std::vector<int>& bundle_size = st.bundle_size;
 
   GeneralModel net;
   for (int ch = 0; ch < num_channels; ++ch) {
@@ -661,7 +729,7 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
     ++injecting;
   }
   WORMNET_EXPECTS(injecting > 0);
-  net.mean_distance = weighted_distance / injecting;
+  net.mean_distance = st.weighted_distance / injecting;
   net.model_name = "traffic(" + topo.name() + ", " + spec.name() + ")";
   net.opts = opts;
 
@@ -670,12 +738,308 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
   return net;
 }
 
+}  // namespace
+
+GeneralModel build_traffic_model(const topo::Topology& topo,
+                                 const traffic::TrafficSpec& spec,
+                                 const SolveOptions& opts,
+                                 const TrafficBuildOptions& build) {
+  const int procs = topo.num_processors();
+  WORMNET_EXPECTS(procs >= 2);
+  WORMNET_EXPECTS(spec.check(procs).empty());
+
+  const topo::ChannelTable ct(topo);
+  CollapsePlan plan = plan_collapse(topo, ct, spec, build);
+  if (plan.use_collapsed)
+    return build_collapsed(topo, ct, spec, plan.sym, opts);
+
+  DenseFlowState st;
+  propagate_dense(topo, ct, spec, build,
+                  plan.sparse_seed ? &plan.dest_sources : nullptr, st);
+  return assemble_dense(topo, ct, spec, opts, st);
+}
+
 GeneralModel build_traffic_model_collapsed(const topo::Topology& topo,
                                            const traffic::TrafficSpec& spec,
                                            const SolveOptions& opts,
                                            TrafficBuildOptions build) {
   build.collapse = CollapseMode::Auto;
   return build_traffic_model(topo, spec, opts, build);
+}
+
+namespace {
+
+/// Kill the floating residues a delta pass leaves where the true value is 0.
+///
+/// Delta contributions are bit-exact negatives of the original products
+/// (multiplication by the signed seed distributes identically), so the only
+/// error is re-associated ADDITION: subtracting a subset of a positive sum
+/// in a different order leaves O(n·ulp·magnitude) residue — including tiny
+/// NEGATIVE rates, which ChannelGraph::validate() rejects, and phantom
+/// onward flows that would fabricate transitions into rate-0 channels.
+/// Snap rate/onward values below a scale-aware epsilon to exactly 0; clamp
+/// self-mass negatives only (tiny positive self is harmless and may be
+/// legitimate — self magnitudes sit orders below rates).  Legitimate
+/// nonzero flows are bounded away from the threshold: the smallest is one
+/// pair weight through the deepest split, ~1e-5 at N = 256, vs an epsilon
+/// of ~1e-9 · max-rate.
+void snap_residues(DenseFlowState& st) {
+  double max_rate = 0.0;
+  for (double r : st.rate) max_rate = std::max(max_rate, std::abs(r));
+  const double eps = 1e-9 * (1.0 + max_rate);
+  const auto snap = [eps](double& v) {
+    if (std::abs(v) < eps) v = 0.0;
+    WORMNET_ENSURES(v >= 0.0);  // beyond-residue negatives are a real bug
+  };
+  for (double& v : st.rate) snap(v);
+  for (double& v : st.onward) snap(v);
+  for (double& v : st.self) {
+    if (v < 0.0) {
+      WORMNET_ENSURES(v > -eps);
+      v = 0.0;
+    }
+  }
+  // A channel whose rate vanished keeps no self-mass or continuation flows
+  // (assembly would skip them behind the rate > 0 guard; keep the retained
+  // state itself consistent so later deltas start clean).
+  for (std::size_t ch = 0; ch < st.rate.size(); ++ch) {
+    if (st.rate[ch] > 0.0) continue;
+    st.self[ch] = 0.0;
+    for (int k = st.onward_off[ch]; k < st.onward_off[ch + 1]; ++k) {
+      st.onward[static_cast<std::size_t>(k)] = 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+/// Everything a resident model retains between retunes: the channel table,
+/// the dense flow state (when dense), the current spec, and the recorded
+/// lane/load/arrival tunes to re-apply after any reassembly.
+struct RetunableTrafficModel::Impl {
+  const topo::Topology* topo;
+  topo::ChannelTable ct;
+  traffic::TrafficSpec spec;
+  SolveOptions opts;
+  TrafficBuildOptions build;
+  bool is_collapsed = false;
+  DenseFlowState state;    ///< valid only when !is_collapsed
+  int lanes_override = 0;  ///< 0: the topology's own lane counts
+  double load_scale = 1.0;
+  double tuned_ca2 = 1.0;
+  double tuned_residual = 0.0;
+  GeneralModel net;
+
+  Impl(const topo::Topology& t, traffic::TrafficSpec s, const SolveOptions& o,
+       const TrafficBuildOptions& b)
+      : topo(&t), ct(t), spec(std::move(s)), opts(o), build(b) {}
+
+  /// Re-apply the recorded lane/load/arrival tunes onto a freshly
+  /// (re)assembled model.  Order matters only for documentation: each tune
+  /// touches a disjoint ChannelClass field (lanes / rate_per_link / ca2).
+  void apply_tunes() {
+    if (lanes_override >= 1) net.set_uniform_lanes(lanes_override);
+    if (load_scale != 1.0) net.scale_injection_rates(load_scale);
+    if (tuned_ca2 != 1.0 || tuned_residual != 0.0) {
+      net.set_injection_ca2(tuned_ca2);
+      net.injection_batch_residual = tuned_residual;
+    }
+  }
+
+  /// Cold build for `new_spec` along the planned strategy, replacing the
+  /// resident model and flow state.
+  void rebuild_cold(const traffic::TrafficSpec& new_spec,
+                    const CollapsePlan& plan) {
+    if (plan.use_collapsed) {
+      net = build_collapsed(*topo, ct, new_spec, plan.sym, opts);
+      is_collapsed = true;
+      state = DenseFlowState{};
+    } else {
+      propagate_dense(*topo, ct, new_spec, build,
+                      plan.sparse_seed ? &plan.dest_sources : nullptr, state);
+      net = assemble_dense(*topo, ct, new_spec, opts, state);
+      is_collapsed = false;
+    }
+    spec = new_spec;
+    apply_tunes();
+  }
+};
+
+RetunableTrafficModel::RetunableTrafficModel(const topo::Topology& topo,
+                                             traffic::TrafficSpec spec,
+                                             const SolveOptions& opts,
+                                             const TrafficBuildOptions& build)
+    : impl_(std::make_unique<Impl>(topo, std::move(spec), opts, build)) {
+  const int procs = topo.num_processors();
+  WORMNET_EXPECTS(procs >= 2);
+  WORMNET_EXPECTS(impl_->spec.check(procs).empty());
+  impl_->rebuild_cold(impl_->spec,
+                      plan_collapse(topo, impl_->ct, impl_->spec, build));
+}
+
+RetunableTrafficModel::~RetunableTrafficModel() = default;
+RetunableTrafficModel::RetunableTrafficModel(const RetunableTrafficModel& other)
+    : impl_(std::make_unique<Impl>(*other.impl_)) {}
+RetunableTrafficModel& RetunableTrafficModel::operator=(
+    const RetunableTrafficModel& other) {
+  if (this != &other) impl_ = std::make_unique<Impl>(*other.impl_);
+  return *this;
+}
+RetunableTrafficModel::RetunableTrafficModel(RetunableTrafficModel&&) noexcept =
+    default;
+RetunableTrafficModel& RetunableTrafficModel::operator=(
+    RetunableTrafficModel&&) noexcept = default;
+
+const GeneralModel& RetunableTrafficModel::model() const { return impl_->net; }
+GeneralModel& RetunableTrafficModel::model() { return impl_->net; }
+const traffic::TrafficSpec& RetunableTrafficModel::spec() const {
+  return impl_->spec;
+}
+bool RetunableTrafficModel::collapsed() const { return impl_->is_collapsed; }
+
+void RetunableTrafficModel::set_uniform_lanes(int lanes) {
+  WORMNET_EXPECTS(lanes >= 1);
+  impl_->lanes_override = lanes;
+  impl_->net.set_uniform_lanes(lanes);
+}
+
+void RetunableTrafficModel::scale_injection_rates(double factor) {
+  impl_->load_scale *= factor;
+  impl_->net.scale_injection_rates(factor);
+}
+
+void RetunableTrafficModel::set_injection_process(
+    const arrivals::ArrivalSpec& process, double lambda0) {
+  impl_->net.set_injection_process(process, lambda0);
+  impl_->tuned_ca2 = impl_->net.injection_ca2;
+  impl_->tuned_residual = impl_->net.injection_batch_residual;
+}
+
+void RetunableTrafficModel::set_injection_ca2(double ca2) {
+  impl_->net.set_injection_ca2(ca2);
+  impl_->tuned_ca2 = ca2;
+  impl_->tuned_residual = 0.0;
+}
+
+RetuneReport RetunableTrafficModel::retune_traffic(
+    const traffic::TrafficSpec& new_spec) {
+  Impl& im = *impl_;
+  const int procs = im.topo->num_processors();
+  WORMNET_EXPECTS(new_spec.check(procs).empty());
+
+  RetuneReport report;
+  const CollapsePlan plan = plan_collapse(*im.topo, im.ct, new_spec, im.build);
+  if (plan.use_collapsed) {
+    // The PR 6 composition: the new spec still respects the symmetry, so
+    // "retune" is one pass per destination orbit against O(classes) state —
+    // not a dense rebuild, whatever mode the resident was in before.
+    im.net = build_collapsed(*im.topo, im.ct, new_spec, plan.sym, im.opts);
+    im.is_collapsed = true;
+    im.state = DenseFlowState{};
+    im.spec = new_spec;
+    im.apply_tunes();
+    report.collapsed = true;
+    report.passes = plan.sym.num_proc_orbits;
+    return report;
+  }
+  if (im.is_collapsed) {
+    // Collapsed → dense mode switch: no dense flow state to delta against.
+    im.rebuild_cold(new_spec, plan);
+    report.rebuilt = true;
+    return report;
+  }
+
+  // Dense delta: diff the two specs into signed per-destination seeds.  A
+  // pair participates when its weight changed OR its source's injection
+  // split changed (frac = w / injection_weight enters the QNA self-mass
+  // even where the weight itself did not move).
+  const traffic::TrafficSpec& old_spec = im.spec;
+  std::vector<double> injw_old(static_cast<std::size_t>(procs), 0.0);
+  std::vector<double> injw_new(static_cast<std::size_t>(procs), 0.0);
+  for (int s = 0; s < procs; ++s) {
+    injw_old[static_cast<std::size_t>(s)] = old_spec.injection_weight(s, procs);
+    injw_new[static_cast<std::size_t>(s)] = new_spec.injection_weight(s, procs);
+  }
+  struct DeltaSeed {
+    int src;
+    double dflow;
+    double dself;
+  };
+  std::vector<std::vector<DeltaSeed>> seeds(static_cast<std::size_t>(procs));
+  long changed = 0;
+  for (int d = 0; d < procs; ++d) {
+    for (int s = 0; s < procs; ++s) {
+      if (s == d) continue;
+      const double w_old = old_spec.pair_weight(s, d, procs);
+      const double w_new = new_spec.pair_weight(s, d, procs);
+      // Same product order as the cold seeds (frac first, then w·frac) so a
+      // pure sign flip reproduces the original contribution bit for bit.
+      double self_old = 0.0;
+      if (w_old > 0.0) {
+        const double frac = w_old / injw_old[static_cast<std::size_t>(s)];
+        self_old = w_old * frac;
+      }
+      double self_new = 0.0;
+      if (w_new > 0.0) {
+        const double frac = w_new / injw_new[static_cast<std::size_t>(s)];
+        self_new = w_new * frac;
+      }
+      const double dflow = w_new - w_old;
+      const double dself = self_new - self_old;
+      if (dflow == 0.0 && dself == 0.0) continue;
+      seeds[static_cast<std::size_t>(d)].push_back({s, dflow, dself});
+      ++changed;
+    }
+  }
+  report.changed_pairs = changed;
+
+  // A delta touching most of the matrix re-runs nearly every destination
+  // pass with nearly every seed — at that point the sharded cold rebuild is
+  // both faster and residue-free.
+  if (changed > static_cast<long>(procs) * procs / 4) {
+    im.rebuild_cold(new_spec, plan);
+    report.rebuilt = true;
+    return report;
+  }
+
+  if (changed > 0) {
+    DestinationPass pass(im.topo->num_nodes());
+    DenseFlowState& st = im.state;
+    for (int d = 0; d < procs; ++d) {
+      const auto& dseeds = seeds[static_cast<std::size_t>(d)];
+      if (dseeds.empty()) continue;
+      for (const DeltaSeed& sd : dseeds) {
+        if (sd.dflow != 0.0) {
+          st.weighted_distance += sd.dflow * im.topo->distance(sd.src, d);
+        }
+        pass.in_flows[static_cast<std::size_t>(sd.src)].push_back(
+            {topo::kNoChannel, sd.dflow, sd.dself});
+        dfs_route_dag(*im.topo, im.ct, sd.src, d, pass);
+      }
+      propagate_flows(
+          d, pass,
+          [&](int ch, double flow, double self) {
+            st.rate[static_cast<std::size_t>(ch)] += flow;
+            st.self[static_cast<std::size_t>(ch)] += self;
+          },
+          [&](int in_ch, int port, double flow) {
+            st.onward[static_cast<std::size_t>(
+                st.onward_off[static_cast<std::size_t>(in_ch)] + port)] += flow;
+          });
+      pass.reset();
+      ++report.passes;
+    }
+    snap_residues(im.state);
+  }
+
+  // Cheap O(channels + transitions) tail: re-derive the model from the
+  // updated flow state (also refreshes the spec-dependent name, injection
+  // classes and mean distance).
+  im.net = assemble_dense(*im.topo, im.ct, new_spec, im.opts, im.state);
+  im.is_collapsed = false;
+  im.spec = new_spec;
+  im.apply_tunes();
+  return report;
 }
 
 std::string check_collapsed_parity(const topo::Topology& topo,

@@ -1,0 +1,345 @@
+#include "harness/query_engine.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wormnet::harness {
+
+namespace {
+
+/// Structural digest of a TrafficSpec delta for variant grouping.  Folds the
+/// exact parameter bit patterns (never the lossy name() rendering, so nearby
+/// hotspot fractions stay distinct); Permutation folds its full destination
+/// map, Matrix its payload identity (two equal-but-distinct matrices simply
+/// miss the dedup — never alias it).
+std::uint64_t spec_digest(const traffic::TrafficSpec& spec, int procs) {
+  std::uint64_t h = util::hash_mix(0x7261666669637173ULL,
+                                   static_cast<std::uint64_t>(spec.pattern()));
+  h = util::hash_mix_double(h, spec.hotspot_fraction());
+  h = util::hash_mix(h, static_cast<std::uint64_t>(spec.hotspot_node()));
+  if (spec.pattern() == traffic::Pattern::Permutation) {
+    for (int src = 0; src < procs; ++src)
+      h = util::hash_mix(
+          h, static_cast<std::uint64_t>(spec.fixed_destination(src, procs)));
+  }
+  if (const traffic::TrafficMatrix* m = spec.matrix_payload())
+    h = util::hash_mix(h, reinterpret_cast<std::uintptr_t>(m));
+  return h;
+}
+
+/// Variant key: which prepared model a query needs.  Starts from the
+/// resident baseline's content digest so keys never collide across
+/// residents; the arrival axis folds the (effective SCV, batch residual)
+/// pair the model actually consumes — two processes indistinguishable to
+/// the solver correctly share a variant, and Bernoulli's rate-dependent SCV
+/// separates by λ₀ on its own.
+std::uint64_t variant_key(std::uint64_t baseline_digest, const WhatIfQuery& q,
+                          int procs) {
+  std::uint64_t h = baseline_digest;
+  h = util::hash_mix(h, q.traffic ? spec_digest(*q.traffic, procs) : 0);
+  h = util::hash_mix_double(h, q.load_scale);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(q.lanes));
+  if (q.arrival) {
+    h = util::hash_mix(h, 1);
+    h = util::hash_mix_double(h, q.arrival->effective_ca2(q.lambda0));
+    h = util::hash_mix_double(h, q.arrival->batch_residual());
+  }
+  return h;
+}
+
+/// Result-cache key: the variant plus the question asked of it.
+std::uint64_t answer_key(std::uint64_t vkey, const WhatIfQuery& q) {
+  std::uint64_t h = util::hash_mix(vkey, static_cast<std::uint64_t>(q.metric));
+  if (q.metric != QueryMetric::Saturation)
+    h = util::hash_mix_double(h, q.lambda0);
+  return h;
+}
+
+bool is_identity(const WhatIfQuery& q) {
+  return !q.traffic && q.load_scale == 1.0 && q.lanes == 0 && !q.arrival;
+}
+
+}  // namespace
+
+struct QueryEngine::Impl {
+  struct Resident {
+    const topo::Topology* topo = nullptr;
+    core::RetunableTrafficModel baseline;
+    std::uint64_t digest = 0;  ///< baseline model content digest
+
+    Resident(const topo::Topology& t, const traffic::TrafficSpec& spec,
+             const Options& o)
+        : topo(&t), baseline(t, spec, o.solve, o.build) {
+      digest = baseline.model().content_digest();
+    }
+  };
+
+  /// One prepared model variant of a batch (clone == nullptr: the baseline
+  /// itself, untouched).
+  struct Variant {
+    std::uint64_t key = 0;
+    int rep_query = -1;  ///< first query index needing this variant
+    std::unique_ptr<core::RetunableTrafficModel> clone;
+    core::RetuneReport report;
+    QueryCost basis = QueryCost::Reevaluate;
+  };
+
+  Options opts;
+  std::unique_ptr<util::ThreadPool> pool;  ///< null when serial
+  std::vector<std::unique_ptr<Resident>> residents;
+  std::unordered_map<std::uint64_t, int> resident_by_key;
+  SweepEngine sweep;  ///< serial: evaluate() is called from our own workers
+  std::unordered_map<std::uint64_t, QueryResult> answers;
+
+  std::uint64_t served = 0, n_memoized = 0, n_reevaluate = 0, n_retune = 0,
+                n_rebuild = 0, n_variants = 0;
+
+  explicit Impl(Options o)
+      : opts(o),
+        sweep(SweepEngine::Options{1, /*parallel=*/false, o.memoize}) {
+    if (opts.parallel) pool = std::make_unique<util::ThreadPool>(opts.threads);
+  }
+
+  void prepare(const Resident& r, Variant& v, const WhatIfQuery& q) {
+    if (is_identity(q)) return;  // basis stays Reevaluate, clone stays null
+    v.clone = std::make_unique<core::RetunableTrafficModel>(r.baseline);
+    if (q.traffic) {
+      v.report = v.clone->retune_traffic(*q.traffic);
+      v.basis = v.report.rebuilt ? QueryCost::Rebuild : QueryCost::Retune;
+    }
+    if (q.lanes != 0) v.clone->set_uniform_lanes(q.lanes);
+    if (q.load_scale != 1.0) v.clone->scale_injection_rates(q.load_scale);
+    if (q.arrival) v.clone->set_injection_process(*q.arrival, q.lambda0);
+  }
+
+  QueryResult evaluate(const Resident& r, const Variant& v,
+                       const WhatIfQuery& q) {
+    const core::GeneralModel& m =
+        v.clone ? v.clone->model() : r.baseline.model();
+    QueryResult res;
+    res.metric = q.metric;
+    res.cost = v.basis;
+    res.retune = v.report;
+    switch (q.metric) {
+      case QueryMetric::Latency:
+        res.est = sweep.evaluate(m, q.lambda0);
+        break;
+      case QueryMetric::Saturation:
+        res.saturation_rate = sweep.saturation_rate(m);
+        break;
+      case QueryMetric::ClassBreakdown: {
+        const core::SolveResult sol = m.solve(q.lambda0);
+        res.est.stable = sol.stable;
+        std::vector<std::string> label_of(
+            static_cast<std::size_t>(m.graph.size()));
+        for (const auto& [label, id] : m.labels)
+          label_of[static_cast<std::size_t>(id)] = label;
+        res.breakdown.resize(static_cast<std::size_t>(m.graph.size()));
+        for (int id = 0; id < m.graph.size(); ++id) {
+          ClassLoadRow& row = res.breakdown[static_cast<std::size_t>(id)];
+          const core::ChannelSolution& c =
+              sol.channels[static_cast<std::size_t>(id)];
+          row.class_id = id;
+          row.label = label_of[static_cast<std::size_t>(id)];
+          row.rate = m.graph.at(id).rate_per_link * q.lambda0;
+          row.utilization = c.utilization;
+          row.wait = c.wait;
+          row.service_time = c.service_time;
+          row.ca2 = c.ca2;
+        }
+        break;
+      }
+    }
+    return res;
+  }
+};
+
+QueryEngine::QueryEngine(Options opts) : impl_(std::make_unique<Impl>(opts)) {}
+
+QueryEngine::QueryEngine(const topo::Topology& topo,
+                         const traffic::TrafficSpec& base_spec, Options opts)
+    : QueryEngine(opts) {
+  resident(topo, base_spec);
+}
+
+QueryEngine::~QueryEngine() = default;
+
+int QueryEngine::resident(const topo::Topology& topo,
+                          const traffic::TrafficSpec& base_spec) {
+  WORMNET_EXPECTS(base_spec.check(topo.num_processors()).empty());
+  const std::uint64_t key =
+      util::hash_mix(reinterpret_cast<std::uintptr_t>(&topo),
+                     spec_digest(base_spec, topo.num_processors()));
+  const auto it = impl_->resident_by_key.find(key);
+  if (it != impl_->resident_by_key.end()) return it->second;
+  impl_->residents.push_back(
+      std::make_unique<Impl::Resident>(topo, base_spec, impl_->opts));
+  const int id = static_cast<int>(impl_->residents.size()) - 1;
+  impl_->resident_by_key.emplace(key, id);
+  return id;
+}
+
+std::size_t QueryEngine::num_residents() const {
+  return impl_->residents.size();
+}
+
+const core::RetunableTrafficModel& QueryEngine::resident_model(int id) const {
+  WORMNET_EXPECTS(id >= 0 &&
+                  id < static_cast<int>(impl_->residents.size()));
+  return impl_->residents[static_cast<std::size_t>(id)]->baseline;
+}
+
+std::vector<QueryResult> QueryEngine::run_batch(
+    int resident_id, const std::vector<WhatIfQuery>& queries) {
+  WORMNET_EXPECTS(resident_id >= 0 &&
+                  resident_id < static_cast<int>(impl_->residents.size()));
+  Impl& im = *impl_;
+  const Impl::Resident& r = *im.residents[static_cast<std::size_t>(resident_id)];
+  const int procs = r.topo->num_processors();
+  const std::size_t n = queries.size();
+  std::vector<QueryResult> results(n);
+
+  // Plan (serial, deterministic): group queries into model variants, split
+  // them into cached answers, in-batch duplicates and fresh jobs.
+  enum class Serve { Cached, Dup, Job };
+  std::vector<Serve> serve(n, Serve::Job);
+  std::vector<int> variant_of(n, -1);
+  std::vector<std::size_t> rep_of(n, 0);  // Dup: index holding the answer
+  std::vector<std::uint64_t> akeys(n, 0);
+  std::vector<Impl::Variant> variants;
+  std::unordered_map<std::uint64_t, int> variant_index;
+  std::unordered_map<std::uint64_t, std::size_t> first_with_answer;
+  std::vector<std::size_t> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const WhatIfQuery& q = queries[i];
+    WORMNET_EXPECTS(q.load_scale > 0.0);
+    WORMNET_EXPECTS(q.lanes >= 0);
+    if (!q.traffic) {
+      // spec change validity is checked by retune_traffic itself
+    } else {
+      WORMNET_EXPECTS(q.traffic->check(procs).empty());
+    }
+    const std::uint64_t vkey = variant_key(r.digest, q, procs);
+    const std::uint64_t akey = answer_key(vkey, q);
+    akeys[i] = akey;
+    if (im.opts.memoize) {
+      if (im.answers.count(akey)) {
+        serve[i] = Serve::Cached;
+        continue;
+      }
+      const auto [it, fresh] = first_with_answer.emplace(akey, i);
+      if (!fresh) {
+        serve[i] = Serve::Dup;
+        rep_of[i] = it->second;
+        continue;
+      }
+    }
+    const auto [vit, vfresh] =
+        variant_index.emplace(vkey, static_cast<int>(variants.size()));
+    if (vfresh) {
+      variants.emplace_back();
+      variants.back().key = vkey;
+      variants.back().rep_query = static_cast<int>(i);
+    }
+    variant_of[i] = vit->second;
+    jobs.push_back(i);
+  }
+
+  // Prepare the variants the jobs actually need (parallel: each prep works
+  // on its own baseline clone; determinism rides on the retune APIs' own
+  // thread-count-invariance contract).
+  const auto prep_one = [&](std::int64_t v) {
+    Impl::Variant& variant = variants[static_cast<std::size_t>(v)];
+    im.prepare(r, variant, queries[static_cast<std::size_t>(variant.rep_query)]);
+  };
+  if (im.pool && variants.size() > 1) {
+    util::parallel_for(*im.pool, static_cast<std::int64_t>(variants.size()),
+                       prep_one);
+  } else {
+    for (std::size_t v = 0; v < variants.size(); ++v)
+      prep_one(static_cast<std::int64_t>(v));
+  }
+
+  // Evaluate the fresh jobs.  Pure functions of (model content, λ₀): the
+  // schedule can reorder work but never change a result bit.
+  const auto eval_one = [&](std::int64_t j) {
+    const std::size_t i = jobs[static_cast<std::size_t>(j)];
+    results[i] = im.evaluate(
+        r, variants[static_cast<std::size_t>(variant_of[i])], queries[i]);
+  };
+  if (im.pool && jobs.size() > 1) {
+    util::parallel_for(*im.pool, static_cast<std::int64_t>(jobs.size()),
+                       eval_one);
+  } else {
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+      eval_one(static_cast<std::int64_t>(j));
+  }
+
+  // Fill cached answers and duplicates; commit fresh answers to the cache
+  // (serial, input order — deterministic).
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (serve[i]) {
+      case Serve::Cached:
+        results[i] = im.answers.at(akeys[i]);
+        results[i].cost = QueryCost::Memoized;
+        results[i].retune = core::RetuneReport{};
+        break;
+      case Serve::Dup:
+        results[i] = results[rep_of[i]];
+        results[i].cost = QueryCost::Memoized;
+        results[i].retune = core::RetuneReport{};
+        break;
+      case Serve::Job:
+        if (im.opts.memoize) im.answers.emplace(akeys[i], results[i]);
+        break;
+    }
+    ++im.served;
+    switch (results[i].cost) {
+      case QueryCost::Memoized: ++im.n_memoized; break;
+      case QueryCost::Reevaluate: ++im.n_reevaluate; break;
+      case QueryCost::Retune: ++im.n_retune; break;
+      case QueryCost::Rebuild: ++im.n_rebuild; break;
+    }
+  }
+  im.n_variants += variants.size();
+  return results;
+}
+
+std::vector<QueryResult> QueryEngine::run_batch(
+    const std::vector<WhatIfQuery>& queries) {
+  return run_batch(0, queries);
+}
+
+QueryResult QueryEngine::run(const WhatIfQuery& query) { return run(0, query); }
+
+QueryResult QueryEngine::run(int resident_id, const WhatIfQuery& query) {
+  return run_batch(resident_id, {query}).front();
+}
+
+std::uint64_t QueryEngine::queries_served() const { return impl_->served; }
+std::uint64_t QueryEngine::served_memoized() const { return impl_->n_memoized; }
+std::uint64_t QueryEngine::served_reevaluate() const {
+  return impl_->n_reevaluate;
+}
+std::uint64_t QueryEngine::served_retune() const { return impl_->n_retune; }
+std::uint64_t QueryEngine::served_rebuild() const { return impl_->n_rebuild; }
+std::uint64_t QueryEngine::variants_prepared() const {
+  return impl_->n_variants;
+}
+std::uint64_t QueryEngine::sweep_cache_hits() const {
+  return impl_->sweep.cache_hits();
+}
+std::uint64_t QueryEngine::sweep_cache_misses() const {
+  return impl_->sweep.cache_misses();
+}
+
+void QueryEngine::clear_cache() {
+  impl_->answers.clear();
+  impl_->sweep.clear_cache();
+}
+
+}  // namespace wormnet::harness

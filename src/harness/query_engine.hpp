@@ -1,0 +1,183 @@
+// wormnet/harness/query_engine.hpp
+//
+// Resident what-if query engine: the product form of the paper's value
+// proposition.  The analytical model answers in microseconds what simulation
+// answers in minutes — so keep the models RESIDENT and let an operator (or a
+// design-space search, PAPERS.md's Solnushkin use case) ask thousands of
+// questions against them: "what if the hotspot moves?", "load +20%?",
+// "lanes 2 → 4?", "arrivals turn bursty?".
+//
+// Each WhatIfQuery is a set of DELTAS against a resident baseline
+// (topology, base TrafficSpec) plus the metric asked for.  The engine plans
+// every query as cheapest-applicable-delta-else-rebuild:
+//  * pattern delta  → core::RetunableTrafficModel::retune_traffic — signed
+//    delta propagation over only the destinations whose pair weights
+//    changed (or one pass per orbit when the new spec keeps the topology's
+//    symmetry); falls back to a cold rebuild when the delta touches most of
+//    the matrix, and says so;
+//  * lane delta     → set_uniform_lanes, O(channels), bitwise-exact;
+//  * load delta     → scale_injection_rates, O(channels);
+//  * arrival delta  → set_injection_process, O(channels).
+// Queries sharing the same delta set share ONE prepared model variant;
+// repeated (variant, metric, λ₀) questions — within a batch or across
+// batches — are served from a result cache and reported as Memoized.
+//
+// Batches fan out on a util::ThreadPool.  Every evaluation is a pure
+// function of (model content, λ₀), so a parallel batch is BITWISE-identical
+// to a serial one (tested in test_query_engine.cpp); the engine only
+// reorders work, never arithmetic.  Latency points additionally flow
+// through a content-keyed SweepEngine, so what-if answers and ordinary
+// sweeps share one memo pool.
+//
+// Observability: every answer carries a QueryCost class (Memoized /
+// Reevaluate / Retune / Rebuild) and the core::RetuneReport of its
+// variant's preparation, so a service can meter exactly how much work each
+// question bought.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arrivals/arrival_process.hpp"
+#include "core/traffic_model.hpp"
+#include "harness/sweep_engine.hpp"
+#include "topo/topology.hpp"
+#include "traffic/traffic_spec.hpp"
+
+namespace wormnet::harness {
+
+/// The observable a WhatIfQuery asks for.
+enum class QueryMetric {
+  Latency,         ///< full LatencyEstimate at lambda0 (Eq. 2/25)
+  Saturation,      ///< saturation injection rate λ₀* (Eq. 26)
+  ClassBreakdown,  ///< per-channel-class load/wait detail at lambda0
+};
+
+/// How the engine served a query — the retune-vs-rebuild cost class.
+enum class QueryCost {
+  /// Answered from the result cache (a duplicate within the batch, or the
+  /// same question asked in an earlier batch).  No model work at all.
+  Memoized,
+  /// The resident model was reused as-is or reached by O(channels) tunes
+  /// only (lanes / load / arrival); the cost is one solve.
+  Reevaluate,
+  /// The pattern delta was served by delta propagation — O(affected
+  /// destinations) passes, or the collapsed orbit path (see the attached
+  /// RetuneReport) — plus one solve.
+  Retune,
+  /// The pattern delta touched too much of the matrix and the variant was
+  /// cold-rebuilt: the worst case, metered so callers see it.
+  Rebuild,
+};
+
+/// One operator question: deltas relative to the resident baseline (leave an
+/// axis defaulted to keep the baseline's value) plus the metric wanted.
+struct WhatIfQuery {
+  /// Replace the traffic pattern (absent = keep the baseline spec).
+  std::optional<traffic::TrafficSpec> traffic;
+  /// Scale offered load by this factor (1.0 = unchanged; must be > 0).
+  double load_scale = 1.0;
+  /// Set every channel to this many virtual channels (0 = keep baseline).
+  int lanes = 0;
+  /// Retune to this arrival process (absent = keep the baseline process).
+  std::optional<arrivals::ArrivalSpec> arrival;
+
+  QueryMetric metric = QueryMetric::Latency;
+  /// Injection rate λ₀ for Latency / ClassBreakdown (ignored by Saturation,
+  /// except that a Bernoulli arrival delta reads it for its rate-dependent
+  /// SCV, mirroring set_injection_process).
+  double lambda0 = 0.0;
+};
+
+/// One row of a ClassBreakdown answer (one per channel class).
+struct ClassLoadRow {
+  int class_id = 0;
+  std::string label;           ///< builder label when one exists, else empty
+  double rate = 0.0;           ///< offered per-link rate at λ₀, messages/cycle
+  double utilization = 0.0;    ///< ρ of the class's output bundle
+  double wait = 0.0;           ///< W̄ of that bundle, cycles
+  double service_time = 0.0;   ///< x̄ of the class, cycles
+  double ca2 = 1.0;            ///< arrival SCV the wait was evaluated at
+};
+
+/// The answer to one WhatIfQuery.  Only the field matching `metric` is
+/// meaningful (ClassBreakdown also fills est.stable).
+struct QueryResult {
+  QueryMetric metric = QueryMetric::Latency;
+  core::LatencyEstimate est;            ///< Latency
+  double saturation_rate = 0.0;         ///< Saturation
+  std::vector<ClassLoadRow> breakdown;  ///< ClassBreakdown
+  QueryCost cost = QueryCost::Reevaluate;
+  /// What preparing this query's model variant did (zeroed for Memoized
+  /// answers and for queries with no pattern delta).
+  core::RetuneReport retune;
+};
+
+/// Resident what-if query engine.  Not thread-safe for concurrent run calls
+/// (the batch entry points themselves fan out internally).
+class QueryEngine {
+ public:
+  struct Options {
+    unsigned threads = 0;   ///< batch worker count; 0 = hardware concurrency
+    bool parallel = true;   ///< false: plan and evaluate serially, in order
+    /// false: no result cache and no in-batch dedup — every query pays its
+    /// full cost (benchmarking the uncached path).
+    bool memoize = true;
+    core::SolveOptions solve;          ///< worm length, ablation, solver knobs
+    core::TrafficBuildOptions build;   ///< residents' collapse/thread policy
+  };
+
+  QueryEngine() : QueryEngine(Options{}) {}
+  explicit QueryEngine(Options opts);
+  /// Convenience: construct and immediately add resident 0.
+  QueryEngine(const topo::Topology& topo, const traffic::TrafficSpec& base_spec)
+      : QueryEngine(topo, base_spec, Options{}) {}
+  QueryEngine(const topo::Topology& topo, const traffic::TrafficSpec& base_spec,
+              Options opts);
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Get-or-create the resident model for (topology, base spec); returns its
+  /// id.  Asking again with the same topology object and an equivalent spec
+  /// returns the existing resident (models stay warm across sessions).  The
+  /// topology must outlive the engine.
+  int resident(const topo::Topology& topo, const traffic::TrafficSpec& base_spec);
+  std::size_t num_residents() const;
+  /// The resident baseline (for inspection; never mutated by queries).
+  const core::RetunableTrafficModel& resident_model(int id) const;
+
+  /// Answer a batch against resident `resident_id`; one result per query, in
+  /// input order, bitwise-independent of threads/parallel.
+  std::vector<QueryResult> run_batch(int resident_id,
+                                     const std::vector<WhatIfQuery>& queries);
+  /// Batch against resident 0.
+  std::vector<QueryResult> run_batch(const std::vector<WhatIfQuery>& queries);
+  /// Single query (resident 0 / explicit resident).
+  QueryResult run(const WhatIfQuery& query);
+  QueryResult run(int resident_id, const WhatIfQuery& query);
+
+  // Cost observability (tests; service metering).
+  std::uint64_t queries_served() const;
+  std::uint64_t served_memoized() const;
+  std::uint64_t served_reevaluate() const;
+  std::uint64_t served_retune() const;
+  std::uint64_t served_rebuild() const;
+  /// Distinct model variants prepared across all batches.
+  std::uint64_t variants_prepared() const;
+  /// The shared latency-point memo pool (content-keyed SweepEngine).
+  std::uint64_t sweep_cache_hits() const;
+  std::uint64_t sweep_cache_misses() const;
+  /// Drop the result cache and the sweep cache (residents stay warm).
+  void clear_cache();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wormnet::harness

@@ -5,6 +5,7 @@
 
 #include "core/saturation.hpp"
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 
 namespace wormnet::harness {
 
@@ -19,44 +20,13 @@ std::uint64_t double_bits(double v) {
 
 }  // namespace
 
-std::uint64_t SweepEngine::model_bits(const core::NetworkModel& model) {
-  // Mix every interface-visible configuration axis into the key — worm
-  // length and the four ablation switches — so mutating those on a cached
-  // model (or rebuilding one at a reused address with different options)
-  // misses instead of returning a stale estimate.  Configuration the
-  // interface cannot see (solver tolerances, a rewired graph, per-channel
-  // lane counts) still requires clear_cache(), as documented in the header.
-  const queueing::AblationOptions abl = model.ablation();
-  const std::uint64_t config_bits =
-      (static_cast<std::uint64_t>(abl.multi_server) << 62) |
-      (static_cast<std::uint64_t>(abl.blocking_correction) << 61) |
-      (static_cast<std::uint64_t>(abl.erratum_2lambda) << 60) |
-      (static_cast<std::uint64_t>(abl.virtual_channels) << 59) |
-      (static_cast<std::uint64_t>(abl.bursty_arrivals) << 58) |
-      (double_bits(model.worm_flits()) >> 5);
-  // The injection process is interface-visible configuration too (a
-  // set_injection_process retune must miss, not serve the stale Poisson
-  // point); multiply-mix the SCV and batch-residual bit patterns so nearby
-  // values spread.
-  const std::uint64_t arrival_bits =
-      double_bits(model.arrival_ca2()) * 0x9e3779b97f4a7c15ULL ^
-      double_bits(model.arrival_batch_residual()) * 0xbf58476d1ce4e5b9ULL;
-  return (config_bits << 1) ^ arrival_bits;
-}
-
 SweepEngine::Key SweepEngine::make_key(const core::NetworkModel& model,
                                        double lambda0) {
-  return Key{&model, double_bits(lambda0) ^ model_bits(model)};
+  return Key{model.content_digest(), double_bits(lambda0)};
 }
 
 std::size_t SweepEngine::KeyHash::operator()(const Key& k) const {
-  // splitmix64-style mix of the pointer and the λ bit pattern.
-  std::uint64_t h = reinterpret_cast<std::uintptr_t>(k.model);
-  h ^= k.lambda_bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  h ^= h >> 30;
-  h *= 0xbf58476d1ce4e5b9ULL;
-  h ^= h >> 27;
-  return static_cast<std::size_t>(h);
+  return static_cast<std::size_t>(util::hash_mix(k.digest, k.lambda_bits));
 }
 
 SweepEngine::SweepEngine(Options opts) : opts_(opts) {
@@ -112,12 +82,12 @@ std::vector<SweepPoint> SweepEngine::sweep_lambda(const core::NetworkModel& mode
   // Resolve cache hits up front and collect the distinct misses, so each
   // unique λ₀ is looked up and evaluated exactly once no matter how often
   // it appears; duplicates copy from their representative and count as
-  // hits (they are evaluations avoided).  The model-configuration salt is
-  // computed ONCE for the whole sweep: it is a pure function of the model's
-  // interface state, which cannot change under this call, and rebuilding it
-  // per point (4 virtual calls + hashing, twice per miss) used to be the
-  // dominant per-point overhead of small cold sweeps.
-  const std::uint64_t salt = model_bits(model);
+  // hits (they are evaluations avoided).  The content digest is computed
+  // ONCE for the whole sweep: it is a pure function of the model's
+  // configuration, which cannot change under this call, and for GeneralModel
+  // it walks the channel graph — rebuilding it per point (twice per miss)
+  // would be the dominant per-point overhead of small cold sweeps.
+  const std::uint64_t digest = model.content_digest();
   std::unordered_map<std::uint64_t, std::size_t> rep;  // λ bits → first index
   std::vector<std::size_t> jobs;                       // uncached unique λ₀
   std::vector<std::size_t> dups;                       // later occurrences
@@ -126,7 +96,7 @@ std::vector<SweepPoint> SweepEngine::sweep_lambda(const core::NetworkModel& mode
       dups.push_back(i);
       continue;
     }
-    if (!lookup(Key{&model, double_bits(lambdas[i]) ^ salt}, points[i].est)) {
+    if (!lookup(Key{digest, double_bits(lambdas[i])}, points[i].est)) {
       jobs.push_back(i);
     }
   }
@@ -148,7 +118,7 @@ std::vector<SweepPoint> SweepEngine::sweep_lambda(const core::NetworkModel& mode
     for (std::size_t i : jobs) points[i].est = model.evaluate(lambdas[i]);
   }
   for (std::size_t i : jobs) {
-    store(Key{&model, double_bits(lambdas[i]) ^ salt}, points[i].est);
+    store(Key{digest, double_bits(lambdas[i])}, points[i].est);
   }
 
   // Fill duplicates from their representative (cached or freshly computed).
@@ -185,9 +155,9 @@ std::vector<FamilyMember> SweepEngine::sweep_family(
   std::vector<FamilyMember> family;
   family.reserve(parameters.size());
   // Members are built and swept one at a time: the per-member sweeps already
-  // fan out across the pool, and building serially keeps every model's
-  // lifetime unambiguous (allocated before any engine evaluation, owned by
-  // the returned member for as long as the cache may reference it).
+  // fan out across the pool, and building serially keeps member order (and
+  // thus output order) deterministic.  The cache keys on model content, so
+  // member lifetime never interacts with cache validity.
   for (double parameter : parameters) {
     FamilyMember member;
     member.parameter = parameter;

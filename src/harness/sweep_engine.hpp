@@ -14,15 +14,25 @@
 //    same points repeatedly across benches; the memo cache collapses those
 //    into one solve each.
 //
-// The cache keys on the model's ADDRESS plus the λ₀ bit pattern plus the
-// interface-visible configuration (worm length, ablation switches): two
-// distinct model objects never share entries, and flipping an ablation
-// switch on a live model misses rather than reading stale data.  Two
-// caveats remain: an engine must not outlive a model whose address is
-// reused (keep models alive for the engine's lifetime, or clear_cache()
-// when recycling storage), and configuration the interface cannot see —
-// solver tolerances, an edited channel graph — requires clear_cache()
-// after mutation.
+// Cache contract: entries key on the model's CONTENT, not its address.
+// The key is core::NetworkModel::content_digest() — a hash over every
+// configuration axis that can change evaluate()'s result (for GeneralModel
+// the full channel graph, injection classes, solver knobs and arrival
+// tuning; see the digest's own contract) — combined with the λ₀ bit
+// pattern, hoisted once per batch sweep.  Consequences:
+//  * two model OBJECTS with identical content share entries: a rebuilt,
+//    cloned or delta-retuned-back model hits the warm cache, which is what
+//    the QueryEngine's resident/evicted model lifecycle needs;
+//  * a model may be destroyed while the engine lives on — a later model at
+//    a recycled address can never read stale data (the footgun the old
+//    address-based key documented is gone);
+//  * ordinary mutators (set_injection_*, set_uniform_lanes,
+//    scale_injection_rates, ablation flips, edited rates) change the digest
+//    and miss rather than serve the pre-mutation estimate.
+// One caveat remains: state a model's digest cannot see — a custom
+// NetworkModel subclass that relies on the default digest while carrying
+// extra evaluate()-visible state and no override — would alias; override
+// content_digest() there, or clear_cache() after mutating such state.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +57,8 @@ struct SweepPoint {
 
 /// One member of a model-family sweep (sweep_family): the model built at one
 /// parameter value, its saturation, and its latency curve.  The member owns
-/// the model, keeping its cache-key address alive for the engine's lifetime.
+/// the model for the caller's convenience; the engine's cache keys on model
+/// CONTENT, so dropping members early is safe.
 struct FamilyMember {
   double parameter = 0.0;  ///< the family axis value (e.g. hotspot fraction)
   std::unique_ptr<core::NetworkModel> model;
@@ -114,10 +125,9 @@ class SweepEngine {
   /// fractions of ITS OWN saturation.  Members are returned in parameter
   /// order and own their models; each member's sweep runs through the same
   /// memoizing parallel machinery as the single-model entry points.
-  /// Lifetime: the usual address-keyed cache contract applies to the owned
-  /// models — keep the returned members alive for the engine's lifetime, or
-  /// clear_cache() after dropping them (a later model allocated at a reused
-  /// address with identical worm/ablation config would hit stale entries).
+  /// Lifetime: none to worry about — the cache keys on model content, so
+  /// members may be dropped (or rebuilt identically later, hitting the warm
+  /// cache) without clear_cache().
   std::vector<FamilyMember> sweep_family(const ModelFactory& make,
                                          const std::vector<double>& parameters,
                                          const std::vector<double>& saturation_fractions);
@@ -136,8 +146,8 @@ class SweepEngine {
   /// build_traffic_model + per-member set_injection_process retunes, which
   /// are O(channels)); each member's `parameter` is its process's effective
   /// C_a² (the variability parameter the model consumes).  The cache
-  /// disambiguates members through core::NetworkModel::arrival_ca2() and
-  /// arrival_batch_residual(), which are part of the key.  Bernoulli is
+  /// disambiguates members through the content digest, which folds
+  /// arrival_ca2() and arrival_batch_residual() in.  Bernoulli is
   /// rejected: its SCV is 1 − λ₀, which varies across a member's own sweep
   /// points, so it has no single position on this axis.
   std::vector<FamilyMember> sweep_burstiness(
@@ -156,22 +166,19 @@ class SweepEngine {
 
  private:
   struct Key {
-    const core::NetworkModel* model;
-    std::uint64_t lambda_bits;
+    std::uint64_t digest;       ///< NetworkModel::content_digest()
+    std::uint64_t lambda_bits;  ///< λ₀ IEEE-754 bit pattern
     bool operator==(const Key& o) const {
-      return model == o.model && lambda_bits == o.lambda_bits;
+      return digest == o.digest && lambda_bits == o.lambda_bits;
     }
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const;
   };
 
-  /// The model-configuration salt of the key: worm length, ablation
-  /// switches and arrival-process tuning.  A pure function of the model's
-  /// interface state — batch entry points compute it once per sweep.
-  static std::uint64_t model_bits(const core::NetworkModel& model);
-
-  /// Cache key for one (model, λ₀) evaluation.
+  /// Cache key for one (model content, λ₀) evaluation.  The digest is a
+  /// pure function of the model's configuration — batch entry points hoist
+  /// it once per sweep instead of recomputing per point.
   static Key make_key(const core::NetworkModel& model, double lambda0);
 
   /// Cache lookup; returns true and fills `out` on a hit.

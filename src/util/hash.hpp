@@ -1,0 +1,54 @@
+// wormnet/util/hash.hpp
+//
+// Small deterministic hashing helpers for in-process content digests
+// (core::NetworkModel::content_digest and friends).  Not cryptographic and
+// not stable across builds — digests are compared only between values
+// computed in the same process, so all that matters is determinism and
+// good bit diffusion (splitmix64's finalizer provides both).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace wormnet::util {
+
+/// Fold one 64-bit word into a running digest (boost-style combine with the
+/// splitmix64 finalizer for diffusion).  Order-sensitive: mixing the same
+/// words in a different order yields a different digest, which is what a
+/// structural digest wants.
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// The IEEE-754 bit pattern of a double — digests fold exact bit patterns,
+/// never rounded values, so "1e-12 apart" configurations stay distinct.
+inline std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Fold a double's bit pattern into a running digest.
+inline std::uint64_t hash_mix_double(std::uint64_t h, double v) {
+  return hash_mix(h, double_bits(v));
+}
+
+/// FNV-1a over a byte string (model names, labels).
+inline std::uint64_t hash_bytes(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace wormnet::util

@@ -36,6 +36,7 @@
 #include "core/saturation.hpp"         // IWYU pragma: export
 #include "core/traffic_model.hpp"      // IWYU pragma: export
 #include "harness/experiment.hpp"      // IWYU pragma: export
+#include "harness/query_engine.hpp"    // IWYU pragma: export
 #include "harness/sim_engine.hpp"      // IWYU pragma: export
 #include "harness/sweep_engine.hpp"    // IWYU pragma: export
 #include "queueing/channel_solver.hpp" // IWYU pragma: export

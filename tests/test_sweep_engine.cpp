@@ -111,6 +111,52 @@ TEST(SweepEngine, AblationFlipOnLiveModelMissesCache) {
   EXPECT_EQ(engine.cache_size(), 3u);
 }
 
+TEST(SweepEngine, IdenticalContentSharesCacheEntries) {
+  // The content-keyed cache: two distinct model OBJECTS with identical
+  // configuration share entries — the second evaluation is a pure hit.
+  const core::FatTreeModel a({.levels = 3, .worm_flits = 16.0});
+  const core::FatTreeModel b({.levels = 3, .worm_flits = 16.0});
+  ASSERT_EQ(a.content_digest(), b.content_digest());
+  SweepEngine engine;
+  const double la = engine.evaluate(a, 0.002).latency;
+  const std::uint64_t misses = engine.cache_misses();
+  EXPECT_EQ(engine.evaluate(b, 0.002).latency, la);
+  EXPECT_EQ(engine.cache_misses(), misses);
+  EXPECT_EQ(engine.cache_size(), 1u);
+}
+
+TEST(SweepEngine, RebuiltModelHitsWarmCacheAfterOriginalDies) {
+  // The old address-keyed footgun, inverted into a feature: destroy the
+  // model, rebuild an identical one (possibly at a recycled address), and
+  // the warm cache serves it.
+  SweepEngine engine;
+  double first = 0.0;
+  {
+    const core::GeneralModel net = core::build_fattree_collapsed(3);
+    first = engine.evaluate(net, 0.002).latency;
+  }
+  const std::uint64_t misses = engine.cache_misses();
+  const core::GeneralModel again = core::build_fattree_collapsed(3);
+  EXPECT_EQ(engine.evaluate(again, 0.002).latency, first);
+  EXPECT_EQ(engine.cache_misses(), misses);
+}
+
+TEST(SweepEngine, GraphMutationOnLiveGeneralModelMissesCache) {
+  // GeneralModel's digest covers the channel graph itself, so state the old
+  // interface-level key could not see — an edited rate, a lane retune — now
+  // misses instead of serving the stale estimate.
+  core::GeneralModel net = core::build_fattree_collapsed(3);
+  SweepEngine engine;
+  const double lambda0 = net.saturation_rate() * 0.7;
+  const double before = engine.evaluate(net, lambda0).latency;
+  net.set_uniform_lanes(4);
+  const double lanes4 = engine.evaluate(net, lambda0).latency;
+  EXPECT_NE(before, lanes4);
+  net.scale_injection_rates(1.5);
+  engine.evaluate(net, lambda0);
+  EXPECT_EQ(engine.cache_size(), 3u);
+}
+
 TEST(SweepEngine, SaturationMatchesModelsOwnSolver) {
   const core::FatTreeModel model({.levels = 3, .worm_flits = 16.0});
   SweepEngine engine;
