@@ -394,6 +394,56 @@ void BM_QueryEngineRetuneLoad(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryEngineRetuneLoad);
 
+void BM_TrafficModelBuildTapered(benchmark::State& state) {
+  // The heterogeneous build: a 2:1-tapered fat-tree with 4-flit buffers and
+  // unit link latency under the dense hotspot pattern.  Attribute stamping
+  // rides the same channel-table walk as the uniform build, so this must
+  // track BM_TrafficModelBuildFatTree at the same levels — heterogeneity is
+  // free at build time.
+  topo::ButterflyFatTree ft(static_cast<int>(state.range(0)));
+  ft.set_tier_bandwidth(1, 0.5);
+  ft.set_uniform_buffer_depth(4);
+  ft.set_uniform_link_latency(1.0);
+  const traffic::TrafficSpec spec = traffic::TrafficSpec::hotspot(0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_traffic_model(ft, spec).graph.size());
+  }
+  state.SetLabel("N=" + std::to_string(ft.num_processors()) + " tapered 2:1");
+}
+BENCHMARK(BM_TrafficModelBuildTapered)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_QueryEngineRetuneBuffers(benchmark::State& state) {
+  // The buffer-depth delta axis: set_uniform_buffers is one O(channels)
+  // sweep over ChannelClass::buffer_depth — the QueryEngine's "how shallow
+  // can buffers go" axis never rebuilds.
+  topo::ButterflyFatTree ft(4);
+  core::RetunableTrafficModel rm(ft, traffic::TrafficSpec::hotspot(0.2, 3));
+  const int depths[2] = {4, util::kInfiniteBufferDepth};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    rm.set_uniform_buffers(depths[i ^= 1]);
+    benchmark::DoNotOptimize(rm.model().graph.at(0).buffer_depth);
+  }
+  state.SetLabel(std::to_string(rm.model().graph.size()) + " channel classes");
+}
+BENCHMARK(BM_QueryEngineRetuneBuffers);
+
+void BM_QueryEngineRetuneBandwidth(benchmark::State& state) {
+  // The bandwidth delta axis: scale_bandwidths multiplies every channel
+  // class's bandwidth (taper shape preserved) — O(channels), composing.
+  topo::ButterflyFatTree ft(4);
+  ft.set_tier_bandwidth(1, 0.5);
+  core::RetunableTrafficModel rm(ft, traffic::TrafficSpec::hotspot(0.2, 3));
+  const double factors[2] = {2.0, 0.5};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    rm.scale_bandwidths(factors[i ^= 1]);
+    benchmark::DoNotOptimize(rm.model().graph.at(0).bandwidth);
+  }
+  state.SetLabel(std::to_string(rm.model().graph.size()) + " channel classes");
+}
+BENCHMARK(BM_QueryEngineRetuneBandwidth);
+
 void BM_QueryEngineThroughput(benchmark::State& state) {
   // The headline queries/sec number at N = 256: a 256-query operator batch
   // (16 hotspot fractions × 4 load points × 2 lane counts, all latency

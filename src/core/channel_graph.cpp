@@ -11,6 +11,9 @@ int ChannelGraph::add_channel(ChannelClass c) {
   WORMNET_EXPECTS(c.rate_per_link >= 0.0);
   WORMNET_EXPECTS(c.ca2 >= 0.0);
   WORMNET_EXPECTS(c.self_frac >= 0.0 && c.self_frac <= 1.0 + 1e-9);
+  WORMNET_EXPECTS(c.bandwidth > 0.0);
+  WORMNET_EXPECTS(c.link_latency >= 0.0);
+  WORMNET_EXPECTS(c.buffer_depth >= 1);
   classes_.push_back(std::move(c));
   return static_cast<int>(classes_.size()) - 1;
 }
@@ -38,6 +41,12 @@ std::string ChannelGraph::validate() const {
   std::ostringstream problems;
   for (int i = 0; i < size(); ++i) {
     const ChannelClass& c = at(i);
+    if (!(c.bandwidth > 0.0))
+      problems << "class " << i << " (" << c.label << ") bandwidth <= 0; ";
+    if (c.link_latency < 0.0)
+      problems << "class " << i << " (" << c.label << ") negative link latency; ";
+    if (c.buffer_depth < 1)
+      problems << "class " << i << " (" << c.label << ") buffer depth < 1 flit; ";
     if (c.terminal) {
       if (!c.next.empty())
         problems << "class " << i << " (" << c.label << ") is terminal but has transitions; ";

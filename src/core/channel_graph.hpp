@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/math.hpp"
 
 namespace wormnet::core {
 
@@ -66,6 +67,15 @@ struct ChannelClass {
   /// (see core::build_traffic_model).  0 — full Poissonification — for
   /// hand-built graphs, which therefore ignore injection burstiness.
   double self_frac = 0.0;
+  /// Link bandwidth b in flits/cycle (a service-time scale: s_f flits drain
+  /// in s_f/b cycles).  1 is the paper's uniform network.
+  double bandwidth = 1.0;
+  /// Extra per-hop pipeline latency in cycles on top of the one-cycle hop.
+  double link_latency = 0.0;
+  /// Per-lane flit-buffer depth B (util::kInfiniteBufferDepth = the paper's
+  /// unbounded buffering).  Finite B discounts the Eq. 9/10 blocking credit
+  /// by B/(B+b) and caps the effective drain rate at b·B/(B+b).
+  int buffer_depth = util::kInfiniteBufferDepth;
   std::vector<Transition> next;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "core/saturation.hpp"
 #include "queueing/channel_solver.hpp"
@@ -14,43 +15,83 @@ namespace {
 
 using queueing::ChannelSolver;
 
+/// Lane multiplicity as the queueing layer sees it: on a slow or
+/// credit-limited link (drain_floor > 0) extra lanes neither add capacity
+/// nor shorten the head-of-line wait — equal-length worms time-sharing a
+/// bandwidth-limited link finish no sooner on average than in FIFO order —
+/// so waits, blocking and occupancy treat the channel as single-lane and
+/// the sharing stretch lives in lane_share_factor instead.  Unit links
+/// keep their true lane count (floor 0 — including the whole default
+/// path, bit for bit).
+int model_lanes(const ChannelSolver& solver, const ChannelClass& cls) {
+  return solver.drain_floor(cls.bandwidth, cls.buffer_depth) > 0.0 ? 1
+                                                                   : cls.lanes;
+}
+
 /// W̄ of the bundle serving class `j` at the solve's injection scale, at the
 /// class's arrival SCV (the bursty-arrivals extension; ca2 == 1 reproduces
 /// the paper's Poisson wait bit for bit).
 double bundle_wait(const ChannelSolver& solver, const ChannelClass& cls,
                    double xbar, double injection_scale) {
-  return solver.bundle_wait(cls.servers, cls.lanes,
+  return solver.bundle_wait(cls.servers, model_lanes(solver, cls),
                             cls.rate_per_link * injection_scale, xbar, cls.ca2);
 }
 
 /// Eq. 9/10 factor for a transition from class `from` into class `to`,
 /// discounted by the target's lane multiplicity (an L-lane channel blocks
-/// only when all L lanes are held).  Rates at unit injection scale: the
-/// λ_in/λ_out ratio is scale-invariant.
+/// only when all L lanes are held) and by the target's finite buffer credit
+/// B/(B+b) (heterogeneous extension; exactly 1 at B = ∞).  Rates at unit
+/// injection scale: the λ_in/λ_out ratio is scale-invariant.
 double blocking_factor(const ChannelSolver& solver, const ChannelClass& from,
                        const ChannelClass& to, const Transition& t) {
+  // True lane count here, not model_lanes: an L-lane slow link still lets
+  // an arriving worm slip past a blocked one (head-of-line relief is about
+  // lane availability, not link capacity), so the /L discount stands even
+  // where the wait and occupancy treat the link as single-lane.
   return solver.blocking_factor(to.servers, to.lanes, from.rate_per_link,
-                                to.rate_per_link, t.route_prob);
+                                to.rate_per_link, t.route_prob, to.bandwidth,
+                                to.buffer_depth);
 }
 
 /// One evaluation of Eq. 11 for class `i` given current service times, plus
-/// the lane-multiplexing excess of channel i itself (zero in single-lane
-/// networks — the paper's exact recurrence).
+/// the heterogeneous-link terms of channel i itself: the lane-multiplexing
+/// stretch and pipeline latency add to the composed time, while the
+/// slow/credit-limited drain enters as a FLOOR — a rigid worm pipelines
+/// through consecutive slow links at the bottleneck rate, so the drain
+/// stretch of a path is the max over its channels, never the sum (see
+/// ChannelSolver::drain_floor).  All terms vanish in the paper's uniform
+/// single-lane network — the exact recurrence.
 double compose_service_time(const ChannelSolver& solver, const ChannelGraph& graph,
                             int i, const std::vector<double>& x,
                             const std::vector<double>& waits,
                             double injection_scale) {
   const ChannelClass& cls = graph.at(i);
-  const double excess =
-      solver.lane_excess(cls.lanes, cls.rate_per_link * injection_scale);
-  if (cls.terminal) return solver.terminal_service() + excess;
-  double xi = 0.0;
-  for (const Transition& t : cls.next) {
-    const ChannelClass& target = graph.at(t.target);
-    const double p = blocking_factor(solver, cls, target, t);
-    const double wait_term =
-        ChannelSolver::wait_term(p, waits[static_cast<std::size_t>(t.target)]);
-    xi += t.weight * (x[static_cast<std::size_t>(t.target)] + wait_term);
+  double excess = solver.hop_excess(cls.link_latency);
+  double xi;
+  if (cls.terminal) {
+    xi = solver.terminal_service();
+  } else {
+    xi = 0.0;
+    for (const Transition& t : cls.next) {
+      const ChannelClass& target = graph.at(t.target);
+      const double p = blocking_factor(solver, cls, target, t);
+      const double wait_term =
+          ChannelSolver::wait_term(p, waits[static_cast<std::size_t>(t.target)]);
+      xi += t.weight * (x[static_cast<std::size_t>(t.target)] + wait_term);
+    }
+  }
+  const double floor = solver.drain_floor(cls.bandwidth, cls.buffer_depth);
+  if (floor > 0.0) {
+    // Non-default link: lane sharing stretches the bottleneck drain itself,
+    // and the stretched floor max-composes like the plain one.  The u ≥ 1
+    // guard inside the factor (+inf) is what saturates a tapered tier.
+    const double shared =
+        floor * solver.lane_share_factor(
+                    cls.lanes, cls.rate_per_link * injection_scale,
+                    cls.bandwidth, cls.buffer_depth);
+    if (shared > xi) xi = shared;  // channel i itself is the path bottleneck
+  } else {
+    excess += solver.lane_excess(cls.lanes, cls.rate_per_link * injection_scale);
   }
   return xi + excess;
 }
@@ -120,7 +161,7 @@ SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& o
     sol.service_time = x[static_cast<std::size_t>(id)];
     sol.wait = waits[static_cast<std::size_t>(id)];
     sol.utilization = solver.bundle_utilization(
-        graph.at(id).servers, graph.at(id).lanes,
+        graph.at(id).servers, model_lanes(solver, graph.at(id)),
         graph.at(id).rate_per_link * scale, sol.service_time);
     sol.cb2 = solver.cb2(sol.service_time);
     // Report the SCV the wait was actually evaluated at: with the
@@ -202,6 +243,32 @@ void GeneralModel::scale_injection_rates(double factor) {
   }
 }
 
+void GeneralModel::set_uniform_buffers(int flits) {
+  if (flits < 1)
+    throw std::invalid_argument("model: buffer depth must be >= 1 flit");
+  for (int id = 0; id < graph.size(); ++id)
+    graph.mutable_at(id).buffer_depth = flits;
+}
+
+void GeneralModel::set_uniform_bandwidth(double bw) {
+  if (!(bw > 0.0) || !std::isfinite(bw))
+    throw std::invalid_argument("model: bandwidth must be > 0 flits/cycle");
+  for (int id = 0; id < graph.size(); ++id)
+    graph.mutable_at(id).bandwidth = bw;
+}
+
+void GeneralModel::set_channel_bandwidths(const std::vector<double>& bw) {
+  if (static_cast<int>(bw.size()) != graph.size())
+    throw std::invalid_argument(
+        "model: bandwidth vector size must equal the channel-class count");
+  for (double b : bw) {
+    if (!(b > 0.0) || !std::isfinite(b))
+      throw std::invalid_argument("model: bandwidth must be > 0 flits/cycle");
+  }
+  for (int id = 0; id < graph.size(); ++id)
+    graph.mutable_at(id).bandwidth = bw[static_cast<std::size_t>(id)];
+}
+
 void GeneralModel::set_injection_process(const arrivals::ArrivalSpec& spec,
                                          double lambda0) {
   WORMNET_EXPECTS(spec.check().empty());
@@ -250,6 +317,9 @@ std::uint64_t GeneralModel::content_digest() const {
     h = util::hash_mix_double(h, c.rate_per_link);
     h = util::hash_mix_double(h, c.ca2);
     h = util::hash_mix_double(h, c.self_frac);
+    h = util::hash_mix_double(h, c.bandwidth);
+    h = util::hash_mix_double(h, c.link_latency);
+    h = util::hash_mix(h, static_cast<std::uint64_t>(c.buffer_depth));
     for (const Transition& t : c.next) {
       h = util::hash_mix(h, static_cast<std::uint64_t>(t.target));
       h = util::hash_mix_double(h, t.weight);

@@ -43,6 +43,9 @@ struct SolveOptions {
   bool erratum_2lambda = true;     ///< corrected Eq. 21/23 (total bundle rate)
   bool virtual_channels = true;    ///< honor per-channel lane counts (extension)
   bool bursty_arrivals = true;     ///< honor per-channel C_a² (extension)
+  /// Honor per-channel bandwidth / link latency / buffer depth (extension);
+  /// inert — bit-for-bit — on the default uniform attributes.
+  bool finite_buffers = true;
   int max_iterations = 500;        ///< fixed-point cap for cyclic graphs
   double tolerance = 1e-12;        ///< fixed-point convergence threshold
   double damping = 0.5;            ///< fixed-point damping factor in (0, 1]
@@ -50,7 +53,7 @@ struct SolveOptions {
   /// The switches the ChannelSolver kernel consumes.
   queueing::AblationOptions ablation() const {
     return {multi_server, blocking_correction, erratum_2lambda, virtual_channels,
-            bursty_arrivals};
+            bursty_arrivals, finite_buffers};
   }
 };
 
@@ -175,6 +178,24 @@ class GeneralModel final : public NetworkModel {
   /// delta-retune parity contract, not bitwise.  Scales compose; rescale by
   /// 1/factor to undo.
   void scale_injection_rates(double factor);
+
+  /// Retune every channel class to a per-lane flit-buffer depth of `flits`
+  /// (util::kInfiniteBufferDepth restores the paper's unbounded buffering).
+  /// O(channels), like set_uniform_lanes — the what-if buffer axis for
+  /// resident models.  Throws std::invalid_argument on depth < 1.
+  void set_uniform_buffers(int flits);
+
+  /// Retune every channel class to bandwidth `bw` flits/cycle (1.0 restores
+  /// the paper's uniform links).  O(channels).  Throws std::invalid_argument
+  /// on bw <= 0.
+  void set_uniform_bandwidth(double bw);
+
+  /// Retune per-class bandwidths: `bw[id]` becomes class id's bandwidth
+  /// (size must equal graph.size(); every entry > 0, else
+  /// std::invalid_argument).  The what-if bandwidth axis — a QueryEngine
+  /// bandwidth_scale reads the resident per-class bandwidths, scales them,
+  /// and applies here.
+  void set_channel_bandwidths(const std::vector<double>& bw);
 
   /// Full solve at λ₀ (per-channel detail).
   SolveResult solve(double lambda0) const;

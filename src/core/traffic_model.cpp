@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -382,6 +383,9 @@ GeneralModel build_collapsed(const topo::Topology& topo,
     WORMNET_EXPECTS(bundle_size[static_cast<std::size_t>(ch)] ==
                     bundle_size[static_cast<std::size_t>(rep)]);
     WORMNET_EXPECTS(ct.lanes(ch) == ct.lanes(rep));
+    WORMNET_EXPECTS(ct.bandwidth(ch) == ct.bandwidth(rep));
+    WORMNET_EXPECTS(ct.link_latency(ch) == ct.link_latency(rep));
+    WORMNET_EXPECTS(ct.buffer_depth(ch) == ct.buffer_depth(rep));
     WORMNET_EXPECTS(topo.is_processor(ct.at(ch).dst_node) ==
                     topo.is_processor(ct.at(rep).dst_node));
     WORMNET_EXPECTS(topo.is_processor(ct.at(ch).src_node) ==
@@ -398,6 +402,12 @@ GeneralModel build_collapsed(const topo::Topology& topo,
                 ":" + std::to_string(dc.src_port);
     cls.servers = bundle_size[static_cast<std::size_t>(rep)];
     cls.lanes = ct.lanes(rep);
+    // Link attributes from the representative — exact, because the EXPECTS
+    // above pinned them constant across the class (and topology_symmetry
+    // already fell back to dense when a declared class mixed attributes).
+    cls.bandwidth = ct.bandwidth(rep);
+    cls.link_latency = ct.link_latency(rep);
+    cls.buffer_depth = ct.buffer_depth(rep);
     cls.rate_per_link =
         cls_rate[static_cast<std::size_t>(c)] / cls_count[static_cast<std::size_t>(c)];
     cls.terminal = topo.is_processor(dc.dst_node);
@@ -656,6 +666,9 @@ GeneralModel assemble_dense(const topo::Topology& topo,
     c.label = "ch" + std::to_string(dc.src_node) + ":" + std::to_string(dc.src_port);
     c.servers = bundle_size[static_cast<std::size_t>(ch)];
     c.lanes = ct.lanes(ch);
+    c.bandwidth = ct.bandwidth(ch);
+    c.link_latency = ct.link_latency(ch);
+    c.buffer_depth = ct.buffer_depth(ch);
     c.rate_per_link = rate[static_cast<std::size_t>(ch)];
     c.terminal = topo.is_processor(dc.dst_node);
     // QNA burstiness retention.  Injection channels carry their source's
@@ -779,24 +792,35 @@ namespace {
 /// onward flows that would fabricate transitions into rate-0 channels.
 /// Snap rate/onward values below a scale-aware epsilon to exactly 0; clamp
 /// self-mass negatives only (tiny positive self is harmless and may be
-/// legitimate — self magnitudes sit orders below rates).  Legitimate
-/// nonzero flows are bounded away from the threshold: the smallest is one
-/// pair weight through the deepest split, ~1e-5 at N = 256, vs an epsilon
-/// of ~1e-9 · max-rate.
+/// legitimate — self magnitudes sit orders below rates).
+///
+/// The epsilon is CHANNEL-LOCAL: residues left by a delta pass scale with
+/// the magnitudes that were summed at that channel (bounded by its own
+/// rate), never with the network-wide maximum.  A single global
+/// 1e-9·(1 + max_rate) epsilon — the previous rule — zeroes a legitimate
+/// small flow whenever the rates span orders of magnitude (a skewed matrix
+/// pattern, or the small flows a heterogeneous slow tier legitimately
+/// carries next to a hot fast tier), silently dropping Kirchhoff mass.
+/// Rates use the absolute 1e-9 floor (a channel whose history cancelled to
+/// zero holds only its own residue); onward flows are bounded by their
+/// channel's rate, so their epsilon is 1e-9·(1 + rate[ch]).  Legitimate
+/// flows below 1e-9 messages/cycle at unit injection are physically
+/// negligible by construction.
 void snap_residues(DenseFlowState& st) {
-  double max_rate = 0.0;
-  for (double r : st.rate) max_rate = std::max(max_rate, std::abs(r));
-  const double eps = 1e-9 * (1.0 + max_rate);
-  const auto snap = [eps](double& v) {
-    if (std::abs(v) < eps) v = 0.0;
-    WORMNET_ENSURES(v >= 0.0);  // beyond-residue negatives are a real bug
-  };
-  for (double& v : st.rate) snap(v);
-  for (double& v : st.onward) snap(v);
-  for (double& v : st.self) {
-    if (v < 0.0) {
-      WORMNET_ENSURES(v > -eps);
-      v = 0.0;
+  for (std::size_t ch = 0; ch < st.rate.size(); ++ch) {
+    double& r = st.rate[ch];
+    if (std::abs(r) < 1e-9) r = 0.0;
+    WORMNET_ENSURES(r >= 0.0);  // beyond-residue negatives are a real bug
+    const double eps = 1e-9 * (1.0 + r);
+    double& s = st.self[ch];
+    if (s < 0.0) {
+      WORMNET_ENSURES(s > -eps);
+      s = 0.0;
+    }
+    for (int k = st.onward_off[ch]; k < st.onward_off[ch + 1]; ++k) {
+      double& v = st.onward[static_cast<std::size_t>(k)];
+      if (std::abs(v) < eps) v = 0.0;
+      WORMNET_ENSURES(v >= 0.0);
     }
   }
   // A channel whose rate vanished keeps no self-mass or continuation flows
@@ -825,6 +849,8 @@ struct RetunableTrafficModel::Impl {
   bool is_collapsed = false;
   DenseFlowState state;    ///< valid only when !is_collapsed
   int lanes_override = 0;  ///< 0: the topology's own lane counts
+  int buffers_override = 0;  ///< 0: the topology's own buffer depths
+  double bandwidth_scale = 1.0;  ///< on top of the topology's bandwidths
   double load_scale = 1.0;
   double tuned_ca2 = 1.0;
   double tuned_residual = 0.0;
@@ -839,11 +865,23 @@ struct RetunableTrafficModel::Impl {
   /// touches a disjoint ChannelClass field (lanes / rate_per_link / ca2).
   void apply_tunes() {
     if (lanes_override >= 1) net.set_uniform_lanes(lanes_override);
+    if (buffers_override >= 1) net.set_uniform_buffers(buffers_override);
+    if (bandwidth_scale != 1.0) scale_model_bandwidths(bandwidth_scale);
     if (load_scale != 1.0) net.scale_injection_rates(load_scale);
     if (tuned_ca2 != 1.0 || tuned_residual != 0.0) {
       net.set_injection_ca2(tuned_ca2);
       net.injection_batch_residual = tuned_residual;
     }
+  }
+
+  /// Multiply every resident class's bandwidth by `factor` — applied on top
+  /// of whatever the (possibly tapered) topology assembled, so the taper
+  /// shape survives reassembly.
+  void scale_model_bandwidths(double factor) {
+    std::vector<double> bw(static_cast<std::size_t>(net.graph.size()));
+    for (int id = 0; id < net.graph.size(); ++id)
+      bw[static_cast<std::size_t>(id)] = net.graph.at(id).bandwidth * factor;
+    net.set_channel_bandwidths(bw);
   }
 
   /// Cold build for `new_spec` along the planned strategy, replacing the
@@ -901,6 +939,18 @@ void RetunableTrafficModel::set_uniform_lanes(int lanes) {
   WORMNET_EXPECTS(lanes >= 1);
   impl_->lanes_override = lanes;
   impl_->net.set_uniform_lanes(lanes);
+}
+
+void RetunableTrafficModel::set_uniform_buffers(int flits) {
+  impl_->net.set_uniform_buffers(flits);  // throws first on flits < 1
+  impl_->buffers_override = flits;
+}
+
+void RetunableTrafficModel::scale_bandwidths(double factor) {
+  if (!(factor > 0.0))
+    throw std::invalid_argument("scale_bandwidths: factor must be > 0");
+  impl_->scale_model_bandwidths(factor);
+  impl_->bandwidth_scale *= factor;
 }
 
 void RetunableTrafficModel::scale_injection_rates(double factor) {

@@ -196,10 +196,11 @@ struct RetuneReport {
 /// sums; residues where the true value is 0 are snapped) and ≤ 1e-9 on
 /// latency / saturation (tested in tests/test_query_engine.cpp).
 ///
-/// Lane, load and arrival-process tunes (set_uniform_lanes,
-/// scale_injection_rates, set_injection_process) are recorded and
-/// re-applied after every retune or rebuild, so the axes compose: a
-/// resident tuned to 4 lanes and MMPP arrivals stays so tuned when the
+/// Lane, load, arrival-process, buffer-depth and bandwidth tunes
+/// (set_uniform_lanes, scale_injection_rates, set_injection_process,
+/// set_uniform_buffers, scale_bandwidths) are recorded and re-applied
+/// after every retune or rebuild, so the axes compose: a resident tuned
+/// to 4 lanes, 4-flit buffers and MMPP arrivals stays so tuned when the
 /// hotspot moves.
 ///
 /// Value semantics: copyable (the QueryEngine clones one resident per
@@ -230,6 +231,16 @@ class RetunableTrafficModel {
 
   /// Lane delta: O(channels), recorded and re-applied across retunes.
   void set_uniform_lanes(int lanes);
+  /// Buffer-depth delta: O(channels), recorded and re-applied
+  /// (util::kInfiniteBufferDepth restores the paper's unbounded buffering).
+  /// Throws std::invalid_argument on flits < 1.
+  void set_uniform_buffers(int flits);
+  /// Bandwidth delta: multiply every channel class's bandwidth by `factor`
+  /// (> 0, composes; recorded and re-applied on top of whatever per-channel
+  /// bandwidths the topology declares — a tapered fat-tree keeps its taper
+  /// shape under a global scale).  Throws std::invalid_argument on
+  /// factor <= 0.
+  void scale_bandwidths(double factor);
   /// Load delta: multiply all channel rates (composes; recorded).
   /// Equivalent to evaluating the unscaled model at λ₀·factor — see
   /// GeneralModel::scale_injection_rates for the 1-ulp caveat.

@@ -43,6 +43,8 @@ std::uint64_t variant_key(std::uint64_t baseline_digest, const WhatIfQuery& q,
   h = util::hash_mix(h, q.traffic ? spec_digest(*q.traffic, procs) : 0);
   h = util::hash_mix_double(h, q.load_scale);
   h = util::hash_mix(h, static_cast<std::uint64_t>(q.lanes));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(q.buffer_depth));
+  h = util::hash_mix_double(h, q.bandwidth_scale);
   if (q.arrival) {
     h = util::hash_mix(h, 1);
     h = util::hash_mix_double(h, q.arrival->effective_ca2(q.lambda0));
@@ -60,7 +62,8 @@ std::uint64_t answer_key(std::uint64_t vkey, const WhatIfQuery& q) {
 }
 
 bool is_identity(const WhatIfQuery& q) {
-  return !q.traffic && q.load_scale == 1.0 && q.lanes == 0 && !q.arrival;
+  return !q.traffic && q.load_scale == 1.0 && q.lanes == 0 &&
+         q.buffer_depth == 0 && q.bandwidth_scale == 1.0 && !q.arrival;
 }
 
 }  // namespace
@@ -112,6 +115,8 @@ struct QueryEngine::Impl {
       v.basis = v.report.rebuilt ? QueryCost::Rebuild : QueryCost::Retune;
     }
     if (q.lanes != 0) v.clone->set_uniform_lanes(q.lanes);
+    if (q.buffer_depth != 0) v.clone->set_uniform_buffers(q.buffer_depth);
+    if (q.bandwidth_scale != 1.0) v.clone->scale_bandwidths(q.bandwidth_scale);
     if (q.load_scale != 1.0) v.clone->scale_injection_rates(q.load_scale);
     if (q.arrival) v.clone->set_injection_process(*q.arrival, q.lambda0);
   }
@@ -218,6 +223,8 @@ std::vector<QueryResult> QueryEngine::run_batch(
     const WhatIfQuery& q = queries[i];
     WORMNET_EXPECTS(q.load_scale > 0.0);
     WORMNET_EXPECTS(q.lanes >= 0);
+    WORMNET_EXPECTS(q.buffer_depth >= 0);
+    WORMNET_EXPECTS(q.bandwidth_scale > 0.0);
     if (!q.traffic) {
       // spec change validity is checked by retune_traffic itself
     } else {

@@ -17,6 +17,8 @@
 //    the matrix, and says so;
 //  * lane delta     → set_uniform_lanes, O(channels), bitwise-exact;
 //  * load delta     → scale_injection_rates, O(channels);
+//  * buffer delta   → set_uniform_buffers, O(channels);
+//  * bandwidth delta→ scale_bandwidths, O(channels);
 //  * arrival delta  → set_injection_process, O(channels).
 // Queries sharing the same delta set share ONE prepared model variant;
 // repeated (variant, metric, λ₀) questions — within a batch or across
@@ -82,6 +84,13 @@ struct WhatIfQuery {
   double load_scale = 1.0;
   /// Set every channel to this many virtual channels (0 = keep baseline).
   int lanes = 0;
+  /// Set every channel's per-lane flit-buffer depth (0 = keep baseline;
+  /// util::kInfiniteBufferDepth = the paper's unbounded buffering).
+  int buffer_depth = 0;
+  /// Scale every channel's bandwidth by this factor (1.0 = unchanged; must
+  /// be > 0).  Applied on top of the baseline topology's own per-channel
+  /// bandwidths, so a tapered fat-tree keeps its taper shape.
+  double bandwidth_scale = 1.0;
   /// Retune to this arrival process (absent = keep the baseline process).
   std::optional<arrivals::ArrivalSpec> arrival;
 

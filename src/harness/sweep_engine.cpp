@@ -1,6 +1,5 @@
 #include "harness/sweep_engine.hpp"
 
-#include <cstring>
 #include <unordered_map>
 
 #include "core/saturation.hpp"
@@ -9,16 +8,10 @@
 
 namespace wormnet::harness {
 
-namespace {
-
-std::uint64_t double_bits(double v) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
-}
-
-}  // namespace
+// Memo keys use util::double_bits, which collapses -0.0 onto +0.0: a sweep
+// asked at -0.0 must hit the entry stored at 0.0 (a local un-normalized
+// copy here once split them into distinct cache keys).
+using util::double_bits;
 
 SweepEngine::Key SweepEngine::make_key(const core::NetworkModel& model,
                                        double lambda0) {

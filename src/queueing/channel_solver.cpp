@@ -81,6 +81,44 @@ double ChannelSolver::lane_excess(int lanes, double lambda_link) const {
   return (1.0 / (1.0 - share) - 1.0) * worm_flits_;
 }
 
+double ChannelSolver::effective_bandwidth(double bandwidth,
+                                          int buffer_depth) const {
+  WORMNET_EXPECTS(bandwidth > 0.0);
+  WORMNET_EXPECTS(buffer_depth >= 1);
+  if (buffer_depth == util::kInfiniteBufferDepth) return bandwidth;
+  const double depth = static_cast<double>(buffer_depth);
+  return bandwidth * depth / (depth + bandwidth);
+}
+
+double ChannelSolver::hop_excess(double link_latency) const {
+  if (!ablation_.finite_buffers) return 0.0;
+  WORMNET_EXPECTS(link_latency >= 0.0);
+  return link_latency;  // 0.0 on the default — the paper's hop
+}
+
+double ChannelSolver::drain_floor(double bandwidth, int buffer_depth) const {
+  if (!ablation_.finite_buffers) return 0.0;
+  if (bandwidth == 1.0 && buffer_depth == util::kInfiniteBufferDepth)
+    return 0.0;  // uniform default — the paper's channel has no floor
+  return worm_flits_ / effective_bandwidth(bandwidth, buffer_depth);
+}
+
+double ChannelSolver::lane_share_factor(int lanes, double lambda_link,
+                                        double bandwidth,
+                                        int buffer_depth) const {
+  WORMNET_EXPECTS(lanes >= 1);
+  WORMNET_EXPECTS(lambda_link >= 0.0);
+  // Occupancy against the EFFECTIVE capacity: a tapered or credit-limited
+  // link saturates at λ·s_f = b_eff regardless of lane count — this guard,
+  // not the wait divergence, is what moves the model's saturation point.
+  const double b_eff = effective_bandwidth(bandwidth, buffer_depth);
+  const double u = lambda_link * worm_flits_ / b_eff;
+  if (u >= 1.0) return std::numeric_limits<double>::infinity();
+  if (!ablation_.virtual_channels || lanes == 1) return 1.0;
+  const double share = u * (1.0 - 1.0 / static_cast<double>(lanes));
+  return 1.0 / (1.0 - share);
+}
+
 double ChannelSolver::blocking_factor(int servers, double lambda_in_link,
                                       double lambda_out_link,
                                       double route_prob) const {
@@ -101,6 +139,22 @@ double ChannelSolver::blocking_factor(int servers, int lanes,
       blocking_factor(servers, lambda_in_link, lambda_out_link, route_prob);
   if (!ablation_.virtual_channels || lanes == 1) return p;
   return p / static_cast<double>(lanes);
+}
+
+double ChannelSolver::blocking_factor(int servers, int lanes,
+                                      double lambda_in_link,
+                                      double lambda_out_link,
+                                      double route_prob, double bandwidth,
+                                      int buffer_depth) const {
+  double r = route_prob;
+  if (ablation_.finite_buffers &&
+      buffer_depth != util::kInfiniteBufferDepth) {
+    WORMNET_EXPECTS(buffer_depth >= 1);
+    WORMNET_EXPECTS(bandwidth > 0.0);
+    const double depth = static_cast<double>(buffer_depth);
+    r *= depth / (depth + bandwidth);  // θ = b_eff / b
+  }
+  return blocking_factor(servers, lanes, lambda_in_link, lambda_out_link, r);
 }
 
 double ChannelSolver::wait_term(double blocking, double wait) {

@@ -52,6 +52,19 @@ struct AblationOptions {
   /// has no effect, so Poisson runs reproduce the published numbers
   /// bit-for-bit.
   bool bursty_arrivals = true;
+  /// Extension: honor per-channel link attributes — bandwidth (a service-
+  /// time scale), extra link latency, and finite per-lane buffer depth.
+  /// Bandwidth b and depth B combine into the effective drain rate
+  ///     b_eff = b·B / (B + b)
+  /// (B native-rate flits, then one credit-stall cycle: B flits per
+  /// B/b + 1 cycles), which stretches the per-hop holding time, feeds the
+  /// lane-occupancy stability check, and enters the Eq. 9/10 blocking
+  /// factor as the credit term B/(B + b) on R(i|j).  Off: attributes are
+  /// ignored (the paper's uniform unit-bandwidth, unbuffered-credit
+  /// network).  With b = 1, B = ∞, latency 0 everywhere the switch has no
+  /// effect — every term degenerates through exact ·1.0 / /1.0 identities,
+  /// so the published numbers are reproduced bit-for-bit.
+  bool finite_buffers = true;
 };
 
 /// Stateless-per-evaluation solver for one channel class; holds the worm
@@ -116,6 +129,54 @@ class ChannelSolver {
   /// physical bandwidth is exceeded — infeasible regardless of lanes).
   double lane_excess(int lanes, double lambda_link) const;
 
+  // -- Heterogeneous-link forms (finite_buffers switch) ---------------------
+
+  /// Effective drain rate of a channel with bandwidth `b` flits/cycle and
+  /// per-lane buffer depth B: b_eff = b·B/(B + b) — after B flits at the
+  /// native rate, credit return costs one stall cycle, so B flits take
+  /// B/b + 1 cycles.  Exactly `b` at B = ∞ (no arithmetic applied), and
+  /// B/(B+1) for a unit-bandwidth link.  Pure helper: not ablation-gated
+  /// (callers gate).
+  double effective_bandwidth(double bandwidth, int buffer_depth) const;
+
+  /// Deterministic per-hop EXCESS holding time of a heterogeneous channel:
+  /// the extra pipeline cycles the link's latency adds to the head's
+  /// progress (and hence to how long every upstream channel is held).
+  /// Exactly 0 when the finite_buffers switch is off or the latency is the
+  /// default 0.  The slow-drain stretch deliberately does NOT live here —
+  /// it composes by max, not by sum (see drain_floor).
+  double hop_excess(double link_latency) const;
+
+  /// Deterministic drain FLOOR of a heterogeneous channel: a worm holds the
+  /// channel at least s_f / b_eff cycles — its flits cannot cross faster
+  /// than the link's effective rate.  A wormhole worm advances rigidly, so
+  /// crossing several slow links it pipelines through all of them at the
+  /// BOTTLENECK rate: the stretch of a path is max over its channels, not
+  /// the sum (an additive per-hop stretch overcounts every slow hop after
+  /// the first — badly, for a tapered tree whose up and down tiers are both
+  /// slow).  Composition is therefore x̄_i = max(downstream composition,
+  /// drain_floor(i)): the downstream term already carries the slower-than-me
+  /// bottlenecks, and the floor re-asserts channel i's own drain when i IS
+  /// the bottleneck.  Returns 0 (max-identity, bit-inert) when the
+  /// finite_buffers switch is off or the attributes are the defaults.
+  double drain_floor(double bandwidth, int buffer_depth) const;
+
+  /// Heterogeneous lane-sharing factor V ≥ 1 of a slow channel: L lanes
+  /// round-robin the link's b_eff, so a worm's drain slows by
+  ///     V = 1 / (1 − share),   share = u·(1 − 1/L),   u = λ·s_f / b_eff.
+  /// Unlike the fast-link lane_excess, this stretch scales the BOTTLENECK
+  /// drain itself, so callers multiply it into drain_floor (and it then
+  /// max-composes along the path like the plain floor) instead of adding
+  /// it per hop — time-sharing a slow link between equal-length worms
+  /// roughly doubles both their drain times, which is why lanes do not
+  /// help latency on a tapered tier the way they do on unit links.
+  /// Returns +inf when u ≥ 1 (the slow link's physical capacity is
+  /// exceeded — this is how the model saturates on a tapered tier, even at
+  /// L = 1), and exactly 1 at L = 1 below capacity or with the
+  /// virtual_channels switch off.
+  double lane_share_factor(int lanes, double lambda_link, double bandwidth,
+                           int buffer_depth) const;
+
   /// Blocking-probability correction P(i|j) of Eq. 9/10 in per-link form:
   ///     P = 1 − (λ_in / λ_out) · R(i|j),   clamped into [0, 1],
   /// where `servers` is m of the TARGET bundle.  With per-link rates the m
@@ -133,6 +194,17 @@ class ChannelSolver {
   /// form when L == 1 or the virtual_channels switch is off.
   double blocking_factor(int servers, int lanes, double lambda_in_link,
                          double lambda_out_link, double route_prob) const;
+
+  /// Buffer-aware form: the TARGET channel's finite per-lane depth B keeps
+  /// only B flits of an arriving worm moving before credit backpressure
+  /// couples it to the downstream drain, so the "the worm ahead is my own
+  /// traffic" credit R(i|j) is discounted by θ = B/(B + b) — exactly the
+  /// effective-bandwidth ratio b_eff/b.  Implemented as route_prob·θ into
+  /// the lane-aware form above; θ is exactly 1 (no arithmetic) at B = ∞ or
+  /// with the finite_buffers switch off.
+  double blocking_factor(int servers, int lanes, double lambda_in_link,
+                         double lambda_out_link, double route_prob,
+                         double bandwidth, int buffer_depth) const;
 
   /// The guarded product p·W̄ used when composing service times (Eq. 11/18/
   /// 20/22): p == 0 means the correction proves this input never waits

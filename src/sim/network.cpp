@@ -1,8 +1,30 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/math.hpp"
 
 namespace wormnet::sim {
+
+namespace {
+
+/// Round `v` to a whole number of cycles, rejecting values the flit-level
+/// kernel cannot represent (it advances in integer cycles).
+int whole_cycles(double v, int ch, const char* what) {
+  const double r = std::round(v);
+  if (!(v >= 0.0) || std::abs(v - r) > 1e-9) {
+    std::ostringstream out;
+    out << "wormnet sim: channel " << ch << " " << what << " " << v
+        << " is not a whole non-negative cycle count";
+    throw std::invalid_argument(out.str());
+  }
+  return static_cast<int>(r);
+}
+
+}  // namespace
 
 SimNetwork::SimNetwork(const topo::Topology& topo) : topo_(&topo), table_(topo) {
   const int nodes = topo.num_nodes();
@@ -59,6 +81,41 @@ SimNetwork::SimNetwork(const topo::Topology& topo) : topo_(&topo), table_(topo) 
   for (int ch = 0; ch < table_.size(); ++ch) {
     for (int l = lane_begin(ch); l < lane_begin(ch + 1); ++l)
       lane_channel_[static_cast<std::size_t>(l)] = ch;
+  }
+
+  // Link-attribute snapshot (bandwidth as an integer flit period, latency,
+  // buffer depth), validated fail-fast: the cycle kernel cannot express a
+  // fractional period or latency, so reject them here with a clear message
+  // instead of silently rounding.
+  period_.assign(static_cast<std::size_t>(table_.size()), 1);
+  latency_.assign(static_cast<std::size_t>(table_.size()), 0);
+  depth_.assign(static_cast<std::size_t>(table_.size()),
+                util::kInfiniteBufferDepth);
+  for (int ch = 0; ch < table_.size(); ++ch) {
+    const double bw = table_.bandwidth(ch);
+    if (!(bw > 0.0) || bw > 1.0) {
+      std::ostringstream out;
+      out << "wormnet sim: channel " << ch << " bandwidth " << bw
+          << " outside (0, 1] flits/cycle";
+      throw std::invalid_argument(out.str());
+    }
+    period_[static_cast<std::size_t>(ch)] =
+        std::max(1, whole_cycles(1.0 / bw, ch, "flit period (1/bandwidth)"));
+    latency_[static_cast<std::size_t>(ch)] =
+        whole_cycles(table_.link_latency(ch), ch, "link latency");
+    const int d = table_.buffer_depth(ch);
+    if (d < 1) {
+      std::ostringstream out;
+      out << "wormnet sim: channel " << ch << " buffer depth " << d
+          << " < 1 flit";
+      throw std::invalid_argument(out.str());
+    }
+    depth_[static_cast<std::size_t>(ch)] = d;
+    if (period_[static_cast<std::size_t>(ch)] != 1 ||
+        latency_[static_cast<std::size_t>(ch)] != 0 ||
+        d != util::kInfiniteBufferDepth) {
+      has_link_features_ = true;
+    }
   }
 }
 

@@ -44,6 +44,13 @@ struct ChannelInfo {
 class SimNetwork {
  public:
   /// Build from a topology (kept by reference; must outlive the network).
+  /// Lane counts AND per-channel link attributes (bandwidth, link latency,
+  /// buffer depth) are snapshotted here.  The flit-level simulator needs
+  /// integer flit periods and latencies, so construction throws
+  /// std::invalid_argument on a channel whose bandwidth is not 1/k for a
+  /// whole k >= 1, whose link latency is negative or fractional, or whose
+  /// buffer depth is < 1 flit — the fail-fast gate for bad heterogeneous
+  /// configs.
   explicit SimNetwork(const topo::Topology& topo);
 
   /// The topology.
@@ -104,6 +111,26 @@ class SimNetwork {
   /// the simulator can take its exact paper-semantics fast path.
   int max_lanes() const { return max_lanes_; }
 
+  /// Flit period of channel `ch` in cycles (1 / bandwidth): the link moves
+  /// one flit every `period` cycles.  1 on the paper's uniform links.
+  int channel_period(int ch) const {
+    return period_[static_cast<std::size_t>(ch)];
+  }
+  /// Extra head-traversal latency of channel `ch` in whole cycles.
+  int channel_link_latency(int ch) const {
+    return latency_[static_cast<std::size_t>(ch)];
+  }
+  /// Per-lane flit-buffer depth of channel `ch`
+  /// (util::kInfiniteBufferDepth = unbounded, the paper's assumption).
+  int channel_buffer_depth(int ch) const {
+    return depth_[static_cast<std::size_t>(ch)];
+  }
+  /// True when ANY channel departs from the uniform defaults (bandwidth 1,
+  /// latency 0, infinite buffers).  False keeps the simulator on its exact
+  /// golden-traced paths; true routes every run through the bandwidth-
+  /// arbitrated kernel.  Snapshotted at construction with the lane counts.
+  bool has_link_features() const { return has_link_features_; }
+
  private:
   const topo::Topology* topo_;
   topo::ChannelTable table_;
@@ -115,6 +142,10 @@ class SimNetwork {
   std::vector<int> lane_begin_;         // per channel; size num_channels()+1
   std::vector<int> lane_channel_;       // per lane: owning channel
   int max_lanes_ = 1;
+  std::vector<int> period_;   // per channel: cycles per flit (1 / bandwidth)
+  std::vector<int> latency_;  // per channel: extra head latency in cycles
+  std::vector<int> depth_;    // per channel: per-lane buffer depth in flits
+  bool has_link_features_ = false;
 };
 
 }  // namespace wormnet::sim

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "util/assert.hpp"
+#include "util/math.hpp"
 
 namespace wormnet::sim {
 
@@ -34,6 +35,8 @@ Simulator::Simulator(const SimNetwork& net, SimConfig cfg)
       num_procs_(net.topology().num_processors()),
       inj_channel_(net.injection_channels().data()),
       single_lane_(net.max_lanes() == 1),
+      link_features_(net.has_link_features()),
+      lane_mode_(net.max_lanes() > 1 || net.has_link_features()),
       // Overload sources are never idle after cycle 0, so fast-forward has
       // nothing to skip there; gate it off entirely for clarity.
       fast_forward_(!cfg_.disable_fast_forward &&
@@ -46,8 +49,19 @@ Simulator::Simulator(const SimNetwork& net, SimConfig cfg)
   for (int b = 0; b < net.num_bundles(); ++b)
     bundle_state_[static_cast<std::size_t>(b)].free_count = net.bundle_lanes(b);
   sources_.assign(static_cast<std::size_t>(net.topology().num_processors()), {});
-  if (net.max_lanes() > 1)
+  if (lane_mode_)
     channel_claim_.assign(static_cast<std::size_t>(net.num_channels()), -1);
+  if (link_features_) {
+    bool finite_depth = false;
+    for (int ch = 0; ch < net.num_channels() && !finite_depth; ++ch)
+      finite_depth = net.channel_buffer_depth(ch) != util::kInfiniteBufferDepth;
+    if (finite_depth) {
+      // "Never": far enough back that last == cycle - period can't hold.
+      lane_last_flit_.assign(static_cast<std::size_t>(net.num_lanes()),
+                             std::numeric_limits<long>::min() / 2);
+      lane_streak_.assign(static_cast<std::size_t>(net.num_lanes()), 0);
+    }
+  }
   if (cfg_.channel_stats)
     result_.channels.assign(static_cast<std::size_t>(net.num_channels()), {});
 }
@@ -88,6 +102,7 @@ int Simulator::alloc_worm(int src, int dst, long gen, bool tagged) {
   w.injected = 0;
   w.ejected = 0;
   w.freed_upto = 0;
+  w.stall_until = -1;
   w.consuming = false;
   w.waiting_alloc = false;
   w.tagged = tagged;
@@ -167,6 +182,9 @@ void Simulator::grant(int bundle_id, long cycle) {
     Worm& w = worms_[static_cast<std::size_t>(req.worm)];
     ls.owner = req.worm;
     ls.grant_time = cycle;
+    // A re-granted lane's buffer drained when the previous tail passed:
+    // the new worm starts with full credit.
+    if (!lane_streak_.empty()) lane_streak_[static_cast<std::size_t>(lane)] = 0;
     --bs.free_count;
     w.path.push_back(lane);
     w.waiting_alloc = false;
@@ -246,8 +264,15 @@ void Simulator::advance_worm(int worm_id, long cycle) {
     ++w.ejected;
   } else if (w.head_pos + 1 < static_cast<int>(w.path.size())) {
     ++w.head_pos;
-    const ChannelInfo& ci = net_.channel(
-        net_.lane_channel(w.path[static_cast<std::size_t>(w.head_pos)]));
+    const int head_ch =
+        net_.lane_channel(w.path[static_cast<std::size_t>(w.head_pos)]);
+    const ChannelInfo& ci = net_.channel(head_ch);
+    if (link_features_) {
+      // Extra head-traversal latency of the link just entered: the whole
+      // worm pipeline holds for ℓ cycles (phase_advance_lanes skips it).
+      const int lat = net_.channel_link_latency(head_ch);
+      if (lat > 0) w.stall_until = cycle + lat;
+    }
     if (ci.dst_is_processor) {
       // Routing delivered the head to its destination PE; draining begins
       // next cycle (assumption 4: one flit per cycle, never blocked).
@@ -328,7 +353,7 @@ void Simulator::phase_allocate(long cycle) {
 }
 
 void Simulator::phase_advance(long cycle) {
-  if (net_.max_lanes() > 1) {
+  if (lane_mode_) {
     phase_advance_lanes(cycle);
     return;
   }
@@ -360,23 +385,47 @@ bool Simulator::claim_bandwidth(const Worm& w, long cycle) {
   const int hi = w.consuming ? w.head_pos : w.head_pos + 1;
   const int tail_idx = w.head_pos - (w.injected - w.ejected) + 1;
   const int lo = (w.injected < w.length) ? 0 : tail_idx + 1;
+  const bool credit = !lane_streak_.empty();
   for (int i = lo; i <= hi; ++i) {
-    const int ch = net_.lane_channel(w.path[static_cast<std::size_t>(i)]);
-    if (channel_claim_[static_cast<std::size_t>(ch)] == cycle) return false;
+    const int lane = w.path[static_cast<std::size_t>(i)];
+    const int ch = net_.lane_channel(lane);
+    const int period = net_.channel_period(ch);
+    // Stamps never exceed the current cycle, so with period 1 this is the
+    // original claimed-this-cycle test bit for bit.
+    if (channel_claim_[static_cast<std::size_t>(ch)] > cycle - period)
+      return false;
+    if (credit) {
+      const int depth = net_.channel_buffer_depth(ch);
+      if (depth != util::kInfiniteBufferDepth &&
+          lane_last_flit_[static_cast<std::size_t>(lane)] == cycle - period &&
+          lane_streak_[static_cast<std::size_t>(lane)] >= depth) {
+        return false;  // out of credit: one-cycle refusal breaks the streak
+      }
+    }
   }
   for (int i = lo; i <= hi; ++i) {
-    const int ch = net_.lane_channel(w.path[static_cast<std::size_t>(i)]);
+    const int lane = w.path[static_cast<std::size_t>(i)];
+    const int ch = net_.lane_channel(lane);
     channel_claim_[static_cast<std::size_t>(ch)] = cycle;
+    if (credit && net_.channel_buffer_depth(ch) != util::kInfiniteBufferDepth) {
+      const int period = net_.channel_period(ch);
+      long& last = lane_last_flit_[static_cast<std::size_t>(lane)];
+      int& streak = lane_streak_[static_cast<std::size_t>(lane)];
+      streak = (last == cycle - period) ? streak + 1 : 1;
+      last = cycle;
+    }
   }
   return true;
 }
 
 void Simulator::phase_advance_lanes(long cycle) {
   // Round-robin bandwidth arbitration: visit the active worms starting at a
-  // cursor that rotates every cycle; each worm either claims one flit/cycle
-  // on every link its flits would cross and advances rigidly, or stalls in
-  // place for this cycle.  The first movable worm visited always succeeds,
-  // so the watchdog's progress guarantee is preserved.
+  // cursor that rotates every cycle; each worm either claims capacity on
+  // every link its flits would cross and advances rigidly, or stalls in
+  // place for this cycle.  With uniform links the first movable worm
+  // visited always succeeds; with slow links or finite buffers a worm can
+  // be period-, latency- or credit-blocked, but every such block clears
+  // within a bounded number of cycles, so the watchdog still holds.
   const std::size_t n = active_.size();
   if (n == 0) return;
   advance_order_.assign(active_.begin(), active_.end());
@@ -385,6 +434,7 @@ void Simulator::phase_advance_lanes(long cycle) {
     const int id = advance_order_[(start + i) % n];
     Worm& w = worms_[static_cast<std::size_t>(id)];
     if (w.waiting_alloc) continue;
+    if (w.stall_until > cycle) continue;  // head mid-flight on a slow link
     if (!claim_bandwidth(w, cycle)) continue;
     advance_worm(id, cycle);
   }

@@ -57,6 +57,23 @@
 // degenerates to exclusive ownership and the simulator runs the exact
 // single-lane semantics above, bit-for-bit (tested against golden traces).
 //
+// Heterogeneous links and finite buffers
+// --------------------------------------
+// When the topology declares non-default link attributes
+// (SimNetwork::has_link_features()), every run uses the bandwidth-arbitrated
+// kernel above regardless of lane count, generalized per channel:
+//  * bandwidth 1/k — the link accepts one flit every k cycles (the claim
+//    table stores the last transfer cycle and refuses within the period);
+//  * link latency ℓ — a head crossing the link stalls the worm ℓ extra
+//    cycles (Worm::stall_until) before it can move again;
+//  * buffer depth B — a lane accepts at most B consecutive flits at the
+//    link's native rate, then refuses for one cycle (the credit round-trip),
+//    capping a saturated lane at B flits per B·k + 1 cycles — the effective
+//    bandwidth b·B/(B + b) the analytical model uses.
+// With every attribute at its default the claim rule is bit-identical to
+// the plain lane kernel, and networks that are ALSO single-lane never enter
+// it at all, so golden-traced uniform runs are unchanged.
+//
 // Performance notes (the cycle kernel's contract)
 // -----------------------------------------------
 //  * Idle-cycle fast-forward: when the network is completely empty (no
@@ -136,6 +153,7 @@ class Simulator {
     int injected = 0;        // flits that have left the source
     int ejected = 0;         // flits consumed at the destination
     int freed_upto = 0;      // path[i] released for all i < freed_upto
+    long stall_until = -1;   // head link latency: no advance before this cycle
     bool consuming = false;  // head is in the ejection latch
     bool waiting_alloc = false;
     bool tagged = false;
@@ -188,9 +206,15 @@ class Simulator {
   void on_source_released(int proc, long cycle);
   bool in_window(long cycle) const;
 
-  /// Atomically claim one flit/cycle of bandwidth on every physical link the
-  /// worm's flits would cross this cycle (lane mode only).  Returns false —
-  /// claiming nothing — when any of those links was already claimed.
+  /// Atomically claim transfer capacity on every physical link the worm's
+  /// flits would cross this cycle (lane mode only).  A link with flit
+  /// period k (bandwidth 1/k) accepts a claim only k or more cycles after
+  /// its previous one, and a lane with finite buffer depth B refuses the
+  /// (B+1)-th consecutive native-rate flit — the one-cycle credit
+  /// round-trip that caps a full-rate lane at B flits per B·k + 1 cycles.
+  /// Returns false — claiming nothing — when any link or lane refuses.
+  /// With uniform attributes (period 1, infinite depth) this degenerates to
+  /// the original one-claim-per-cycle rule, bit for bit.
   bool claim_bandwidth(const Worm& w, long cycle);
 
   // -- per-cycle phases ---------------------------------------------------
@@ -218,7 +242,10 @@ class Simulator {
   // these through net_/topology() per event showed up in profiles).
   const int num_procs_;
   const int* inj_channel_;     // per-processor injection channel ids
-  const bool single_lane_;     // max_lanes() == 1: exact paper semantics
+  const bool single_lane_;     // max_lanes() == 1: lane id == channel id
+  const bool link_features_;   // some channel has non-default attributes
+  const bool lane_mode_;       // multi-lane OR link features: use the
+                               // bandwidth-arbitrated advance kernel
   const bool fast_forward_;    // idle-cycle fast-forward enabled
 
   // Deque, not vector: alloc_worm() can run while advance_worm() holds a
@@ -244,6 +271,13 @@ class Simulator {
   std::vector<long> channel_claim_;
   std::uint64_t rr_cursor_ = 0;
   std::vector<int> advance_order_;
+  // Finite-buffer credit state (allocated only when some channel has a
+  // finite depth): per lane, the cycle of the last flit accepted and the
+  // length of the current native-rate streak.  A streak continues iff the
+  // previous flit landed exactly one flit period ago; after depth B flits
+  // the lane refuses once (the credit round-trip), breaking the streak.
+  std::vector<long> lane_last_flit_;
+  std::vector<int> lane_streak_;
 
   std::vector<ScriptedMsg> scripted_;
   std::size_t scripted_next_ = 0;

@@ -30,7 +30,10 @@
 namespace wormnet::topo {
 
 /// Butterfly fat-tree topology (indirect; processors at the leaves).
-class ButterflyFatTree final : public Topology {
+// Not `final`: the link-attribute hooks (bandwidth / link_latency /
+// buffer_depth) are designed to be overridable per deployment — tests and
+// irregular-fabric experiments subclass to inject non-uniform attributes.
+class ButterflyFatTree : public Topology {
  public:
   /// Port indices on a switch.
   static constexpr int kChildPort0 = 0;  ///< child ports are 0..3
@@ -99,6 +102,46 @@ class ButterflyFatTree final : public Topology {
   /// (the processor links).  Matches the paper's §3.2 counting.
   long links_between(int level_lo) const;
 
+  // -- Tapered (oversubscribed) variants ----------------------------------
+  //
+  // A tier groups the links between adjacent levels: tier t holds the links
+  // between level t and t+1 (tier 0 = the processor links), matching
+  // links_between(t).  Tapering sets one bandwidth per tier — e.g. a 2:1
+  // oversubscribed two-level tree halves tier 1 — while both directions of
+  // a link always share the tier's speed, so the (direction, level)
+  // symmetry keys still separate equal-attribute classes and the collapsed
+  // builder keeps working per tier.
+
+  /// Tier of the directed channel leaving `node` through `port` (see above).
+  int link_tier(int node, int port) const {
+    WORMNET_EXPECTS(node >= 0 && node < num_nodes());
+    WORMNET_EXPECTS(port >= 0 && port < num_ports(node));
+    if (node < num_procs_) return 0;
+    const int l = node_level(node);
+    return port >= kParentPort0 ? l : l - 1;
+  }
+
+  /// Set the bandwidth (flits/cycle) of every link in tier `tier`
+  /// (0 <= tier < levels()).  Throws std::invalid_argument on a
+  /// non-positive bandwidth or an out-of-range tier.  Call before
+  /// constructing a SimNetwork or building a model — those snapshot.
+  void set_tier_bandwidth(int tier, double bw) {
+    if (tier < 0 || tier >= levels_)
+      throw std::invalid_argument("fat-tree: tier out of range");
+    if (!(bw > 0.0))
+      throw std::invalid_argument("fat-tree: tier bandwidth must be > 0");
+    if (tier_bandwidth_.empty())
+      tier_bandwidth_.assign(static_cast<std::size_t>(levels_),
+                             uniform_bandwidth());
+    tier_bandwidth_[static_cast<std::size_t>(tier)] = bw;
+  }
+
+  /// Per-tier bandwidth when tapered; the uniform default otherwise.
+  double bandwidth(int node, int port) const override {
+    if (tier_bandwidth_.empty()) return Topology::bandwidth(node, port);
+    return tier_bandwidth_[static_cast<std::size_t>(link_tier(node, port))];
+  }
+
  private:
   struct End {
     int node = kNoNode;
@@ -109,6 +152,7 @@ class ButterflyFatTree final : public Topology {
 
   int levels_;
   int num_procs_;
+  std::vector<double> tier_bandwidth_;  // empty = uniform (untapered)
   std::vector<int> level_offset_;      // switch id base per level (1-based index)
   std::vector<std::array<End, 6>> nbr_;  // per node, per port
   std::vector<int> node_level_;

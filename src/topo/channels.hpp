@@ -60,6 +60,25 @@ class ChannelTable {
     return topo_->lanes(c.src_node, c.src_port);
   }
 
+  /// Bandwidth (flits/cycle) of channel `id`, as declared by the topology.
+  double bandwidth(int id) const {
+    const DirectedChannel& c = at(id);
+    return topo_->bandwidth(c.src_node, c.src_port);
+  }
+
+  /// Extra per-hop pipeline latency (cycles) of channel `id`.
+  double link_latency(int id) const {
+    const DirectedChannel& c = at(id);
+    return topo_->link_latency(c.src_node, c.src_port);
+  }
+
+  /// Per-lane flit-buffer depth of channel `id`
+  /// (util::kInfiniteBufferDepth = unbounded).
+  int buffer_depth(int id) const {
+    const DirectedChannel& c = at(id);
+    return topo_->buffer_depth(c.src_node, c.src_port);
+  }
+
   /// The topology this table indexes.
   const Topology& topology() const { return *topo_; }
 

@@ -27,13 +27,36 @@ bool topology_symmetry(const Topology& topo, const ChannelTable& ct,
   out.channel_class.assign(static_cast<std::size_t>(ct.size()), -1);
   std::unordered_map<std::uint64_t, int> channel_ids;
   channel_ids.reserve(256);
+  std::vector<int> class_rep;  // first channel seen per class
   for (int ch = 0; ch < ct.size(); ++ch) {
     const DirectedChannel& dc = ct.at(ch);
     const std::uint64_t key =
         topo.channel_symmetry_key(dc.src_node, dc.src_port, pinned_procs);
     const auto [it, inserted] = channel_ids.emplace(key, out.num_channel_classes);
-    if (inserted) ++out.num_channel_classes;
+    if (inserted) {
+      ++out.num_channel_classes;
+      class_rep.push_back(ch);
+    }
     out.channel_class[static_cast<std::size_t>(ch)] = it->second;
+  }
+
+  // Heterogeneous link attributes must be CONSTANT on every declared class:
+  // the representative-destination propagation treats a class's channels as
+  // exchangeable.  Refining the keys instead would be unsafe (a finer-than-
+  // orbit partition breaks the contract above), so when the attributes cut
+  // across declared orbits — e.g. a taper the topology's keys don't know
+  // about — we refuse, and the builder falls back to the exact dense path.
+  // A tapered ButterflyFatTree stays collapsible: its (direction, level)
+  // keys already separate tiers.
+  for (int ch = 0; ch < ct.size(); ++ch) {
+    const int rep =
+        class_rep[static_cast<std::size_t>(out.channel_class[static_cast<std::size_t>(ch)])];
+    if (ct.bandwidth(ch) != ct.bandwidth(rep) ||
+        ct.link_latency(ch) != ct.link_latency(rep) ||
+        ct.buffer_depth(ch) != ct.buffer_depth(rep)) {
+      out = SymmetryClasses{};
+      return false;
+    }
   }
   return true;
 }

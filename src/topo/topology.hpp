@@ -18,10 +18,12 @@
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/math.hpp"
 
 namespace wormnet::topo {
 
@@ -169,6 +171,78 @@ class Topology {
   /// The uniform lane multiplicity (what the default lanes() returns).
   int uniform_lanes() const { return uniform_lanes_; }
 
+  // -- Per-channel link attributes (heterogeneous fabrics) -------------------
+  //
+  // Real fabrics mix link speeds per tier (tapered/oversubscribed fat-trees)
+  // and have finite per-lane flit buffers whose backpressure moves the
+  // saturation point.  Each attribute has a uniform-default fast path (the
+  // paper's network: bandwidth 1 flit/cycle, zero extra link latency,
+  // unbounded buffers) and a per-(node, port) virtual that heterogeneous
+  // topologies override.  Both the simulator (sim::SimNetwork) and the
+  // analytical builder (core::build_traffic_model) read attributes through
+  // the topology, so one description configures model and simulation
+  // consistently; both snapshot at construction/build time.
+
+  /// Bandwidth of the directed channel leaving `node` through `port`, in
+  /// flits per cycle (a service-time SCALE: a worm of s_f flits occupies the
+  /// channel for s_f / bandwidth cycles).  The simulator additionally
+  /// requires 1/bandwidth to be a whole number of cycles.
+  virtual double bandwidth(int node, int port) const {
+    static_cast<void>(node);
+    static_cast<void>(port);
+    return uniform_bandwidth_;
+  }
+
+  /// Extra per-hop pipeline latency of the channel leaving `node` through
+  /// `port`, in cycles, on top of the one cycle a flit hop already costs.
+  /// 0 is the paper's network.
+  virtual double link_latency(int node, int port) const {
+    static_cast<void>(node);
+    static_cast<void>(port);
+    return uniform_link_latency_;
+  }
+
+  /// Per-lane flit-buffer depth of the channel leaving `node` through
+  /// `port`: the number of flits a lane can accept back-to-back at the
+  /// link's native rate before credit backpressure inserts a stall cycle.
+  /// util::kInfiniteBufferDepth (the default) is the paper's unbounded
+  /// buffering.
+  virtual int buffer_depth(int node, int port) const {
+    static_cast<void>(node);
+    static_cast<void>(port);
+    return uniform_buffer_depth_;
+  }
+
+  /// Set the bandwidth returned by the default bandwidth() for every
+  /// channel.  Throws std::invalid_argument on bandwidth <= 0 (fail fast at
+  /// config time, not NaN mid-solve).
+  void set_uniform_bandwidth(double bw) {
+    if (!(bw > 0.0))
+      throw std::invalid_argument("topology: bandwidth must be > 0 flits/cycle");
+    uniform_bandwidth_ = bw;
+  }
+
+  /// Set the link latency returned by the default link_latency() for every
+  /// channel.  Throws std::invalid_argument on a negative latency.
+  void set_uniform_link_latency(double cycles) {
+    if (!(cycles >= 0.0))
+      throw std::invalid_argument("topology: link latency must be >= 0 cycles");
+    uniform_link_latency_ = cycles;
+  }
+
+  /// Set the buffer depth returned by the default buffer_depth() for every
+  /// channel.  Throws std::invalid_argument on depth < 1 flit.
+  void set_uniform_buffer_depth(int flits) {
+    if (flits < 1)
+      throw std::invalid_argument("topology: buffer depth must be >= 1 flit");
+    uniform_buffer_depth_ = flits;
+  }
+
+  /// The uniform attribute values (what the default virtuals return).
+  double uniform_bandwidth() const { return uniform_bandwidth_; }
+  double uniform_link_latency() const { return uniform_link_latency_; }
+  int uniform_buffer_depth() const { return uniform_buffer_depth_; }
+
   // -- Symmetry hooks (the channel-class collapse, core::build_traffic_model
   //    collapsed mode) ------------------------------------------------------
   //
@@ -186,8 +260,10 @@ class Topology {
   //  * channel keys must be CONSTANT ON ORBITS AND SEPARATE THEM (a finer-
   //    than-orbit partition is NOT safe: the representative-destination sums
   //    are only exact on group-closed classes);
-  //  * every channel of one class shares bundle size, lane count and
-  //    terminal-ness (validated by the builder).
+  //  * every channel of one class shares bundle size, lane count,
+  //    terminal-ness and link attributes (bandwidth / link latency / buffer
+  //    depth) — validated by the builder; topology_symmetry() additionally
+  //    refuses (falls back to dense) when declared classes mix attributes.
   // The defaults declare no symmetry (singleton orbits), which makes the
   // collapsed builder fall back to the dense per-channel path.
 
@@ -220,6 +296,9 @@ class Topology {
 
  private:
   int uniform_lanes_ = 1;
+  double uniform_bandwidth_ = 1.0;
+  double uniform_link_latency_ = 0.0;
+  int uniform_buffer_depth_ = util::kInfiniteBufferDepth;
 };
 
 }  // namespace wormnet::topo

@@ -29,7 +29,14 @@ inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
 
 /// The IEEE-754 bit pattern of a double — digests fold exact bit patterns,
 /// never rounded values, so "1e-12 apart" configurations stay distinct.
+/// Exception: -0.0 compares equal to +0.0, so it must digest equally too —
+/// a retuned model whose signed delta propagation leaves a negative zero is
+/// value-identical to the rebuilt model and must hit the same cache entry.
+/// NaN policy: NaNs are digested by payload bits (any two NaNs of the same
+/// bit pattern collide, different payloads stay distinct); no model digest
+/// folds NaN in practice, so no canonicalization is spent on it.
 inline std::uint64_t double_bits(double v) {
+  if (v == 0.0) v = 0.0;  // collapse -0.0 onto +0.0
   std::uint64_t bits = 0;
   static_assert(sizeof(bits) == sizeof(v));
   std::memcpy(&bits, &v, sizeof(bits));

@@ -56,6 +56,12 @@ inline constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 /// +infinity shorthand; the queueing kernels return this for unstable queues.
 inline constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// "Unbounded" per-lane flit-buffer depth — the paper's implicit assumption
+/// and the default everywhere a buffer_depth is carried (topo::Topology,
+/// core::ChannelClass, sim::SimNetwork).  One shared constant so the
+/// depth→∞ short-circuits compare against the same sentinel at every layer.
+inline constexpr int kInfiniteBufferDepth = std::numeric_limits<int>::max();
+
 /// n-th base-4 digit of v (digit 0 is least significant).  This is the
 /// butterfly fat-tree's down-routing function: the child port out of a
 /// level-l switch toward processor d is base4_digit(d, l-1).

@@ -5,11 +5,13 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "core/channel_graph.hpp"
 #include "core/fattree_graph.hpp"
 #include "core/fattree_model.hpp"
 #include "core/network_model.hpp"
+#include "core/traffic_model.hpp"
 #include "queueing/queueing.hpp"
 #include "sim/simulator.hpp"
 #include "topo/butterfly_fattree.hpp"
@@ -158,6 +160,69 @@ TEST(EdgeCases, MaxSupportedFatTree) {
   EXPECT_TRUE(ev.stable);
   EXPECT_GT(m.saturation_load(), 0.0);
   EXPECT_NEAR(ev.mean_distance, m.mean_distance(), 1e-12);
+}
+
+// Heterogeneous-link attributes fail fast at configuration time with
+// std::invalid_argument — never NaN or garbage mid-solve / mid-simulation.
+TEST(HeteroValidation, TopologySettersRejectBadAttributes) {
+  topo::ButterflyFatTree ft(2);
+  EXPECT_THROW(ft.set_uniform_bandwidth(0.0), std::invalid_argument);
+  EXPECT_THROW(ft.set_uniform_bandwidth(-1.0), std::invalid_argument);
+  EXPECT_THROW(ft.set_uniform_link_latency(-0.5), std::invalid_argument);
+  EXPECT_THROW(ft.set_uniform_buffer_depth(0), std::invalid_argument);
+  EXPECT_THROW(ft.set_tier_bandwidth(-1, 0.5), std::invalid_argument);
+  EXPECT_THROW(ft.set_tier_bandwidth(2, 0.5), std::invalid_argument);  // levels=2
+  EXPECT_THROW(ft.set_tier_bandwidth(1, 0.0), std::invalid_argument);
+  // Valid settings still go through after the failed attempts.
+  EXPECT_NO_THROW(ft.set_tier_bandwidth(1, 0.5));
+  EXPECT_DOUBLE_EQ(ft.bandwidth(ft.num_processors(), 4), 0.5);
+}
+
+TEST(HeteroValidation, ModelSettersRejectBadAttributes) {
+  topo::ButterflyFatTree ft(2);
+  core::GeneralModel net =
+      core::build_traffic_model(ft, traffic::TrafficSpec::uniform());
+  EXPECT_THROW(net.set_uniform_buffers(0), std::invalid_argument);
+  EXPECT_THROW(net.set_uniform_bandwidth(0.0), std::invalid_argument);
+  EXPECT_THROW(net.set_uniform_bandwidth(-2.0), std::invalid_argument);
+  std::vector<double> bw(static_cast<std::size_t>(net.graph.size()), 1.0);
+  bw.pop_back();
+  EXPECT_THROW(net.set_channel_bandwidths(bw), std::invalid_argument);  // size
+  bw.push_back(0.0);
+  EXPECT_THROW(net.set_channel_bandwidths(bw), std::invalid_argument);  // entry
+  bw.back() = 0.5;
+  EXPECT_NO_THROW(net.set_channel_bandwidths(bw));
+
+  core::RetunableTrafficModel rm(ft, traffic::TrafficSpec::uniform());
+  EXPECT_THROW(rm.scale_bandwidths(0.0), std::invalid_argument);
+  EXPECT_THROW(rm.set_uniform_buffers(0), std::invalid_argument);
+}
+
+TEST(HeteroValidation, SimNetworkRejectsUnrealizableAttributes) {
+  // The flit simulator realizes bandwidth as an integer claim period 1/bw,
+  // so it rejects what it cannot step cycle-accurately.
+  {
+    topo::ButterflyFatTree ft(2);
+    ft.set_uniform_bandwidth(0.3);  // 1/0.3 is not a whole cycle count
+    EXPECT_THROW(sim::SimNetwork net(ft), std::invalid_argument);
+  }
+  {
+    topo::ButterflyFatTree ft(2);
+    ft.set_uniform_bandwidth(2.0);  // super-unit bandwidth has no sim lane
+    EXPECT_THROW(sim::SimNetwork net(ft), std::invalid_argument);
+  }
+  {
+    topo::ButterflyFatTree ft(2);
+    ft.set_uniform_link_latency(1.5);  // fractional pipeline cycles
+    EXPECT_THROW(sim::SimNetwork net(ft), std::invalid_argument);
+  }
+  {
+    topo::ButterflyFatTree ft(2);
+    ft.set_uniform_bandwidth(0.25);
+    ft.set_uniform_link_latency(3.0);
+    ft.set_uniform_buffer_depth(2);
+    EXPECT_NO_THROW(sim::SimNetwork net(ft));  // realizable hetero config
+  }
 }
 
 }  // namespace

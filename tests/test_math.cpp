@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+
+#include "util/hash.hpp"
 
 namespace wormnet::util {
 namespace {
@@ -85,6 +88,26 @@ TEST(Base4Digit, MatchesDivMod) {
       q /= 4;
     }
   }
+}
+
+// Regression: double_bits once digested -0.0 and +0.0 as distinct words,
+// so a retuned model whose signed delta arithmetic left a negative zero
+// missed the cache entry of the value-identical rebuilt model.
+TEST(DoubleBits, SignedZerosDigestEqually) {
+  EXPECT_EQ(double_bits(-0.0), double_bits(0.0));
+  EXPECT_EQ(hash_mix_double(17u, -0.0), hash_mix_double(17u, 0.0));
+  // And only zero is collapsed: the neighboring denormals stay distinct.
+  constexpr double tiny = std::numeric_limits<double>::denorm_min();
+  EXPECT_NE(double_bits(tiny), double_bits(0.0));
+  EXPECT_NE(double_bits(-tiny), double_bits(tiny));
+}
+
+TEST(DoubleBits, DocumentedNanPolicyIsPayloadBits) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  // Same bit pattern => same digest word (no canonicalization applied)...
+  EXPECT_EQ(double_bits(qnan), double_bits(qnan));
+  // ...and a different payload stays distinct.
+  EXPECT_NE(double_bits(qnan), double_bits(-qnan));
 }
 
 }  // namespace

@@ -49,8 +49,9 @@ void expect_parity(const core::GeneralModel& got, const core::GeneralModel& want
   const auto ea = got.evaluate(lambda0);
   const auto eb = want.evaluate(lambda0);
   EXPECT_EQ(ea.stable, eb.stable) << tag;
-  if (ea.stable)
+  if (ea.stable) {
     EXPECT_LE(rel(ea.latency, eb.latency), kMetricTol) << tag;
+  }
   EXPECT_LE(rel(got.saturation_rate(), want.saturation_rate()), kMetricTol)
       << tag;
 }

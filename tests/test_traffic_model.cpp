@@ -364,5 +364,80 @@ TEST(TrafficModel, OptionsAndNamingPropagate) {
   EXPECT_NE(net.model_name.find(hc.name()), std::string::npos);
 }
 
+// Regression: snap_residues once snapped delta-retune residues against ONE
+// global epsilon scaled by the hottest channel's rate, so a legitimate tiny
+// flow riding next to a hot flow (rates spanning orders of magnitude) was
+// silently zeroed — dropping Kirchhoff mass.  The epsilon is channel-local
+// now; this matrix reproduces the old failure: a 15-messages/cycle hotspot
+// ejection (old global eps 1.6e-8) next to an 8e-9 flow on its own link.
+TEST(TrafficModel, DeltaRetuneKeepsTinyFlowsNextToHotOnes) {
+  topo::Hypercube hc(4);
+  const int procs = hc.num_processors();
+  traffic::TrafficMatrix m1(procs);
+  for (int s = 1; s < procs; ++s) m1.set(s, 0, 1.0);  // hotspot into PE 0
+  const double tiny = 8e-9;
+  m1.set(1, 3, tiny);  // rides the otherwise idle 1->3 dimension-1 link
+  m1.normalize_rows();
+
+  core::RetunableTrafficModel rm(hc, traffic::TrafficSpec::matrix(m1));
+
+  // Locate the router-to-router channel 1 -> 3 (carries only the tiny flow:
+  // every other pair routes toward PE 0, which never sets a bit).
+  const topo::ChannelTable ct(hc);
+  const int r1 = hc.neighbor(1, 0);
+  const int r3 = hc.neighbor(3, 0);
+  int tiny_ch = topo::kNoChannel;
+  for (int p = 0; p < hc.num_ports(r1); ++p) {
+    if (hc.neighbor(r1, p) == r3) tiny_ch = ct.from(r1, p);
+  }
+  ASSERT_NE(tiny_ch, topo::kNoChannel);
+  const double tiny_rate = tiny / (1.0 + tiny);  // row-normalized weight
+  ASSERT_NEAR(rm.model().graph.at(tiny_ch).rate_per_link, tiny_rate,
+              tiny_rate * 1e-9);
+
+  // Retune an unrelated pair: redirect sender 5 from the hotspot to PE 2 —
+  // a two-changed-pair delta whose residue snapping must not collapse the
+  // tiny channel's rate.
+  traffic::TrafficMatrix m2 = m1;
+  m2.set(5, 0, 0.0);
+  m2.set(5, 2, 1.0);
+  const auto report = rm.retune_traffic(traffic::TrafficSpec::matrix(m2));
+  EXPECT_FALSE(report.rebuilt);
+  EXPECT_GT(rm.model().graph.at(tiny_ch).rate_per_link, 0.0);
+  EXPECT_NEAR(rm.model().graph.at(tiny_ch).rate_per_link, tiny_rate,
+              tiny_rate * 1e-9);
+
+  // And the whole retuned model lands on the cold rebuild, channel by
+  // channel — the Kirchhoff-mass contract the global epsilon broke.
+  const GeneralModel cold =
+      build_traffic_model(hc, traffic::TrafficSpec::matrix(m2));
+  ASSERT_EQ(rm.model().graph.size(), cold.graph.size());
+  for (int id = 0; id < cold.graph.size(); ++id) {
+    EXPECT_NEAR(rm.model().graph.at(id).rate_per_link,
+                cold.graph.at(id).rate_per_link,
+                1e-12 * (1.0 + cold.graph.at(id).rate_per_link))
+        << "channel " << id;
+  }
+}
+
+// Regression: util::double_bits once digested -0.0 and +0.0 as distinct
+// words, so a model whose signed delta arithmetic left a negative zero on
+// an idle channel produced a different content digest than the
+// value-identical rebuilt model — splitting memo/cache entries that must
+// collide (SweepEngine keys, QueryEngine variants).
+TEST(TrafficModel, ContentDigestIgnoresSignedZeroRates) {
+  topo::Hypercube hc(2);
+  GeneralModel a = build_traffic_model(hc, traffic::TrafficSpec::uniform());
+  GeneralModel b = build_traffic_model(hc, traffic::TrafficSpec::uniform());
+  // An injection channel never routes through itself: its self-flow is an
+  // exact zero on both sides.  Force the negative-zero representation.
+  ASSERT_FALSE(a.injection_classes.empty());
+  const int ch = a.injection_classes.front();
+  ASSERT_EQ(b.graph.at(ch).rate_per_link, a.graph.at(ch).rate_per_link);
+  a.graph.mutable_at(ch).rate_per_link = -0.0;
+  b.graph.mutable_at(ch).rate_per_link = 0.0;
+  EXPECT_EQ(a.content_digest(), b.content_digest());
+}
+
 }  // namespace
 }  // namespace wormnet::core
