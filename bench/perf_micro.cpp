@@ -364,6 +364,34 @@ void BM_QueryEngineRetunePatternCollapsed(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryEngineRetunePatternCollapsed)->Unit(benchmark::kMillisecond);
 
+void BM_QueryEngineFaultRetune(benchmark::State& state) {
+  // The fault delta axis at N = 256: a resident dense model alternates
+  // between an N−1 up-link failure and the healthy fabric via
+  // retune_faults.  The FaultedTopology decorator keeps the channel table
+  // index-aligned, so only the destination columns whose routing changed
+  // re-propagate — compare BM_TrafficModelBuildFatTree/4, the cold
+  // FaultedTopology rebuild each availability scenario would otherwise
+  // cost (the N−1 sweep in harness::QueryEngine::availability_n_minus_1
+  // asks this question once per failable link).
+  topo::ButterflyFatTree ft(4);
+  core::RetunableTrafficModel rm(ft, traffic::TrafficSpec::hotspot(0.2, 3));
+  auto faults = std::make_shared<topo::FaultSet>(ft);
+  faults->fail_link(ft.switch_id(1, 0), topo::ButterflyFatTree::kParentPort0);
+  const std::shared_ptr<const topo::FaultSet> scenarios[2] = {faults, nullptr};
+  std::size_t i = 0;
+  long passes = 0;
+  for (auto _ : state) {
+    const auto report = rm.retune_faults(scenarios[i ^= 1]);
+    passes += report.passes;
+    benchmark::DoNotOptimize(rm.model().mean_distance);
+  }
+  state.counters["passes/op"] = benchmark::Counter(
+      static_cast<double>(passes), benchmark::Counter::kAvgIterations);
+  state.SetLabel("N=" + std::to_string(ft.num_processors()) +
+                 " N-1 up-link delta");
+}
+BENCHMARK(BM_QueryEngineFaultRetune)->Unit(benchmark::kMillisecond);
+
 void BM_QueryEngineRetuneLanes(benchmark::State& state) {
   // The lane delta axis: set_uniform_lanes is one O(channels) sweep over
   // ChannelClass::lanes — bitwise-identical to a topology rebuild.

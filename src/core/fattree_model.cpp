@@ -1,6 +1,7 @@
 #include "core/fattree_model.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "queueing/channel_solver.hpp"
 #include "util/assert.hpp"
@@ -56,10 +57,15 @@ double FatTreeModel::rate_up(int level, double lambda0) const {
 LatencyEstimate FatTreeEvaluation::summary() const {
   LatencyEstimate est;
   est.stable = stable;
+  est.status = stable ? SolveStatus::Ok : SolveStatus::Saturated;
   est.latency = latency;
   est.inj_wait = inj_wait;
   est.inj_service = inj_service;
   est.mean_distance = mean_distance;
+  // The closed form never produces NaN past saturation, only +inf waits —
+  // but keep the interface contract airtight regardless.
+  if (std::isnan(est.latency))
+    est.latency = std::numeric_limits<double>::infinity();
   return est;
 }
 

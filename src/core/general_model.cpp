@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/saturation.hpp"
@@ -206,6 +207,18 @@ LatencyEstimate estimate_latency(const SolveResult& solution,
   est.inj_service = service_sum / weight_sum;
   est.latency = est.inj_wait + est.inj_service + mean_distance - 1.0;
   if (!std::isfinite(est.latency)) est.stable = false;
+  // Structured status: a fixed point that failed to converge dominates
+  // saturation; Disconnected is layered on by callers that know their
+  // model's unroutable fraction (estimate_latency itself cannot).
+  if (!solution.converged)
+    est.status = SolveStatus::Infeasible;
+  else if (!est.stable)
+    est.status = SolveStatus::Saturated;
+  // NaN never escapes the solver surface: divergence reads as +infinity.
+  const double inf = std::numeric_limits<double>::infinity();
+  if (std::isnan(est.inj_wait)) est.inj_wait = inf;
+  if (std::isnan(est.inj_service)) est.inj_service = inf;
+  if (std::isnan(est.latency)) est.latency = inf;
   return est;
 }
 
@@ -299,6 +312,16 @@ LatencyEstimate apply_batch_residual(LatencyEstimate est, double residual,
   return est;
 }
 
+/// Layer the model's unroutable fraction onto a finished estimate:
+/// Disconnected only when nothing worse already applies (the carried demand
+/// still solved), per the SolveStatus precedence.
+LatencyEstimate apply_unroutable(LatencyEstimate est, double unroutable) {
+  est.unroutable_fraction = unroutable;
+  if (unroutable > 0.0 && est.status == SolveStatus::Ok)
+    est.status = SolveStatus::Disconnected;
+  return est;
+}
+
 }  // namespace
 
 std::uint64_t GeneralModel::content_digest() const {
@@ -331,6 +354,7 @@ std::uint64_t GeneralModel::content_digest() const {
   }
   for (double w : injection_class_weights) h = util::hash_mix_double(h, w);
   h = util::hash_mix_double(h, mean_distance);
+  h = util::hash_mix_double(h, unroutable_fraction);
   h = util::hash_mix(h, static_cast<std::uint64_t>(opts.max_iterations));
   h = util::hash_mix_double(h, opts.tolerance);
   h = util::hash_mix_double(h, opts.damping);
@@ -344,10 +368,12 @@ SolveResult GeneralModel::solve(double lambda0) const {
 }
 
 LatencyEstimate GeneralModel::evaluate(double lambda0) const {
-  return apply_batch_residual(
-      estimate_latency(solve(lambda0), injection_classes,
-                       injection_class_weights, mean_distance),
-      injection_batch_residual, opts.bursty_arrivals);
+  return apply_unroutable(
+      apply_batch_residual(
+          estimate_latency(solve(lambda0), injection_classes,
+                           injection_class_weights, mean_distance),
+          injection_batch_residual, opts.bursty_arrivals),
+      unroutable_fraction);
 }
 
 SolveResult model_solve(const GeneralModel& net, double lambda0, SolveOptions base) {
@@ -358,10 +384,12 @@ SolveResult model_solve(const GeneralModel& net, double lambda0, SolveOptions ba
 LatencyEstimate model_latency(const GeneralModel& net, double lambda0,
                               SolveOptions base) {
   const SolveResult res = model_solve(net, lambda0, base);
-  return apply_batch_residual(
-      estimate_latency(res, net.injection_classes, net.injection_class_weights,
-                       net.mean_distance),
-      net.injection_batch_residual, base.bursty_arrivals);
+  return apply_unroutable(
+      apply_batch_residual(
+          estimate_latency(res, net.injection_classes,
+                           net.injection_class_weights, net.mean_distance),
+          net.injection_batch_residual, base.bursty_arrivals),
+      net.unroutable_fraction);
 }
 
 double model_saturation_rate(const GeneralModel& net, SolveOptions base) {

@@ -122,6 +122,12 @@ class GeneralModel final : public NetworkModel {
   std::vector<int> channel_class_of;
   /// D̄ of the paper's Eq. 2, counted in channels.
   double mean_distance = 0.0;
+  /// Fraction of offered pair-weight with no surviving path under the
+  /// builder's (possibly faulted) topology — 0 on a healthy fabric.  Carried
+  /// demand excludes it (unroutable pairs seed no flow); evaluate() reports
+  /// it through LatencyEstimate::unroutable_fraction and downgrades status
+  /// to Disconnected when positive.
+  double unroutable_fraction = 0.0;
   /// Builder-provided label → class id map (used by tests and reports).
   std::map<std::string, int> labels;
   /// Worm length, ablation switches and solver knobs.  `injection_scale`

@@ -6,6 +6,16 @@
 
 namespace wormnet::core {
 
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Ok: return "ok";
+    case SolveStatus::Saturated: return "saturated";
+    case SolveStatus::Infeasible: return "infeasible";
+    case SolveStatus::Disconnected: return "disconnected";
+  }
+  return "unknown";
+}
+
 std::uint64_t NetworkModel::content_digest() const {
   // The identity the base interface can observe.  Subclasses whose
   // evaluate() depends on more (channel graphs, lane knobs) mix that state

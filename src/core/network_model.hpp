@@ -18,14 +18,36 @@
 
 namespace wormnet::core {
 
+/// Structured outcome of an evaluation, so callers never have to parse NaN
+/// or Inf out of the numbers.  Precedence when several apply:
+/// Infeasible > Saturated > Disconnected > Ok.
+enum class SolveStatus {
+  Ok,            ///< converged, stable, all demand routable
+  Saturated,     ///< some bundle at or past saturation (ρ ≥ 1); waits diverge
+  Infeasible,    ///< solver failed to converge / produced non-finite values
+  Disconnected,  ///< some offered demand had no surviving path (faults)
+};
+
+/// Short stable name for a SolveStatus ("ok", "saturated", ...).
+const char* to_string(SolveStatus status);
+
 /// Network-level latency summary (Eq. 2/25):
 ///     L = mean_j [ W̄_inj(j) + x̄_inj(j) ] + D̄ - 1.
+///
+/// Contract: latency and inj_wait are never NaN — a diverged or failed
+/// solve reports +infinity — and non-finite values appear only with status
+/// Saturated or Infeasible.  `stable` remains the quick boolean view
+/// (true iff status is Ok or Disconnected: the carried demand is served).
 struct LatencyEstimate {
   bool stable = true;
+  SolveStatus status = SolveStatus::Ok;
   double latency = 0.0;       ///< L, cycles from generation to tail delivery
   double inj_wait = 0.0;      ///< mean source-queue wait
   double inj_service = 0.0;   ///< mean injection-channel service time
   double mean_distance = 0.0; ///< D̄ in channels
+  /// Fraction of offered pair-weight with no surviving path (0 when the
+  /// fabric is healthy); the latency above describes the carried demand.
+  double unroutable_fraction = 0.0;
 };
 
 /// An analytical wormhole-network model evaluated at an injection rate.

@@ -85,6 +85,8 @@ struct ShardAccum {
   std::vector<double> self;    ///< per channel, QNA self-mass (see FlowFragment)
   std::vector<double> onward;  ///< flat (channel, continuation port) flows
   double weighted_distance = 0.0;
+  double total_weight = 0.0;       ///< Σ pair weights seen (all demand)
+  double unroutable_weight = 0.0;  ///< Σ pair weights with no surviving path
 };
 
 /// Iterative DFS from `start` following route(node, dst) edges, appending
@@ -152,6 +154,16 @@ void propagate_flows(int d, DestinationPass& pass, AddRate&& add_rate,
     if (inputs.empty()) continue;  // d itself, or an unfed DFS visit
     WORMNET_ENSURES(node != d);    // flows into d are consumed, never split
     const NodeRoutes& nr = pass.routes[static_cast<std::size_t>(node)];
+    // A node holding flow toward d with no route candidates would silently
+    // drop Kirchhoff mass.  Unroutable demand is filtered at the SEEDS
+    // (Topology::reachable), so reaching this state means the topology is
+    // malformed — name the node instead of corrupting the model.
+    if (nr.count == 0)
+      throw std::runtime_error(
+          "build_traffic_model: flow toward destination " + std::to_string(d) +
+          " dead-ends at node " + std::to_string(node) +
+          " (no route candidates; disconnected or malformed topology — run "
+          "topo::check_connectivity)");
     double total = 0.0;
     double total_self = 0.0;
     for (const FlowFragment& in : inputs) {
@@ -194,15 +206,24 @@ void run_shard(const topo::Topology& topo, const topo::ChannelTable& ct,
   acc.self.assign(static_cast<std::size_t>(ct.size()), 0.0);
   acc.onward.assign(static_cast<std::size_t>(onward_off.back()), 0.0);
   acc.weighted_distance = 0.0;
+  acc.total_weight = 0.0;
+  acc.unroutable_weight = 0.0;
 
   DestinationPass pass(topo.num_nodes());
   for (int d = dst_lo; d < dst_hi; ++d) {
     // Seed the pass: every source with weight toward d injects its flow.
     // The (s → d) sub-stream is the destination split of s's injection
     // process: fraction w / injection_weight of it, hence self = w · frac.
+    // Demand toward an unreachable destination (faulted fabrics) is dropped
+    // at the source and counted — the model degrades instead of asserting.
     const auto seed = [&](int s) {
       const double w = spec.pair_weight(s, d, procs);
       if (w <= 0.0) return;
+      acc.total_weight += w;
+      if (!topo.reachable(s, d)) {
+        acc.unroutable_weight += w;
+        return;
+      }
       acc.weighted_distance += w * topo.distance(s, d);
       const double frac = w / spec.injection_weight(s, procs);
       pass.in_flows[static_cast<std::size_t>(s)].push_back(
@@ -306,6 +327,8 @@ GeneralModel build_collapsed(const topo::Topology& topo,
   std::vector<unsigned char> seen_trans(
       static_cast<std::size_t>(ncls) * static_cast<std::size_t>(ncls) * 2, 0);
   double dist_sum = 0.0;
+  double total_weight = 0.0;
+  double unroutable_weight = 0.0;
 
   DestinationPass pass(topo.num_nodes());
   for (int o = 0; o < norb; ++o) {
@@ -315,6 +338,13 @@ GeneralModel build_collapsed(const topo::Topology& topo,
       if (s == d) continue;
       const double w = spec.pair_weight(s, d, procs);
       if (w <= 0.0) continue;
+      total_weight += scale * w;
+      if (!topo.reachable(s, d)) {
+        // Orbit transitivity extends the representative's unroutable pairs
+        // to the whole orbit — exact for true routing symmetries.
+        unroutable_weight += scale * w;
+        continue;
+      }
       dist_sum += scale * w * topo.distance(s, d);
       const double frac = w / spec.injection_weight(s, procs);
       pass.in_flows[static_cast<std::size_t>(s)].push_back(
@@ -328,6 +358,12 @@ GeneralModel build_collapsed(const topo::Topology& topo,
       if (inputs.empty()) continue;
       WORMNET_ENSURES(node != d);
       const NodeRoutes& nr = pass.routes[static_cast<std::size_t>(node)];
+      if (nr.count == 0)
+        throw std::runtime_error(
+            "build_traffic_model: flow toward destination " +
+            std::to_string(d) + " dead-ends at node " + std::to_string(node) +
+            " (no route candidates; disconnected or malformed topology — run "
+            "topo::check_connectivity)");
       double total = 0.0;
       double total_self = 0.0;
       for (const FlowFragment& in : inputs) {
@@ -498,6 +534,8 @@ GeneralModel build_collapsed(const topo::Topology& topo,
     net.injection_class_weights.push_back(inj_weight[static_cast<std::size_t>(c)]);
   }
   net.mean_distance = dist_sum / injecting;
+  net.unroutable_fraction =
+      total_weight > 0.0 ? unroutable_weight / total_weight : 0.0;
   net.channel_class_of = sym.channel_class;
   net.model_name = "traffic-sym(" + topo.name() + ", " + spec.name() + ")";
   net.opts = opts;
@@ -574,6 +612,8 @@ struct DenseFlowState {
   std::vector<double> self;      ///< per channel, QNA self-mass
   std::vector<double> onward;    ///< flat continuation flows
   double weighted_distance = 0.0;
+  double total_weight = 0.0;       ///< Σ pair weights (all demand)
+  double unroutable_weight = 0.0;  ///< Σ pair weights dropped at the source
 };
 
 /// Run the sharded per-destination passes for the whole spec, filling
@@ -631,12 +671,16 @@ void propagate_dense(const topo::Topology& topo, const topo::ChannelTable& ct,
   st.self.assign(static_cast<std::size_t>(num_channels), 0.0);
   st.onward.assign(static_cast<std::size_t>(st.onward_off.back()), 0.0);
   st.weighted_distance = 0.0;
+  st.total_weight = 0.0;
+  st.unroutable_weight = 0.0;
   for (const ShardAccum& acc : accs) {
     for (std::size_t i = 0; i < st.rate.size(); ++i) st.rate[i] += acc.rate[i];
     for (std::size_t i = 0; i < st.self.size(); ++i) st.self[i] += acc.self[i];
     for (std::size_t i = 0; i < st.onward.size(); ++i)
       st.onward[i] += acc.onward[i];
     st.weighted_distance += acc.weighted_distance;
+    st.total_weight += acc.total_weight;
+    st.unroutable_weight += acc.unroutable_weight;
   }
 
   label_bundles(topo, ct, st.bundle_of, st.bundle_size);
@@ -743,6 +787,8 @@ GeneralModel assemble_dense(const topo::Topology& topo,
   }
   WORMNET_EXPECTS(injecting > 0);
   net.mean_distance = st.weighted_distance / injecting;
+  net.unroutable_fraction =
+      st.total_weight > 0.0 ? st.unroutable_weight / st.total_weight : 0.0;
   net.model_name = "traffic(" + topo.name() + ", " + spec.name() + ")";
   net.opts = opts;
 
@@ -854,11 +900,24 @@ struct RetunableTrafficModel::Impl {
   double load_scale = 1.0;
   double tuned_ca2 = 1.0;
   double tuned_residual = 0.0;
+  /// Active fault view, shared (immutable after construction) so the default
+  /// Impl copy stays cheap and clones of a faulted resident share the
+  /// survivor BFS tables.  Null = healthy fabric.
+  std::shared_ptr<const topo::FaultSet> fault_set;
+  std::shared_ptr<const topo::FaultedTopology> faulted;
   GeneralModel net;
 
   Impl(const topo::Topology& t, traffic::TrafficSpec s, const SolveOptions& o,
        const TrafficBuildOptions& b)
       : topo(&t), ct(t), spec(std::move(s)), opts(o), build(b) {}
+
+  /// The topology all routing-sensitive work runs against: the fault view
+  /// when one is active, else the healthy base.  The channel STRUCTURE is
+  /// identical either way (FaultedTopology's stability contract), so `ct`
+  /// and every per-channel array stay valid across fault retunes.
+  const topo::Topology& routing_topo() const {
+    return faulted ? static_cast<const topo::Topology&>(*faulted) : *topo;
+  }
 
   /// Re-apply the recorded lane/load/arrival tunes onto a freshly
   /// (re)assembled model.  Order matters only for documentation: each tune
@@ -888,14 +947,15 @@ struct RetunableTrafficModel::Impl {
   /// resident model and flow state.
   void rebuild_cold(const traffic::TrafficSpec& new_spec,
                     const CollapsePlan& plan) {
+    const topo::Topology& rt = routing_topo();
     if (plan.use_collapsed) {
-      net = build_collapsed(*topo, ct, new_spec, plan.sym, opts);
+      net = build_collapsed(rt, ct, new_spec, plan.sym, opts);
       is_collapsed = true;
       state = DenseFlowState{};
     } else {
-      propagate_dense(*topo, ct, new_spec, build,
+      propagate_dense(rt, ct, new_spec, build,
                       plan.sparse_seed ? &plan.dest_sources : nullptr, state);
-      net = assemble_dense(*topo, ct, new_spec, opts, state);
+      net = assemble_dense(rt, ct, new_spec, opts, state);
       is_collapsed = false;
     }
     spec = new_spec;
@@ -978,12 +1038,13 @@ RetuneReport RetunableTrafficModel::retune_traffic(
   WORMNET_EXPECTS(new_spec.check(procs).empty());
 
   RetuneReport report;
-  const CollapsePlan plan = plan_collapse(*im.topo, im.ct, new_spec, im.build);
+  const topo::Topology& rt = im.routing_topo();
+  const CollapsePlan plan = plan_collapse(rt, im.ct, new_spec, im.build);
   if (plan.use_collapsed) {
     // The PR 6 composition: the new spec still respects the symmetry, so
     // "retune" is one pass per destination orbit against O(classes) state —
     // not a dense rebuild, whatever mode the resident was in before.
-    im.net = build_collapsed(*im.topo, im.ct, new_spec, plan.sym, im.opts);
+    im.net = build_collapsed(rt, im.ct, new_spec, plan.sym, im.opts);
     im.is_collapsed = true;
     im.state = DenseFlowState{};
     im.spec = new_spec;
@@ -1017,11 +1078,20 @@ RetuneReport RetunableTrafficModel::retune_traffic(
   };
   std::vector<std::vector<DeltaSeed>> seeds(static_cast<std::size_t>(procs));
   long changed = 0;
+  double d_total = 0.0;       // Σ (w_new − w_old) over all pairs
+  double d_unroutable = 0.0;  // same, over pairs with no surviving path
   for (int d = 0; d < procs; ++d) {
     for (int s = 0; s < procs; ++s) {
       if (s == d) continue;
       const double w_old = old_spec.pair_weight(s, d, procs);
       const double w_new = new_spec.pair_weight(s, d, procs);
+      d_total += w_new - w_old;
+      // The cold build never seeded unreachable pairs (faulted fabrics), so
+      // the delta must not either — only their demand accounting moves.
+      if (!rt.reachable(s, d)) {
+        d_unroutable += w_new - w_old;
+        continue;
+      }
       // Same product order as the cold seeds (frac first, then w·frac) so a
       // pure sign flip reproduces the original contribution bit for bit.
       double self_old = 0.0;
@@ -1052,6 +1122,8 @@ RetuneReport RetunableTrafficModel::retune_traffic(
     return report;
   }
 
+  im.state.total_weight += d_total;
+  im.state.unroutable_weight += d_unroutable;
   if (changed > 0) {
     DestinationPass pass(im.topo->num_nodes());
     DenseFlowState& st = im.state;
@@ -1060,11 +1132,11 @@ RetuneReport RetunableTrafficModel::retune_traffic(
       if (dseeds.empty()) continue;
       for (const DeltaSeed& sd : dseeds) {
         if (sd.dflow != 0.0) {
-          st.weighted_distance += sd.dflow * im.topo->distance(sd.src, d);
+          st.weighted_distance += sd.dflow * rt.distance(sd.src, d);
         }
         pass.in_flows[static_cast<std::size_t>(sd.src)].push_back(
             {topo::kNoChannel, sd.dflow, sd.dself});
-        dfs_route_dag(*im.topo, im.ct, sd.src, d, pass);
+        dfs_route_dag(rt, im.ct, sd.src, d, pass);
       }
       propagate_flows(
           d, pass,
@@ -1085,11 +1157,117 @@ RetuneReport RetunableTrafficModel::retune_traffic(
   // Cheap O(channels + transitions) tail: re-derive the model from the
   // updated flow state (also refreshes the spec-dependent name, injection
   // classes and mean distance).
-  im.net = assemble_dense(*im.topo, im.ct, new_spec, im.opts, im.state);
+  im.net = assemble_dense(rt, im.ct, new_spec, im.opts, im.state);
   im.is_collapsed = false;
   im.spec = new_spec;
   im.apply_tunes();
   return report;
+}
+
+RetuneReport RetunableTrafficModel::retune_faults(
+    std::shared_ptr<const topo::FaultSet> faults) {
+  Impl& im = *impl_;
+  const int procs = im.topo->num_processors();
+  if (faults && faults->empty()) faults.reset();  // empty set == healthy
+  if (faults) WORMNET_EXPECTS(&faults->topology() == im.topo);
+
+  RetuneReport report;
+  const std::uint64_t old_digest = im.fault_set ? im.fault_set->digest() : 0;
+  const std::uint64_t new_digest = faults ? faults->digest() : 0;
+  if (old_digest == new_digest) return report;  // same degraded state: no-op
+
+  std::shared_ptr<const topo::FaultedTopology> new_view;
+  if (faults)
+    new_view = std::make_shared<const topo::FaultedTopology>(*im.topo, *faults);
+
+  // Destinations whose routing differs between the outgoing and incoming
+  // views — the union is exactly the set of columns to re-propagate.
+  std::vector<char> is_affected(static_cast<std::size_t>(procs), 0);
+  if (im.faulted)
+    for (int d : im.faulted->affected_destinations())
+      is_affected[static_cast<std::size_t>(d)] = 1;
+  if (new_view)
+    for (int d : new_view->affected_destinations())
+      is_affected[static_cast<std::size_t>(d)] = 1;
+
+  if (im.is_collapsed) {
+    // A collapsed resident has no dense flow state to delta against; entering
+    // a degraded state rebuilds dense (faults void the symmetry), returning
+    // to healthy re-plans and may collapse again.
+    im.fault_set = std::move(faults);
+    im.faulted = std::move(new_view);
+    const topo::Topology& rt = im.routing_topo();
+    im.rebuild_cold(im.spec, plan_collapse(rt, im.ct, im.spec, im.build));
+    report.rebuilt = true;
+    report.collapsed = im.is_collapsed;
+    return report;
+  }
+
+  // Dense fault delta: per affected destination, NEGATE the column under the
+  // outgoing view's routing (the DP is linear in its seeds, so negative
+  // seeds reproduce the original contributions sign-flipped exactly), then
+  // re-add it under the incoming view's.  Never escalates to a rebuild —
+  // the work is bounded by 2 passes per affected column, the same order as
+  // a full rebuild's one pass per column, and availability sweeps rely on
+  // the cost class staying Retune for every scenario.
+  const topo::Topology& old_rt = im.routing_topo();
+  DenseFlowState& st = im.state;
+  DestinationPass pass(im.topo->num_nodes());
+  const auto run_delta = [&](const topo::Topology& view, int d, double sign) {
+    bool seeded = false;
+    for (int s = 0; s < procs; ++s) {
+      if (s == d) continue;
+      const double w = im.spec.pair_weight(s, d, procs);
+      if (w <= 0.0) continue;
+      if (!view.reachable(s, d)) {
+        if (sign > 0.0) st.unroutable_weight += w;
+        else st.unroutable_weight -= w;
+        continue;
+      }
+      st.weighted_distance += sign * w * view.distance(s, d);
+      const double frac = w / im.spec.injection_weight(s, procs);
+      pass.in_flows[static_cast<std::size_t>(s)].push_back(
+          {topo::kNoChannel, sign * w, sign * (w * frac)});
+      dfs_route_dag(view, im.ct, s, d, pass);
+      seeded = true;
+    }
+    if (!seeded) return;
+    propagate_flows(
+        d, pass,
+        [&](int ch, double flow, double self) {
+          st.rate[static_cast<std::size_t>(ch)] += flow;
+          st.self[static_cast<std::size_t>(ch)] += self;
+        },
+        [&](int in_ch, int port, double flow) {
+          st.onward[static_cast<std::size_t>(
+              st.onward_off[static_cast<std::size_t>(in_ch)] + port)] += flow;
+        });
+    ++report.passes;
+  };
+  for (int d = 0; d < procs; ++d) {
+    if (!is_affected[static_cast<std::size_t>(d)]) continue;
+    ++report.changed_pairs;  // here: changed destination COLUMNS
+    run_delta(old_rt, d, -1.0);
+    pass.reset();
+    if (new_view) run_delta(*new_view, d, +1.0);
+    else run_delta(*im.topo, d, +1.0);
+    pass.reset();
+  }
+  snap_residues(st);
+
+  im.fault_set = std::move(faults);
+  im.faulted = std::move(new_view);
+  im.net = assemble_dense(im.routing_topo(), im.ct, im.spec, im.opts, st);
+  im.apply_tunes();
+  return report;
+}
+
+const topo::FaultSet* RetunableTrafficModel::faults() const {
+  return impl_->fault_set.get();
+}
+
+const topo::Topology& RetunableTrafficModel::routing_topology() const {
+  return impl_->routing_topo();
 }
 
 std::string check_collapsed_parity(const topo::Topology& topo,

@@ -61,6 +61,7 @@
 #include <memory>
 
 #include "core/general_model.hpp"
+#include "topo/fault.hpp"
 #include "topo/symmetry.hpp"
 #include "topo/topology.hpp"
 #include "traffic/traffic_spec.hpp"
@@ -228,6 +229,28 @@ class RetunableTrafficModel {
   /// Move the model to `new_spec` via the cheapest applicable path (see the
   /// class comment); returns what was done.
   RetuneReport retune_traffic(const traffic::TrafficSpec& new_spec);
+
+  /// Fault delta: move the resident to the degraded routing state described
+  /// by `faults` (null or empty = healthy).  The decorated topology keeps
+  /// the base's channel structure, so a dense resident is served IN PLACE:
+  /// for each destination column whose routing differs between the outgoing
+  /// and incoming fault views, the old column is re-propagated with negated
+  /// seeds under the OLD routing and re-added under the NEW — O(affected
+  /// columns) passes, never a rebuild (RetuneReport::changed_pairs counts
+  /// affected columns here).  Collapsed residents rebuild dense on entering
+  /// a degraded state (faults void the symmetry) and may re-collapse on
+  /// returning to healthy.  Demand toward destinations unreachable under
+  /// the faults is dropped at the source and surfaces as
+  /// GeneralModel::unroutable_fraction.  The fault set must have been built
+  /// against this resident's topology; it is retained (shared) until the
+  /// next retune_faults call.
+  RetuneReport retune_faults(std::shared_ptr<const topo::FaultSet> faults);
+
+  /// The active fault set (nullptr = healthy).
+  const topo::FaultSet* faults() const;
+  /// The topology routing currently runs against: the fault view when one
+  /// is active, else the base topology passed at construction.
+  const topo::Topology& routing_topology() const;
 
   /// Lane delta: O(channels), recorded and re-applied across retunes.
   void set_uniform_lanes(int lanes);

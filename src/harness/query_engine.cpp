@@ -1,5 +1,7 @@
 #include "harness/query_engine.hpp"
 
+#include <algorithm>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -50,6 +52,10 @@ std::uint64_t variant_key(std::uint64_t baseline_digest, const WhatIfQuery& q,
     h = util::hash_mix_double(h, q.arrival->effective_ca2(q.lambda0));
     h = util::hash_mix_double(h, q.arrival->batch_residual());
   }
+  // Content digest, not pointer identity: two FaultSets failing the same
+  // links share a variant, and an empty set IS the healthy baseline.
+  h = util::hash_mix(
+      h, q.faults && !q.faults->empty() ? q.faults->digest() : 0);
   return h;
 }
 
@@ -63,7 +69,19 @@ std::uint64_t answer_key(std::uint64_t vkey, const WhatIfQuery& q) {
 
 bool is_identity(const WhatIfQuery& q) {
   return !q.traffic && q.load_scale == 1.0 && q.lanes == 0 &&
-         q.buffer_depth == 0 && q.bandwidth_scale == 1.0 && !q.arrival;
+         q.buffer_depth == 0 && q.bandwidth_scale == 1.0 && !q.arrival &&
+         (!q.faults || q.faults->empty());
+}
+
+/// Fallback row label for availability scenarios: the failed links, e.g.
+/// "link 12:3+link 12:4" (a failed switch expands to its links).
+std::string fault_label(const topo::FaultSet& faults) {
+  std::string s;
+  for (const auto& [node, port] : faults.failed_links()) {
+    if (!s.empty()) s += "+";
+    s += "link " + std::to_string(node) + ":" + std::to_string(port);
+  }
+  return s.empty() ? "healthy" : s;
 }
 
 }  // namespace
@@ -110,9 +128,20 @@ struct QueryEngine::Impl {
   void prepare(const Resident& r, Variant& v, const WhatIfQuery& q) {
     if (is_identity(q)) return;  // basis stays Reevaluate, clone stays null
     v.clone = std::make_unique<core::RetunableTrafficModel>(r.baseline);
-    if (q.traffic) {
-      v.report = v.clone->retune_traffic(*q.traffic);
+    if (q.faults && !q.faults->empty()) {
+      // Fault delta first, so a traffic retune in the same query already
+      // runs under the degraded routing — the two deltas compose.
+      v.report = v.clone->retune_faults(q.faults);
       v.basis = v.report.rebuilt ? QueryCost::Rebuild : QueryCost::Retune;
+    }
+    if (q.traffic) {
+      const core::RetuneReport tr = v.clone->retune_traffic(*q.traffic);
+      v.report.rebuilt = v.report.rebuilt || tr.rebuilt;
+      v.report.collapsed = v.report.collapsed || tr.collapsed;
+      v.report.passes += tr.passes;
+      v.report.changed_pairs += tr.changed_pairs;
+      if (v.basis != QueryCost::Rebuild)
+        v.basis = tr.rebuilt ? QueryCost::Rebuild : QueryCost::Retune;
     }
     if (q.lanes != 0) v.clone->set_uniform_lanes(q.lanes);
     if (q.buffer_depth != 0) v.clone->set_uniform_buffers(q.buffer_depth);
@@ -230,6 +259,9 @@ std::vector<QueryResult> QueryEngine::run_batch(
     } else {
       WORMNET_EXPECTS(q.traffic->check(procs).empty());
     }
+    // A fault set validates its links against ONE topology; a set built
+    // against some other fabric would index this resident's ports wrongly.
+    WORMNET_EXPECTS(!q.faults || &q.faults->topology() == r.topo);
     const std::uint64_t vkey = variant_key(r.digest, q, procs);
     const std::uint64_t akey = answer_key(vkey, q);
     akeys[i] = akey;
@@ -325,6 +357,76 @@ QueryResult QueryEngine::run(const WhatIfQuery& query) { return run(0, query); }
 
 QueryResult QueryEngine::run(int resident_id, const WhatIfQuery& query) {
   return run_batch(resident_id, {query}).front();
+}
+
+AvailabilityReport QueryEngine::availability_n_minus_1(int resident_id,
+                                                       double lambda0) {
+  WORMNET_EXPECTS(resident_id >= 0 &&
+                  resident_id < static_cast<int>(impl_->residents.size()));
+  const topo::Topology& t =
+      *impl_->residents[static_cast<std::size_t>(resident_id)]->topo;
+  std::vector<std::shared_ptr<const topo::FaultSet>> scenarios;
+  std::vector<std::string> labels;
+  for (int node = 0; node < t.num_nodes(); ++node) {
+    if (t.is_processor(node)) continue;
+    for (int port = 0; port < t.num_ports(node); ++port) {
+      const int peer = t.neighbor(node, port);
+      if (peer == topo::kNoNode || t.is_processor(peer)) continue;
+      // Visit each undirected link once, from its canonical (lower) endpoint.
+      if (std::make_pair(peer, t.neighbor_port(node, port)) <
+          std::make_pair(node, port))
+        continue;
+      auto fs = std::make_shared<topo::FaultSet>(t);
+      fs->fail_link(node, port);
+      labels.push_back(fault_label(*fs));
+      scenarios.push_back(std::move(fs));
+    }
+  }
+  return availability_scenarios(resident_id, lambda0, std::move(scenarios),
+                                std::move(labels));
+}
+
+AvailabilityReport QueryEngine::availability_scenarios(
+    int resident_id, double lambda0,
+    std::vector<std::shared_ptr<const topo::FaultSet>> scenarios,
+    std::vector<std::string> labels) {
+  WORMNET_EXPECTS(labels.empty() || labels.size() == scenarios.size());
+  std::vector<WhatIfQuery> queries;
+  queries.reserve(scenarios.size() + 1);
+  WhatIfQuery probe;
+  probe.metric = QueryMetric::Latency;
+  probe.lambda0 = lambda0;
+  queries.push_back(probe);  // the healthy baseline, an identity query
+  for (const std::shared_ptr<const topo::FaultSet>& fs : scenarios) {
+    WORMNET_EXPECTS(fs != nullptr);
+    WhatIfQuery q = probe;
+    q.faults = fs;
+    queries.push_back(std::move(q));
+  }
+  const std::vector<QueryResult> res = run_batch(resident_id, queries);
+
+  AvailabilityReport report;
+  report.lambda0 = lambda0;
+  report.baseline = res.front().est;
+  report.rows.resize(scenarios.size());
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    AvailabilityRow& row = report.rows[s];
+    row.label = labels.empty() ? fault_label(*scenarios[s]) : labels[s];
+    row.faults = scenarios[s];
+    row.est = res[s + 1].est;
+    row.cost = res[s + 1].cost;
+    if (row.est.status == core::SolveStatus::Ok) ++report.scenarios_ok;
+  }
+  // Worst-first: unroutable demand dominates, then latency.  The status
+  // contract guarantees latency is never NaN, so the comparator is a strict
+  // weak ordering; stable_sort keeps enumeration order on ties.
+  std::stable_sort(report.rows.begin(), report.rows.end(),
+                   [](const AvailabilityRow& a, const AvailabilityRow& b) {
+                     if (a.est.unroutable_fraction != b.est.unroutable_fraction)
+                       return a.est.unroutable_fraction > b.est.unroutable_fraction;
+                     return a.est.latency > b.est.latency;
+                   });
+  return report;
 }
 
 std::uint64_t QueryEngine::queries_served() const { return impl_->served; }

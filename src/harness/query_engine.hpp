@@ -19,7 +19,12 @@
 //  * load delta     → scale_injection_rates, O(channels);
 //  * buffer delta   → set_uniform_buffers, O(channels);
 //  * bandwidth delta→ scale_bandwidths, O(channels);
-//  * arrival delta  → set_injection_process, O(channels).
+//  * arrival delta  → set_injection_process, O(channels);
+//  * fault delta    → core::RetunableTrafficModel::retune_faults — the
+//    FaultedTopology decorator keeps the channel structure stable, so only
+//    the destination columns whose routing changed re-propagate (dense
+//    residents never rebuild for a fault; collapsed residents rebuild dense
+//    once on entering a degraded state and say so).
 // Queries sharing the same delta set share ONE prepared model variant;
 // repeated (variant, metric, λ₀) questions — within a batch or across
 // batches — are served from a result cache and reported as Memoized.
@@ -46,6 +51,7 @@
 #include "arrivals/arrival_process.hpp"
 #include "core/traffic_model.hpp"
 #include "harness/sweep_engine.hpp"
+#include "topo/fault.hpp"
 #include "topo/topology.hpp"
 #include "traffic/traffic_spec.hpp"
 
@@ -93,6 +99,11 @@ struct WhatIfQuery {
   double bandwidth_scale = 1.0;
   /// Retune to this arrival process (absent = keep the baseline process).
   std::optional<arrivals::ArrivalSpec> arrival;
+  /// Evaluate under this fault set (null or empty = healthy baseline).  The
+  /// set must have been built against the resident's topology.  Keyed by its
+  /// order-insensitive content digest, so two scenarios failing the same
+  /// links share one prepared variant.
+  std::shared_ptr<const topo::FaultSet> faults;
 
   QueryMetric metric = QueryMetric::Latency;
   /// Injection rate λ₀ for Latency / ClassBreakdown (ignored by Saturation,
@@ -123,6 +134,26 @@ struct QueryResult {
   /// What preparing this query's model variant did (zeroed for Memoized
   /// answers and for queries with no pattern delta).
   core::RetuneReport retune;
+};
+
+/// One availability scenario's outcome, ranked into an AvailabilityReport.
+struct AvailabilityRow {
+  std::string label;  ///< caller-given, or derived from the failed links
+  std::shared_ptr<const topo::FaultSet> faults;
+  core::LatencyEstimate est;  ///< at the report's λ₀, under the failure
+  QueryCost cost = QueryCost::Reevaluate;  ///< how the engine served it
+};
+
+/// An N−1 / N−k availability what-if: the healthy baseline plus every
+/// scenario's degraded estimate, ranked worst-first — most unroutable demand
+/// first, then highest latency (a saturated/infinite row outranks any finite
+/// one; the SolveStatus contract keeps NaN out of the ordering).  Ties keep
+/// scenario enumeration order, so the ranking is deterministic.
+struct AvailabilityReport {
+  double lambda0 = 0.0;
+  core::LatencyEstimate baseline;     ///< the healthy resident at λ₀
+  std::vector<AvailabilityRow> rows;  ///< worst failure first
+  int scenarios_ok = 0;  ///< rows still status Ok (full service under failure)
 };
 
 /// Resident what-if query engine.  Not thread-safe for concurrent run calls
@@ -169,6 +200,20 @@ class QueryEngine {
   /// Single query (resident 0 / explicit resident).
   QueryResult run(const WhatIfQuery& query);
   QueryResult run(int resident_id, const WhatIfQuery& query);
+
+  /// N−1 availability sweep: one scenario per failable (switch-to-switch)
+  /// undirected link of the resident's topology, each answered as a Latency
+  /// query at λ₀ through the normal batch path — variants dedup, answers
+  /// memoize, and the fault view's stable channel structure keeps every
+  /// dense-resident scenario a Retune or cheaper (no per-scenario rebuild).
+  AvailabilityReport availability_n_minus_1(int resident_id, double lambda0);
+  /// General N−k form: the caller supplies the scenarios (each a FaultSet
+  /// built against the resident's topology, failing any number of links or
+  /// switches) and optional labels (empty = derived from the failed links).
+  AvailabilityReport availability_scenarios(
+      int resident_id, double lambda0,
+      std::vector<std::shared_ptr<const topo::FaultSet>> scenarios,
+      std::vector<std::string> labels = {});
 
   // Cost observability (tests; service metering).
   std::uint64_t queries_served() const;

@@ -47,9 +47,11 @@ void fill_aggregates(SimCellResult& out) {
   });
   out.all_completed = !out.runs.empty();
   out.any_saturated = false;
+  out.any_truncated = false;
   for (const sim::SimResult& r : out.runs) {
     if (!r.completed) out.all_completed = false;
     if (r.saturated) out.any_saturated = true;
+    if (r.truncated) out.any_truncated = true;
   }
 }
 
@@ -99,6 +101,15 @@ std::vector<SimCellResult> SimEngine::run_cells(const std::vector<SimCell>& cell
       throw std::invalid_argument("wormnet: campaign cell '" + cell.label +
                                   "': " + problem);
     }
+    // Fault events reference the topology, so only the engine (not
+    // SimConfig::validate) can check them — and it must, eagerly, for the
+    // same reason as above.
+    if (std::string problem = sim::check_fault_events(*cell.topology, cell.cfg);
+        !problem.empty()) {
+      throw std::invalid_argument("wormnet: campaign cell '" + cell.label +
+                                  "': " + problem);
+    }
+    WORMNET_EXPECTS(cell.cycle_budget >= 0);
     auto it = nets.find(cell.topology);
     if (it == nets.end()) {
       nets.emplace(cell.topology,
@@ -129,7 +140,15 @@ std::vector<SimCellResult> SimEngine::run_cells(const std::vector<SimCell>& cell
     sim::SimConfig cfg = cell.cfg;
     cfg.seed += static_cast<std::uint64_t>(job.rep);
     sim::Simulator simulator(*nets.at(cell.topology), cfg);
-    results[job.cell].runs[static_cast<std::size_t>(job.rep)] = simulator.run();
+    sim::SimResult& slot = results[job.cell].runs[static_cast<std::size_t>(job.rep)];
+    if (cell.cycle_budget > 0) {
+      // Engine-level watchdog: a run that outlives its budget is reported
+      // truncated with whatever it measured, instead of wedging the worker.
+      simulator.advance(cell.cycle_budget);
+      slot = simulator.partial_result();
+    } else {
+      slot = simulator.run();
+    }
   };
   if (pool_ && jobs.size() > 1) {
     util::parallel_for(*pool_, static_cast<std::int64_t>(jobs.size()), run_job);

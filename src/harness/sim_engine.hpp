@@ -46,6 +46,12 @@ struct SimCell {
   sim::SimConfig cfg;
   int replications = 1;
   std::string label;  ///< carried through to the result for reporting
+  /// Per-replication cycle budget: 0 (default) runs to completion; > 0
+  /// advances at most this many cycles and, if the run has not terminated
+  /// by then, reports the partial metrics with SimResult::truncated set —
+  /// the engine-level watchdog that turns a non-terminating degraded run
+  /// into a classified cell outcome instead of a hung campaign.
+  long cycle_budget = 0;
 };
 
 /// Burstiness axis for simulation campaigns: one cell per arrival process,
@@ -78,6 +84,7 @@ struct SimCellResult {
 
   bool all_completed = false;  ///< every replication completed
   bool any_saturated = false;  ///< at least one replication saturated
+  bool any_truncated = false;  ///< some replication hit the cell's budget
 };
 
 /// Parallel deterministic simulation-campaign executor.

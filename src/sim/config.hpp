@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "arrivals/arrival_process.hpp"
 #include "traffic/traffic_spec.hpp"
@@ -27,6 +28,24 @@ enum class ArrivalProcess {
   Poisson,    ///< open loop, gaps drawn from SimConfig::arrival_process
   Bernoulli,  ///< geometric inter-arrival times (one trial per cycle)
   Overload,   ///< source always backlogged: measures saturation throughput
+};
+
+/// One scripted link-state change: at `cycle`, the undirected link at
+/// (node, port) — BOTH directed channels — leaves or re-enters service.
+/// Worms holding lanes on a downed link stall in place (wormhole semantics:
+/// nothing behind the head moves) and are dropped with their source queue's
+/// statistics intact once they sit still for SimConfig::fault_stall_timeout
+/// cycles; freed lanes of a downed link are held out of service until the
+/// matching up event.  Routing stays the topology's route() — the adaptive
+/// in-bundle fallback is the only rerouting, as in a router with static
+/// tables — so scripted faults measure transient degradation, while
+/// steady-state degraded routing is simulated by building the SimNetwork
+/// from a topo::FaultedTopology instead.
+struct FaultEvent {
+  long cycle = 0;   ///< first cycle the new link state is in force
+  int node = -1;    ///< one endpoint of the link (a switch, not a processor)
+  int port = -1;    ///< port at `node`
+  bool up = false;  ///< false: link goes down; true: link comes back up
 };
 
 /// One simulation run's configuration.
@@ -77,6 +96,21 @@ struct SimConfig {
   /// protocol deadlock.
   long watchdog_cycles = 100'000;
 
+  /// Scripted link-state changes, applied deterministically at their cycles
+  /// (sorted internally; equal-cycle events apply in list order).  Empty —
+  /// the default — leaves every seeded run bit-identical.  Endpoint validity
+  /// is checked against the topology at Simulator construction (see
+  /// check_fault_events); injection/ejection links cannot fail.
+  std::vector<FaultEvent> fault_events;
+
+  /// Fault-mode drop threshold: an in-flight worm that has not advanced for
+  /// this many consecutive cycles is dropped (its lanes released, counted in
+  /// SimResult::dropped_worms/dropped_flits).  Generous default so only
+  /// fault-wedged worms trip it; must stay below watchdog_cycles so drops
+  /// (which count as progress) always preempt the watchdog abort.  Only
+  /// consulted when fault_events is non-empty.
+  long fault_stall_timeout = 10'000;
+
   /// Debug switch: force the simulator to execute every idle cycle
   /// explicitly instead of fast-forwarding to the next arrival when the
   /// network is empty.  Fast-forward is semantically invisible — results are
@@ -109,6 +143,13 @@ struct SimConfig {
     if (watchdog_cycles <= 0) return "sim config: watchdog_cycles must be > 0";
     if (latency_histogram && (histogram_bins < 1 || !(histogram_max > 0.0)))
       return "sim config: latency_histogram needs bins >= 1 and max > 0";
+    if (fault_stall_timeout < 1)
+      return "sim config: fault_stall_timeout must be >= 1 cycle";
+    if (!fault_events.empty() && fault_stall_timeout >= watchdog_cycles)
+      return "sim config: fault_stall_timeout must be < watchdog_cycles so "
+             "timeout drops preempt the watchdog abort";
+    for (const FaultEvent& e : fault_events)
+      if (e.cycle < 0) return "sim config: negative fault event cycle";
     if (const std::string problem = arrival_process.check(); !problem.empty())
       return "sim config: " + problem;
     if (arrivals == ArrivalProcess::Bernoulli && !arrival_process.is_poisson())

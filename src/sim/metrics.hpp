@@ -28,6 +28,10 @@ struct ChannelStat {
 struct SimResult {
   bool completed = false;  ///< all tagged messages delivered before max_cycles
   bool saturated = false;  ///< backlog kept growing / tagged undelivered
+  /// The run was stopped by an external cycle budget (SimCell::cycle_budget
+  /// via Simulator::partial_result) before terminating on its own; every
+  /// statistic below covers the cycles actually executed.
+  bool truncated = false;
   long cycles_run = 0;     ///< final simulation cycle
   long window_cycles = 0;  ///< measurement window length actually used
 
@@ -46,6 +50,15 @@ struct SimResult {
 
   /// Messages generated in the window (offered load check).
   std::int64_t generated_messages = 0;
+
+  /// Fault accounting, over the WHOLE run (not just the window) — these are
+  /// health metrics, not throughput samples.  Worms dropped by the
+  /// fault-stall timeout (scripted link-down events), the flits they
+  /// carried, and messages discarded at generation because the sampled
+  /// destination had no surviving path (faulted topologies).
+  std::int64_t dropped_worms = 0;
+  std::int64_t dropped_flits = 0;
+  std::int64_t unroutable_messages = 0;
 
   /// Per-channel counters (empty when SimConfig::channel_stats is false).
   std::vector<ChannelStat> channels;

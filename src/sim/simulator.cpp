@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "util/assert.hpp"
 #include "util/math.hpp"
@@ -36,7 +38,11 @@ Simulator::Simulator(const SimNetwork& net, SimConfig cfg)
       inj_channel_(net.injection_channels().data()),
       single_lane_(net.max_lanes() == 1),
       link_features_(net.has_link_features()),
-      lane_mode_(net.max_lanes() > 1 || net.has_link_features()),
+      fault_mode_(!cfg_.fault_events.empty()),
+      // Fault mode forces the bandwidth-arbitrated kernel: a downed link is
+      // just a link that refuses every claim, so one claim-time check covers
+      // stalling, and healthy runs (no events) keep their exact kernel.
+      lane_mode_(net.max_lanes() > 1 || net.has_link_features() || fault_mode_),
       // Overload sources are never idle after cycle 0, so fast-forward has
       // nothing to skip there; gate it off entirely for clarity.
       fast_forward_(!cfg_.disable_fast_forward &&
@@ -48,6 +54,19 @@ Simulator::Simulator(const SimNetwork& net, SimConfig cfg)
   bundle_state_.assign(static_cast<std::size_t>(net.num_bundles()), {});
   for (int b = 0; b < net.num_bundles(); ++b)
     bundle_state_[static_cast<std::size_t>(b)].free_count = net.bundle_lanes(b);
+  // Statically degraded topologies (a FaultedTopology with no scripted
+  // events): dead links still enumerate as channels, so retire their lanes
+  // up front — the routing never picks them, but grant()'s same-bundle
+  // fallback otherwise could, marching a worm over a failed link.
+  for (int ch = 0; ch < net.num_channels(); ++ch) {
+    const topo::DirectedChannel& dc = net.channels().at(ch);
+    if (net.topology().link_ok(dc.src_node, dc.src_port)) continue;
+    const int bundle = net.channel(ch).bundle;
+    for (int lane = net.lane_begin(ch); lane < net.lane_begin(ch + 1); ++lane) {
+      lane_state_[static_cast<std::size_t>(lane)].owner = -2;
+      --bundle_state_[static_cast<std::size_t>(bundle)].free_count;
+    }
+  }
   sources_.assign(static_cast<std::size_t>(net.topology().num_processors()), {});
   if (lane_mode_)
     channel_claim_.assign(static_cast<std::size_t>(net.num_channels()), -1);
@@ -61,6 +80,18 @@ Simulator::Simulator(const SimNetwork& net, SimConfig cfg)
                              std::numeric_limits<long>::min() / 2);
       lane_streak_.assign(static_cast<std::size_t>(net.num_lanes()), 0);
     }
+  }
+  if (fault_mode_) {
+    if (const std::string problem = check_fault_events(net.topology(), cfg_);
+        !problem.empty()) {
+      throw std::invalid_argument("wormnet: " + problem);
+    }
+    fault_events_ = cfg_.fault_events;
+    std::stable_sort(fault_events_.begin(), fault_events_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.cycle < b.cycle;
+                     });
+    link_down_.assign(static_cast<std::size_t>(net.num_channels()), 0);
   }
   if (cfg_.channel_stats)
     result_.channels.assign(static_cast<std::size_t>(net.num_channels()), {});
@@ -103,9 +134,11 @@ int Simulator::alloc_worm(int src, int dst, long gen, bool tagged) {
   w.ejected = 0;
   w.freed_upto = 0;
   w.stall_until = -1;
+  w.last_move = gen;
   w.consuming = false;
   w.waiting_alloc = false;
   w.tagged = tagged;
+  w.tombstone = false;
   return id;
 }
 
@@ -122,7 +155,10 @@ void Simulator::register_injection(int worm_id, long cycle) {
   Worm& w = worms_[static_cast<std::size_t>(worm_id)];
   const int inj = inj_channel_[w.src];
   const int bundle = net_.channel(inj).bundle;
-  bundle_state_[static_cast<std::size_t>(bundle)].requests.push_back({worm_id, inj});
+  Request req{worm_id, inj};
+  req.candidates[0] = inj;
+  req.num_candidates = 1;
+  bundle_state_[static_cast<std::size_t>(bundle)].requests.push_back(req);
   w.waiting_alloc = true;
   mark_dirty(bundle);
 }
@@ -144,7 +180,11 @@ void Simulator::register_next_hop(int worm_id, int node, long cycle) {
   // the multi-server queue models).
   for (int i = 1; i < opts.size(); ++i)
     WORMNET_ENSURES(net_.bundle_of_port(node, opts[i]) == bundle);
-  bundle_state_[static_cast<std::size_t>(bundle)].requests.push_back({worm_id, preferred});
+  Request req{worm_id, preferred};
+  for (int i = 0; i < opts.size(); ++i)
+    req.candidates[static_cast<std::size_t>(i)] = net_.channels().from(node, opts[i]);
+  req.num_candidates = opts.size();
+  bundle_state_[static_cast<std::size_t>(bundle)].requests.push_back(req);
   w.waiting_alloc = true;
   mark_dirty(bundle);
 }
@@ -166,20 +206,34 @@ int Simulator::find_free_lane(int channel_id) const {
 
 void Simulator::grant(int bundle_id, long cycle) {
   BundleState& bs = bundle_state_[static_cast<std::size_t>(bundle_id)];
-  const BundleInfo& bi = net_.bundle(bundle_id);
-  while (bs.free_count > 0 && !bs.requests.empty()) {
+  // One pass over the queued requests: a request whose candidate links are
+  // all busy re-queues (in order) rather than blocking the ones behind it —
+  // under faults a bundle can hold a free lane only on a link some worm is
+  // not allowed to take.
+  std::size_t pending = bs.requests.size();
+  while (bs.free_count > 0 && pending-- > 0) {
     const Request req = bs.requests.front();
     bs.requests.pop_front();
-    // A free lane on the preferred link, else the first free lane anywhere
-    // in the bundle (the paper's adaptive fallback to the redundant link).
-    int lane = find_free_lane(req.preferred_channel);
-    if (lane == -1) {
-      for (int i = 0; i < bi.num_channels && lane == -1; ++i)
-        lane = find_free_lane(bi.channel_ids[static_cast<std::size_t>(i)]);
-    }
-    WORMNET_ENSURES(lane != -1);  // free_count > 0 guarantees a free lane
-    LaneState& ls = lane_state_[static_cast<std::size_t>(lane)];
     Worm& w = worms_[static_cast<std::size_t>(req.worm)];
+    if (w.tombstone) {
+      // Dropped by the fault-stall timeout while this request was queued;
+      // the slot was held back so a recycled id could never be granted a
+      // lane it no longer wants.  Recycle it now.
+      w.tombstone = false;
+      free_worms_.push_back(req.worm);
+      continue;
+    }
+    // A free lane on the preferred link, else the first free lane on any
+    // other CANDIDATE link (the paper's adaptive fallback to the redundant
+    // link, restricted to links that still reach the destination).
+    int lane = find_free_lane(req.preferred_channel);
+    for (int i = 0; i < req.num_candidates && lane == -1; ++i)
+      lane = find_free_lane(req.candidates[static_cast<std::size_t>(i)]);
+    if (lane == -1) {
+      bs.requests.push_back(req);  // retried at the bundle's next release
+      continue;
+    }
+    LaneState& ls = lane_state_[static_cast<std::size_t>(lane)];
     ls.owner = req.worm;
     ls.grant_time = cycle;
     // A re-granted lane's buffer drained when the previous tail passed:
@@ -188,6 +242,7 @@ void Simulator::grant(int bundle_id, long cycle) {
     --bs.free_count;
     w.path.push_back(lane);
     w.waiting_alloc = false;
+    w.last_move = cycle;
     if (w.path.size() == 1) {
       w.inject_start = cycle;
       active_.push_back(req.worm);
@@ -214,10 +269,16 @@ void Simulator::release_lane(Worm& w, int lane_id, long cycle) {
       st.flits += w.length;
     }
   }
-  ls.owner = -1;
-  const int bundle = net_.channel(channel_id).bundle;
-  ++bundle_state_[static_cast<std::size_t>(bundle)].free_count;
-  mark_dirty(bundle);
+  if (fault_mode_ && link_down_[static_cast<std::size_t>(channel_id)]) {
+    // The link went down while this worm held the lane: hold it out of
+    // service (owner -2, not counted free) until the matching up event.
+    ls.owner = -2;
+  } else {
+    ls.owner = -1;
+    const int bundle = net_.channel(channel_id).bundle;
+    ++bundle_state_[static_cast<std::size_t>(bundle)].free_count;
+    mark_dirty(bundle);
+  }
   if (channel_id == inj_channel_[w.src]) {
     w.src_release = cycle;
     on_source_released(w.src, cycle);
@@ -227,7 +288,7 @@ void Simulator::release_lane(Worm& w, int lane_id, long cycle) {
 void Simulator::on_source_released(int proc, long cycle) {
   SourceState& s = sources_[static_cast<std::size_t>(proc)];
   if (cfg_.arrivals == ArrivalProcess::Overload && !scripted_mode_) {
-    const int dst = traffic_.make_destination(proc);
+    const int dst = sample_destination_overload(proc);
     const int id = alloc_worm(proc, dst, cycle, false);
     register_injection(id, cycle);
     return;
@@ -292,6 +353,7 @@ void Simulator::advance_worm(int worm_id, long cycle) {
     ++w.freed_upto;
   }
   last_progress_ = cycle;
+  w.last_move = cycle;
   if (w.ejected == w.length) complete_worm(w, cycle);
 }
 
@@ -315,7 +377,7 @@ void Simulator::step_arrivals(long cycle) {
   if (cfg_.arrivals == ArrivalProcess::Overload) {
     if (cycle == 0) {
       for (int p = 0; p < num_procs_; ++p) {
-        const int id = alloc_worm(p, traffic_.make_destination(p), 0, false);
+        const int id = alloc_worm(p, sample_destination_overload(p), 0, false);
         register_injection(id, cycle);
       }
     }
@@ -324,7 +386,11 @@ void Simulator::step_arrivals(long cycle) {
 
   while (traffic_.has_arrival(cycle)) {
     const Arrival a = traffic_.pop_arrival(cycle);
-    const int dst = traffic_.make_destination(a.proc);
+    const int dst = sample_destination(a.proc);
+    // Demand on a severed pair is not carried (it never enters the network
+    // and is not counted as generated) — matching the analytical model's
+    // unroutable_fraction accounting exactly.
+    if (dst < 0) continue;
     const bool tagged = in_window(a.cycle);
     if (tagged) {
       ++tagged_total_;
@@ -389,6 +455,9 @@ bool Simulator::claim_bandwidth(const Worm& w, long cycle) {
   for (int i = lo; i <= hi; ++i) {
     const int lane = w.path[static_cast<std::size_t>(i)];
     const int ch = net_.lane_channel(lane);
+    // A downed link refuses every claim: the whole worm stalls in place
+    // (rigid advance — nothing behind the head moves), the wormhole way.
+    if (fault_mode_ && link_down_[static_cast<std::size_t>(ch)]) return false;
     const int period = net_.channel_period(ch);
     // Stamps never exceed the current cycle, so with period 1 this is the
     // original claimed-this-cycle test bit for bit.
@@ -418,7 +487,70 @@ bool Simulator::claim_bandwidth(const Worm& w, long cycle) {
   return true;
 }
 
+void Simulator::apply_fault_events(long cycle) {
+  const topo::Topology& topo = net_.topology();
+  while (fault_next_ < fault_events_.size() &&
+         fault_events_[fault_next_].cycle <= cycle) {
+    const FaultEvent& e = fault_events_[fault_next_++];
+    const int peer = topo.neighbor(e.node, e.port);
+    const int back = topo.neighbor_port(e.node, e.port);
+    const int chans[2] = {net_.channels().from(e.node, e.port),
+                          net_.channels().from(peer, back)};
+    for (const int ch : chans) {
+      link_down_[static_cast<std::size_t>(ch)] = e.up ? 0 : 1;
+      const int bundle = net_.channel(ch).bundle;
+      for (int lane = net_.lane_begin(ch); lane < net_.lane_begin(ch + 1);
+           ++lane) {
+        LaneState& ls = lane_state_[static_cast<std::size_t>(lane)];
+        if (!e.up && ls.owner == -1) {
+          // Free lane leaves service with its link, keeping grant()'s
+          // invariant (free_count > 0 ⟹ a grantable lane exists) intact.
+          ls.owner = -2;
+          --bundle_state_[static_cast<std::size_t>(bundle)].free_count;
+        } else if (e.up && ls.owner == -2) {
+          ls.owner = -1;
+          ++bundle_state_[static_cast<std::size_t>(bundle)].free_count;
+          mark_dirty(bundle);
+        }
+      }
+    }
+  }
+}
+
+void Simulator::drop_worm(int worm_id, long cycle) {
+  Worm& w = worms_[static_cast<std::size_t>(worm_id)];
+  // Release everything still held through the normal path so channel busy
+  // accounting (and the source hand-off chain) stays consistent.
+  while (w.freed_upto < static_cast<int>(w.path.size())) {
+    release_lane(w, w.path[static_cast<std::size_t>(w.freed_upto)], cycle);
+    ++w.freed_upto;
+  }
+  if (w.waiting_alloc) w.tombstone = true;  // a bundle request is pending
+  ++result_.dropped_worms;
+  result_.dropped_flits += w.length;
+  // The message terminated (lost, not delivered): the termination ladder's
+  // tagged accounting must still close, without touching latency stats.
+  if (w.tagged) ++tagged_done_;
+  last_progress_ = cycle;  // a drop is progress — preempts the watchdog
+}
+
+void Simulator::check_fault_drops(long cycle) {
+  for (std::size_t i = 0; i < active_.size();) {
+    const int id = active_[i];
+    Worm& w = worms_[static_cast<std::size_t>(id)];
+    if (cycle - w.last_move >= cfg_.fault_stall_timeout) {
+      drop_worm(id, cycle);
+      active_[i] = active_.back();
+      active_.pop_back();
+      if (!w.tombstone) free_worms_.push_back(id);
+    } else {
+      ++i;
+    }
+  }
+}
+
 void Simulator::phase_advance_lanes(long cycle) {
+  if (fault_mode_) check_fault_drops(cycle);
   // Round-robin bandwidth arbitration: visit the active worms starting at a
   // cursor that rotates every cycle; each worm either claims capacity on
   // every link its flits would cross and advances rigidly, or stalls in
@@ -502,6 +634,11 @@ bool Simulator::advance(long cycles) {
                         : cycle_ + cycles;
   while (cycle_ < stop) {
     const long cycle = cycle_;
+    // Link-state changes first: arrivals and grants this cycle must see the
+    // cycle's link state.  An idle fast-forward can land past several
+    // events; applying every due event here preserves semantics because
+    // nothing moved in the skipped (empty-network) cycles.
+    if (fault_mode_) apply_fault_events(cycle);
     step_arrivals(cycle);
     phase_allocate(cycle);
     phase_advance(cycle);
@@ -577,6 +714,39 @@ void Simulator::finalize_result(long final_cycle) {
   }
 }
 
+int Simulator::sample_destination(int src) {
+  const int dst = traffic_.make_destination(src);
+  // The default reachable() is constant-true, so healthy topologies take
+  // one virtual call here and the draw sequence stays bit-identical.
+  if (net_.topology().reachable(src, dst)) return dst;
+  ++result_.unroutable_messages;
+  return -1;
+}
+
+int Simulator::sample_destination_overload(int src) {
+  for (int tries = 0; tries < 4096; ++tries) {
+    const int dst = sample_destination(src);
+    if (dst >= 0) return dst;
+  }
+  throw std::runtime_error(
+      "wormnet sim: processor " + std::to_string(src) +
+      " drew 4096 destinations with no surviving path — topology too "
+      "degraded for overload traffic");
+}
+
+SimResult Simulator::partial_result() const {
+  if (done_) return result_;
+  SimResult r = result_;
+  r.truncated = true;
+  r.completed = false;
+  r.cycles_run = cycle_;
+  r.window_cycles = cfg_.measure_cycles;
+  r.throughput_flits_per_pe =
+      static_cast<double>(r.delivered_flits) /
+      (static_cast<double>(cfg_.measure_cycles) * static_cast<double>(num_procs_));
+  return r;
+}
+
 SimResult Simulator::run() {
   while (!advance(std::numeric_limits<long>::max())) {
   }
@@ -626,6 +796,49 @@ SimResult simulate(const topo::Topology& topo, const SimConfig& cfg) {
   SimNetwork net(topo);
   Simulator sim(net, cfg);
   return sim.run();
+}
+
+std::string check_fault_events(const topo::Topology& topo,
+                               const SimConfig& cfg) {
+  if (cfg.fault_events.empty()) return "";
+  std::vector<FaultEvent> events = cfg.fault_events;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+  std::map<std::pair<int, int>, bool> down;  // canonical endpoint → down?
+  for (const FaultEvent& e : events) {
+    const std::string at = "node " + std::to_string(e.node) + " port " +
+                           std::to_string(e.port);
+    if (e.node < 0 || e.node >= topo.num_nodes())
+      return "sim fault event: node " + std::to_string(e.node) +
+             " out of range";
+    if (e.port < 0 || e.port >= topo.num_ports(e.node))
+      return "sim fault event: port out of range at " + at;
+    const int peer = topo.neighbor(e.node, e.port);
+    if (peer == topo::kNoNode)
+      return "sim fault event: no link at " + at;
+    if (topo.is_processor(e.node) || topo.is_processor(peer))
+      return "sim fault event: the injection/ejection link at " + at +
+             " cannot fail (fail the switch's network links instead)";
+    if (!topo.link_ok(e.node, e.port))
+      return "sim fault event: the link at " + at +
+             " is already failed in the topology (statically degraded links "
+             "cannot be scripted — the routing never recovers them)";
+    std::pair<int, int> key{e.node, e.port};
+    const std::pair<int, int> other{peer, topo.neighbor_port(e.node, e.port)};
+    if (other < key) key = other;
+    bool& is_down = down[key];
+    if (!e.up && is_down)
+      return "sim fault event: link at " + at + " is already down at cycle " +
+             std::to_string(e.cycle);
+    if (e.up && !is_down)
+      return "sim fault event: link-up at " + at +
+             " for a link that is not down (cycle " + std::to_string(e.cycle) +
+             ")";
+    is_down = !e.up;
+  }
+  return "";
 }
 
 }  // namespace wormnet::sim

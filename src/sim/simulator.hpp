@@ -91,6 +91,7 @@
 //    tests/test_perf_guards.cpp).
 #pragma once
 
+#include <array>
 #include <deque>
 #include <string>
 #include <vector>
@@ -135,6 +136,13 @@ class Simulator {
   /// allocate nothing; normal callers just use run().
   bool advance(long cycles);
 
+  /// The metrics collected so far, finalized over the cycles actually
+  /// executed.  After the run terminated this is exactly run()'s result;
+  /// before that it is a truncated snapshot (SimResult::truncated set,
+  /// completed false) — the partial answer SimEngine reports when a cell's
+  /// cycle budget expires on a degraded run that will not terminate.
+  SimResult partial_result() const;
+
   /// Multi-line dump of live state (active worms, held channels, pending
   /// requests) for debugging wedged runs and for the semantics tests.
   std::string debug_state() const;
@@ -154,14 +162,25 @@ class Simulator {
     int ejected = 0;         // flits consumed at the destination
     int freed_upto = 0;      // path[i] released for all i < freed_upto
     long stall_until = -1;   // head link latency: no advance before this cycle
+    long last_move = 0;      // cycle of the last grant/advance (fault mode:
+                             // the stall-timeout clock)
     bool consuming = false;  // head is in the ejection latch
     bool waiting_alloc = false;
     bool tagged = false;
+    bool tombstone = false;  // dropped while a bundle request was pending;
+                             // the slot is recycled when grant() pops it
   };
 
   struct Request {
     int worm = -1;
     int preferred_channel = -1;
+    // The route() candidate channels this worm may legally take (the bundle's
+    // redundant links, minus any that make no survivor progress under faults).
+    // The arbiter's adaptive fallback probes ONLY these; a healthy fat-tree's
+    // candidate set is the whole bundle, so the paper's semantics are
+    // unchanged there.
+    std::array<int, 4> candidates{};
+    int num_candidates = 0;
   };
 
   struct LaneState {
@@ -217,6 +236,27 @@ class Simulator {
   /// the original one-claim-per-cycle rule, bit for bit.
   bool claim_bandwidth(const Worm& w, long cycle);
 
+  // -- fault injection (cfg_.fault_events) --------------------------------
+  /// Apply every scripted link-state change due at or before `cycle`.  Down:
+  /// both directed channels refuse bandwidth claims and their FREE lanes
+  /// leave service (owner -2, bundle free_count decremented) so grant()'s
+  /// free-lane invariant holds; held lanes stay with their (now stalling)
+  /// worms and leave service as they release.  Up: out-of-service lanes
+  /// rejoin their bundles.
+  void apply_fault_events(long cycle);
+  /// Drop every active worm that has not moved for fault_stall_timeout
+  /// cycles: release its lanes, count it, tombstone a pending request.
+  void check_fault_drops(long cycle);
+  void drop_worm(int worm_id, long cycle);
+  /// Destination draw with the faulted-topology guard: a sampled pair with
+  /// no surviving path is counted in unroutable_messages and discarded
+  /// (open-loop demand on dead pairs is NOT carried — matching the model's
+  /// unroutable_fraction accounting).  Returns -1 for a discarded draw.
+  int sample_destination(int src);
+  /// Overload variant: redraw until a routable destination comes up (the
+  /// closed loop must inject something); throws after 4096 discards.
+  int sample_destination_overload(int src);
+
   // -- per-cycle phases ---------------------------------------------------
   void step_arrivals(long cycle);
   void phase_allocate(long cycle);
@@ -244,8 +284,9 @@ class Simulator {
   const int* inj_channel_;     // per-processor injection channel ids
   const bool single_lane_;     // max_lanes() == 1: lane id == channel id
   const bool link_features_;   // some channel has non-default attributes
-  const bool lane_mode_;       // multi-lane OR link features: use the
-                               // bandwidth-arbitrated advance kernel
+  const bool fault_mode_;      // scripted fault events present
+  const bool lane_mode_;       // multi-lane, link features OR fault mode:
+                               // use the bandwidth-arbitrated advance kernel
   const bool fast_forward_;    // idle-cycle fast-forward enabled
 
   // Deque, not vector: alloc_worm() can run while advance_worm() holds a
@@ -283,6 +324,12 @@ class Simulator {
   std::size_t scripted_next_ = 0;
   bool scripted_mode_ = false;
 
+  // Fault mode only: the events sorted by cycle, the application cursor and
+  // the per-directed-channel down flag claim_bandwidth consults.
+  std::vector<FaultEvent> fault_events_;
+  std::size_t fault_next_ = 0;
+  std::vector<char> link_down_;
+
   SimResult result_;
   std::int64_t tagged_total_ = 0;
   std::int64_t tagged_done_ = 0;
@@ -294,5 +341,14 @@ class Simulator {
 
 /// Convenience: simulate `topo` under `cfg` (builds a SimNetwork internally).
 SimResult simulate(const topo::Topology& topo, const SimConfig& cfg);
+
+/// Validate cfg.fault_events against `topo`: every endpoint in range and
+/// connected, no processor-attached (injection/ejection) link, and the
+/// event sequence consistent when replayed in cycle order (down only while
+/// up, up only while down).  Empty string when fine.  Simulator
+/// construction throws std::invalid_argument on a non-empty answer;
+/// SimEngine checks eagerly on the calling thread for the same reason it
+/// eagerly validates configs.
+std::string check_fault_events(const topo::Topology& topo, const SimConfig& cfg);
 
 }  // namespace wormnet::sim

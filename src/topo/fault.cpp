@@ -1,0 +1,291 @@
+#include "topo/fault.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace wormnet::topo {
+
+namespace {
+
+std::string link_name(int node, int port) {
+  std::ostringstream out;
+  out << "(" << node << ", " << port << ")";
+  return out.str();
+}
+
+}  // namespace
+
+// -- FaultSet ----------------------------------------------------------------
+
+FaultSet::FaultSet(const Topology& topo) : topo_(&topo) {
+  const int nodes = topo.num_nodes();
+  port_offset_.assign(static_cast<std::size_t>(nodes) + 1, 0);
+  for (int n = 0; n < nodes; ++n)
+    port_offset_[static_cast<std::size_t>(n) + 1] =
+        port_offset_[static_cast<std::size_t>(n)] + topo.num_ports(n);
+  dead_.assign(static_cast<std::size_t>(port_offset_[static_cast<std::size_t>(nodes)]),
+               0);
+}
+
+std::pair<int, int> FaultSet::canonical(int node, int port) const {
+  const int peer = topo_->neighbor(node, port);
+  const int peer_port = topo_->neighbor_port(node, port);
+  if (peer < node || (peer == node && peer_port < port))
+    return {peer, peer_port};
+  return {node, port};
+}
+
+void FaultSet::check_link(int node, int port) const {
+  if (node < 0 || node >= topo_->num_nodes())
+    throw std::invalid_argument("FaultSet: node " + std::to_string(node) +
+                                " out of range for " + topo_->name());
+  if (port < 0 || port >= topo_->num_ports(node))
+    throw std::invalid_argument("FaultSet: port " + std::to_string(port) +
+                                " out of range at node " + std::to_string(node));
+  const int peer = topo_->neighbor(node, port);
+  if (peer == kNoNode)
+    throw std::invalid_argument("FaultSet: no link at " + link_name(node, port));
+  if (topo_->is_processor(node) || topo_->is_processor(peer))
+    throw std::invalid_argument(
+        "FaultSet: link at " + link_name(node, port) +
+        " is an injection/ejection channel; processor attachment links "
+        "cannot fail (fail the switch's up-links to isolate a block)");
+  if (link_failed(node, port))
+    throw std::invalid_argument("FaultSet: link at " + link_name(node, port) +
+                                " is already failed");
+}
+
+void FaultSet::fail_link(int node, int port) {
+  check_link(node, port);
+  const auto canon = canonical(node, port);
+  links_.push_back(canon);
+  dead_[static_cast<std::size_t>(port_offset_[static_cast<std::size_t>(node)] +
+                                 port)] = 1;
+  const int peer = topo_->neighbor(node, port);
+  const int peer_port = topo_->neighbor_port(node, port);
+  dead_[static_cast<std::size_t>(port_offset_[static_cast<std::size_t>(peer)] +
+                                 peer_port)] = 1;
+}
+
+void FaultSet::fail_switch(int node) {
+  if (node < 0 || node >= topo_->num_nodes())
+    throw std::invalid_argument("FaultSet: switch " + std::to_string(node) +
+                                " out of range for " + topo_->name());
+  if (topo_->is_processor(node))
+    throw std::invalid_argument("FaultSet: node " + std::to_string(node) +
+                                " is a processor, not a switch");
+  // Validate every connected link BEFORE failing any, so a rejected switch
+  // leaves the set untouched.
+  for (int p = 0; p < topo_->num_ports(node); ++p)
+    if (topo_->neighbor(node, p) != kNoNode) check_link(node, p);
+  for (int p = 0; p < topo_->num_ports(node); ++p)
+    if (topo_->neighbor(node, p) != kNoNode) fail_link(node, p);
+  switches_.push_back(node);
+}
+
+bool FaultSet::link_failed(int node, int port) const {
+  return dead_[static_cast<std::size_t>(
+             port_offset_[static_cast<std::size_t>(node)] + port)] != 0;
+}
+
+std::uint64_t FaultSet::digest() const {
+  // XOR of per-link digests: order-insensitive, so two routes to the same
+  // set (switch expansion vs explicit links) collide as they should.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const auto& [node, port] : links_) {
+    std::uint64_t one = util::hash_mix(0xfau, static_cast<std::uint64_t>(node));
+    one = util::hash_mix(one, static_cast<std::uint64_t>(port));
+    h ^= one;
+  }
+  return util::hash_mix(h, static_cast<std::uint64_t>(links_.size()));
+}
+
+// -- FaultedTopology ---------------------------------------------------------
+
+FaultedTopology::FaultedTopology(const Topology& base, const FaultSet& faults)
+    : base_(&base), faults_(&faults) {
+  WORMNET_EXPECTS(&faults.topology() == &base);
+  // Inherit the base's uniform attribute defaults so the decorator's own
+  // default virtuals (never called — all overridden) stay consistent.
+  set_uniform_lanes(base.uniform_lanes());
+
+  const int procs = base.num_processors();
+  const int nodes = base.num_nodes();
+  affected_index_.assign(static_cast<std::size_t>(procs), -1);
+
+  // Flattened port -> bundle-id map (the one-bundle restriction on detours).
+  port_bundle_offset_.assign(static_cast<std::size_t>(nodes) + 1, 0);
+  for (int n = 0; n < nodes; ++n)
+    port_bundle_offset_[static_cast<std::size_t>(n) + 1] =
+        port_bundle_offset_[static_cast<std::size_t>(n)] + base.num_ports(n);
+  port_bundle_.assign(
+      static_cast<std::size_t>(port_bundle_offset_[static_cast<std::size_t>(nodes)]),
+      -1);
+  for (int n = 0; n < nodes; ++n) {
+    const auto bundles = base.output_bundles(n);
+    for (std::size_t b = 0; b < bundles.size(); ++b)
+      for (int i = 0; i < bundles[b].count; ++i)
+        port_bundle_[static_cast<std::size_t>(
+            port_bundle_offset_[static_cast<std::size_t>(n)] + bundles[b][i])] =
+            static_cast<int>(b);
+  }
+
+  // A destination is affected iff a failed link sits on some base minimal
+  // route toward it: one of the link's directed channels is a route()
+  // candidate at its source node.  Exact for minimal routing — the DP only
+  // ever walks route() candidates.
+  for (int d = 0; d < procs; ++d) {
+    bool hit = false;
+    for (const auto& [node, port] : faults.failed_links()) {
+      const int peer = base.neighbor(node, port);
+      const int peer_port = base.neighbor_port(node, port);
+      if (base.route(node, d).contains(port) ||
+          base.route(peer, d).contains(peer_port)) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      affected_index_[static_cast<std::size_t>(d)] =
+          static_cast<int>(affected_.size());
+      affected_.push_back(d);
+    }
+  }
+
+  // One backward survivor BFS per affected destination: dist[v] = channels
+  // from v to consumption at d over in-service links (the ejection channel
+  // counts, matching Topology::distance's convention), -1 = unreachable.
+  dist_tables_.resize(affected_.size());
+  std::vector<int> frontier;
+  for (std::size_t i = 0; i < affected_.size(); ++i) {
+    const int d = affected_[i];
+    std::vector<int>& dist = dist_tables_[i];
+    dist.assign(static_cast<std::size_t>(nodes), -1);
+    dist[static_cast<std::size_t>(d)] = 0;
+    frontier.assign(1, d);
+    std::size_t head = 0;
+    while (head < frontier.size()) {
+      const int v = frontier[head++];
+      // A processor other than d never transits traffic; its single link was
+      // already relaxed from the switch side, so skipping it is free.
+      if (v < procs && v != d) continue;
+      const int dv = dist[static_cast<std::size_t>(v)];
+      for (int q = 0; q < base.num_ports(v); ++q) {
+        const int u = base.neighbor(v, q);
+        if (u == kNoNode || faults.link_failed(v, q)) continue;
+        if (dist[static_cast<std::size_t>(u)] >= 0) continue;
+        dist[static_cast<std::size_t>(u)] = dv + 1;
+        frontier.push_back(u);
+      }
+    }
+    for (int s = 0; s < procs; ++s)
+      if (s != d && dist[static_cast<std::size_t>(s)] < 0) ++unreachable_pairs_;
+  }
+
+  // Mean survivor distance over reachable ordered pairs: the base total
+  // corrected column-by-column for the affected destinations.
+  const double pairs = static_cast<double>(procs) * (procs - 1);
+  double total = base.mean_distance() * pairs;
+  for (std::size_t i = 0; i < affected_.size(); ++i) {
+    const int d = affected_[i];
+    const std::vector<int>& dist = dist_tables_[i];
+    for (int s = 0; s < procs; ++s) {
+      if (s == d) continue;
+      total -= static_cast<double>(base.distance(s, d));
+      if (dist[static_cast<std::size_t>(s)] >= 0)
+        total += static_cast<double>(dist[static_cast<std::size_t>(s)]);
+    }
+  }
+  const double live_pairs = pairs - static_cast<double>(unreachable_pairs_);
+  mean_distance_ = live_pairs > 0.0 ? total / live_pairs : 0.0;
+}
+
+std::string FaultedTopology::name() const {
+  std::ostringstream out;
+  out << base_->name() << " - " << faults_->failed_links().size()
+      << " failed link(s)";
+  return out.str();
+}
+
+bool FaultedTopology::reachable(int src_proc, int dst_proc) const {
+  WORMNET_EXPECTS(src_proc >= 0 && src_proc < num_processors());
+  WORMNET_EXPECTS(dst_proc >= 0 && dst_proc < num_processors());
+  if (src_proc == dst_proc) return true;
+  if (!destination_affected(dst_proc)) return true;
+  return dist_to(dst_proc)[static_cast<std::size_t>(src_proc)] >= 0;
+}
+
+RouteOptions FaultedTopology::route(int node, int dest) const {
+  WORMNET_EXPECTS(dest >= 0 && dest < num_processors());
+  if (!destination_affected(dest)) return base_->route(node, dest);
+  RouteOptions out;
+  if (node == dest) return out;
+  if (node < num_processors()) {
+    out.add(0);  // injection channels never fail
+    return out;
+  }
+  const std::vector<int>& dist = dist_to(dest);
+  const int dn = dist[static_cast<std::size_t>(node)];
+  // The DP and the simulator only stand worms at nodes that can still reach
+  // their destination (unroutable demand is dropped at the source).
+  WORMNET_EXPECTS(dn > 0);
+  // In-service ports making strictly-minimal survivor progress, restricted
+  // to the bundle of the first such port so the candidates stay inside ONE
+  // arbitration group (the simulator's single-bundle invariant; lowest port
+  // first keeps model and simulator deterministic and identical).
+  int bundle = -1;
+  const int off = port_bundle_offset_[static_cast<std::size_t>(node)];
+  for (int p = 0; p < num_ports(node); ++p) {
+    const int v = base_->neighbor(node, p);
+    if (v == kNoNode || faults_->link_failed(node, p)) continue;
+    if (v < num_processors() && v != dest) continue;  // never enter a wrong PE
+    if (dist[static_cast<std::size_t>(v)] != dn - 1) continue;
+    const int b = port_bundle_[static_cast<std::size_t>(off + p)];
+    if (bundle < 0) bundle = b;
+    if (b == bundle && out.size() < 4) out.add(p);
+  }
+  WORMNET_ENSURES(out.size() > 0);
+  return out;
+}
+
+std::array<double, 4> FaultedTopology::route_split(
+    int node, int dest, const RouteOptions& opts) const {
+  // Unaffected destinations keep the base policy bit-identically; detoured
+  // candidates get the uniform adaptive split (the base policy's bias was
+  // derived for its own candidate set).
+  if (!destination_affected(dest)) return base_->route_split(node, dest, opts);
+  return Topology::route_split(node, dest, opts);
+}
+
+int FaultedTopology::distance(int src_proc, int dst_proc) const {
+  WORMNET_EXPECTS(src_proc >= 0 && src_proc < num_processors());
+  WORMNET_EXPECTS(dst_proc >= 0 && dst_proc < num_processors());
+  if (src_proc == dst_proc) return 0;
+  if (!destination_affected(dst_proc)) return base_->distance(src_proc, dst_proc);
+  const int d = dist_to(dst_proc)[static_cast<std::size_t>(src_proc)];
+  WORMNET_EXPECTS(d >= 0);  // precondition: reachable(src, dst)
+  return d;
+}
+
+double FaultedTopology::mean_distance() const { return mean_distance_; }
+
+std::optional<std::pair<int, int>> FaultedTopology::first_unreachable_pair()
+    const {
+  const int procs = num_processors();
+  for (int s = 0; s < procs; ++s)
+    for (int d = 0; d < procs; ++d)
+      if (s != d && !reachable(s, d)) return std::make_pair(s, d);
+  return std::nullopt;
+}
+
+double FaultedTopology::unreachable_pair_fraction() const {
+  const double pairs =
+      static_cast<double>(num_processors()) * (num_processors() - 1);
+  return pairs > 0.0 ? static_cast<double>(unreachable_pairs_) / pairs : 0.0;
+}
+
+}  // namespace wormnet::topo

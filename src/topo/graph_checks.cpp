@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <sstream>
+#include <stdexcept>
 
 namespace wormnet::topo {
 
@@ -16,6 +17,7 @@ std::vector<int> bfs_channel_distances(const Topology& topo, int src_proc) {
     for (int p = 0; p < topo.num_ports(n); ++p) {
       const int peer = topo.neighbor(n, p);
       if (peer == kNoNode) continue;
+      if (!topo.link_ok(n, p)) continue;  // failed links carry no traffic
       if (dist[static_cast<std::size_t>(peer)] != -1) continue;
       dist[static_cast<std::size_t>(peer)] = dist[static_cast<std::size_t>(n)] + 1;
       queue.push_back(peer);
@@ -37,6 +39,34 @@ std::vector<int> trace_route(const Topology& topo, int src_proc, int dst_proc) {
     path.push_back(node);
   }
   return {};
+}
+
+ConnectivityReport check_connectivity(const Topology& topo) {
+  ConnectivityReport report;
+  const int procs = topo.num_processors();
+  for (int s = 0; s < procs; ++s) {
+    const std::vector<int> dist = bfs_channel_distances(topo, s);
+    for (int d = 0; d < procs; ++d) {
+      if (d == s || dist[static_cast<std::size_t>(d)] >= 0) continue;
+      ++report.unreachable_pairs;
+      if (report.connected) {
+        report.connected = false;
+        report.first_src = s;
+        report.first_dst = d;
+        std::ostringstream msg;
+        msg << topo.name() << ": processor " << d
+            << " is unreachable from processor " << s
+            << " over in-service links";
+        report.message = msg.str();
+      }
+    }
+  }
+  return report;
+}
+
+void require_connected(const Topology& topo) {
+  const ConnectivityReport report = check_connectivity(topo);
+  if (!report.connected) throw std::runtime_error(report.message);
 }
 
 VerifyReport verify_topology(const Topology& topo, int max_messages) {
@@ -87,6 +117,9 @@ VerifyReport verify_topology(const Topology& topo, int max_messages) {
     const std::vector<int> bfs = bfs_channel_distances(topo, s);
     const int dst_stride = procs <= 256 ? 1 : procs / 256;
     for (int d = 0; d < procs; d += dst_stride) {
+      // Unreachable pairs (faulted topologies) carry no traffic; distance()
+      // and route() have reachability as a precondition there.
+      if (bfs[static_cast<std::size_t>(d)] < 0 || !topo.reachable(s, d)) continue;
       if (topo.distance(s, d) != bfs[static_cast<std::size_t>(d)]) {
         std::ostringstream msg;
         msg << "distance(" << s << ", " << d << ") = " << topo.distance(s, d)

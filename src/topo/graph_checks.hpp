@@ -29,8 +29,32 @@ struct VerifyReport {
 ///  4. distance(s, d) equals BFS shortest channel count for sampled pairs.
 VerifyReport verify_topology(const Topology& topo, int max_messages = 20);
 
+/// Result of check_connectivity(): all-pairs processor reachability over
+/// in-service links (Topology::link_ok).  When disconnected, names the FIRST
+/// unreachable ordered pair — the fail-fast answer a capacity planner wants
+/// instead of a flow-propagation assert deep inside build_traffic_model.
+struct ConnectivityReport {
+  bool connected = true;
+  int first_src = -1;             ///< witness source (when !connected)
+  int first_dst = -1;             ///< witness destination (when !connected)
+  long unreachable_pairs = 0;     ///< ordered distinct pairs with no path
+  std::string message;            ///< human-readable description
+};
+
+/// BFS every processor over in-service links and report reachability.
+/// O(procs * channels) — intended for configuration-time validation, not
+/// inner loops (FaultedTopology::reachable answers per-pair queries O(1)).
+ConnectivityReport check_connectivity(const Topology& topo);
+
+/// Throw std::runtime_error naming the first unreachable (src, dst) pair
+/// when the topology's processors are not mutually reachable over
+/// in-service links; no-op when connected.
+void require_connected(const Topology& topo);
+
 /// BFS shortest path from processor `src` to every node, counted in directed
-/// channels, ignoring the routing function (pure graph distance).
+/// channels over IN-SERVICE links (Topology::link_ok; every link on a
+/// healthy topology), ignoring the routing function (pure graph distance).
+/// Unreachable nodes get -1.
 std::vector<int> bfs_channel_distances(const Topology& topo, int src_proc);
 
 /// Follow the routing function from src to dst, always taking the first

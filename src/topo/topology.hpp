@@ -119,6 +119,30 @@ class Topology {
   /// For a processor node this is its single injection port.
   virtual RouteOptions route(int node, int dest) const = 0;
 
+  /// True when the link attached at (node, port) is in service.  The healthy
+  /// default is always true; FaultedTopology overrides it to report failed
+  /// links.  Symmetric per undirected link: link_ok(n, p) equals
+  /// link_ok(neighbor(n, p), neighbor_port(n, p)).  graph_checks' BFS and
+  /// connectivity checks traverse only in-service links, so one override
+  /// makes every structural utility fault-aware.
+  virtual bool link_ok(int node, int port) const {
+    static_cast<void>(node);
+    static_cast<void>(port);
+    return true;
+  }
+
+  /// True when a worm injected at processor `src_proc` can reach processor
+  /// `dst_proc` over in-service links.  Healthy topologies are connected by
+  /// construction (default true); FaultedTopology answers from its survivor
+  /// reachability tables.  The traffic-model builders and the simulator's
+  /// destination samplers consult this to degrade gracefully — unroutable
+  /// demand is counted, not crashed on.
+  virtual bool reachable(int src_proc, int dst_proc) const {
+    static_cast<void>(src_proc);
+    static_cast<void>(dst_proc);
+    return true;
+  }
+
   /// Shortest path length between two processors, counted in directed
   /// channels traversed and INCLUDING the injection and ejection channels
   /// (this is the D of the paper's Eq. 1: zero-load latency is s_f + D - 1).

@@ -10,7 +10,8 @@
 //  * wormnet::arrivals — message arrival processes (Poisson, deterministic,
 //    batch, MMPP-2/ON-OFF, trace) with closed-form C_a², shared by model
 //    and simulator;
-//  * wormnet::topo     — butterfly fat-tree, hypercube and mesh topologies;
+//  * wormnet::topo     — butterfly fat-tree, hypercube and mesh topologies,
+//    plus the fault layer (FaultSet / FaultedTopology degraded views);
 //  * wormnet::traffic  — destination distributions (TrafficSpec pattern
 //    catalog + arbitrary TrafficMatrix), shared by model and simulator;
 //  * wormnet::core     — the paper's analytical model: the general
@@ -48,6 +49,7 @@
 #include "sim/traffic.hpp"             // IWYU pragma: export
 #include "topo/butterfly_fattree.hpp"  // IWYU pragma: export
 #include "topo/channels.hpp"           // IWYU pragma: export
+#include "topo/fault.hpp"              // IWYU pragma: export
 #include "topo/graph_checks.hpp"       // IWYU pragma: export
 #include "topo/hypercube.hpp"          // IWYU pragma: export
 #include "topo/mesh.hpp"               // IWYU pragma: export

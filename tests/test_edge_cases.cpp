@@ -15,6 +15,7 @@
 #include "queueing/queueing.hpp"
 #include "sim/simulator.hpp"
 #include "topo/butterfly_fattree.hpp"
+#include "topo/fault.hpp"
 #include "topo/generalized_fattree.hpp"
 #include "util/histogram.hpp"
 #include "util/table.hpp"
@@ -223,6 +224,108 @@ TEST(HeteroValidation, SimNetworkRejectsUnrealizableAttributes) {
     ft.set_uniform_buffer_depth(2);
     EXPECT_NO_THROW(sim::SimNetwork net(ft));  // realizable hetero config
   }
+}
+
+// -- fault-layer validation ---------------------------------------------------
+// A FaultSet rejects malformed failures up front (std::invalid_argument, not a
+// contract abort: fault descriptions arrive from operators, not from code),
+// and scripted sim fault events are validated the same way before cycle 0.
+
+TEST(FaultValidation, FaultSetRejectsBadLinks) {
+  topo::ButterflyFatTree ft(2);
+  topo::FaultSet fs(ft);
+  const int s10 = ft.switch_id(1, 0);
+  EXPECT_THROW(fs.fail_link(-1, 0), std::invalid_argument);
+  EXPECT_THROW(fs.fail_link(ft.num_nodes(), 0), std::invalid_argument);
+  EXPECT_THROW(fs.fail_link(s10, -1), std::invalid_argument);
+  EXPECT_THROW(fs.fail_link(s10, ft.num_ports(s10)), std::invalid_argument);
+  // Injection/ejection links cannot fail — from either endpoint.
+  EXPECT_THROW(fs.fail_link(0, 0), std::invalid_argument);
+  EXPECT_THROW(fs.fail_link(s10, 0), std::invalid_argument);
+  // Double-fail is rejected even when named from the other endpoint.
+  fs.fail_link(s10, topo::ButterflyFatTree::kParentPort0);
+  EXPECT_THROW(fs.fail_link(s10, topo::ButterflyFatTree::kParentPort0),
+               std::invalid_argument);
+  const int top = ft.neighbor(s10, topo::ButterflyFatTree::kParentPort0);
+  const int back = ft.neighbor_port(s10, topo::ButterflyFatTree::kParentPort0);
+  EXPECT_THROW(fs.fail_link(top, back), std::invalid_argument);
+  EXPECT_EQ(fs.failed_links().size(), 1u);
+}
+
+TEST(FaultValidation, FailSwitchValidatesBeforeFailing) {
+  topo::ButterflyFatTree ft(2);
+  topo::FaultSet fs(ft);
+  // A processor is not a switch.
+  EXPECT_THROW(fs.fail_switch(0), std::invalid_argument);
+  // A level-1 switch has processor attachment links, which cannot fail; the
+  // rejection must leave the set untouched (validate-all-then-apply).
+  EXPECT_THROW(fs.fail_switch(ft.switch_id(1, 0)), std::invalid_argument);
+  EXPECT_TRUE(fs.empty());
+  // A top switch has only switch-switch links and expands cleanly.
+  EXPECT_NO_THROW(fs.fail_switch(ft.switch_id(2, 0)));
+  EXPECT_EQ(fs.failed_links().size(), 4u);
+}
+
+TEST(FaultValidation, SimRejectsBadFaultEvents) {
+  topo::ButterflyFatTree ft(2);
+  sim::SimNetwork net(ft);
+  const int s10 = ft.switch_id(1, 0);
+  const int up0 = topo::ButterflyFatTree::kParentPort0;
+  const auto reject = [&](std::vector<sim::FaultEvent> events) {
+    sim::SimConfig cfg;
+    cfg.fault_events = std::move(events);
+    EXPECT_THROW(sim::Simulator(net, cfg), std::invalid_argument);
+  };
+  reject({{100, -1, 0, false}});                     // node out of range
+  reject({{100, s10, 99, false}});                   // port out of range
+  reject({{100, s10, 0, false}});                    // ejection link
+  reject({{100, 0, 0, false}});                      // injection link
+  reject({{100, s10, up0, false}, {200, s10, up0, false}});  // down twice
+  reject({{100, s10, up0, true}});                   // up while not down
+  // Order-insensitive: the same double-down named from the peer endpoint.
+  const int top = ft.neighbor(s10, up0);
+  const int back = ft.neighbor_port(s10, up0);
+  reject({{100, s10, up0, false}, {200, top, back, false}});
+  // Down→up→down is a legal script.
+  {
+    sim::SimConfig cfg;
+    cfg.fault_events = {{100, s10, up0, false},
+                        {200, s10, up0, true},
+                        {300, s10, up0, false}};
+    EXPECT_NO_THROW(sim::Simulator(net, cfg));
+  }
+}
+
+TEST(FaultValidation, SimRejectsEventsOnStaticallyFailedLinks) {
+  topo::ButterflyFatTree ft(2);
+  topo::FaultSet fs(ft);
+  const int s10 = ft.switch_id(1, 0);
+  const int up0 = topo::ButterflyFatTree::kParentPort0;
+  fs.fail_link(s10, up0);
+  topo::FaultedTopology view(ft, fs);
+  sim::SimNetwork net(view);
+  sim::SimConfig cfg;
+  // Scripting the already-dead link is meaningless: the degraded routing
+  // never recovers it, so an up event could only strand worms.
+  cfg.fault_events = {{100, s10, up0, false}};
+  EXPECT_THROW(sim::Simulator(net, cfg), std::invalid_argument);
+  // Scripting a LIVE link of the degraded fabric is fine.
+  cfg.fault_events = {{100, s10, topo::ButterflyFatTree::kParentPort1, false}};
+  EXPECT_NO_THROW(sim::Simulator(net, cfg));
+}
+
+TEST(FaultValidation, StallTimeoutMustStayBelowWatchdog) {
+  topo::ButterflyFatTree ft(2);
+  sim::SimNetwork net(ft);
+  sim::SimConfig cfg;
+  cfg.fault_events = {{100, ft.switch_id(1, 0),
+                       topo::ButterflyFatTree::kParentPort0, false}};
+  cfg.fault_stall_timeout = cfg.watchdog_cycles;  // drops could never preempt
+  EXPECT_THROW(sim::Simulator(net, cfg), std::invalid_argument);
+  cfg.fault_stall_timeout = 0;  // no grace at all is equally meaningless
+  EXPECT_THROW(sim::Simulator(net, cfg), std::invalid_argument);
+  cfg.fault_stall_timeout = cfg.watchdog_cycles - 1;
+  EXPECT_NO_THROW(sim::Simulator(net, cfg));
 }
 
 }  // namespace

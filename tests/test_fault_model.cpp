@@ -1,0 +1,541 @@
+// Fault layer: topo::FaultSet / topo::FaultedTopology structure, the
+// connectivity fail-fast checks, graceful degradation through
+// build_traffic_model, and the retune_faults delta path's parity with a
+// cold build on the faulted view.  Plus the solver-hardening fuzz: random
+// fault sets x topologies x patterns x loads must keep Kirchhoff
+// conservation on the surviving flows and never emit NaN/Inf from the
+// channel solver (the SolveStatus contract).
+#include "topo/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/traffic_model.hpp"
+#include "topo/butterfly_fattree.hpp"
+#include "topo/channels.hpp"
+#include "topo/graph_checks.hpp"
+#include "topo/hypercube.hpp"
+
+namespace wormnet {
+namespace {
+
+// BFT(2): processors 0..15, level-1 switches s1_*, level-2 switches s2_*.
+// Each level-1 switch has parent links to BOTH top switches, so any single
+// failure leaves every pair connected (the paper's two-server redundancy).
+
+topo::ButterflyFatTree bft2() { return topo::ButterflyFatTree(2); }
+
+// ---------------------------------------------------------------------------
+// FaultSet structure.
+// ---------------------------------------------------------------------------
+
+TEST(FaultSet, LinkFailureIsUndirectedAndCanonical) {
+  const topo::ButterflyFatTree ft = bft2();
+  const int s1 = ft.switch_id(1, 0);
+  const int peer = ft.neighbor(s1, topo::ButterflyFatTree::kParentPort0);
+  const int back = ft.neighbor_port(s1, topo::ButterflyFatTree::kParentPort0);
+
+  topo::FaultSet from_child(ft);
+  from_child.fail_link(s1, topo::ButterflyFatTree::kParentPort0);
+  topo::FaultSet from_parent(ft);
+  from_parent.fail_link(peer, back);
+
+  for (const topo::FaultSet* fs : {&from_child, &from_parent}) {
+    EXPECT_FALSE(fs->empty());
+    EXPECT_EQ(fs->failed_links().size(), 1u);
+    EXPECT_TRUE(fs->link_failed(s1, topo::ButterflyFatTree::kParentPort0));
+    EXPECT_TRUE(fs->link_failed(peer, back));
+    EXPECT_FALSE(fs->link_failed(s1, topo::ButterflyFatTree::kParentPort1));
+  }
+  // Either endpoint names the same undirected link: same canonical record,
+  // same digest — the query engine's variant key cannot split on naming.
+  EXPECT_EQ(from_child.failed_links(), from_parent.failed_links());
+  EXPECT_EQ(from_child.digest(), from_parent.digest());
+}
+
+TEST(FaultSet, DigestIsOrderInsensitive) {
+  const topo::ButterflyFatTree ft = bft2();
+  const int a = ft.switch_id(1, 0);
+  const int b = ft.switch_id(1, 1);
+  topo::FaultSet ab(ft);
+  ab.fail_link(a, topo::ButterflyFatTree::kParentPort0);
+  ab.fail_link(b, topo::ButterflyFatTree::kParentPort1);
+  topo::FaultSet ba(ft);
+  ba.fail_link(b, topo::ButterflyFatTree::kParentPort1);
+  ba.fail_link(a, topo::ButterflyFatTree::kParentPort0);
+  EXPECT_EQ(ab.digest(), ba.digest());
+  EXPECT_NE(ab.digest(), 0u);
+
+  topo::FaultSet other(ft);
+  other.fail_link(a, topo::ButterflyFatTree::kParentPort0);
+  EXPECT_NE(other.digest(), ab.digest());
+}
+
+TEST(FaultSet, SwitchFailureExpandsToItsLinks) {
+  const topo::ButterflyFatTree ft = bft2();
+  // A top-level switch has four connected child ports and no processor
+  // neighbors — the one kind of switch that may fail wholesale on BFT(2).
+  const int top = ft.switch_id(2, 0);
+  topo::FaultSet fs(ft);
+  fs.fail_switch(top);
+  EXPECT_EQ(fs.failed_switches(), std::vector<int>{top});
+  EXPECT_EQ(fs.failed_links().size(), 4u);
+  for (int port = 0; port < 4; ++port)
+    EXPECT_TRUE(fs.link_failed(top, port)) << "port " << port;
+}
+
+// ---------------------------------------------------------------------------
+// FaultedTopology: stable structure, degraded routing.
+// ---------------------------------------------------------------------------
+
+TEST(FaultedTopology, ChannelStructureMatchesBase) {
+  const topo::ButterflyFatTree ft = bft2();
+  topo::FaultSet fs(ft);
+  fs.fail_link(ft.switch_id(1, 0), topo::ButterflyFatTree::kParentPort0);
+  const topo::FaultedTopology view(ft, fs);
+
+  ASSERT_EQ(view.num_nodes(), ft.num_nodes());
+  ASSERT_EQ(view.num_processors(), ft.num_processors());
+  const topo::ChannelTable base_ct(ft);
+  const topo::ChannelTable fault_ct(view);
+  // Dead links still enumerate: per-channel arrays stay index-aligned
+  // between the healthy and degraded views (the retune-not-rebuild enabler).
+  ASSERT_EQ(fault_ct.size(), base_ct.size());
+  for (int id = 0; id < base_ct.size(); ++id) {
+    EXPECT_EQ(fault_ct.at(id).src_node, base_ct.at(id).src_node);
+    EXPECT_EQ(fault_ct.at(id).src_port, base_ct.at(id).src_port);
+  }
+}
+
+TEST(FaultedTopology, SingleUpLinkFailureKeepsEveryPairReachable) {
+  const topo::ButterflyFatTree ft = bft2();
+  const int s1 = ft.switch_id(1, 0);
+  topo::FaultSet fs(ft);
+  fs.fail_link(s1, topo::ButterflyFatTree::kParentPort0);
+  const topo::FaultedTopology view(ft, fs);
+
+  EXPECT_FALSE(view.link_ok(s1, topo::ButterflyFatTree::kParentPort0));
+  EXPECT_TRUE(view.link_ok(s1, topo::ButterflyFatTree::kParentPort1));
+  EXPECT_FALSE(view.first_unreachable_pair().has_value());
+  EXPECT_EQ(view.unreachable_pair_fraction(), 0.0);
+  // The redundant parent absorbs the reroute with no distance penalty.
+  for (int s = 0; s < ft.num_processors(); ++s)
+    for (int d = 0; d < ft.num_processors(); ++d) {
+      if (s == d) continue;
+      ASSERT_TRUE(view.reachable(s, d)) << s << "->" << d;
+      EXPECT_EQ(view.distance(s, d), ft.distance(s, d)) << s << "->" << d;
+    }
+  EXPECT_NEAR(view.mean_distance(), ft.mean_distance(), 1e-12);
+
+  // Routing invariants hold on the survivor graph (minimal progress,
+  // distance == BFS) and routes never cross the dead link.
+  EXPECT_TRUE(topo::verify_topology(view).ok());
+  const int dead_peer = ft.neighbor(s1, topo::ButterflyFatTree::kParentPort0);
+  for (int s = 0; s < 4; ++s)
+    for (int d = 4; d < ft.num_processors(); ++d) {
+      const std::vector<int> path = topo::trace_route(view, s, d);
+      ASSERT_FALSE(path.empty()) << s << "->" << d;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_FALSE(path[i] == s1 && path[i + 1] == dead_peer)
+            << "route " << s << "->" << d << " crossed the failed link";
+    }
+}
+
+TEST(FaultedTopology, CutSwitchReportsUnreachablePairs) {
+  const topo::ButterflyFatTree ft = bft2();
+  const int s1 = ft.switch_id(1, 0);  // serves processors 0..3
+  topo::FaultSet fs(ft);
+  fs.fail_link(s1, topo::ButterflyFatTree::kParentPort0);
+  fs.fail_link(s1, topo::ButterflyFatTree::kParentPort1);
+  const topo::FaultedTopology view(ft, fs);
+
+  // 0..3 are severed from 4..15 (both directions): 4 * 12 * 2 of the
+  // 16 * 15 ordered pairs.
+  EXPECT_FALSE(view.reachable(0, 4));
+  EXPECT_FALSE(view.reachable(4, 0));
+  EXPECT_TRUE(view.reachable(0, 3));    // intra-block survives
+  EXPECT_TRUE(view.reachable(4, 15));   // the rest of the fabric survives
+  EXPECT_NEAR(view.unreachable_pair_fraction(), 96.0 / 240.0, 1e-12);
+  ASSERT_TRUE(view.first_unreachable_pair().has_value());
+  const auto [ws, wd] = *view.first_unreachable_pair();
+  EXPECT_FALSE(view.reachable(ws, wd));
+  // Routing invariants still hold on the pairs that carry traffic.
+  EXPECT_TRUE(topo::verify_topology(view).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Connectivity fail-fast (graph_checks).
+// ---------------------------------------------------------------------------
+
+TEST(Connectivity, HealthyAndNMinus1FabricsPass) {
+  const topo::ButterflyFatTree ft = bft2();
+  EXPECT_TRUE(topo::check_connectivity(ft).connected);
+  EXPECT_NO_THROW(topo::require_connected(ft));
+
+  topo::FaultSet fs(ft);
+  fs.fail_link(ft.switch_id(1, 2), topo::ButterflyFatTree::kParentPort1);
+  const topo::FaultedTopology view(ft, fs);
+  const topo::ConnectivityReport rep = topo::check_connectivity(view);
+  EXPECT_TRUE(rep.connected);
+  EXPECT_EQ(rep.unreachable_pairs, 0);
+  EXPECT_NO_THROW(topo::require_connected(view));
+}
+
+TEST(Connectivity, DisconnectedFabricNamesTheFirstPair) {
+  const topo::ButterflyFatTree ft = bft2();
+  const int s1 = ft.switch_id(1, 0);
+  topo::FaultSet fs(ft);
+  fs.fail_link(s1, topo::ButterflyFatTree::kParentPort0);
+  fs.fail_link(s1, topo::ButterflyFatTree::kParentPort1);
+  const topo::FaultedTopology view(ft, fs);
+
+  const topo::ConnectivityReport rep = topo::check_connectivity(view);
+  EXPECT_FALSE(rep.connected);
+  EXPECT_EQ(rep.unreachable_pairs, 96);
+  EXPECT_GE(rep.first_src, 0);
+  EXPECT_GE(rep.first_dst, 0);
+  EXPECT_FALSE(view.reachable(rep.first_src, rep.first_dst));
+  EXPECT_FALSE(rep.message.empty());
+
+  try {
+    topo::require_connected(view);
+    FAIL() << "require_connected accepted a cut fabric";
+  } catch (const std::runtime_error& e) {
+    // The thrown message names the witness pair — the fail-fast answer.
+    EXPECT_NE(std::string(e.what()).find(std::to_string(rep.first_dst)),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation through build_traffic_model.
+// ---------------------------------------------------------------------------
+
+TEST(FaultModel, NMinus1ModelServesAllDemandWithStatusOk) {
+  const topo::ButterflyFatTree ft = bft2();
+  topo::FaultSet fs(ft);
+  fs.fail_link(ft.switch_id(1, 0), topo::ButterflyFatTree::kParentPort0);
+  const topo::FaultedTopology view(ft, fs);
+
+  core::SolveOptions opts;
+  opts.worm_flits = 16.0;
+  const core::GeneralModel m =
+      core::build_traffic_model(view, traffic::TrafficSpec::uniform(), opts);
+  EXPECT_EQ(m.unroutable_fraction, 0.0);
+
+  // The dead link's two directed channels carry exactly zero flow; the
+  // surviving parent link carries the rerouted share.
+  const topo::ChannelTable ct(view);
+  const int s1 = ft.switch_id(1, 0);
+  const int up0 = ct.from(s1, topo::ButterflyFatTree::kParentPort0);
+  const int up1 = ct.from(s1, topo::ButterflyFatTree::kParentPort1);
+  EXPECT_EQ(m.graph.at(up0).rate_per_link, 0.0);
+  EXPECT_GT(m.graph.at(up1).rate_per_link, 0.0);
+
+  const double sat = core::model_saturation_rate(m, opts);
+  ASSERT_GT(sat, 0.0);
+  const core::LatencyEstimate est = core::model_latency(m, 0.3 * sat, opts);
+  EXPECT_EQ(est.status, core::SolveStatus::Ok);
+  EXPECT_EQ(est.unroutable_fraction, 0.0);
+  EXPECT_TRUE(est.stable);
+  EXPECT_TRUE(std::isfinite(est.latency));
+
+  // Losing a link can only cost capacity: degraded saturation <= healthy.
+  const core::GeneralModel healthy =
+      core::build_traffic_model(ft, traffic::TrafficSpec::uniform(), opts);
+  EXPECT_LE(sat, core::model_saturation_rate(healthy, opts) * (1.0 + 1e-12));
+}
+
+TEST(FaultModel, CutFabricReportsDisconnectedNotNaN) {
+  const topo::ButterflyFatTree ft = bft2();
+  const int s1 = ft.switch_id(1, 0);
+  topo::FaultSet fs(ft);
+  fs.fail_link(s1, topo::ButterflyFatTree::kParentPort0);
+  fs.fail_link(s1, topo::ButterflyFatTree::kParentPort1);
+  const topo::FaultedTopology view(ft, fs);
+
+  core::SolveOptions opts;
+  opts.worm_flits = 16.0;
+  const core::GeneralModel m =
+      core::build_traffic_model(view, traffic::TrafficSpec::uniform(), opts);
+  // Uniform traffic: unroutable demand == unreachable pair fraction.
+  EXPECT_NEAR(m.unroutable_fraction, 96.0 / 240.0, 1e-12);
+
+  const double sat = core::model_saturation_rate(m, opts);
+  ASSERT_GT(sat, 0.0);
+  const core::LatencyEstimate est = core::model_latency(m, 0.3 * sat, opts);
+  // The carried demand is served — stable — but the answer is flagged.
+  EXPECT_EQ(est.status, core::SolveStatus::Disconnected);
+  EXPECT_NEAR(est.unroutable_fraction, 96.0 / 240.0, 1e-12);
+  EXPECT_TRUE(est.stable);
+  EXPECT_TRUE(std::isfinite(est.latency));
+
+  // Saturated answers keep the status ladder: never NaN, status Saturated.
+  const core::LatencyEstimate hot = core::model_latency(m, 1.2 * sat, opts);
+  EXPECT_EQ(hot.status, core::SolveStatus::Saturated);
+  EXPECT_FALSE(std::isnan(hot.latency));
+  EXPECT_FALSE(std::isnan(hot.inj_wait));
+}
+
+// ---------------------------------------------------------------------------
+// retune_faults: delta parity with a cold build on the faulted view.
+// ---------------------------------------------------------------------------
+
+void expect_model_parity(const core::GeneralModel& got,
+                         const core::GeneralModel& want,
+                         const core::SolveOptions& opts,
+                         const std::string& tag) {
+  ASSERT_EQ(got.graph.size(), want.graph.size()) << tag;
+  for (int id = 0; id < want.graph.size(); ++id) {
+    const double w = want.graph.at(id).rate_per_link;
+    EXPECT_NEAR(got.graph.at(id).rate_per_link, w,
+                1e-12 * std::max(1.0, std::abs(w)))
+        << tag << " channel " << id;
+  }
+  EXPECT_NEAR(got.unroutable_fraction, want.unroutable_fraction, 1e-12) << tag;
+  EXPECT_NEAR(got.mean_distance, want.mean_distance,
+              1e-12 * want.mean_distance)
+      << tag;
+  const double sat = core::model_saturation_rate(want, opts);
+  EXPECT_NEAR(core::model_saturation_rate(got, opts), sat, 1e-9 * sat) << tag;
+  const core::LatencyEstimate a = core::model_latency(got, 0.4 * sat, opts);
+  const core::LatencyEstimate b = core::model_latency(want, 0.4 * sat, opts);
+  EXPECT_NEAR(a.latency, b.latency, 1e-9 * b.latency) << tag;
+}
+
+TEST(FaultRetune, DenseResidentRetunesToColdFaultedBuild) {
+  const topo::ButterflyFatTree ft = bft2();
+  core::SolveOptions opts;
+  opts.worm_flits = 16.0;
+  core::RetunableTrafficModel resident(ft, traffic::TrafficSpec::uniform(),
+                                       opts);
+  const core::GeneralModel healthy_cold =
+      core::build_traffic_model(ft, traffic::TrafficSpec::uniform(), opts);
+
+  auto fs = std::make_shared<topo::FaultSet>(ft);
+  fs->fail_link(ft.switch_id(1, 1), topo::ButterflyFatTree::kParentPort0);
+  const core::RetuneReport rep = resident.retune_faults(fs);
+  // The contract availability sweeps rely on: dense never rebuilds for a
+  // fault, and only the affected destination columns re-propagate.
+  EXPECT_FALSE(rep.rebuilt);
+  EXPECT_GT(rep.passes, 0);
+  EXPECT_LE(rep.passes, 2 * ft.num_processors());
+  ASSERT_NE(resident.faults(), nullptr);
+  EXPECT_EQ(resident.faults()->digest(), fs->digest());
+
+  const topo::FaultedTopology view(ft, *fs);
+  const core::GeneralModel cold =
+      core::build_traffic_model(view, traffic::TrafficSpec::uniform(), opts);
+  expect_model_parity(resident.model(), cold, opts, "N-1 retune");
+
+  // Round-trip: back to healthy restores the resident content at the delta
+  // path's documented 1e-12 bar (the signed re-propagation re-associates
+  // floating sums, so bit identity is not promised — parity is).
+  const core::RetuneReport back = resident.retune_faults(nullptr);
+  EXPECT_FALSE(back.rebuilt);
+  EXPECT_EQ(resident.faults(), nullptr);
+  expect_model_parity(resident.model(), healthy_cold, opts, "healthy return");
+
+  // Same degraded state twice is a no-op.
+  resident.retune_faults(fs);
+  const core::RetuneReport again = resident.retune_faults(fs);
+  EXPECT_EQ(again.passes, 0);
+}
+
+TEST(FaultRetune, RecordedTunesSurviveFaultRetunes) {
+  const topo::ButterflyFatTree ft = bft2();
+  core::SolveOptions opts;
+  opts.worm_flits = 16.0;
+  core::RetunableTrafficModel resident(ft, traffic::TrafficSpec::uniform(),
+                                       opts);
+  resident.set_uniform_lanes(2);
+  resident.scale_injection_rates(1.5);
+
+  auto fs = std::make_shared<topo::FaultSet>(ft);
+  fs->fail_link(ft.switch_id(1, 0), topo::ButterflyFatTree::kParentPort1);
+  resident.retune_faults(fs);
+
+  const topo::FaultedTopology view(ft, *fs);
+  core::GeneralModel cold =
+      core::build_traffic_model(view, traffic::TrafficSpec::uniform(), opts);
+  cold.set_uniform_lanes(2);
+  cold.scale_injection_rates(1.5);
+  expect_model_parity(resident.model(), cold, opts, "lanes+load across fault");
+}
+
+TEST(FaultRetune, CollapsedResidentRebuildsDenseAndRecollapses) {
+  const topo::ButterflyFatTree ft = bft2();
+  core::SolveOptions opts;
+  opts.worm_flits = 16.0;
+  core::TrafficBuildOptions build;
+  build.collapse = core::CollapseMode::Auto;
+  core::RetunableTrafficModel resident(ft, traffic::TrafficSpec::uniform(),
+                                       opts, build);
+  ASSERT_TRUE(resident.collapsed());
+
+  auto fs = std::make_shared<topo::FaultSet>(ft);
+  fs->fail_link(ft.switch_id(1, 3), topo::ButterflyFatTree::kParentPort0);
+  const core::RetuneReport rep = resident.retune_faults(fs);
+  // Faults void the declared symmetry: the resident rebuilds dense, says so,
+  // and matches the dense cold build on the faulted view.
+  EXPECT_TRUE(rep.rebuilt);
+  EXPECT_FALSE(resident.collapsed());
+  const topo::FaultedTopology view(ft, *fs);
+  const core::GeneralModel cold =
+      core::build_traffic_model(view, traffic::TrafficSpec::uniform(), opts);
+  expect_model_parity(resident.model(), cold, opts, "collapsed->faulted");
+
+  // Returning to healthy serves via the dense delta path (the resident is
+  // dense now, so no rebuild) and matches the healthy reference — it simply
+  // stays dense rather than re-collapsing.
+  const core::RetuneReport back = resident.retune_faults(nullptr);
+  EXPECT_FALSE(back.rebuilt);
+  expect_model_parity(
+      resident.model(),
+      core::build_traffic_model(ft, traffic::TrafficSpec::uniform(), opts),
+      opts, "collapsed->faulted->healthy");
+}
+
+TEST(FaultRetune, EmptyFaultSetKeepsResidualSymmetry) {
+  const topo::ButterflyFatTree ft = bft2();
+  const topo::FaultSet empty(ft);
+  const topo::FaultedTopology view(ft, empty);
+  // An empty fault view forwards the base symmetry hooks unchanged, so the
+  // collapsed builder still produces the quotient model — the baseline of
+  // availability sweeps stays O(classes).
+  core::SolveOptions opts;
+  opts.worm_flits = 16.0;
+  const core::GeneralModel quotient = core::build_traffic_model_collapsed(
+      view, traffic::TrafficSpec::uniform(), opts);
+  ASSERT_FALSE(quotient.channel_class_of.empty());
+  EXPECT_EQ(core::check_collapsed_parity(view, traffic::TrafficSpec::uniform(),
+                                         quotient, opts),
+            "");
+}
+
+// ---------------------------------------------------------------------------
+// Solver-hardening fuzz: random fault sets x topologies x patterns x loads.
+// ---------------------------------------------------------------------------
+
+/// Every failable (switch-to-switch) undirected link, canonical endpoint.
+std::vector<std::pair<int, int>> failable_links(const topo::Topology& t) {
+  std::vector<std::pair<int, int>> links;
+  for (int node = 0; node < t.num_nodes(); ++node) {
+    if (t.is_processor(node)) continue;
+    for (int port = 0; port < t.num_ports(node); ++port) {
+      const int peer = t.neighbor(node, port);
+      if (peer == topo::kNoNode || t.is_processor(peer)) continue;
+      if (std::make_pair(peer, t.neighbor_port(node, port)) <
+          std::make_pair(node, port))
+        continue;
+      links.emplace_back(node, port);
+    }
+  }
+  return links;
+}
+
+/// Kirchhoff on the survivors: every switch forwards exactly what it
+/// receives, network-wide injection equals ejection, dead channels carry
+/// nothing, and the solver's outputs are NaN-free at every probed load.
+void fuzz_one(const topo::Topology& base, const traffic::TrafficSpec& spec,
+              int k, std::uint64_t seed, const std::string& tag) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::pair<int, int>> links = failable_links(base);
+  ASSERT_GT(links.size(), static_cast<std::size_t>(k)) << tag;
+  std::shuffle(links.begin(), links.end(), rng);
+
+  topo::FaultSet fs(base);
+  for (int i = 0; i < k; ++i) fs.fail_link(links[i].first, links[i].second);
+  const topo::FaultedTopology view(base, fs);
+
+  core::SolveOptions opts;
+  opts.worm_flits = 16.0;
+  const core::GeneralModel m = core::build_traffic_model(view, spec, opts);
+  EXPECT_GE(m.unroutable_fraction, 0.0) << tag;
+  EXPECT_LE(m.unroutable_fraction, 1.0) << tag;
+  EXPECT_NEAR(m.unroutable_fraction > 0.0 ? 1.0 : 0.0,
+              view.first_unreachable_pair().has_value() ? 1.0 : 0.0, 0.5)
+      << tag << ": unroutable demand disagrees with reachability"
+      << " (pattern may skip the cut pairs only when weights are zero)";
+
+  const topo::ChannelTable ct(view);
+  std::vector<double> in_rate(static_cast<std::size_t>(view.num_nodes()), 0.0);
+  std::vector<double> out_rate(static_cast<std::size_t>(view.num_nodes()), 0.0);
+  double injected = 0.0, ejected = 0.0;
+  for (int id = 0; id < ct.size(); ++id) {
+    const topo::DirectedChannel& c = ct.at(id);
+    const double rate = m.graph.at(id).rate_per_link;
+    ASSERT_TRUE(std::isfinite(rate)) << tag << " channel " << id;
+    EXPECT_GE(rate, -1e-12) << tag << " channel " << id;
+    if (!view.link_ok(c.src_node, c.src_port)) {
+      EXPECT_EQ(rate, 0.0) << tag << ": dead channel " << id << " carries flow";
+    }
+    out_rate[static_cast<std::size_t>(c.src_node)] += rate;
+    in_rate[static_cast<std::size_t>(ct.at(ct.reverse(id)).src_node)] += rate;
+    if (view.is_processor(c.src_node)) injected += rate;
+    if (view.is_processor(ct.at(ct.reverse(id)).src_node)) ejected += rate;
+  }
+  for (int node = 0; node < view.num_nodes(); ++node) {
+    if (view.is_processor(node)) continue;
+    EXPECT_NEAR(in_rate[static_cast<std::size_t>(node)],
+                out_rate[static_cast<std::size_t>(node)], 1e-9)
+        << tag << ": switch " << node << " creates or destroys flow";
+  }
+  EXPECT_NEAR(injected, ejected, 1e-9) << tag;
+
+  // The solver never emits NaN at any load, saturated or not.
+  const double sat = core::model_saturation_rate(m, opts);
+  ASSERT_GT(sat, 0.0) << tag;
+  ASSERT_TRUE(std::isfinite(sat)) << tag;
+  for (const double frac : {0.2, 0.7, 1.3}) {
+    const core::SolveResult sol = m.solve(frac * sat);
+    for (std::size_t c = 0; c < sol.channels.size(); ++c) {
+      EXPECT_FALSE(std::isnan(sol.channels[c].utilization))
+          << tag << " frac " << frac << " channel " << c;
+      EXPECT_FALSE(std::isnan(sol.channels[c].wait))
+          << tag << " frac " << frac << " channel " << c;
+      EXPECT_FALSE(std::isnan(sol.channels[c].service_time))
+          << tag << " frac " << frac << " channel " << c;
+    }
+    const core::LatencyEstimate est = core::model_latency(m, frac * sat, opts);
+    EXPECT_FALSE(std::isnan(est.latency)) << tag << " frac " << frac;
+    EXPECT_FALSE(std::isnan(est.inj_wait)) << tag << " frac " << frac;
+    if (!std::isfinite(est.latency)) {
+      EXPECT_TRUE(est.status == core::SolveStatus::Saturated ||
+                  est.status == core::SolveStatus::Infeasible)
+          << tag << " frac " << frac
+          << ": non-finite latency with status " << to_string(est.status);
+    }
+  }
+}
+
+TEST(FaultFuzz, RandomFaultsKeepConservationAndFiniteSolves) {
+  const topo::ButterflyFatTree ft = bft2();
+  const topo::Hypercube hc(3);
+  const std::vector<const topo::Topology*> topos{&ft, &hc};
+  const std::vector<traffic::TrafficSpec> specs{
+      traffic::TrafficSpec::uniform(),
+      traffic::TrafficSpec::hotspot(0.2),
+      traffic::TrafficSpec::transpose(),
+  };
+  std::uint64_t seed = 1097;
+  for (const topo::Topology* t : topos) {
+    for (const traffic::TrafficSpec& spec : specs) {
+      if (!spec.check(t->num_processors()).empty()) continue;
+      for (const int k : {1, 2, 3}) {
+        fuzz_one(*t, spec, k, ++seed,
+                 t->name() + "/" + spec.name() + "/k=" + std::to_string(k));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wormnet

@@ -132,5 +132,88 @@ TEST(SimEngine, OverloadCampaignMeasuresSaturationThroughput) {
   EXPECT_LT(out.throughput.mean, 1.0);  // can't beat one flit/cycle/PE
 }
 
+TEST(SimEngine, CycleBudgetTruncatesInsteadOfWedging) {
+  // A cell whose budget expires mid-run must come back truncated with its
+  // partial metrics — the engine-level watchdog for degraded runs — and a
+  // budget the run fits inside must change nothing.
+  topo::ButterflyFatTree ft(2);
+  SimCell cell;
+  cell.topology = &ft;
+  cell.cfg = small_open_loop(0.15, 21);
+  cell.replications = 2;
+  cell.cycle_budget = 2000;  // < warmup + measure: cannot finish
+
+  SimEngine engine;
+  const SimCellResult cut = engine.run_cell(cell);
+  EXPECT_TRUE(cut.any_truncated);
+  EXPECT_FALSE(cut.all_completed);
+  for (const sim::SimResult& r : cut.runs) {
+    EXPECT_TRUE(r.truncated);
+    EXPECT_FALSE(r.completed);
+    EXPECT_LE(r.cycles_run, 2000);
+    EXPECT_GT(r.cycles_run, 0);
+  }
+
+  cell.cycle_budget = cell.cfg.max_cycles;  // generous: terminates inside it
+  const SimCellResult full = engine.run_cell(cell);
+  EXPECT_FALSE(full.any_truncated);
+  EXPECT_TRUE(full.all_completed);
+  // And bit-equal to the unbudgeted campaign: advance()+partial_result after
+  // termination is exactly run().
+  cell.cycle_budget = 0;
+  const SimCellResult plain = engine.run_cell(cell);
+  ASSERT_EQ(full.runs.size(), plain.runs.size());
+  for (std::size_t i = 0; i < full.runs.size(); ++i) {
+    EXPECT_EQ(full.runs[i].cycles_run, plain.runs[i].cycles_run);
+    EXPECT_EQ(full.runs[i].latency.mean(), plain.runs[i].latency.mean());
+    EXPECT_EQ(full.runs[i].delivered_flits, plain.runs[i].delivered_flits);
+  }
+}
+
+TEST(SimEngine, ScriptedFaultCampaignCountsDropsAndRecovers) {
+  // Scripted link faults through the campaign path.  A transient outage
+  // shorter than the stall timeout strands nobody: stalled worms resume when
+  // the link returns.  A permanent outage with a short timeout converts the
+  // stranded worms into counted drops and the run still terminates.
+  topo::ButterflyFatTree ft(2);
+  const int s10 = ft.switch_id(1, 0);
+  const int up0 = topo::ButterflyFatTree::kParentPort0;
+
+  SimCell transient;
+  transient.topology = &ft;
+  transient.cfg = small_open_loop(0.15, 33);
+  transient.cfg.fault_events = {{2000, s10, up0, false}, {4000, s10, up0, true}};
+  transient.cfg.fault_stall_timeout = 50000;  // outlasts the outage
+  transient.replications = 2;
+
+  SimCell permanent;
+  permanent.topology = &ft;
+  permanent.cfg = small_open_loop(0.15, 33);
+  permanent.cfg.fault_events = {{2000, s10, up0, false}};
+  permanent.cfg.fault_stall_timeout = 500;  // drops preempt the wedge
+  permanent.replications = 2;
+
+  SimEngine engine;
+  const std::vector<SimCellResult> outs =
+      engine.run_cells({transient, permanent});
+  ASSERT_EQ(outs.size(), 2u);
+
+  EXPECT_TRUE(outs[0].all_completed);
+  EXPECT_GT(outs[0].throughput.mean, 0.0);
+  for (const sim::SimResult& r : outs[0].runs) {
+    EXPECT_EQ(r.dropped_worms, 0);
+    EXPECT_EQ(r.dropped_flits, 0);
+  }
+
+  EXPECT_TRUE(outs[1].all_completed);
+  EXPECT_GT(outs[1].throughput.mean, 0.0);
+  std::int64_t dropped = 0;
+  for (const sim::SimResult& r : outs[1].runs) {
+    dropped += r.dropped_worms;
+    EXPECT_EQ(r.dropped_flits, r.dropped_worms * 16);
+  }
+  EXPECT_GT(dropped, 0);  // the dead up-link carried traffic at this load
+}
+
 }  // namespace
 }  // namespace wormnet::harness
