@@ -81,6 +81,13 @@ void BM_SweepEngineMemoizedSweep(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine.sweep_lambda(model, lambdas).back().est.latency);
   }
+  // Registry-sourced counters: the same series a service would scrape.
+  obs::Registry reg;
+  engine.publish_metrics(reg, "bench");
+  state.counters["cache_hits"] =
+      reg.value("wormnet_sweep_cache_hits", "engine=bench");
+  state.counters["cache_hit_rate"] =
+      reg.value("wormnet_sweep_cache_hit_rate", "engine=bench");
 }
 BENCHMARK(BM_SweepEngineMemoizedSweep)->Unit(benchmark::kMicrosecond);
 
@@ -507,6 +514,19 @@ void BM_QueryEngineThroughput(benchmark::State& state) {
       served += static_cast<std::int64_t>(results.size());
       benchmark::DoNotOptimize(results.front().est.latency);
     }
+    // Registry-sourced counters on the --json row: how the engine actually
+    // served the batches (cost classes, cache traffic), scraped from the
+    // same publish_metrics series a live dashboard reads.
+    obs::Registry reg;
+    engine.publish_metrics(reg, "bench");
+    state.counters["retunes"] =
+        reg.value("wormnet_query_served", "engine=bench,cost=retune");
+    state.counters["rebuilds"] =
+        reg.value("wormnet_query_served", "engine=bench,cost=rebuild");
+    state.counters["cache_hits"] =
+        reg.value("wormnet_sweep_cache_hits", "engine=bench");
+    state.counters["variants"] =
+        reg.value("wormnet_query_variants_prepared", "engine=bench");
   } else {
     for (auto _ : state) {
       double sink = 0.0;

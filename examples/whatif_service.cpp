@@ -13,7 +13,11 @@
 // — the number a capacity-planning inner loop (PAPERS.md, Solnushkin) cares
 // about.
 //
-//   ./whatif_service [--levels=4] [--queries=200] [--threads=0]
+// --metrics publishes the engine's counters into an obs::Registry after the
+// session, prints the live dashboard, and dumps the snapshot next to the
+// binary (whatif_metrics.json / .prom) — the service-metering story.
+//
+//   ./whatif_service [--levels=4] [--queries=200] [--threads=0] [--metrics]
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -42,6 +46,7 @@ int main(int argc, char** argv) {
   const int num_queries = static_cast<int>(args.get_int("queries", 200));
   const unsigned threads =
       static_cast<unsigned>(args.get_int("threads", 0));
+  const bool metrics = args.get_bool("metrics", false);
   harness::reject_unknown_flags(args);
 
   topo::ButterflyFatTree ft(levels);
@@ -159,5 +164,29 @@ int main(int argc, char** argv) {
   std::printf("\nreplayed session: %d/%zu memoized in %.2f ms  →  %.0f queries/s\n",
               memoized, replay.size(), replay_ms,
               1000.0 * replay.size() / replay_ms);
+
+  if (metrics) {
+    // The live dashboard: publish everything the engine metered into one
+    // registry, render the snapshot as a table, and dump it for scraping.
+    obs::Registry reg;
+    engine.publish_metrics(reg, "whatif");
+    const obs::Snapshot snap = reg.snapshot();
+    util::Table dash({"metric", "labels", "value"});
+    dash.set_precision(2, 3);
+    for (const auto& e : snap.entries)
+      dash.add_row({e.name, e.labels, e.value});
+    std::printf("\n-- metrics dashboard (%zu series) --\n%s\n",
+                snap.entries.size(), dash.to_string().c_str());
+    const struct { const char* path; std::string text; } dumps[] = {
+        {"whatif_metrics.json", obs::to_json(snap)},
+        {"whatif_metrics.prom", obs::to_prometheus(snap)}};
+    for (const auto& d : dumps) {
+      if (std::FILE* f = std::fopen(d.path, "wb")) {
+        std::fwrite(d.text.data(), 1, d.text.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s (%zu bytes)\n", d.path, d.text.size());
+      }
+    }
+  }
   return 0;
 }

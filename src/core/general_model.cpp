@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/saturation.hpp"
+#include "obs/trace.hpp"
 #include "queueing/channel_solver.hpp"
 #include "util/hash.hpp"
 #include "util/math.hpp"
@@ -100,6 +101,7 @@ double compose_service_time(const ChannelSolver& solver, const ChannelGraph& gra
 }  // namespace
 
 SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& opts) {
+  WORMNET_SPAN("solve_general_model", "solve");
   WORMNET_EXPECTS(opts.worm_flits > 0.0);
   WORMNET_EXPECTS(opts.injection_scale >= 0.0);
   WORMNET_EXPECTS(graph.validate().empty());
@@ -131,6 +133,7 @@ SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& o
   } else {
     // Cyclic dependency graph: damped fixed-point iteration.
     result.converged = false;
+    double last_delta = 0.0;
     for (int it = 0; it < opts.max_iterations; ++it) {
       double max_delta = 0.0;
       for (int id = 0; id < n; ++id) {
@@ -146,11 +149,13 @@ SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& o
         x[static_cast<std::size_t>(id)] = blended;
       }
       result.iterations = it + 1;
+      last_delta = max_delta;
       if (max_delta < opts.tolerance || std::isinf(max_delta) || std::isnan(max_delta)) {
         result.converged = max_delta < opts.tolerance;
         break;
       }
     }
+    result.telemetry.max_residual = last_delta;
     for (int id = 0; id < n; ++id) {
       waits[static_cast<std::size_t>(id)] =
           bundle_wait(solver, graph.at(id), x[static_cast<std::size_t>(id)], scale);
@@ -169,9 +174,58 @@ SolveResult solve_general_model(const ChannelGraph& graph, const SolveOptions& o
     // bursty_arrivals ablation off the kernel used the Poisson value, not
     // the graph's tuned one.
     sol.ca2 = opts.ablation().bursty_arrivals ? graph.at(id).ca2 : 1.0;
+    // Blocking decomposition (diagnostic): the transition-weighted Eq. 9/10
+    // factor — rates are scale-invariant, so this needs no re-solve.
+    const ChannelClass& cls = graph.at(id);
+    if (!cls.terminal) {
+      double pblock = 0.0;
+      for (const Transition& t : cls.next)
+        pblock += t.weight * blocking_factor(solver, cls, graph.at(t.target), t);
+      sol.blocking = pblock;
+    }
+    if (std::isfinite(sol.utilization) &&
+        (result.telemetry.max_utilization_class < 0 ||
+         sol.utilization > result.telemetry.max_utilization)) {
+      result.telemetry.max_utilization = sol.utilization;
+      result.telemetry.max_utilization_class = id;
+    }
     if (!std::isfinite(sol.service_time) || !std::isfinite(sol.wait) ||
         sol.utilization >= 1.0) {
       result.stable = false;
+    }
+  }
+  if (!result.stable) {
+    // Root-cause the saturation.  The originating class is the one whose own
+    // bundle is at/over capacity while its composed service time is still
+    // finite — upstream classes merely inherit its infinite wait (their
+    // service times diverge, their utilizations follow).  Prefer the most
+    // loaded such class; when none exists the waits diverged without a
+    // finite root (a slow-link drain floor or composition blow-up).
+    SolveTelemetry& tel = result.telemetry;
+    double worst = 0.0;
+    for (int id = 0; id < n; ++id) {
+      const ChannelSolution& sol = result.channels[static_cast<std::size_t>(id)];
+      if (std::isfinite(sol.service_time) && std::isfinite(sol.utilization) &&
+          sol.utilization >= 1.0 && sol.utilization >= worst) {
+        worst = sol.utilization;
+        tel.first_saturated_class = id;
+        tel.saturation_cause = "occupancy";
+      }
+    }
+    if (tel.first_saturated_class < 0) {
+      for (int id = 0; id < n; ++id) {
+        const ChannelSolution& sol =
+            result.channels[static_cast<std::size_t>(id)];
+        if (!std::isfinite(sol.service_time) || !std::isfinite(sol.wait)) {
+          tel.first_saturated_class = id;
+          const ChannelClass& cls = graph.at(id);
+          tel.saturation_cause =
+              solver.drain_floor(cls.bandwidth, cls.buffer_depth) > 0.0
+                  ? "drain-capacity"
+                  : "divergent-wait";
+          break;
+        }
+      }
     }
   }
   return result;

@@ -64,6 +64,31 @@ struct ChannelSolution {
   double utilization = 0.0;   ///< ρ of that bundle
   double cb2 = 0.0;           ///< squared service CV used for the wait
   double ca2 = 1.0;           ///< squared arrival CV the wait was evaluated at
+  /// Transition-weighted mean Eq. 9/10 blocking factor over this class's
+  /// outgoing transitions (0 for terminals): how much of the downstream
+  /// wait a worm leaving this class actually eats.  Diagnostic only —
+  /// nothing downstream consumes it.
+  double blocking = 0.0;
+};
+
+/// Why (and where) a solve landed where it did — the per-solve diagnostics
+/// the observability layer publishes.  Purely additive: every pre-existing
+/// SolveResult field is computed exactly as before.
+struct SolveTelemetry {
+  /// Final fixed-point max |Δx̄| (0 on acyclic graphs — the sweep is exact).
+  double max_residual = 0.0;
+  /// Largest finite bundle utilization and the class it occurred at (-1
+  /// when every utilization is non-finite).
+  double max_utilization = 0.0;
+  int max_utilization_class = -1;
+  /// For unstable solves: the class where saturation originates — the
+  /// finite-service class whose own bundle is at/over capacity (upstream
+  /// classes merely inherit its infinite wait).  -1 when stable.
+  int first_saturated_class = -1;
+  /// "occupancy" (a bundle hit ρ >= 1), "drain-capacity" (a slow or
+  /// credit-limited link's shared drain floor diverged), "divergent-wait"
+  /// (no finite root — waits diverged in composition), or "" when stable.
+  const char* saturation_cause = "";
 };
 
 /// Outcome of a solve.
@@ -71,6 +96,7 @@ struct SolveResult {
   bool stable = true;   ///< every bundle below saturation (all waits finite)
   bool converged = true;///< fixed-point converged (always true on DAGs)
   int iterations = 0;   ///< sweeps performed
+  SolveTelemetry telemetry;
   std::vector<ChannelSolution> channels;
 
   /// x̄ of class id.

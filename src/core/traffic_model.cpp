@@ -9,7 +9,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "topo/channels.hpp"
+#include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wormnet::core {
@@ -803,6 +806,7 @@ GeneralModel build_traffic_model(const topo::Topology& topo,
                                  const traffic::TrafficSpec& spec,
                                  const SolveOptions& opts,
                                  const TrafficBuildOptions& build) {
+  WORMNET_SPAN("build_traffic_model", "build");
   const int procs = topo.num_processors();
   WORMNET_EXPECTS(procs >= 2);
   WORMNET_EXPECTS(spec.check(procs).empty());
@@ -900,6 +904,9 @@ struct RetunableTrafficModel::Impl {
   double load_scale = 1.0;
   double tuned_ca2 = 1.0;
   double tuned_residual = 0.0;
+  /// One-shot warn gate for the collapsed→dense fault fallback below: big
+  /// N−1 sweeps trip the branch once per resident, not once per scenario.
+  bool warned_collapsed_fault = false;
   /// Active fault view, shared (immutable after construction) so the default
   /// Impl copy stays cheap and clones of a faulted resident share the
   /// survivor BFS tables.  Null = healthy fabric.
@@ -947,6 +954,7 @@ struct RetunableTrafficModel::Impl {
   /// resident model and flow state.
   void rebuild_cold(const traffic::TrafficSpec& new_spec,
                     const CollapsePlan& plan) {
+    WORMNET_SPAN("resident_rebuild_cold", "build");
     const topo::Topology& rt = routing_topo();
     if (plan.use_collapsed) {
       net = build_collapsed(rt, ct, new_spec, plan.sym, opts);
@@ -1033,6 +1041,7 @@ void RetunableTrafficModel::set_injection_ca2(double ca2) {
 
 RetuneReport RetunableTrafficModel::retune_traffic(
     const traffic::TrafficSpec& new_spec) {
+  WORMNET_SPAN("retune_traffic", "retune");
   Impl& im = *impl_;
   const int procs = im.topo->num_processors();
   WORMNET_EXPECTS(new_spec.check(procs).empty());
@@ -1166,6 +1175,7 @@ RetuneReport RetunableTrafficModel::retune_traffic(
 
 RetuneReport RetunableTrafficModel::retune_faults(
     std::shared_ptr<const topo::FaultSet> faults) {
+  WORMNET_SPAN("retune_faults", "retune");
   Impl& im = *impl_;
   const int procs = im.topo->num_processors();
   if (faults && faults->empty()) faults.reset();  // empty set == healthy
@@ -1193,13 +1203,32 @@ RetuneReport RetunableTrafficModel::retune_faults(
   if (im.is_collapsed) {
     // A collapsed resident has no dense flow state to delta against; entering
     // a degraded state rebuilds dense (faults void the symmetry), returning
-    // to healthy re-plans and may collapse again.
+    // to healthy re-plans and may collapse again.  That dense fallback is the
+    // fault-orbit follow-on's worst symptom (ROADMAP), so it never passes
+    // silently: a Rebuild cost-class counter in the global registry and a
+    // one-shot Warn naming the broken symmetry class.
+    const std::string broken_name = im.net.model_name;
+    const int broken_classes = im.net.graph.size();
     im.fault_set = std::move(faults);
     im.faulted = std::move(new_view);
     const topo::Topology& rt = im.routing_topo();
     im.rebuild_cold(im.spec, plan_collapse(rt, im.ct, im.spec, im.build));
     report.rebuilt = true;
     report.collapsed = im.is_collapsed;
+    obs::Registry::global()
+        .counter("wormnet_collapsed_fault_dense_rebuilds_total",
+                 "reason=broken-symmetry")
+        .inc();
+    if (!im.warned_collapsed_fault) {
+      im.warned_collapsed_fault = true;
+      WORMNET_LOG_SUB(Core, Warn)
+          << "collapsed resident '" << broken_name
+          << "' fell back to a dense rebuild on its first degraded query: "
+          << "the fault breaks its declared symmetry (" << broken_classes
+          << " quotient classes -> " << im.net.graph.size()
+          << " dense classes); N-1 sweeps on this resident pay dense costs "
+          << "until fault orbits land (ROADMAP)";
+    }
     return report;
   }
 

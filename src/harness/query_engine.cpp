@@ -1,10 +1,13 @@
 #include "harness/query_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/hash.hpp"
 #include "util/thread_pool.hpp"
@@ -118,6 +121,7 @@ struct QueryEngine::Impl {
 
   std::uint64_t served = 0, n_memoized = 0, n_reevaluate = 0, n_retune = 0,
                 n_rebuild = 0, n_variants = 0;
+  double batch_seconds = 0.0;  ///< wall time inside run_batch, for queries/sec
 
   explicit Impl(Options o)
       : opts(o),
@@ -229,9 +233,11 @@ const core::RetunableTrafficModel& QueryEngine::resident_model(int id) const {
 
 std::vector<QueryResult> QueryEngine::run_batch(
     int resident_id, const std::vector<WhatIfQuery>& queries) {
+  WORMNET_SPAN("query_batch", "query");
   WORMNET_EXPECTS(resident_id >= 0 &&
                   resident_id < static_cast<int>(impl_->residents.size()));
   Impl& im = *impl_;
+  const auto batch_t0 = std::chrono::steady_clock::now();
   const Impl::Resident& r = *im.residents[static_cast<std::size_t>(resident_id)];
   const int procs = r.topo->num_processors();
   const std::size_t n = queries.size();
@@ -345,6 +351,9 @@ std::vector<QueryResult> QueryEngine::run_batch(
     }
   }
   im.n_variants += variants.size();
+  im.batch_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - batch_t0)
+          .count();
   return results;
 }
 
@@ -445,10 +454,44 @@ std::uint64_t QueryEngine::sweep_cache_hits() const {
 std::uint64_t QueryEngine::sweep_cache_misses() const {
   return impl_->sweep.cache_misses();
 }
+std::size_t QueryEngine::answer_cache_size() const {
+  return impl_->answers.size();
+}
+double QueryEngine::batch_seconds() const { return impl_->batch_seconds; }
 
 void QueryEngine::clear_cache() {
   impl_->answers.clear();
   impl_->sweep.clear_cache();
+}
+
+void QueryEngine::publish_metrics(obs::Registry& reg,
+                                  std::string_view label) const {
+  const Impl& im = *impl_;
+  std::string l = "engine=";
+  l += label;
+  // The cost-class histogram as a labeled gauge family: one series per
+  // QueryCost, same metric name, so text exporters group them.
+  reg.gauge("wormnet_query_served", l + ",cost=memoized")
+      .set(static_cast<double>(im.n_memoized));
+  reg.gauge("wormnet_query_served", l + ",cost=reevaluate")
+      .set(static_cast<double>(im.n_reevaluate));
+  reg.gauge("wormnet_query_served", l + ",cost=retune")
+      .set(static_cast<double>(im.n_retune));
+  reg.gauge("wormnet_query_served", l + ",cost=rebuild")
+      .set(static_cast<double>(im.n_rebuild));
+  reg.gauge("wormnet_query_served_total", l).set(static_cast<double>(im.served));
+  reg.gauge("wormnet_query_variants_prepared", l)
+      .set(static_cast<double>(im.n_variants));
+  reg.gauge("wormnet_query_residents", l)
+      .set(static_cast<double>(im.residents.size()));
+  reg.gauge("wormnet_query_answer_cache_size", l)
+      .set(static_cast<double>(im.answers.size()));
+  reg.gauge("wormnet_query_batch_seconds", l).set(im.batch_seconds);
+  reg.gauge("wormnet_query_queries_per_sec", l)
+      .set(im.batch_seconds > 0.0
+               ? static_cast<double>(im.served) / im.batch_seconds
+               : 0.0);
+  im.sweep.publish_metrics(reg, label);
 }
 
 }  // namespace wormnet::harness

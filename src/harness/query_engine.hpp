@@ -55,6 +55,10 @@
 #include "topo/topology.hpp"
 #include "traffic/traffic_spec.hpp"
 
+namespace wormnet::obs {
+class Registry;
+}
+
 namespace wormnet::harness {
 
 /// The observable a WhatIfQuery asks for.
@@ -226,8 +230,21 @@ class QueryEngine {
   /// The shared latency-point memo pool (content-keyed SweepEngine).
   std::uint64_t sweep_cache_hits() const;
   std::uint64_t sweep_cache_misses() const;
+  /// Result-cache entries currently held (answers memoized across batches).
+  std::size_t answer_cache_size() const;
+  /// Wall-clock seconds spent inside run_batch across this engine's
+  /// lifetime (one steady_clock pair per batch — negligible, and results
+  /// are unaffected); queries_served() / batch_seconds() is the engine's
+  /// measured queries/sec.
+  double batch_seconds() const;
   /// Drop the result cache and the sweep cache (residents stay warm).
   void clear_cache();
+
+  /// Publish the cost-class counters (as a labeled gauge family — the
+  /// cost-class histogram), cache sizes/rates, resident count and measured
+  /// queries/sec into `reg` under labels "engine=<label>" (one-shot;
+  /// idempotent).
+  void publish_metrics(obs::Registry& reg, std::string_view label) const;
 
  private:
   struct Impl;

@@ -6,6 +6,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/assert.hpp"
@@ -80,6 +82,7 @@ SimEngine::~SimEngine() = default;
 unsigned SimEngine::threads() const { return pool_ ? pool_->size() : 1u; }
 
 std::vector<SimCellResult> SimEngine::run_cells(const std::vector<SimCell>& cells) {
+  WORMNET_SPAN("sim_campaign", "campaign");
   // One immutable SimNetwork per DISTINCT topology, built serially up front
   // (construction order is the cells' order, so the build is deterministic
   // too); workers only ever read them — the immutability contract of
@@ -159,7 +162,21 @@ std::vector<SimCellResult> SimEngine::run_cells(const std::vector<SimCell>& cell
 
   // Aggregate serially, in cell order.
   for (SimCellResult& r : results) fill_aggregates(r);
+  cells_run_ += cells.size();
+  replications_run_ += jobs.size();
   return results;
+}
+
+void SimEngine::publish_metrics(obs::Registry& reg,
+                                std::string_view label) const {
+  std::string l = "engine=";
+  l += label;
+  reg.gauge("wormnet_sim_networks_built", l)
+      .set(static_cast<double>(networks_built_));
+  reg.gauge("wormnet_sim_cells_run", l).set(static_cast<double>(cells_run_));
+  reg.gauge("wormnet_sim_replications_run", l)
+      .set(static_cast<double>(replications_run_));
+  reg.gauge("wormnet_sim_threads", l).set(static_cast<double>(threads()));
 }
 
 SimCellResult SimEngine::run_cell(const SimCell& cell) {

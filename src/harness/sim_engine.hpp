@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "arrivals/arrival_process.hpp"
@@ -36,6 +37,10 @@
 #include "sim/metrics.hpp"
 #include "topo/topology.hpp"
 #include "util/thread_pool.hpp"
+
+namespace wormnet::obs {
+class Registry;
+}
 
 namespace wormnet::harness {
 
@@ -116,10 +121,20 @@ class SimEngine {
   /// for the shared-network guarantee (cells over one topology share one).
   std::uint64_t networks_built() const { return networks_built_; }
 
+  /// Campaign totals across this engine's lifetime.
+  std::uint64_t cells_run() const { return cells_run_; }
+  std::uint64_t replications_run() const { return replications_run_; }
+
+  /// Publish networks-built / cells / replications / thread-count gauges
+  /// into `reg` under labels "engine=<label>" (one-shot; idempotent).
+  void publish_metrics(obs::Registry& reg, std::string_view label) const;
+
  private:
   Options opts_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when serial
   std::uint64_t networks_built_ = 0;
+  std::uint64_t cells_run_ = 0;
+  std::uint64_t replications_run_ = 0;
 };
 
 }  // namespace wormnet::harness

@@ -1,8 +1,10 @@
 #include "harness/sweep_engine.hpp"
 
+#include <string>
 #include <unordered_map>
 
 #include "core/saturation.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/hash.hpp"
 
@@ -244,6 +246,27 @@ std::size_t SweepEngine::cache_size() const {
 void SweepEngine::clear_cache() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
+}
+
+void SweepEngine::publish_metrics(obs::Registry& reg,
+                                  std::string_view label) const {
+  std::uint64_t hits, misses;
+  std::size_t size;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hits = hits_;
+    misses = misses_;
+    size = cache_.size();
+  }
+  std::string l = "engine=";
+  l += label;
+  reg.gauge("wormnet_sweep_cache_hits", l).set(static_cast<double>(hits));
+  reg.gauge("wormnet_sweep_cache_misses", l).set(static_cast<double>(misses));
+  reg.gauge("wormnet_sweep_cache_size", l).set(static_cast<double>(size));
+  const std::uint64_t total = hits + misses;
+  reg.gauge("wormnet_sweep_cache_hit_rate", l)
+      .set(total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0);
+  reg.gauge("wormnet_sweep_threads", l).set(static_cast<double>(threads()));
 }
 
 }  // namespace wormnet::harness

@@ -39,12 +39,17 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "arrivals/arrival_process.hpp"
 #include "core/network_model.hpp"
 #include "util/thread_pool.hpp"
+
+namespace wormnet::obs {
+class Registry;
+}
 
 namespace wormnet::harness {
 
@@ -163,6 +168,10 @@ class SweepEngine {
   std::uint64_t cache_misses() const;
   std::size_t cache_size() const;
   void clear_cache();
+
+  /// Publish the cache counters and hit rate into `reg` as gauges under
+  /// labels "engine=<label>" (one-shot snapshot export; idempotent).
+  void publish_metrics(obs::Registry& reg, std::string_view label) const;
 
  private:
   struct Key {

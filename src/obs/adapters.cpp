@@ -1,0 +1,108 @@
+#include "obs/adapters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/general_model.hpp"
+#include "obs/metrics.hpp"
+#include "sim/metrics.hpp"
+
+namespace wormnet::obs {
+
+namespace {
+
+std::vector<double> utilization_edges() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+std::vector<double> cycles_edges() {
+  return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0};
+}
+
+}  // namespace
+
+void publish_solve(Registry& reg, const core::SolveResult& sol,
+                   std::string_view label) {
+  std::string l = "model=";
+  l += label;
+  reg.gauge("wormnet_solve_iterations", l)
+      .set(static_cast<double>(sol.iterations));
+  reg.gauge("wormnet_solve_converged", l).set(sol.converged ? 1.0 : 0.0);
+  reg.gauge("wormnet_solve_stable", l).set(sol.stable ? 1.0 : 0.0);
+  reg.gauge("wormnet_solve_max_residual", l).set(sol.telemetry.max_residual);
+  reg.gauge("wormnet_solve_max_utilization", l)
+      .set(sol.telemetry.max_utilization);
+  reg.gauge("wormnet_solve_max_utilization_class", l)
+      .set(static_cast<double>(sol.telemetry.max_utilization_class));
+  reg.gauge("wormnet_solve_first_saturated_class", l)
+      .set(static_cast<double>(sol.telemetry.first_saturated_class));
+  reg.gauge("wormnet_solve_channel_classes", l)
+      .set(static_cast<double>(sol.channels.size()));
+  if (sol.telemetry.saturation_cause[0] != '\0') {
+    // The cause as a labeled counter, so the string survives text formats.
+    std::string cl = l;
+    cl += ",cause=";
+    cl += sol.telemetry.saturation_cause;
+    reg.counter("wormnet_solve_saturations_total", cl).inc();
+  }
+  auto& util_hist =
+      reg.histogram("wormnet_solve_channel_utilization", utilization_edges(), l);
+  auto& blocking_hist =
+      reg.histogram("wormnet_solve_channel_blocking", utilization_edges(), l);
+  auto& wait_hist =
+      reg.histogram("wormnet_solve_channel_wait_cycles", cycles_edges(), l);
+  for (const core::ChannelSolution& c : sol.channels) {
+    if (std::isfinite(c.utilization)) util_hist.observe(c.utilization);
+    if (std::isfinite(c.blocking)) blocking_hist.observe(c.blocking);
+    if (std::isfinite(c.wait)) wait_hist.observe(c.wait);
+  }
+}
+
+void publish_sim(Registry& reg, const sim::SimResult& r,
+                 std::string_view label) {
+  std::string l = "run=";
+  l += label;
+  reg.gauge("wormnet_sim_cycles_run", l).set(static_cast<double>(r.cycles_run));
+  reg.gauge("wormnet_sim_delivered_messages", l)
+      .set(static_cast<double>(r.delivered_messages));
+  reg.gauge("wormnet_sim_generated_messages", l)
+      .set(static_cast<double>(r.generated_messages));
+  reg.gauge("wormnet_sim_dropped_worms", l)
+      .set(static_cast<double>(r.dropped_worms));
+  reg.gauge("wormnet_sim_unroutable_messages", l)
+      .set(static_cast<double>(r.unroutable_messages));
+  reg.gauge("wormnet_sim_throughput_flits_per_pe", l)
+      .set(r.throughput_flits_per_pe);
+  reg.gauge("wormnet_sim_latency_mean_cycles", l).set(r.latency.mean());
+  reg.gauge("wormnet_sim_saturated", l).set(r.saturated ? 1.0 : 0.0);
+
+  // Per-channel utilization (busy share of the window) and occupancy
+  // (flits per cycle) — the export the conformance tables compare the
+  // model's bundle utilizations against.
+  if (!r.channels.empty() && r.window_cycles > 0) {
+    auto& util_hist =
+        reg.histogram("wormnet_sim_channel_utilization", utilization_edges(), l);
+    auto& occ_hist =
+        reg.histogram("wormnet_sim_channel_flits_per_cycle",
+                      utilization_edges(), l);
+    const double window = static_cast<double>(r.window_cycles);
+    double max_util = 0.0;
+    std::size_t argmax = 0;
+    for (std::size_t i = 0; i < r.channels.size(); ++i) {
+      const double util = static_cast<double>(r.channels[i].busy_cycles) / window;
+      util_hist.observe(util);
+      occ_hist.observe(static_cast<double>(r.channels[i].flits) / window);
+      if (util > max_util) {
+        max_util = util;
+        argmax = i;
+      }
+    }
+    reg.gauge("wormnet_sim_max_channel_utilization", l).set(max_util);
+    reg.gauge("wormnet_sim_max_utilization_channel", l)
+        .set(static_cast<double>(argmax));
+  }
+}
+
+}  // namespace wormnet::obs

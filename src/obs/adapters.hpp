@@ -1,0 +1,39 @@
+// obs adapters — publish solver and simulator results into a Registry.
+//
+// The solver and simulator already compute per-channel utilization /
+// blocking / wait decompositions and then hand them to callers who keep a
+// scalar or two; these adapters are the "stop throwing it away" layer.
+// Each takes a finished result (no instrumentation inside the hot paths)
+// and writes gauges + histograms under a caller-chosen label so one
+// Registry can hold solver, simulator and engine metrics from the same run.
+#pragma once
+
+#include <string_view>
+
+namespace wormnet::core {
+struct SolveResult;
+}
+namespace wormnet::sim {
+struct SimResult;
+}
+
+namespace wormnet::obs {
+
+class Registry;
+
+/// Publish a solve's telemetry under labels "model=<label>":
+/// iterations, convergence, max residual, stability, the max-utilization /
+/// first-saturated classes and cause, plus per-class utilization, blocking
+/// and wait histograms.
+void publish_solve(Registry& reg, const core::SolveResult& sol,
+                   std::string_view label);
+
+/// Publish a simulation's per-channel utilization/occupancy export under
+/// labels "run=<label>": delivered/generated/dropped counts, throughput,
+/// latency mean, and per-channel utilization + flits-per-cycle histograms
+/// with the max-utilization channel called out.  Requires the run to have
+/// kept channel stats (SimConfig::channel_stats).
+void publish_sim(Registry& reg, const sim::SimResult& r,
+                 std::string_view label);
+
+}  // namespace wormnet::obs

@@ -1,0 +1,42 @@
+#include "obs/log_sink.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace wormnet::obs {
+
+namespace {
+std::atomic<LogSink*> g_sink{nullptr};
+
+const char* level_name(util::LogLevel l) {
+  switch (l) {
+    case util::LogLevel::Debug: return "debug";
+    case util::LogLevel::Info: return "info";
+    case util::LogLevel::Warn: return "warn";
+    case util::LogLevel::Error: return "error";
+    case util::LogLevel::Off: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_sink(LogSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+LogSink* log_sink() { return g_sink.load(std::memory_order_acquire); }
+
+void CountingLogSink::write(util::LogLevel level, util::Subsystem sub,
+                            std::string_view msg) {
+  std::string labels = "subsystem=";
+  labels += util::subsystem_name(sub);
+  labels += ",level=";
+  labels += level_name(level);
+  reg_.counter("wormnet_log_messages_total", labels).inc();
+  if (forward_) util::log_message_stderr(level, sub, std::string(msg));
+}
+
+}  // namespace wormnet::obs

@@ -1,0 +1,47 @@
+// obs::LogSink — pluggable backend for util/log.hpp.
+//
+// util::log_message routes every message that passes its (atomic,
+// per-subsystem) threshold through the installed sink; with no sink
+// installed the historical stderr behavior is the default.  Filtering
+// stays in util::detail::LogLine, so the no-allocation-when-filtered
+// guarantee is unchanged — a sink only ever sees messages that passed.
+//
+// CountingLogSink is the obs-flavored implementation: it counts messages
+// per (subsystem, level) into a Registry and optionally forwards to
+// stderr, so a snapshot records how noisy each layer was.
+#pragma once
+
+#include <string_view>
+
+#include "util/log.hpp"
+
+namespace wormnet::obs {
+
+class Registry;
+
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(util::LogLevel level, util::Subsystem sub,
+                     std::string_view msg) = 0;
+};
+
+/// Install (not owned; must outlive use) or remove (nullptr) the sink.
+void set_log_sink(LogSink* sink);
+LogSink* log_sink();
+
+/// Counts into `reg` as wormnet_log_messages_total{subsystem=...,level=...}
+/// and forwards to stderr unless `forward` is false.
+class CountingLogSink : public LogSink {
+ public:
+  explicit CountingLogSink(Registry& reg, bool forward = true)
+      : reg_(reg), forward_(forward) {}
+  void write(util::LogLevel level, util::Subsystem sub,
+             std::string_view msg) override;
+
+ private:
+  Registry& reg_;
+  bool forward_;
+};
+
+}  // namespace wormnet::obs

@@ -1,0 +1,101 @@
+// obs::TraceLog / obs::ScopedTimer — Chrome trace-event spans.
+//
+// A TraceLog collects complete ('X') and instant ('i') events and renders
+// them as the Trace Event Format JSON that chrome://tracing and Perfetto
+// load directly.  ScopedTimer is the RAII producer for phase spans
+// (build / retune / solve / campaign); it is deliberately inert when
+// tracing is off: construction is one relaxed atomic load and a branch —
+// no clock read, no allocation — so instrumented hot paths cost nothing
+// by default.
+//
+// Two timebases coexist in one file without conflict because events carry
+// their own pid: wall-clock spans (trace_now_us, pid 1) and simulator
+// worm-lifecycle events (cycle numbers as microseconds, pid 2).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wormnet::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';         // 'X' complete, 'i' instant
+  std::int64_t ts = 0;   // microseconds
+  std::int64_t dur = 0;  // microseconds, complete events only
+  std::uint32_t pid = 1;
+  std::uint32_t tid = 0;
+};
+
+class TraceLog {
+ public:
+  void complete(std::string name, std::string cat, std::int64_t ts_us,
+                std::int64_t dur_us, std::uint32_t tid = 0,
+                std::uint32_t pid = 1);
+  void instant(std::string name, std::string cat, std::int64_t ts_us,
+               std::uint32_t tid = 0, std::uint32_t pid = 1);
+
+  std::size_t size() const;
+  void clear();
+  std::vector<TraceEvent> events() const;
+
+  /// {"traceEvents": [...]} — load in chrome://tracing or ui.perfetto.dev.
+  std::string chrome_json() const;
+  bool write(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Process-wide span sink used by ScopedTimer when tracing is enabled and
+/// no explicit log is given.
+TraceLog& default_trace();
+
+/// Global switch for implicit spans.  Off (the default) makes every
+/// WORMNET_SPAN site a relaxed load + untaken branch.
+void set_tracing(bool on);
+bool tracing_enabled();
+
+/// Microseconds since the process trace epoch (first use).
+std::int64_t trace_now_us();
+
+/// Small dense id for the calling thread (0, 1, 2, ... in first-use order).
+std::uint32_t trace_tid();
+
+/// RAII phase span.  Inert unless tracing is on or an explicit TraceLog is
+/// passed.  Name/category must outlive the scope (string literals).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name, const char* cat = "phase",
+                       TraceLog* log = nullptr)
+      : log_(log ? log : (tracing_enabled() ? &default_trace() : nullptr)) {
+    if (log_) {
+      name_ = name;
+      cat_ = cat;
+      t0_ = trace_now_us();
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (log_) log_->complete(name_, cat_, t0_, trace_now_us() - t0_, trace_tid());
+  }
+
+ private:
+  TraceLog* log_;
+  const char* name_ = "";
+  const char* cat_ = "";
+  std::int64_t t0_ = 0;
+};
+
+}  // namespace wormnet::obs
+
+// Span a scope under the global tracing switch: WORMNET_SPAN("solve", "core");
+#define WORMNET_SPAN_CAT2(a, b) a##b
+#define WORMNET_SPAN_CAT(a, b) WORMNET_SPAN_CAT2(a, b)
+#define WORMNET_SPAN(name, cat) \
+  ::wormnet::obs::ScopedTimer WORMNET_SPAN_CAT(wormnet_span_, __LINE__)(name, cat)

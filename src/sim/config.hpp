@@ -17,6 +17,10 @@
 #include "arrivals/arrival_process.hpp"
 #include "traffic/traffic_spec.hpp"
 
+namespace wormnet::obs {
+class TraceLog;
+}
+
 namespace wormnet::sim {
 
 /// Message generation MODE at each processor.  Poisson (the default) is the
@@ -120,6 +124,15 @@ struct SimConfig {
 
   /// Collect per-channel grant/busy counters (cheap; a few MB at N=1024).
   bool channel_stats = true;
+
+  /// Opt-in worm-lifecycle event trace (obs/trace.hpp): each delivered
+  /// worm emits queue/inject/flight spans (Eq. 1's W_inj / x_inj / flight
+  /// decomposition, cycle numbers as the µs timebase, tid = source PE) and
+  /// each fault drop an instant event.  Null — the default — is provably
+  /// zero-overhead: the only cost is an untaken branch per completion, no
+  /// result field ever reads the trace, and seeded goldens stay
+  /// bit-identical (tested in test_obs.cpp).  The log must outlive the run.
+  obs::TraceLog* trace = nullptr;
 
   /// Collect the full latency distribution of tagged messages (histogram
   /// with `histogram_bins` bins over [0, histogram_max) cycles) so results

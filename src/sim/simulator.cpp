@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
 
@@ -46,7 +47,8 @@ Simulator::Simulator(const SimNetwork& net, SimConfig cfg)
       // Overload sources are never idle after cycle 0, so fast-forward has
       // nothing to skip there; gate it off entirely for clarity.
       fast_forward_(!cfg_.disable_fast_forward &&
-                    cfg_.arrivals != ArrivalProcess::Overload) {
+                    cfg_.arrivals != ArrivalProcess::Overload),
+      trace_(cfg_.trace) {
   if (cfg_.latency_histogram) {
     result_.latency_hist.emplace(0.0, cfg_.histogram_max, cfg_.histogram_bins);
   }
@@ -317,6 +319,25 @@ void Simulator::complete_worm(Worm& w, long cycle) {
     ++result_.delivered_messages;
     result_.delivered_flits += w.length;
   }
+  if (trace_) trace_worm(w, cycle);
+}
+
+void Simulator::trace_worm(const Worm& w, long cycle) {
+  // Eq. 1's decomposition as nested spans on the cycle timebase (pid 2,
+  // tid = source PE): queue = W_inj, inject = x_inj, flight = the rest.
+  const std::string name =
+      "worm " + std::to_string(w.src) + "->" + std::to_string(w.dst);
+  const auto tid = static_cast<std::uint32_t>(w.src);
+  trace_->complete(name, "worm", w.gen_time, cycle - w.gen_time, tid, 2);
+  if (w.inject_start >= w.gen_time)
+    trace_->complete(name + " queue", "worm.queue", w.gen_time,
+                     w.inject_start - w.gen_time, tid, 2);
+  if (w.src_release >= w.inject_start && w.inject_start >= 0)
+    trace_->complete(name + " inject", "worm.inject", w.inject_start,
+                     w.src_release - w.inject_start, tid, 2);
+  if (w.src_release >= 0 && cycle >= w.src_release)
+    trace_->complete(name + " flight", "worm.flight", w.src_release,
+                     cycle - w.src_release, tid, 2);
 }
 
 void Simulator::advance_worm(int worm_id, long cycle) {
@@ -532,6 +553,10 @@ void Simulator::drop_worm(int worm_id, long cycle) {
   // tagged accounting must still close, without touching latency stats.
   if (w.tagged) ++tagged_done_;
   last_progress_ = cycle;  // a drop is progress — preempts the watchdog
+  if (trace_)
+    trace_->instant("drop " + std::to_string(w.src) + "->" +
+                        std::to_string(w.dst),
+                    "worm.drop", cycle, static_cast<std::uint32_t>(w.src), 2);
 }
 
 void Simulator::check_fault_drops(long cycle) {

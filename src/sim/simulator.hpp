@@ -222,6 +222,9 @@ class Simulator {
   void release_lane(Worm& w, int lane_id, long cycle);
   void advance_worm(int worm_id, long cycle);
   void complete_worm(Worm& w, long cycle);
+
+  /// Emit the delivered worm's lifecycle spans into *trace_ (caller checks).
+  void trace_worm(const Worm& w, long cycle);
   void on_source_released(int proc, long cycle);
   bool in_window(long cycle) const;
 
@@ -288,6 +291,9 @@ class Simulator {
   const bool lane_mode_;       // multi-lane, link features OR fault mode:
                                // use the bandwidth-arbitrated advance kernel
   const bool fast_forward_;    // idle-cycle fast-forward enabled
+  obs::TraceLog* const trace_; // opt-in worm-lifecycle trace (null = off):
+                               // guarded emissions only, results never read
+                               // it, so off is provably zero-overhead
 
   // Deque, not vector: alloc_worm() can run while advance_worm() holds a
   // reference into the container (source release triggers the next worm's

@@ -4,10 +4,14 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/log_sink.hpp"
+
 namespace wormnet::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+// Per-subsystem overrides; -1 means "follow the global level".
+std::atomic<int> g_sub_level[kNumSubsystems] = {{-1}, {-1}, {-1}, {-1}, {-1}};
 std::mutex g_mu;
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -21,13 +25,56 @@ const char* level_name(LogLevel l) {
 }
 }  // namespace
 
+const char* subsystem_name(Subsystem sub) {
+  switch (sub) {
+    case Subsystem::General: return "general";
+    case Subsystem::Topo: return "topo";
+    case Subsystem::Core: return "core";
+    case Subsystem::Sim: return "sim";
+    case Subsystem::Harness: return "harness";
+  }
+  return "?";
+}
+
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_level(Subsystem sub, LogLevel level) {
+  g_sub_level[static_cast<int>(sub)].store(static_cast<int>(level),
+                                           std::memory_order_relaxed);
+}
+
+void clear_subsystem_log_levels() {
+  for (auto& l : g_sub_level) l.store(-1, std::memory_order_relaxed);
+}
+
+LogLevel log_level(Subsystem sub) {
+  const int v =
+      g_sub_level[static_cast<int>(sub)].load(std::memory_order_relaxed);
+  return v < 0 ? log_level() : static_cast<LogLevel>(v);
+}
+
 void log_message(LogLevel level, const std::string& msg) {
+  log_message(level, Subsystem::General, msg);
+}
+
+void log_message(LogLevel level, Subsystem sub, const std::string& msg) {
+  if (obs::LogSink* sink = obs::log_sink()) {
+    sink->write(level, sub, msg);
+    return;
+  }
+  log_message_stderr(level, sub, msg);
+}
+
+void log_message_stderr(LogLevel level, Subsystem sub, const std::string& msg) {
   std::lock_guard<std::mutex> lock(g_mu);
-  std::fprintf(stderr, "[wormnet %s] %s\n", level_name(level), msg.c_str());
+  if (sub == Subsystem::General) {
+    std::fprintf(stderr, "[wormnet %s] %s\n", level_name(level), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[wormnet %s %s] %s\n", subsystem_name(sub),
+                 level_name(level), msg.c_str());
+  }
 }
 
 }  // namespace wormnet::util

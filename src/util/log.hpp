@@ -1,8 +1,16 @@
 // wormnet/util/log.hpp
 //
-// Leveled stderr logging.  The simulator can emit per-cycle traces at Debug
-// level (used by the wormhole-semantics tests); everything else logs at Info
-// or above.  No allocation happens when the level is filtered out.
+// Leveled logging with per-subsystem thresholds.  The simulator can emit
+// per-cycle traces at Debug level (used by the wormhole-semantics tests);
+// everything else logs at Info or above.  No allocation happens when the
+// level is filtered out — LogLine checks the effective threshold in its
+// constructor and never touches the stream when inactive.
+//
+// Thresholds are atomics (reads are relaxed loads), so concurrent
+// set_log_level against logging threads is race-free.  Each subsystem can
+// override the global threshold independently; unset subsystems follow the
+// global one.  Output goes to stderr by default, or through an
+// obs::LogSink when one is installed (obs/log_sink.hpp).
 #pragma once
 
 #include <sstream>
@@ -13,21 +21,50 @@ namespace wormnet::util {
 /// Log severity, ordered.
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
+/// Coarse source-layer tag; each has its own optional threshold.
+enum class Subsystem {
+  General = 0,
+  Topo = 1,
+  Core = 2,
+  Sim = 3,
+  Harness = 4,
+};
+inline constexpr int kNumSubsystems = 5;
+
+/// Short lowercase name ("topo", "core", ...) for prefixes and metrics.
+const char* subsystem_name(Subsystem sub);
+
 /// Global threshold; messages below it are discarded.
 void set_log_level(LogLevel level);
 /// Current global threshold (default Warn, so tests/benches stay quiet).
 LogLevel log_level();
 
-/// Emit a message at the given level (appends newline).
+/// Per-subsystem override; subsystems without one follow the global level.
+void set_log_level(Subsystem sub, LogLevel level);
+/// Drop every per-subsystem override (all follow the global level again).
+void clear_subsystem_log_levels();
+/// Effective threshold for a subsystem (its override, else the global).
+LogLevel log_level(Subsystem sub);
+
+/// Emit a message at the given level (appends newline).  Routes through
+/// the installed obs::LogSink when there is one, else stderr.
 void log_message(LogLevel level, const std::string& msg);
+void log_message(LogLevel level, Subsystem sub, const std::string& msg);
+
+/// The stderr backend itself — what sinks call to forward, bypassing the
+/// sink dispatch (so a forwarding sink can't recurse into itself).
+void log_message_stderr(LogLevel level, Subsystem sub, const std::string& msg);
 
 namespace detail {
 /// Builds the message only if the level passes, then emits on destruction.
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level), active_(level >= log_level()) {}
+  explicit LogLine(LogLevel level)
+      : LogLine(level, Subsystem::General) {}
+  LogLine(LogLevel level, Subsystem sub)
+      : level_(level), sub_(sub), active_(level >= log_level(sub)) {}
   ~LogLine() {
-    if (active_) log_message(level_, out_.str());
+    if (active_) log_message(level_, sub_, out_.str());
   }
   template <typename T>
   LogLine& operator<<(const T& v) {
@@ -37,6 +74,7 @@ class LogLine {
 
  private:
   LogLevel level_;
+  Subsystem sub_;
   bool active_;
   std::ostringstream out_;
 };
@@ -45,3 +83,7 @@ class LogLine {
 }  // namespace wormnet::util
 
 #define WORMNET_LOG(level) ::wormnet::util::detail::LogLine(::wormnet::util::LogLevel::level)
+#define WORMNET_LOG_SUB(sub, level)                     \
+  ::wormnet::util::detail::LogLine(                     \
+      ::wormnet::util::LogLevel::level,                 \
+      ::wormnet::util::Subsystem::sub)

@@ -21,6 +21,9 @@
 //  * wormnet::sim      — a flit-level wormhole simulator (the validation
 //    substrate for every experiment);
 //  * wormnet::harness  — load sweeps and model-vs-simulation comparisons;
+//  * wormnet::obs      — observability: metric registry (counters / gauges /
+//    histograms with JSON, CSV and Prometheus exporters), Chrome trace-event
+//    spans, solve/sim telemetry publishers and the pluggable log sink;
 //  * wormnet::util     — RNG, statistics, tables, CLI and thread pool.
 //
 // See README.md for a quickstart and DESIGN.md for the architecture.
@@ -40,6 +43,10 @@
 #include "harness/query_engine.hpp"    // IWYU pragma: export
 #include "harness/sim_engine.hpp"      // IWYU pragma: export
 #include "harness/sweep_engine.hpp"    // IWYU pragma: export
+#include "obs/adapters.hpp"            // IWYU pragma: export
+#include "obs/log_sink.hpp"            // IWYU pragma: export
+#include "obs/metrics.hpp"             // IWYU pragma: export
+#include "obs/trace.hpp"               // IWYU pragma: export
 #include "queueing/channel_solver.hpp" // IWYU pragma: export
 #include "queueing/queueing.hpp"       // IWYU pragma: export
 #include "sim/config.hpp"              // IWYU pragma: export
